@@ -1,0 +1,55 @@
+//! Ablation (§II background): TBR vs Immediate-Mode Rendering on the same GPU.
+//!
+//! Antochi et al. (cited in §II): "TBR considerably reduces the total amount of
+//! external data traffic compared to traditional architectures that are not
+//! tile-based". This bench quantifies that on our simulator: same cores, caches and
+//! DRAM; the only difference is where the Z/colour buffers live (on-chip tile SRAM
+//! vs DRAM-backed surfaces).
+
+use libra_bench::{banner, geomean, mean, Env, MainConfigs};
+use tbr_sim::{simulate_sequence_imr, SchedulerKind};
+use tbr_workloads::suite;
+
+fn main() {
+    banner(
+        "Ablation: TBR vs IMR",
+        "external (DRAM) traffic and performance of tile-based vs immediate-mode",
+        "TBR considerably reduces external data traffic (Antochi et al., §II)",
+    );
+    let env = Env::from_env(3);
+    let cfgs = MainConfigs::new(&env);
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>9} {:>10}",
+        "bench", "tbr dram/f", "imr dram/f", "traffic×", "tbr speedup"
+    );
+    let mut csv = Vec::new();
+    let mut ratios = Vec::new();
+    let mut speedups = Vec::new();
+    // A representative slice keeps this ablation quick; set LIBRA_BENCHMARKS to
+    // widen it.
+    let default_slice = ["CCS", "SuS", "HCR", "GDL", "AnB", "RoK"];
+    let profiles: Vec<_> = env
+        .select(suite())
+        .into_iter()
+        .filter(|p| env.filter.is_some() || default_slice.contains(&p.abbrev))
+        .collect();
+    for p in &profiles {
+        let tbr = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, p);
+        let imr = simulate_sequence_imr(&cfgs.baseline, p, env.frames);
+        let dt = tbr.total_dram_accesses() as f64 / env.frames as f64;
+        let di = imr.total_dram_accesses() as f64 / env.frames as f64;
+        let ratio = di / dt;
+        let sp = tbr.speedup_over(&imr);
+        ratios.push(ratio);
+        speedups.push(sp);
+        println!("{:<6} {:>12.0} {:>12.0} {:>8.2}x {:>9.2}x", p.abbrev, dt, di, ratio, sp);
+        csv.push(format!("{},{:.0},{:.0},{:.3},{:.3}", p.abbrev, dt, di, ratio, sp));
+    }
+    println!(
+        "\nAVG: IMR generates {:.2}x the DRAM traffic of TBR; TBR is {:.2}x faster",
+        mean(&ratios),
+        geomean(&speedups)
+    );
+    env.write_csv("ablation_imr", "bench,tbr_dram,imr_dram,traffic_ratio,tbr_speedup", &csv);
+}

@@ -1,0 +1,69 @@
+//! Ablation (DESIGN.md §5): memory-controller design choices under the LIBRA
+//! workloads — row-buffer page policy and refresh overhead.
+//!
+//! Quantifies the controller's sensitivity: how much the open-page row hits buy (or
+//! cost, when many-bank streaming makes conflicts dominate), and the bounded price
+//! of refresh.
+
+use libra_bench::{banner, geomean, Env, MainConfigs};
+use tbr_common::config::{GpuConfig, PagePolicy};
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn variant(base: &GpuConfig, f: impl FnOnce(&mut GpuConfig)) -> GpuConfig {
+    let mut cfg = base.clone();
+    f(&mut cfg);
+    cfg
+}
+
+fn main() {
+    banner(
+        "Ablation: memory controller",
+        "open vs closed page policy; refresh on vs off (baseline GPU)",
+        "open-page + refresh is the modelled default",
+    );
+    let env = Env::from_env(4);
+    let cfgs = MainConfigs::new(&env);
+    let variants: Vec<(&str, GpuConfig)> = vec![
+        ("open+refresh (default)", cfgs.baseline.clone()),
+        ("closed page", variant(&cfgs.baseline, |c| c.dram.page_policy = PagePolicy::Closed)),
+        ("no refresh", variant(&cfgs.baseline, |c| c.dram.refresh_interval = 0)),
+        (
+            "closed, no refresh",
+            variant(&cfgs.baseline, |c| {
+                c.dram.page_policy = PagePolicy::Closed;
+                c.dram.refresh_interval = 0;
+            }),
+        ),
+    ];
+
+    let profiles = env.select(memory_intensive_suite());
+    print!("{:<6}", "bench");
+    for (name, _) in &variants {
+        print!(" {name:>22}");
+    }
+    println!();
+
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    let mut csv = Vec::new();
+    for p in &profiles {
+        print!("{:<6}", p.abbrev);
+        let mut row = vec![p.abbrev.to_string()];
+        let reference = env.run(&variants[0].1, SchedulerKind::SingleZOrder, p);
+        for (k, (_, cfg)) in variants.iter().enumerate() {
+            let s = if k == 0 { reference.clone() } else { env.run(cfg, SchedulerKind::SingleZOrder, p) };
+            let rel = s.total_cycles() as f64 / reference.total_cycles() as f64;
+            per_variant[k].push(rel);
+            print!(" {rel:>21.3}x");
+            row.push(format!("{rel:.4}"));
+        }
+        println!();
+        csv.push(row.join(","));
+    }
+    print!("\nAVG   ");
+    for v in &per_variant {
+        print!(" {:>21.3}x", geomean(v));
+    }
+    println!("\n(normalised cycles; > 1 means slower than the default controller)");
+    env.write_csv("ablation_memory", "bench,default,closed,no_refresh,closed_no_refresh", &csv);
+}

@@ -1,0 +1,56 @@
+//! Ablation (DESIGN.md §5): how good is LIBRA's frame-coherence *prediction*?
+//!
+//! Compares, over the memory-intensive suite:
+//!
+//! * **PTR** — no temperature information at all;
+//! * **LIBRA** — schedules frame *n* from frame *n − 1*'s heatmap (buildable);
+//! * **oracle** — schedules frame *n* from its *own* heatmap (perfect prediction,
+//!   not buildable: requires rendering the frame twice).
+//!
+//! The LIBRA-to-oracle gap is the price of predicting across frames; Fig 8's high
+//! coherence says it should be small.
+
+use libra_bench::{banner, geomean, Env, MainConfigs};
+use tbr_sim::gpu::simulate_sequence_oracle;
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Ablation: prediction quality",
+        "PTR vs LIBRA (previous-frame heatmap) vs oracle (same-frame heatmap)",
+        "frame coherence (Fig 8) implies LIBRA ≈ oracle",
+    );
+    let env = Env::from_env(6);
+    let cfgs = MainConfigs::new(&env);
+
+    println!("{:<6} {:>11} {:>11} {:>11} {:>9} {:>9}", "bench", "ptr cyc/f", "libra cyc/f", "oracle cyc/f", "libra", "oracle");
+    let mut csv = Vec::new();
+    let mut libra_s = Vec::new();
+    let mut oracle_s = Vec::new();
+    for p in env.select(memory_intensive_suite()) {
+        let ptr = env.run(&cfgs.dual_ru, SchedulerKind::InterleavedZOrder, &p);
+        let libra = env.run(&cfgs.dual_ru, SchedulerKind::Libra, &p);
+        let oracle = simulate_sequence_oracle(&cfgs.dual_ru, &p, env.frames, 2);
+        let sl = libra.speedup_over(&ptr);
+        let so = oracle.speedup_over(&ptr);
+        libra_s.push(sl);
+        oracle_s.push(so);
+        println!(
+            "{:<6} {:>11.0} {:>11.0} {:>11.0} {:>8.1}% {:>8.1}%",
+            p.abbrev,
+            ptr.avg_frame_cycles(),
+            libra.avg_frame_cycles(),
+            oracle.avg_frame_cycles(),
+            (sl - 1.0) * 100.0,
+            (so - 1.0) * 100.0
+        );
+        csv.push(format!("{},{:.4},{:.4}", p.abbrev, sl, so));
+    }
+    println!(
+        "\nAVG speedup over PTR: LIBRA {:+.1}%  oracle {:+.1}%  (gap = cost of prediction)",
+        (geomean(&libra_s) - 1.0) * 100.0,
+        (geomean(&oracle_s) - 1.0) * 100.0
+    );
+    env.write_csv("ablation_prediction", "bench,libra_vs_ptr,oracle_vs_ptr", &csv);
+}

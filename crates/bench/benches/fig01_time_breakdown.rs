@@ -1,0 +1,38 @@
+//! Fig 1: distribution of the execution time in the GPU per frame between the
+//! Geometry and Raster pipelines.
+//!
+//! Paper: on average 88 % of the time is spent on the raster process.
+
+use libra_bench::{banner, mean, Env, MainConfigs};
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite;
+
+fn main() {
+    banner(
+        "Fig 1",
+        "per-frame execution time split: geometry vs raster (baseline GPU)",
+        "raster ≈ 88% on average across the suite",
+    );
+    let env = Env::from_env(4);
+    let cfgs = MainConfigs::new(&env);
+    let mut csv = Vec::new();
+    let mut fractions = Vec::new();
+    println!("{:<6} {:>12} {:>12} {:>9}", "bench", "geom cyc/f", "raster cyc/f", "raster%");
+    for p in env.select(suite()) {
+        let s = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, &p);
+        let geom: u64 = s.frames.iter().map(|f| f.geometry_cycles).sum();
+        let rast: u64 = s.frames.iter().map(|f| f.raster_cycles).sum();
+        let frac = rast as f64 / (geom + rast) as f64 * 100.0;
+        fractions.push(frac);
+        println!(
+            "{:<6} {:>12.0} {:>12.0} {:>8.1}%",
+            p.abbrev,
+            geom as f64 / env.frames as f64,
+            rast as f64 / env.frames as f64,
+            frac
+        );
+        csv.push(format!("{},{},{},{:.2}", p.abbrev, geom, rast, frac));
+    }
+    println!("\nAVG raster fraction: {:.1}%   (paper: ≈88%)", mean(&fractions));
+    env.write_csv("fig01_time_breakdown", "bench,geometry_cycles,raster_cycles,raster_pct", &csv);
+}

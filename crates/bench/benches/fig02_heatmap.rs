@@ -1,0 +1,56 @@
+//! Fig 2: heatmap of per-tile DRAM accesses for one frame of Subway Surfers —
+//! hot tiles (main character, HUD, coins) vs cold tiles (sky, background).
+//!
+//! Prints an ASCII heatmap (log scale) and writes the per-tile counts as CSV. The
+//! `heatmap_ppm` example renders the same data as images.
+
+use libra_bench::{banner, Env, MainConfigs};
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite;
+
+fn main() {
+    banner(
+        "Fig 2",
+        "per-tile DRAM-access heatmap (SuS, one frame, baseline GPU)",
+        "hot clusters around characters/HUD on a cold background",
+    );
+    let env = Env::from_env(2);
+    let cfgs = MainConfigs::new(&env);
+    let p = suite().into_iter().find(|p| p.abbrev == "SuS").expect("SuS in suite");
+    let s = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, &p);
+    let frame = s.frames.last().expect("at least one frame");
+
+    let tiles_x = env.screen.tiles_x() as usize;
+    let max = frame.heatmap.tiles.iter().map(|t| t.dram_accesses).max().unwrap_or(1).max(1);
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    println!("tile grid {}x{}; max per-tile DRAM accesses = {max}", tiles_x, env.screen.tiles_y());
+    let mut csv = Vec::new();
+    for (i, t) in frame.heatmap.tiles.iter().enumerate() {
+        if i % tiles_x == 0 {
+            if i > 0 {
+                println!();
+            }
+            print!("  ");
+        }
+        // Log scale: hot tiles are orders of magnitude above cold ones.
+        let v = (t.dram_accesses as f64 + 1.0).ln() / (max as f64 + 1.0).ln();
+        let idx = ((v * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
+        print!("{}", shades[idx]);
+        csv.push(format!("{},{},{}", i, t.dram_accesses, t.instructions));
+    }
+    println!();
+
+    let mut sorted: Vec<u64> = frame.heatmap.tiles.iter().map(|t| t.dram_accesses).collect();
+    sorted.sort_unstable();
+    let pct = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
+    println!(
+        "\nper-tile DRAM deciles: p10={} p50={} p90={} p99={} max={} (hot/cold contrast = p90/p50 = {:.1}x)",
+        pct(0.10),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        sorted[sorted.len() - 1],
+        pct(0.90) as f64 / pct(0.50).max(1) as f64
+    );
+    env.write_csv("fig02_heatmap", "tile,dram_accesses,instructions", &csv);
+}

@@ -1,0 +1,43 @@
+//! Fig 4: speedup when doubling the number of cores in a single Raster Unit from 4
+//! to 8.
+//!
+//! Paper: 16 of 32 benchmarks gain less than 1.5× (some below 1.10×) despite the
+//! doubled compute — the motivation for parallel tile rendering.
+
+use libra_bench::{banner, Env};
+use tbr_common::config::GpuConfig;
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite;
+
+fn main() {
+    banner(
+        "Fig 4",
+        "speedup of 8 cores vs 4 cores in a single Raster Unit",
+        "16/32 benchmarks below 1.5x; some (BlB, CCS) below 1.10x",
+    );
+    let env = Env::from_env(4);
+    let cfg4 = GpuConfig::single_ru(env.screen, 4);
+    let cfg8 = GpuConfig::single_ru(env.screen, 8);
+
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    let mut csv = Vec::new();
+    for p in env.select(suite()) {
+        let s4 = env.run(&cfg4, SchedulerKind::SingleZOrder, &p);
+        let s8 = env.run(&cfg8, SchedulerKind::SingleZOrder, &p);
+        let sp = s8.speedup_over(&s4);
+        results.push((p.abbrev, sp));
+        csv.push(format!("{},{:.4}", p.abbrev, sp));
+    }
+    results.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("{:<6} {:>9}", "bench", "speedup");
+    for (ab, sp) in &results {
+        println!("{ab:<6} {sp:>8.3}x{}", if *sp < 1.5 { "   (< 1.5x)" } else { "" });
+    }
+    let below = results.iter().filter(|(_, s)| *s < 1.5).count();
+    println!(
+        "\n{} of {} benchmarks below 1.5x   (paper: 16 of 32)",
+        below,
+        results.len()
+    );
+    env.write_csv("fig04_core_scaling", "bench,speedup_8c_over_4c", &csv);
+}

@@ -1,0 +1,52 @@
+//! Fig 6a: breakdown of the execution time between compute and memory phases,
+//! measured the paper's way: simulate with an ideal memory system (all L1 hits) and
+//! again with the realistic one; the difference is memory time.
+//!
+//! Paper: 16 of 32 benchmarks spend ≥ 25 % of their time on memory (the
+//! "memory-intensive" class).
+
+use libra_bench::{banner, Env, MainConfigs};
+use tbr_common::stats::memory_time_fraction;
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite;
+
+fn main() {
+    banner(
+        "Fig 6a",
+        "compute vs memory execution-time breakdown (baseline GPU)",
+        "16/32 benchmarks with ≥25% memory time",
+    );
+    let env = Env::from_env(4);
+    let cfgs = MainConfigs::new(&env);
+    let ideal_cfg = cfgs.baseline.clone().with_ideal_memory();
+
+    println!("{:<6} {:>12} {:>12} {:>8} {:>10}", "bench", "real cyc", "ideal cyc", "mem%", "designed");
+    let mut csv = Vec::new();
+    let mut intensive = 0;
+    let mut matches = 0;
+    let profiles = env.select(suite());
+    for p in &profiles {
+        let real = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, p);
+        let ideal = env.run(&ideal_cfg, SchedulerKind::SingleZOrder, p);
+        let frac = memory_time_fraction(real.total_cycles(), ideal.total_cycles());
+        let is_mem = frac >= 0.25;
+        intensive += is_mem as usize;
+        matches += (is_mem == p.memory_intensive) as usize;
+        println!(
+            "{:<6} {:>12} {:>12} {:>7.1}% {:>10}",
+            p.abbrev,
+            real.total_cycles(),
+            ideal.total_cycles(),
+            frac * 100.0,
+            if p.memory_intensive { "memory" } else { "compute" }
+        );
+        csv.push(format!("{},{},{},{:.4}", p.abbrev, real.total_cycles(), ideal.total_cycles(), frac));
+    }
+    println!(
+        "\n{} of {} benchmarks are memory-intensive (≥25%); {} match their designed class   (paper: 16/32)",
+        intensive,
+        profiles.len(),
+        matches
+    );
+    env.write_csv("fig06a_mem_fraction", "bench,real_cycles,ideal_cycles,mem_fraction", &csv);
+}

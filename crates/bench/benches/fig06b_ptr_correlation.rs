@@ -1,0 +1,56 @@
+//! Fig 6b: correlation between the PTR (2 RU) speedup over 1 RU and the fraction of
+//! time spent on memory.
+//!
+//! Paper: strongly negative correlation — "the more memory-intensiveness the less
+//! speedup, which confirms that memory is the main bottleneck to fully exploit
+//! parallel tile rendering".
+
+use libra_bench::{banner, Env, MainConfigs};
+use tbr_common::stats::memory_time_fraction;
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite;
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    cov / (vx.sqrt() * vy.sqrt()).max(1e-12)
+}
+
+fn main() {
+    banner(
+        "Fig 6b",
+        "PTR(2RU) speedup vs memory-time fraction",
+        "strong negative correlation (memory-bound apps speed up least)",
+    );
+    let env = Env::from_env(4);
+    let cfgs = MainConfigs::new(&env);
+    let ideal_cfg = cfgs.baseline.clone().with_ideal_memory();
+
+    println!("{:<6} {:>8} {:>9}", "bench", "mem%", "speedup");
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut csv = Vec::new();
+    for p in env.select(suite()) {
+        let real = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, &p);
+        let ideal = env.run(&ideal_cfg, SchedulerKind::SingleZOrder, &p);
+        let ptr = env.run(&cfgs.dual_ru, SchedulerKind::InterleavedZOrder, &p);
+        let frac = memory_time_fraction(real.total_cycles(), ideal.total_cycles());
+        let sp = ptr.speedup_over(&real);
+        println!("{:<6} {:>7.1}% {:>8.3}x", p.abbrev, frac * 100.0, sp);
+        xs.push(frac);
+        ys.push(sp);
+        csv.push(format!("{},{:.4},{:.4}", p.abbrev, frac, sp));
+    }
+    println!(
+        "\nPearson correlation(memory fraction, PTR speedup) = {:.3}   (paper: strongly negative)",
+        pearson(&xs, &ys)
+    );
+    env.write_csv("fig06b_ptr_correlation", "bench,mem_fraction,ptr_speedup", &csv);
+}

@@ -1,0 +1,51 @@
+//! Fig 7: number of main-memory requests during the execution of a frame of Candy
+//! Crush (CCS) in intervals of 5 000 cycles.
+//!
+//! Paper: certain intervals are much more memory-intensive than others — the bursty
+//! profile LIBRA's scheduler smooths. We print the histogram for the baseline, PTR
+//! and LIBRA so the smoothing (lower coefficient of variation) is visible.
+
+use libra_bench::{banner, Env, MainConfigs};
+use tbr_common::stats::DramStats;
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite;
+
+fn show(label: &str, d: &DramStats) -> String {
+    let max = d.intervals.iter().copied().max().unwrap_or(1).max(1);
+    let mut bar = String::new();
+    for chunk in d.intervals.chunks(2) {
+        let v: u64 = chunk.iter().sum::<u64>() / chunk.len() as u64;
+        let shades = [' ', '.', ':', '-', '=', '+', '*', '#'];
+        let idx = ((v as f64 / max as f64) * (shades.len() - 1) as f64).round() as usize;
+        bar.push(shades[idx.min(shades.len() - 1)]);
+    }
+    println!(
+        "{label:<10} peak={:>5} cv={:>5.2} |{bar}|",
+        d.peak_interval(),
+        d.interval_cv()
+    );
+    d.intervals.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn main() {
+    banner(
+        "Fig 7",
+        "DRAM requests per 5000-cycle interval, one CCS frame",
+        "bursty intervals under Z-order; LIBRA smooths the profile",
+    );
+    let env = Env::from_env(4);
+    let cfgs = MainConfigs::new(&env);
+    let p = suite().into_iter().find(|p| p.abbrev == "CCS").expect("CCS in suite");
+
+    let base = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, &p);
+    let ptr = env.run(&cfgs.dual_ru, SchedulerKind::InterleavedZOrder, &p);
+    let libra = env.run(&cfgs.dual_ru, SchedulerKind::Libra, &p);
+
+    let rows = vec![
+        format!("baseline,{}", show("baseline", &base.frames.last().unwrap().dram)),
+        format!("ptr,{}", show("PTR", &ptr.frames.last().unwrap().dram)),
+        format!("libra,{}", show("LIBRA", &libra.frames.last().unwrap().dram)),
+    ];
+    println!("\n(one char ≈ 10k cycles; darker = more DRAM requests in the interval)");
+    env.write_csv("fig07_dram_intervals", "config,requests_per_5k_cycle_interval...", &rows);
+}

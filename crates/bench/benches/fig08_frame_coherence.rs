@@ -1,0 +1,45 @@
+//! Fig 8: cumulative per-tile DRAM-access difference between consecutive frames,
+//! averaged over the benchmark suite.
+//!
+//! Paper: more than 80 % of tiles differ by less than 20 % between consecutive
+//! frames — the frame-to-frame coherence LIBRA's prediction relies on.
+
+use libra_bench::{banner, mean, Env, MainConfigs};
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite;
+
+fn main() {
+    banner(
+        "Fig 8",
+        "CDF of per-tile DRAM-access change between consecutive frames",
+        ">80% of tiles change by <20%",
+    );
+    let env = Env::from_env(6);
+    let cfgs = MainConfigs::new(&env);
+    let thresholds: Vec<f64> = (1..=10).map(|i| i as f64 * 0.10).collect();
+
+    let mut per_threshold: Vec<Vec<f64>> = vec![Vec::new(); thresholds.len()];
+    for p in env.select(suite()) {
+        let s = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, &p);
+        for w in s.frames.windows(2) {
+            let cdf = w[1].heatmap.coherence_cdf(&w[0].heatmap, &thresholds);
+            for (acc, v) in per_threshold.iter_mut().zip(cdf) {
+                acc.push(v);
+            }
+        }
+    }
+
+    println!("{:>10} {:>16}", "Δ ≤", "fraction of tiles");
+    let mut csv = Vec::new();
+    for (t, vals) in thresholds.iter().zip(&per_threshold) {
+        let frac = mean(vals);
+        println!("{:>9.0}% {:>15.1}%", t * 100.0, frac * 100.0);
+        csv.push(format!("{:.2},{:.4}", t, frac));
+    }
+    let at20 = mean(&per_threshold[1]);
+    println!(
+        "\nfraction of tiles with <20% change: {:.1}%   (paper: >80%)",
+        at20 * 100.0
+    );
+    env.write_csv("fig08_frame_coherence", "threshold,fraction_below", &csv);
+}

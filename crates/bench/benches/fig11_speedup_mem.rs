@@ -1,0 +1,64 @@
+//! Fig 11: speedup of LIBRA w.r.t. the baseline GPU for the memory-intensive
+//! applications, split into the PTR contribution (blue) and the adaptive scheduler's
+//! extra contribution (orange).
+//!
+//! Paper: PTR alone averages +13.2 %, the scheduler adds +7.7 %, total +20.9 %.
+
+use libra_bench::{banner, geomean, run_main_matrix, Env};
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 11",
+        "LIBRA speedup vs baseline (memory-intensive apps), PTR + scheduler split",
+        "avg speedup 20.9% (PTR 13.2% + scheduler 7.7%); peaks: CCS 44.5%, GrT 39.9%",
+    );
+    let env = Env::from_env(8);
+    let rows = run_main_matrix(&env, &env.select(memory_intensive_suite()));
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>9} {:>11} {:>9}",
+        "bench", "base cyc/f", "ptr cyc/f", "libra cyc/f", "PTR", "+scheduler", "total"
+    );
+    let mut csv = Vec::new();
+    let mut ptr_s = Vec::new();
+    let mut libra_s = Vec::new();
+    for r in &rows {
+        let sp_ptr = r.ptr.speedup_over(&r.base);
+        let sp_libra = r.libra.speedup_over(&r.base);
+        ptr_s.push(sp_ptr);
+        libra_s.push(sp_libra);
+        println!(
+            "{:<6} {:>12.0} {:>12.0} {:>12.0} {:>8.1}% {:>10.1}% {:>8.1}%",
+            r.abbrev,
+            r.base.avg_frame_cycles(),
+            r.ptr.avg_frame_cycles(),
+            r.libra.avg_frame_cycles(),
+            (sp_ptr - 1.0) * 100.0,
+            (sp_libra - sp_ptr) * 100.0,
+            (sp_libra - 1.0) * 100.0,
+        );
+        csv.push(format!(
+            "{},{:.0},{:.0},{:.0},{:.4},{:.4}",
+            r.abbrev,
+            r.base.avg_frame_cycles(),
+            r.ptr.avg_frame_cycles(),
+            r.libra.avg_frame_cycles(),
+            sp_ptr,
+            sp_libra
+        ));
+    }
+    let avg_ptr = geomean(&ptr_s);
+    let avg_libra = geomean(&libra_s);
+    println!(
+        "\nAVG (geomean): PTR {:+.1}%  scheduler {:+.1}%  total {:+.1}%   (paper: +13.2% / +7.7% / +20.9%)",
+        (avg_ptr - 1.0) * 100.0,
+        (avg_libra - avg_ptr) * 100.0,
+        (avg_libra - 1.0) * 100.0
+    );
+    env.write_csv(
+        "fig11_speedup_mem",
+        "bench,base_cyc,ptr_cyc,libra_cyc,ptr_speedup,libra_speedup",
+        &csv,
+    );
+}

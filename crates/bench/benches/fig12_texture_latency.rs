@@ -1,0 +1,43 @@
+//! Fig 12: decrease in texture access latency w.r.t. the baseline, for PTR alone and
+//! for LIBRA, over the memory-intensive applications.
+//!
+//! Paper: LIBRA reduces average texture latency by 13.5 % (up to 40 %); PTR alone
+//! *increases* latency for some benchmarks because it cannot face congestion periods.
+
+use libra_bench::{banner, mean, run_main_matrix, Env};
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 12",
+        "texture-latency decrease vs baseline (memory-intensive apps)",
+        "LIBRA avg -13.5%, up to -40%; PTR alone increases latency on some apps",
+    );
+    let env = Env::from_env(8);
+    let rows = run_main_matrix(&env, &env.select(memory_intensive_suite()));
+
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "bench", "base lat", "ptr lat", "libra lat", "PTR", "LIBRA"
+    );
+    let mut csv = Vec::new();
+    let mut dec_ptr = Vec::new();
+    let mut dec_libra = Vec::new();
+    for r in &rows {
+        let b = r.base.avg_texture_latency();
+        let p = r.ptr.avg_texture_latency();
+        let l = r.libra.avg_texture_latency();
+        let dp = (1.0 - p / b) * 100.0;
+        let dl = (1.0 - l / b) * 100.0;
+        dec_ptr.push(dp);
+        dec_libra.push(dl);
+        println!("{:<6} {:>10.1} {:>10.1} {:>10.1} {:>9.1}% {:>9.1}%", r.abbrev, b, p, l, dp, dl);
+        csv.push(format!("{},{:.2},{:.2},{:.2}", r.abbrev, b, p, l));
+    }
+    println!(
+        "\nAVG decrease: PTR {:+.1}%  LIBRA {:+.1}%   (paper: LIBRA -13.5%; LIBRA must beat PTR)",
+        mean(&dec_ptr),
+        mean(&dec_libra)
+    );
+    env.write_csv("fig12_texture_latency", "bench,base_lat,ptr_lat,libra_lat", &csv);
+}

@@ -1,0 +1,58 @@
+//! Fig 13: increase in overall texture-cache hit ratio w.r.t. the baseline, for PTR
+//! and LIBRA, plus the texture-line replication reduction w.r.t. PTR.
+//!
+//! Paper: average hit-ratio increase 10.6 % (up to 40 %); block replication in the
+//! texture L1s drops 32.5 % on average vs PTR alone.
+
+use libra_bench::{banner, mean, run_main_matrix, Env};
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 13",
+        "texture hit-ratio increase vs baseline + replication vs PTR",
+        "avg hit-ratio +10.6% (up to +40%); replication -32.5% vs PTR",
+    );
+    let env = Env::from_env(8);
+    let rows = run_main_matrix(&env, &env.select(memory_intensive_suite()));
+
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "bench", "base%", "ptr%", "libra%", "ptr Δ", "libra Δ", "repl vs PTR"
+    );
+    let mut csv = Vec::new();
+    let mut inc_ptr = Vec::new();
+    let mut inc_libra = Vec::new();
+    let mut repl = Vec::new();
+    for r in &rows {
+        let b = r.base.texture_hit_ratio() * 100.0;
+        let p = r.ptr.texture_hit_ratio() * 100.0;
+        let l = r.libra.texture_hit_ratio() * 100.0;
+        // Relative increase, as the paper plots it.
+        let dp = (p - b) / b * 100.0;
+        let dl = (l - b) / b * 100.0;
+        let dr = (1.0
+            - (r.libra.avg_texture_replication() - 1.0).max(0.0)
+                / (r.ptr.avg_texture_replication() - 1.0).max(1e-9))
+            * 100.0;
+        inc_ptr.push(dp);
+        inc_libra.push(dl);
+        repl.push(dr);
+        println!(
+            "{:<6} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>11.1}%",
+            r.abbrev, b, p, l, dp, dl, dr
+        );
+        csv.push(format!("{},{:.3},{:.3},{:.3},{:.3}", r.abbrev, b, p, l, dr));
+    }
+    println!(
+        "\nAVG: hit-ratio increase PTR {:+.1}%, LIBRA {:+.1}% (paper: +10.6%); excess replication vs PTR {:+.1}% (paper: -32.5%)",
+        mean(&inc_ptr),
+        mean(&inc_libra),
+        -mean(&repl)
+    );
+    env.write_csv(
+        "fig13_texture_hit_ratio",
+        "bench,base_pct,ptr_pct,libra_pct,repl_reduction_pct",
+        &csv,
+    );
+}

@@ -1,0 +1,32 @@
+//! Fig 14: main-memory accesses of LIBRA normalised to PTR alone.
+//!
+//! Paper: ≈ 1.0 on average — "the benefit from LIBRA's scheduler does not come from
+//! locality improvement but from properly balancing main memory requests over time";
+//! some apps see up to −20 % (CCS).
+
+use libra_bench::{banner, mean, run_main_matrix, Env};
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 14",
+        "DRAM accesses, LIBRA normalised to PTR (memory-intensive apps)",
+        "≈1.0 on average (balance, not volume); up to -20% for CCS",
+    );
+    let env = Env::from_env(8);
+    let rows = run_main_matrix(&env, &env.select(memory_intensive_suite()));
+
+    println!("{:<6} {:>12} {:>13} {:>11}", "bench", "ptr dram/f", "libra dram/f", "normalised");
+    let mut csv = Vec::new();
+    let mut norm = Vec::new();
+    for r in &rows {
+        let p = r.ptr.total_dram_accesses() as f64 / env.frames as f64;
+        let l = r.libra.total_dram_accesses() as f64 / env.frames as f64;
+        let n = l / p;
+        norm.push(n);
+        println!("{:<6} {:>12.0} {:>13.0} {:>11.3}", r.abbrev, p, l, n);
+        csv.push(format!("{},{:.0},{:.0},{:.4}", r.abbrev, p, l, n));
+    }
+    println!("\nAVG normalised accesses: {:.3}   (paper: ≈1.0)", mean(&norm));
+    env.write_csv("fig14_dram_accesses", "bench,ptr_dram,libra_dram,normalised", &csv);
+}

@@ -1,0 +1,49 @@
+//! Fig 15: total GPU energy decrease w.r.t. the baseline, split into the PTR
+//! contribution and the adaptive scheduler's extra saving.
+//!
+//! Paper: average −9.2 % total (PTR −5.5 %, scheduler −3.7 %); peaks ≈ −20 %.
+
+use libra_bench::{banner, mean, run_main_matrix, Env};
+use tbr_energy::EnergyModel;
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 15",
+        "total GPU energy decrease vs baseline (memory-intensive apps)",
+        "avg -9.2% (PTR -5.5% + scheduler -3.7%); AAt -19.5%, CCS -20.5%",
+    );
+    let env = Env::from_env(8);
+    let model = EnergyModel::default();
+    let rows = run_main_matrix(&env, &env.select(memory_intensive_suite()));
+
+    println!("{:<6} {:>12} {:>9} {:>11} {:>9}", "bench", "base (mJ)", "PTR", "+scheduler", "total");
+    let mut csv = Vec::new();
+    let mut dec_ptr = Vec::new();
+    let mut dec_total = Vec::new();
+    for r in &rows {
+        let b = model.sequence_energy(&r.base).total();
+        let p = model.sequence_energy(&r.ptr).total();
+        let l = model.sequence_energy(&r.libra).total();
+        let dp = (1.0 - p / b) * 100.0;
+        let dl = (1.0 - l / b) * 100.0;
+        dec_ptr.push(dp);
+        dec_total.push(dl);
+        println!(
+            "{:<6} {:>12.2} {:>8.1}% {:>10.1}% {:>8.1}%",
+            r.abbrev,
+            b * 1e-6,
+            dp,
+            dl - dp,
+            dl
+        );
+        csv.push(format!("{},{:.0},{:.0},{:.0}", r.abbrev, b, p, l));
+    }
+    println!(
+        "\nAVG decrease: PTR {:+.1}%  scheduler {:+.1}%  total {:+.1}%   (paper: -5.5% / -3.7% / -9.2%)",
+        mean(&dec_ptr),
+        mean(&dec_total) - mean(&dec_ptr),
+        mean(&dec_total)
+    );
+    env.write_csv("fig15_energy", "bench,base_nj,ptr_nj,libra_nj", &csv);
+}

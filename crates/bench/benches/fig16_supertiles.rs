@@ -1,0 +1,58 @@
+//! Fig 16: speedup over PTR alone of static supertile sizes (2×2 … 16×16) versus
+//! LIBRA's dynamic supertile resizing + temperature order.
+//!
+//! Paper: statics yield 0.6 / 2.1 / 2.8 / 3.2 % average; LIBRA ≈ 7 %. Half of
+//! LIBRA's scheduler benefit comes from the dynamic resize, half from the
+//! temperature traversal.
+
+use libra_bench::{banner, geomean, Env, MainConfigs};
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 16",
+        "static supertiles and LIBRA, speedup over PTR (memory-intensive apps)",
+        "statics: +0.6/+2.1/+2.8/+3.2% (2x2..16x16); LIBRA ≈ +7%",
+    );
+    let env = Env::from_env(8);
+    let cfgs = MainConfigs::new(&env);
+    let profiles = env.select(memory_intensive_suite());
+
+    let kinds: Vec<(String, SchedulerKind)> = vec![
+        ("2x2".into(), SchedulerKind::StaticSupertile(2)),
+        ("4x4".into(), SchedulerKind::StaticSupertile(4)),
+        ("8x8".into(), SchedulerKind::StaticSupertile(8)),
+        ("16x16".into(), SchedulerKind::StaticSupertile(16)),
+        ("LIBRA".into(), SchedulerKind::Libra),
+    ];
+
+    print!("{:<6}", "bench");
+    for (name, _) in &kinds {
+        print!(" {name:>8}");
+    }
+    println!();
+
+    let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    let mut csv = Vec::new();
+    for p in &profiles {
+        let ptr = env.run(&cfgs.dual_ru, SchedulerKind::InterleavedZOrder, p);
+        print!("{:<6}", p.abbrev);
+        let mut row = vec![p.abbrev.to_string()];
+        for (k, (_, kind)) in kinds.iter().enumerate() {
+            let s = env.run(&cfgs.dual_ru, *kind, p);
+            let sp = s.speedup_over(&ptr);
+            per_kind[k].push(sp);
+            print!(" {:>7.1}%", (sp - 1.0) * 100.0);
+            row.push(format!("{sp:.4}"));
+        }
+        println!();
+        csv.push(row.join(","));
+    }
+    print!("\nAVG   ");
+    for (k, (_, _)) in kinds.iter().enumerate() {
+        print!(" {:>7.1}%", (geomean(&per_kind[k]) - 1.0) * 100.0);
+    }
+    println!("\n(paper:   +0.6%    +2.1%    +2.8%    +3.2%    ~+7.0%)");
+    env.write_csv("fig16_supertiles", "bench,st2,st4,st8,st16,libra", &csv);
+}

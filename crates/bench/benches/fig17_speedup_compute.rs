@@ -1,0 +1,46 @@
+//! Fig 17: speedup w.r.t. the baseline GPU for the *compute-intensive* applications.
+//!
+//! Paper: average +11.6 % (PTR +9.9 %, scheduler +1.7 %) — the scheduler contributes
+//! little because these apps don't pressure memory, but it never hurts, and some
+//! (e.g. GDL) still gain > 5 %.
+
+use libra_bench::{banner, geomean, run_main_matrix, Env};
+use tbr_workloads::suite::compute_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 17",
+        "speedup vs baseline for the compute-intensive applications",
+        "avg +11.6% (PTR +9.9% + scheduler +1.7%)",
+    );
+    let env = Env::from_env(8);
+    let rows = run_main_matrix(&env, &env.select(compute_intensive_suite()));
+
+    println!("{:<6} {:>9} {:>11} {:>9}", "bench", "PTR", "+scheduler", "total");
+    let mut csv = Vec::new();
+    let mut ptr_s = Vec::new();
+    let mut libra_s = Vec::new();
+    for r in &rows {
+        let sp = r.ptr.speedup_over(&r.base);
+        let sl = r.libra.speedup_over(&r.base);
+        ptr_s.push(sp);
+        libra_s.push(sl);
+        println!(
+            "{:<6} {:>8.1}% {:>10.1}% {:>8.1}%",
+            r.abbrev,
+            (sp - 1.0) * 100.0,
+            (sl - sp) * 100.0,
+            (sl - 1.0) * 100.0
+        );
+        csv.push(format!("{},{:.4},{:.4}", r.abbrev, sp, sl));
+    }
+    let ap = geomean(&ptr_s);
+    let al = geomean(&libra_s);
+    println!(
+        "\nAVG (geomean): PTR {:+.1}%  scheduler {:+.1}%  total {:+.1}%   (paper: +9.9% / +1.7% / +11.6%)",
+        (ap - 1.0) * 100.0,
+        (al - ap) * 100.0,
+        (al - 1.0) * 100.0
+    );
+    env.write_csv("fig17_speedup_compute", "bench,ptr_speedup,libra_speedup", &csv);
+}

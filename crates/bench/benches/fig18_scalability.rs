@@ -1,0 +1,47 @@
+//! Fig 18: speedup of LIBRA when increasing the number of Raster Units, against a
+//! single-RU baseline with an equal total number of cores.
+//!
+//! Paper: +20.9 % (2 RU vs 8 cores), +31.3 % (3 RU vs 12 cores), +28.8 % (4 RU vs
+//! 16 cores) — more RUs keep helping, with diminishing returns at 4.
+
+use libra_bench::{banner, geomean, Env};
+use tbr_common::config::GpuConfig;
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 18",
+        "LIBRA with 2/3/4 Raster Units vs equal-core single-RU baselines",
+        "+20.9% / +31.3% / +28.8%",
+    );
+    let env = Env::from_env(6);
+    let profiles = env.select(memory_intensive_suite());
+
+    println!("{:<6} {:>9} {:>9} {:>9}", "bench", "2 RU", "3 RU", "4 RU");
+    let mut per_n: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut csv = Vec::new();
+    for p in &profiles {
+        print!("{:<6}", p.abbrev);
+        let mut row = vec![p.abbrev.to_string()];
+        for (k, n) in [2usize, 3, 4].iter().enumerate() {
+            let base = GpuConfig::single_ru(env.screen, n * 4);
+            let libra = GpuConfig::libra(env.screen, *n);
+            let sb = env.run(&base, SchedulerKind::SingleZOrder, p);
+            let sl = env.run(&libra, SchedulerKind::Libra, p);
+            let sp = sl.speedup_over(&sb);
+            per_n[k].push(sp);
+            print!(" {:>8.1}%", (sp - 1.0) * 100.0);
+            row.push(format!("{sp:.4}"));
+        }
+        println!();
+        csv.push(row.join(","));
+    }
+    println!(
+        "\nAVG (geomean): 2RU {:+.1}%  3RU {:+.1}%  4RU {:+.1}%   (paper: +20.9% / +31.3% / +28.8%)",
+        (geomean(&per_n[0]) - 1.0) * 100.0,
+        (geomean(&per_n[1]) - 1.0) * 100.0,
+        (geomean(&per_n[2]) - 1.0) * 100.0
+    );
+    env.write_csv("fig18_scalability", "bench,ru2,ru3,ru4", &csv);
+}

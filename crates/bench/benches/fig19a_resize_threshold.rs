@@ -1,0 +1,38 @@
+//! Fig 19a: sensitivity of LIBRA's speedup to the supertile-resize threshold.
+//!
+//! Paper: 0.25 % is best (fast reaction); beyond ~15 % the size never changes and
+//! the curve flattens at the fixed-size level.
+
+use libra::adaptive::AdaptiveParams;
+use libra_bench::{banner, geomean, Env, MainConfigs};
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 19a",
+        "LIBRA speedup vs baseline while sweeping the supertile-resize threshold",
+        "best at 0.25%; flat (fixed-size behaviour) beyond 15%",
+    );
+    let env = Env::from_env(8);
+    let cfgs = MainConfigs::new(&env);
+    let profiles = env.select(memory_intensive_suite());
+    let thresholds = [0.0, 0.0025, 0.01, 0.05, 0.15, 0.30];
+
+    println!("{:>10} {:>14}", "threshold", "avg speedup");
+    let mut csv = Vec::new();
+    for t in thresholds {
+        let params = AdaptiveParams { resize_threshold: t, ..AdaptiveParams::default() };
+        let mut speedups = Vec::new();
+        for p in &profiles {
+            let base = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, p);
+            let libra = env.run(&cfgs.dual_ru, SchedulerKind::LibraWithParams(params), p);
+            speedups.push(libra.speedup_over(&base));
+        }
+        let avg = geomean(&speedups);
+        println!("{:>9.2}% {:>13.1}%", t * 100.0, (avg - 1.0) * 100.0);
+        csv.push(format!("{:.4},{:.4}", t, avg));
+    }
+    println!("\n(paper default: 0.25%)");
+    env.write_csv("fig19a_resize_threshold", "threshold,avg_speedup", &csv);
+}

@@ -1,0 +1,38 @@
+//! Fig 19b: sensitivity of LIBRA's speedup to the tile-ordering-switch threshold.
+//!
+//! Paper: 3 % is best; beyond ~4 % the ordering hardly ever switches and the system
+//! settles on the temperature-based scheme, so the curve flattens.
+
+use libra::adaptive::AdaptiveParams;
+use libra_bench::{banner, geomean, Env, MainConfigs};
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite::memory_intensive_suite;
+
+fn main() {
+    banner(
+        "Fig 19b",
+        "LIBRA speedup vs baseline while sweeping the order-switch threshold",
+        "best at 3%; flat beyond 4%",
+    );
+    let env = Env::from_env(8);
+    let cfgs = MainConfigs::new(&env);
+    let profiles = env.select(memory_intensive_suite());
+    let thresholds = [0.01, 0.02, 0.03, 0.04, 0.06, 0.10];
+
+    println!("{:>10} {:>14}", "threshold", "avg speedup");
+    let mut csv = Vec::new();
+    for t in thresholds {
+        let params = AdaptiveParams { order_switch_threshold: t, ..AdaptiveParams::default() };
+        let mut speedups = Vec::new();
+        for p in &profiles {
+            let base = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, p);
+            let libra = env.run(&cfgs.dual_ru, SchedulerKind::LibraWithParams(params), p);
+            speedups.push(libra.speedup_over(&base));
+        }
+        let avg = geomean(&speedups);
+        println!("{:>9.0}% {:>13.1}%", t * 100.0, (avg - 1.0) * 100.0);
+        csv.push(format!("{:.4},{:.4}", t, avg));
+    }
+    println!("\n(paper default: 3%)");
+    env.write_csv("fig19b_order_threshold", "threshold,avg_speedup", &csv);
+}

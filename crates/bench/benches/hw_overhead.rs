@@ -1,0 +1,63 @@
+//! §III-E hardware-overhead analysis: temperature-table storage and ranking latency,
+//! checked against the measured geometry-phase duration (the ranking must hide
+//! under it).
+//!
+//! Paper: 510 entries × 64 b ≈ 4 KB (< 0.2 % of the 2 MB L2); ranking ≤ 13 761
+//! cycles ≪ 270 000 geometry cycles per frame.
+
+use libra::hw_cost;
+use libra_bench::{banner, mean, Env, MainConfigs};
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite;
+
+fn main() {
+    banner(
+        "HW overhead (§III-E)",
+        "temperature-table storage + ranking latency vs geometry phase",
+        "4 KB table (<0.2% of L2); 13761-cycle ranking hidden under ~270k geometry cycles",
+    );
+    let env = Env::from_env(2);
+    let cfgs = MainConfigs::new(&env);
+
+    // Storage: one entry per 2x2 supertile of an FHD frame.
+    let n_fhd = 510usize;
+    println!("table entries (FHD, 2x2 supertiles): {n_fhd}");
+    println!("entry width:                          {} bits", hw_cost::ENTRY_BITS);
+    println!("table storage:                        {} B (paper: ~4 KB)", hw_cost::table_bytes(n_fhd));
+    println!(
+        "fraction of 2MB L2:                   {:.3}% (paper: <0.2%)",
+        hw_cost::l2_fraction(n_fhd, 2 << 20) * 100.0
+    );
+    println!(
+        "ranking comparisons / cycles:         {} / {} (paper: 4587 / 13761)",
+        hw_cost::ranking_comparisons(n_fhd),
+        hw_cost::ranking_cycles(n_fhd)
+    );
+
+    // Measured geometry-phase cycles across the suite at the experiment resolution.
+    let n_here = libra::supertile::SupertileGrid::new(&env.screen, 2).num_supertiles();
+    let mut geo = Vec::new();
+    for p in env.select(suite()) {
+        let s = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, &p);
+        geo.push(mean(&s.frames.iter().map(|f| f.geometry_cycles as f64).collect::<Vec<_>>()));
+    }
+    let avg_geo = mean(&geo);
+    let rank_here = hw_cost::ranking_cycles(n_here);
+    println!("\nat the experiment resolution ({} supertiles):", n_here);
+    println!("ranking cycles:                       {rank_here}");
+    println!("avg geometry-phase cycles (measured): {avg_geo:.0} (paper: ~270000 at FHD)");
+    println!(
+        "ranking hides under geometry:         {}",
+        if hw_cost::ranking_hides_under_geometry(n_here, avg_geo as u64) { "YES" } else { "NO" }
+    );
+    env.write_csv(
+        "hw_overhead",
+        "metric,value",
+        &[
+            format!("table_bytes,{}", hw_cost::table_bytes(n_fhd)),
+            format!("ranking_cycles_fhd,{}", hw_cost::ranking_cycles(n_fhd)),
+            format!("ranking_cycles_here,{rank_here}"),
+            format!("avg_geometry_cycles,{avg_geo:.0}"),
+        ],
+    );
+}

@@ -1,0 +1,72 @@
+//! Table I: GPU simulation parameters — prints the simulator's configuration next
+//! to the paper's values and checks them programmatically.
+
+use libra_bench::{banner, Env};
+use tbr_common::config::{CacheConfig, DramConfig, GpuConfig, ScreenConfig};
+
+fn row(name: &str, ours: String, paper: &str, ok: bool) {
+    println!("{name:<28} {ours:<30} {paper:<26} {}", if ok { "✓" } else { "✗ DIFFERS" });
+}
+
+fn main() {
+    banner("Table I", "GPU simulation parameters", "Table I of the paper");
+    let env = Env::from_env(1);
+    let cfg = GpuConfig::baseline(ScreenConfig::fhd());
+    let libra = GpuConfig::libra(ScreenConfig::fhd(), 2);
+
+    println!("{:<28} {:<30} {:<26}", "parameter", "this simulator", "paper");
+    println!("{}", "-".repeat(90));
+    row("frequency", format!("{} MHz", cfg.freq_mhz), "800 MHz, 1V, 22nm", cfg.freq_mhz == 800);
+    row(
+        "screen resolution",
+        format!("{}x{} (FHD preset)", cfg.screen.width, cfg.screen.height),
+        "1920x1080 (Full HD)",
+        cfg.screen.width == 1920,
+    );
+    row(
+        "tile size",
+        format!("{0}x{0} px", cfg.screen.tile_size),
+        "32x32 pixels",
+        cfg.screen.tile_size == 32,
+    );
+    let d = DramConfig::lpddr4();
+    row(
+        "main memory latency",
+        format!("{}-{} cycles", d.row_hit_latency, d.row_miss_latency),
+        "LPDDR4, 50-100 cycles",
+        d.row_hit_latency == 50 && d.row_miss_latency == 100,
+    );
+    let checks = [
+        ("vertex cache", CacheConfig::vertex_l1(), 4 << 10, 2, 1),
+        ("tile cache", CacheConfig::tile_l1(), 32 << 10, 4, 2),
+        ("texture cache (per core)", CacheConfig::texture_l1(), 32 << 10, 4, 2),
+        ("L2 cache (shared)", CacheConfig::shared_l2(), 2 << 20, 8, 18),
+    ];
+    for (name, c, size, assoc, lat) in checks {
+        row(
+            name,
+            format!("{} KB, {}-way, {} B, {} cyc", c.size_bytes >> 10, c.assoc, c.line_bytes, c.latency),
+            &format!("{} KB, {}-way, 64B, {} cyc", size >> 10, assoc, lat),
+            c.size_bytes == size && c.assoc == assoc && c.latency == lat && c.line_bytes == 64,
+        );
+    }
+    row(
+        "baseline raster units/cores",
+        format!("{} RU x {} cores", cfg.num_raster_units, cfg.cores_per_ru),
+        "1 RU x 8 cores",
+        cfg.num_raster_units == 1 && cfg.cores_per_ru == 8,
+    );
+    row(
+        "LIBRA raster units/cores",
+        format!("{} RU x {} cores", libra.num_raster_units, libra.cores_per_ru),
+        "2 RU x 4 cores",
+        libra.num_raster_units == 2 && libra.cores_per_ru == 4,
+    );
+    println!(
+        "\nDefault experiment screen: {}x{} ({} tiles) — see DESIGN.md §1.",
+        env.screen.width,
+        env.screen.height,
+        env.screen.num_tiles()
+    );
+    env.write_csv("table1_params", "parameter,value", &["see_console,see_console".into()]);
+}

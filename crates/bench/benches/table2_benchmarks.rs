@@ -1,0 +1,64 @@
+//! Table II: the evaluated benchmark suite — category, designed class, and measured
+//! per-frame characteristics (triangles, fragments, texture footprint).
+//!
+//! Paper: 32 commercial games across 2D/2.5D/3D, average memory footprint > 4 MB per
+//! frame. Our suite substitutes synthetic look-alikes (DESIGN.md §1).
+
+use libra_bench::{banner, Env, MainConfigs};
+use tbr_sim::SchedulerKind;
+use tbr_workloads::suite;
+
+fn main() {
+    banner(
+        "Table II",
+        "evaluated benchmarks: category + measured per-frame characteristics",
+        "32 games (2D/2.5D/3D); average footprint > 4 MB/frame",
+    );
+    let env = Env::from_env(2);
+    let cfgs = MainConfigs::new(&env);
+    let px = (env.screen.width * env.screen.height) as u64;
+
+    println!(
+        "{:<6} {:<22} {:<5} {:<8} {:>8} {:>10} {:>12} {:>12}",
+        "abbr", "name", "cat", "class", "tris/f", "frags/f", "est. foot", "dram B/f"
+    );
+    let mut csv = Vec::new();
+    let mut foot_sum = 0u64;
+    let profiles = env.select(suite());
+    for p in &profiles {
+        let s = env.run(&cfgs.baseline, SchedulerKind::SingleZOrder, p);
+        let f = s.frames.last().unwrap();
+        let foot = p.approx_footprint_bytes(px);
+        foot_sum += foot;
+        println!(
+            "{:<6} {:<22} {:<5} {:<8} {:>8} {:>10} {:>9.1} MB {:>9.1} MB",
+            p.abbrev,
+            p.name,
+            p.category.label(),
+            if p.memory_intensive { "memory" } else { "compute" },
+            f.primitives,
+            f.fragments,
+            foot as f64 / (1 << 20) as f64,
+            f.dram.total_accesses() as f64 * 64.0 / (1 << 20) as f64,
+        );
+        csv.push(format!(
+            "{},{},{},{},{},{},{}",
+            p.abbrev,
+            p.name,
+            p.category.label(),
+            p.memory_intensive,
+            f.primitives,
+            f.fragments,
+            foot
+        ));
+    }
+    println!(
+        "\naverage estimated footprint: {:.1} MB/frame   (paper: >4 MB)",
+        foot_sum as f64 / profiles.len() as f64 / (1 << 20) as f64
+    );
+    env.write_csv(
+        "table2_benchmarks",
+        "abbr,name,category,memory_intensive,triangles,fragments,footprint_bytes",
+        &csv,
+    );
+}

@@ -1,0 +1,138 @@
+//! Simulated physical address map.
+//!
+//! The four sources of DRAM traffic in a TBR GPU (§III-B of the paper) each get their
+//! own region of a flat 64-bit simulated physical address space:
+//!
+//! | Region | Contents | Producer/consumer |
+//! |---|---|---|
+//! | `VERTEX_BASE` | vertex attribute arrays | Vertex Fetcher (geometry pipeline) |
+//! | `PARAM_BASE` | Parameter Buffer (per-tile primitive lists) | Polygon List Builder writes, Tile Fetcher reads |
+//! | `TEXTURE_BASE` | texture images (Morton-blocked, mip-mapped) | fragment shaders |
+//! | `FRAMEBUFFER_BASE` | final frame colours | Colour-Buffer flush |
+//!
+//! Addresses only need to be *distinct and spatially meaningful* (for cache indexing
+//! and DRAM row locality); no data is stored behind them.
+
+use crate::config::ScreenConfig;
+use crate::ids::{DrawCallId, TileId};
+
+/// Base of the vertex-data region.
+pub const VERTEX_BASE: u64 = 0x1000_0000;
+/// Base of the Parameter Buffer region.
+pub const PARAM_BASE: u64 = 0x2000_0000;
+/// Base of the texture region.
+pub const TEXTURE_BASE: u64 = 0x4000_0000;
+/// Base of the Frame Buffer region.
+pub const FRAMEBUFFER_BASE: u64 = 0x8000_0000;
+
+/// Bytes of attribute data per vertex (position + UV + normal, packed).
+pub const VERTEX_STRIDE: u64 = 32;
+/// Bytes per Parameter Buffer primitive entry (three screen vertices + state).
+pub const PARAM_ENTRY_BYTES: u64 = 48;
+/// Bytes reserved in the Parameter Buffer per tile list.
+pub const PARAM_TILE_STRIDE: u64 = 1 << 16;
+/// Bytes per pixel in the framebuffer (RGBA8).
+pub const FRAMEBUFFER_BYTES_PER_PIXEL: u64 = 4;
+/// Bytes reserved per draw call in the vertex region.
+pub const VERTEX_DRAW_STRIDE: u64 = 1 << 22;
+
+/// What a memory access is for. Determines which L1 it goes through and how the
+/// statistics attribute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Vertex attribute read (geometry pipeline, through the vertex cache).
+    VertexRead,
+    /// Parameter Buffer read (Tile Fetcher, through the tile cache).
+    ParamRead,
+    /// Parameter Buffer write (Polygon List Builder, through L2).
+    ParamWrite,
+    /// Texture read (fragment shader, through a per-core texture cache).
+    TextureRead,
+    /// Frame Buffer write (colour-buffer flush; bypasses L2, straight to DRAM).
+    FramebufferWrite,
+}
+
+impl AccessKind {
+    /// Whether this access writes memory.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::ParamWrite | AccessKind::FramebufferWrite)
+    }
+}
+
+/// Address of vertex `index` of draw call `draw`.
+#[inline]
+pub fn vertex_addr(draw: DrawCallId, index: u32) -> u64 {
+    VERTEX_BASE + draw.0 as u64 * VERTEX_DRAW_STRIDE + index as u64 * VERTEX_STRIDE
+}
+
+/// Base address of the Parameter Buffer list of `tile`.
+#[inline]
+pub fn param_tile_base(tile: TileId) -> u64 {
+    PARAM_BASE + tile.0 as u64 * PARAM_TILE_STRIDE
+}
+
+/// Address of the `n`-th primitive entry in `tile`'s Parameter Buffer list.
+///
+/// Lists longer than the per-tile stride wrap within the tile's region (a real
+/// implementation chains overflow blocks; wrapping preserves the traffic volume and
+/// locality characteristics).
+#[inline]
+pub fn param_entry_addr(tile: TileId, n: u64) -> u64 {
+    param_tile_base(tile) + (n * PARAM_ENTRY_BYTES) % PARAM_TILE_STRIDE
+}
+
+/// Framebuffer address of pixel `(x, y)` (row-major RGBA8).
+#[inline]
+pub fn framebuffer_addr(screen: &ScreenConfig, x: u32, y: u32) -> u64 {
+    FRAMEBUFFER_BASE + (y as u64 * screen.width as u64 + x as u64) * FRAMEBUFFER_BYTES_PER_PIXEL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // Generous bounds: vertex region ends before param region etc.
+        assert!(VERTEX_BASE + 64 * VERTEX_DRAW_STRIDE <= PARAM_BASE);
+        assert!(PARAM_BASE + 4096 * PARAM_TILE_STRIDE <= TEXTURE_BASE);
+        assert!(TEXTURE_BASE < FRAMEBUFFER_BASE);
+    }
+
+    #[test]
+    fn vertex_addrs_are_stride_spaced() {
+        let d = DrawCallId(2);
+        assert_eq!(vertex_addr(d, 1) - vertex_addr(d, 0), VERTEX_STRIDE);
+        assert_ne!(vertex_addr(DrawCallId(0), 0), vertex_addr(DrawCallId(1), 0));
+    }
+
+    #[test]
+    fn param_entries_stay_within_tile_region() {
+        let t = TileId(7);
+        for n in 0..10_000 {
+            let a = param_entry_addr(t, n);
+            assert!(a >= param_tile_base(t));
+            assert!(a < param_tile_base(t) + PARAM_TILE_STRIDE);
+        }
+    }
+
+    #[test]
+    fn framebuffer_is_row_major() {
+        let s = ScreenConfig::tiny();
+        let a = framebuffer_addr(&s, 0, 0);
+        let b = framebuffer_addr(&s, 1, 0);
+        let c = framebuffer_addr(&s, 0, 1);
+        assert_eq!(b - a, FRAMEBUFFER_BYTES_PER_PIXEL);
+        assert_eq!(c - a, s.width as u64 * FRAMEBUFFER_BYTES_PER_PIXEL);
+    }
+
+    #[test]
+    fn access_kind_write_flags() {
+        assert!(AccessKind::ParamWrite.is_write());
+        assert!(AccessKind::FramebufferWrite.is_write());
+        assert!(!AccessKind::VertexRead.is_write());
+        assert!(!AccessKind::ParamRead.is_write());
+        assert!(!AccessKind::TextureRead.is_write());
+    }
+}

@@ -1,0 +1,136 @@
+//! Hilbert-curve codec and grid traversal.
+//!
+//! The related work DTexL (Joseph et al., MICRO 2022 — cited as [35] in the LIBRA
+//! paper) uses a *Hilbert* tile traversal for texture locality: unlike Morton order,
+//! consecutive Hilbert positions are always 4-neighbours, so it never takes the
+//! diagonal jumps the Z-curve takes between quadrants. This module provides the codec
+//! for the ablation comparing Z-order, scanline and Hilbert traversals.
+
+use crate::ids::TileCoord;
+
+/// Converts a distance `d` along the Hilbert curve of order `n` (an `n`×`n` grid,
+/// `n` a power of two) to its `(x, y)` coordinate.
+///
+/// # Panics
+/// Panics if `n` is not a power of two.
+pub fn hilbert_d2xy(n: u32, d: u64) -> (u32, u32) {
+    assert!(n.is_power_of_two(), "Hilbert order must be a power of two");
+    let (mut x, mut y) = (0u32, 0u32);
+    let mut t = d;
+    let mut s = 1u32;
+    while s < n {
+        let rx = 1 & (t / 2) as u32;
+        let ry = 1 & ((t as u32) ^ rx);
+        rot(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Converts an `(x, y)` coordinate to its distance along the Hilbert curve of order
+/// `n`. Inverse of [`hilbert_d2xy`].
+///
+/// # Panics
+/// Panics if `n` is not a power of two or the coordinate is out of range.
+pub fn hilbert_xy2d(n: u32, mut x: u32, mut y: u32) -> u64 {
+    assert!(n.is_power_of_two(), "Hilbert order must be a power of two");
+    assert!(x < n && y < n, "coordinate out of range");
+    let mut d = 0u64;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = u32::from(x & s > 0);
+        let ry = u32::from(y & s > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        rot(s, &mut x, &mut y, rx, ry);
+        s /= 2;
+    }
+    d
+}
+
+fn rot(s: u32, x: &mut u32, y: &mut u32, rx: u32, ry: u32) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        core::mem::swap(x, y);
+    }
+}
+
+/// Produces the coordinates of a `tiles_x` × `tiles_y` grid in Hilbert order
+/// (walking the curve of the covering power-of-two square and skipping off-grid
+/// positions).
+pub fn hilbert_traversal(tiles_x: u32, tiles_y: u32) -> Vec<TileCoord> {
+    let n = tiles_x.max(tiles_y).max(1).next_power_of_two();
+    let mut out = Vec::with_capacity((tiles_x * tiles_y) as usize);
+    for d in 0..(n as u64) * (n as u64) {
+        let (x, y) = hilbert_d2xy(n, d);
+        if x < tiles_x && y < tiles_y {
+            out.push(TileCoord::new(x, y));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn d2xy_and_xy2d_are_inverse() {
+        for n in [2u32, 4, 8, 16, 32] {
+            for d in 0..(n as u64) * (n as u64) {
+                let (x, y) = hilbert_d2xy(n, d);
+                assert!(x < n && y < n);
+                assert_eq!(hilbert_xy2d(n, x, y), d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_positions_are_4_neighbours() {
+        // The Hilbert property Morton lacks: every step moves exactly 1 in x or y.
+        let n = 16u32;
+        let mut prev = hilbert_d2xy(n, 0);
+        for d in 1..(n as u64) * (n as u64) {
+            let cur = hilbert_d2xy(n, d);
+            let dist = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1);
+            assert_eq!(dist, 1, "step {d}: {prev:?} -> {cur:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn traversal_covers_non_square_grids_exactly_once() {
+        let order = hilbert_traversal(30, 17);
+        assert_eq!(order.len(), 510);
+        let set: HashSet<_> = order.iter().copied().collect();
+        assert_eq!(set.len(), 510);
+        for c in &order {
+            assert!(c.x < 30 && c.y < 17);
+        }
+    }
+
+    #[test]
+    fn hilbert_has_no_diagonal_jumps_on_full_squares() {
+        // Average Chebyshev step distance is exactly 1 on a full square grid —
+        // strictly better than Z-order, which jumps across quadrant boundaries.
+        let h = hilbert_traversal(16, 16);
+        let max_step =
+            h.windows(2).map(|w| w[0].chebyshev_distance(w[1])).max().unwrap();
+        assert_eq!(max_step, 1);
+        let z = crate::morton::zorder_traversal(16, 16);
+        let z_max = z.windows(2).map(|w| w[0].chebyshev_distance(w[1])).max().unwrap();
+        assert!(z_max > 1, "Z-order does jump: {z_max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_order_rejected() {
+        let _ = hilbert_d2xy(12, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Strongly-typed identifiers used across the simulator.
+//!
+//! Newtypes keep tile indices, supertile indices, frame numbers, raster-unit and core
+//! indices from being mixed up (`C-NEWTYPE`). All of them are cheap `Copy` types.
+
+use core::fmt;
+
+/// Linear index of a tile inside a frame, in row-major order
+/// (`id = y * tiles_x + x`). The mapping to/from 2-D coordinates depends on the
+/// screen configuration, see [`crate::config::ScreenConfig::tile_coord`].
+///
+/// ```
+/// use tbr_common::ids::TileId;
+/// let t = TileId(7);
+/// assert_eq!(t.index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TileId(pub u32);
+
+impl TileId {
+    /// The raw linear index as a `usize`, for indexing per-tile vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Linear index of a supertile (an SxS square group of tiles, §III-C of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SupertileId(pub u32);
+
+impl SupertileId {
+    /// The raw linear index as a `usize`, for indexing per-supertile vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SupertileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ST{}", self.0)
+    }
+}
+
+/// 2-D tile coordinate inside the frame's tile grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TileCoord {
+    /// Horizontal tile position, `0 ..= tiles_x - 1`.
+    pub x: u32,
+    /// Vertical tile position, `0 ..= tiles_y - 1`.
+    pub y: u32,
+}
+
+impl TileCoord {
+    /// Creates a coordinate.
+    #[inline]
+    pub fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+
+    /// Chebyshev (chessboard) distance to another tile — used in locality tests.
+    pub fn chebyshev_distance(self, other: TileCoord) -> u32 {
+        let dx = self.x.abs_diff(other.x);
+        let dy = self.y.abs_diff(other.y);
+        dx.max(dy)
+    }
+}
+
+impl fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Frame number inside a rendered sequence (animated applications render a stream of
+/// frames; LIBRA exploits frame-to-frame coherence between consecutive ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FrameId(pub u32);
+
+impl FrameId {
+    /// The next frame in the sequence.
+    #[inline]
+    pub fn next(self) -> FrameId {
+        FrameId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// Index of a Raster Unit (the paper's PTR architecture has 1..=4 of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RasterUnitId(pub u8);
+
+impl RasterUnitId {
+    /// The raw index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RasterUnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RU{}", self.0)
+    }
+}
+
+/// Global index of a shader core (cores are grouped under raster units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// The raw index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Identifier of a texture image bound by a draw call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TextureId(pub u32);
+
+impl fmt::Display for TextureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tex{}", self.0)
+    }
+}
+
+/// Identifier of a draw call (a batch of primitives submitted together).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DrawCallId(pub u32);
+
+impl fmt::Display for DrawCallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DC{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_id_roundtrip_and_ordering() {
+        let a = TileId(3);
+        let b = TileId(9);
+        assert!(a < b);
+        assert_eq!(a.index(), 3);
+        assert_eq!(format!("{a}"), "T3");
+    }
+
+    #[test]
+    fn chebyshev_distance_is_symmetric_and_zero_on_self() {
+        let a = TileCoord::new(2, 5);
+        let b = TileCoord::new(7, 3);
+        assert_eq!(a.chebyshev_distance(b), b.chebyshev_distance(a));
+        assert_eq!(a.chebyshev_distance(a), 0);
+        assert_eq!(a.chebyshev_distance(b), 5);
+    }
+
+    #[test]
+    fn frame_id_next_increments() {
+        assert_eq!(FrameId(4).next(), FrameId(5));
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert_eq!(format!("{}", SupertileId(2)), "ST2");
+        assert_eq!(format!("{}", RasterUnitId(1)), "RU1");
+        assert_eq!(format!("{}", CoreId(12)), "C12");
+        assert_eq!(format!("{}", TextureId(0)), "Tex0");
+        assert_eq!(format!("{}", DrawCallId(8)), "DC8");
+        assert_eq!(format!("{}", TileCoord::new(1, 2)), "(1,2)");
+    }
+}

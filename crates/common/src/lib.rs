@@ -1,0 +1,41 @@
+//! # tbr-common — shared vocabulary of the LIBRA TBR GPU simulator
+//!
+//! This crate holds the types every other crate in the workspace speaks:
+//!
+//! * [`ids`] — strongly-typed identifiers for tiles, supertiles, frames, raster units,
+//!   shader cores, textures and draw calls ([`ids::TileId`], [`ids::TileCoord`], …).
+//! * [`config`] — the full simulated-GPU configuration ([`config::GpuConfig`]) with
+//!   presets matching Table I of the paper (baseline 1 RU × 8 cores, LIBRA N RU × 4
+//!   cores, LPDDR4-like DRAM, the cache hierarchy of an ARM-Valhall-class mobile GPU).
+//! * [`stats`] — per-frame and per-sequence measurement containers (cache hit ratios,
+//!   DRAM interval counters for Fig 7, per-tile heatmaps for Fig 2, texture latency
+//!   accumulators for Fig 12, …).
+//! * [`morton`] — the Morton (Z-order) codec and grid traversals used by the baseline
+//!   tile fetcher and inside LIBRA supertiles.
+//! * [`addr`] — the simulated physical address map (vertex data, parameter buffer,
+//!   textures, framebuffer) and [`addr::AccessKind`].
+//!
+//! Nothing in here performs simulation; it is pure data and arithmetic, which keeps
+//! the dependency DAG of the workspace acyclic.
+//!
+//! ```
+//! use tbr_common::config::{GpuConfig, ScreenConfig};
+//!
+//! let screen = ScreenConfig::quarter_fhd();
+//! assert_eq!(screen.num_tiles(), 510); // same count as FHD 2x2 supertiles (§III-E)
+//! let cfg = GpuConfig::baseline(screen);
+//! assert_eq!(cfg.total_cores(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod error;
+pub mod hilbert;
+pub mod ids;
+pub mod morton;
+pub mod stats;
+
+/// Simulation time, in GPU core cycles (800 MHz in the paper's Table I).
+pub type Cycle = u64;

@@ -1,0 +1,489 @@
+//! Measurement containers filled by the simulator and consumed by the experiment
+//! harness (and by LIBRA's own feedback loop).
+
+use crate::ids::{FrameId, TileId};
+use crate::Cycle;
+
+/// Hit/miss counters of one cache (or one aggregated group of caches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses served by this level.
+    pub hits: u64,
+    /// Accesses that missed to the next level.
+    pub misses: u64,
+    /// Lines evicted to make room for fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; `1.0` for an untouched cache (no evidence of misses).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+/// DRAM traffic and timing counters, including the per-interval request histogram the
+/// paper plots in Fig 7 (5 000-cycle buckets by default).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DramStats {
+    /// Read requests serviced.
+    pub reads: u64,
+    /// Write requests serviced.
+    pub writes: u64,
+    /// Requests that hit an open row buffer.
+    pub row_hits: u64,
+    /// Requests that required precharge + activate.
+    pub row_misses: u64,
+    /// Sum of request latencies (arrival → data), in cycles.
+    pub latency_sum: u64,
+    /// Largest single-request latency observed.
+    pub max_latency: Cycle,
+    /// Requests per interval of [`DramStats::interval_width`] cycles.
+    pub intervals: Vec<u64>,
+    /// Width of each histogram bucket in cycles.
+    pub interval_width: Cycle,
+}
+
+impl DramStats {
+    /// Creates an empty counter set with the given histogram bucket width.
+    pub fn new(interval_width: Cycle) -> Self {
+        Self { interval_width: interval_width.max(1), ..Self::default() }
+    }
+
+    /// Total requests (reads + writes).
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean request latency in cycles (0 if no requests).
+    pub fn avg_latency(&self) -> f64 {
+        let n = self.total_accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / n as f64
+        }
+    }
+
+    /// Records one request into the histogram.
+    pub fn record_interval(&mut self, at: Cycle) {
+        let bucket = (at / self.interval_width.max(1)) as usize;
+        if bucket >= self.intervals.len() {
+            self.intervals.resize(bucket + 1, 0);
+        }
+        self.intervals[bucket] += 1;
+    }
+
+    /// Peak requests observed in a single interval.
+    pub fn peak_interval(&self) -> u64 {
+        self.intervals.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Coefficient of variation (σ/μ) of the interval histogram — the paper's notion
+    /// of memory-bandwidth balance. A perfectly smooth request stream scores 0.
+    pub fn interval_cv(&self) -> f64 {
+        if self.intervals.len() < 2 {
+            return 0.0;
+        }
+        let n = self.intervals.len() as f64;
+        let mean = self.intervals.iter().sum::<u64>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .intervals
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// Merges another counter set (histograms are added bucket-wise).
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.latency_sum += other.latency_sum;
+        self.max_latency = self.max_latency.max(other.max_latency);
+        if self.intervals.len() < other.intervals.len() {
+            self.intervals.resize(other.intervals.len(), 0);
+        }
+        for (dst, src) in self.intervals.iter_mut().zip(&other.intervals) {
+            *dst += src;
+        }
+    }
+}
+
+/// Per-tile tallies of the quantities LIBRA's hardware counts (§III-B): DRAM accesses
+/// and executed instructions — plus fragment/warp counts for analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileTally {
+    /// DRAM accesses attributed to this tile's rendering.
+    pub dram_accesses: u64,
+    /// Shader instructions executed for this tile.
+    pub instructions: u64,
+    /// Fragments shaded in this tile.
+    pub fragments: u64,
+    /// Warps launched for this tile.
+    pub warps: u64,
+}
+
+/// Per-tile statistics of a whole frame (the heatmap of Fig 2, and LIBRA's feedback).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TileHeatmap {
+    /// Tally per tile, indexed by [`TileId::index`].
+    pub tiles: Vec<TileTally>,
+}
+
+impl TileHeatmap {
+    /// An all-zero heatmap for `num_tiles` tiles.
+    pub fn new(num_tiles: usize) -> Self {
+        Self { tiles: vec![TileTally::default(); num_tiles] }
+    }
+
+    /// Mutable tally of a tile.
+    ///
+    /// # Panics
+    /// Panics if `tile` is out of range.
+    #[inline]
+    pub fn tally_mut(&mut self, tile: TileId) -> &mut TileTally {
+        &mut self.tiles[tile.index()]
+    }
+
+    /// Tally of a tile.
+    ///
+    /// # Panics
+    /// Panics if `tile` is out of range.
+    #[inline]
+    pub fn tally(&self, tile: TileId) -> &TileTally {
+        &self.tiles[tile.index()]
+    }
+
+    /// Total DRAM accesses across all tiles.
+    pub fn total_dram_accesses(&self) -> u64 {
+        self.tiles.iter().map(|t| t.dram_accesses).sum()
+    }
+
+    /// Cumulative distribution of the relative per-tile DRAM-access difference against
+    /// `previous` — the frame-coherence metric of Fig 8. Returns, for each threshold
+    /// in `thresholds` (fractions, e.g. 0.2 = 20 %), the fraction of tiles whose
+    /// relative difference is below it. Tiles with zero accesses in both frames count
+    /// as perfectly coherent.
+    pub fn coherence_cdf(&self, previous: &TileHeatmap, thresholds: &[f64]) -> Vec<f64> {
+        assert_eq!(self.tiles.len(), previous.tiles.len(), "heatmap sizes differ");
+        if self.tiles.is_empty() {
+            return thresholds.iter().map(|_| 1.0).collect();
+        }
+        let diffs: Vec<f64> = self
+            .tiles
+            .iter()
+            .zip(&previous.tiles)
+            .map(|(cur, prev)| {
+                let a = cur.dram_accesses as f64;
+                let b = prev.dram_accesses as f64;
+                let denom = a.max(b);
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    (a - b).abs() / denom
+                }
+            })
+            .collect();
+        thresholds
+            .iter()
+            .map(|&t| diffs.iter().filter(|&&d| d <= t).count() as f64 / diffs.len() as f64)
+            .collect()
+    }
+}
+
+/// Everything measured while rendering one frame.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameStats {
+    /// Which frame of the sequence this is.
+    pub frame: FrameId,
+    /// Cycles spent in the geometry pipeline + tiling engine (sort-middle phase).
+    pub geometry_cycles: Cycle,
+    /// Cycles spent in the raster pipeline (tile rendering), the dominant phase.
+    pub raster_cycles: Cycle,
+    /// Vertex-cache counters.
+    pub vertex_cache: CacheStats,
+    /// Tile-cache counters (aggregated over Raster Units).
+    pub tile_cache: CacheStats,
+    /// Texture-cache counters (aggregated over all shader cores).
+    pub texture_cache: CacheStats,
+    /// Shared-L2 counters.
+    pub l2_cache: CacheStats,
+    /// DRAM counters and interval histogram.
+    pub dram: DramStats,
+    /// Per-tile heatmap (Fig 2) and LIBRA feedback source.
+    pub heatmap: TileHeatmap,
+    /// Vertices processed by the geometry pipeline.
+    pub vertices: u64,
+    /// Primitives that survived culling/clipping and were binned.
+    pub primitives: u64,
+    /// Fragments shaded.
+    pub fragments: u64,
+    /// Warps executed.
+    pub warps: u64,
+    /// Shader instructions executed (ALU + texture).
+    pub instructions: u64,
+    /// Texture requests issued by warps (line-granular).
+    pub texture_requests: u64,
+    /// Sum of texture request latencies in cycles (for Fig 12's average latency).
+    pub texture_latency_sum: u64,
+    /// Texture lines filled into L1 texture caches (counting duplicates across cores).
+    pub texture_fill_lines: u64,
+    /// Distinct texture lines touched frame-wide (replication = fills / unique).
+    pub texture_unique_lines: u64,
+}
+
+impl FrameStats {
+    /// Total frame time in cycles (geometry phase + raster phase; sort-middle TBR
+    /// renders them back to back).
+    pub fn total_cycles(&self) -> Cycle {
+        self.geometry_cycles + self.raster_cycles
+    }
+
+    /// Mean texture-request latency in cycles.
+    pub fn avg_texture_latency(&self) -> f64 {
+        if self.texture_requests == 0 {
+            0.0
+        } else {
+            self.texture_latency_sum as f64 / self.texture_requests as f64
+        }
+    }
+
+    /// Texture-line replication factor across L1s (≥ 1; 1 = no line fetched by more
+    /// than one core). Fig 13's companion metric.
+    pub fn texture_replication(&self) -> f64 {
+        if self.texture_unique_lines == 0 {
+            1.0
+        } else {
+            self.texture_fill_lines as f64 / self.texture_unique_lines as f64
+        }
+    }
+
+    /// Fraction of the frame spent in the raster phase (Fig 1; paper average ≈ 88 %).
+    pub fn raster_fraction(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.raster_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Statistics of a rendered frame sequence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SequenceStats {
+    /// Per-frame statistics, in render order.
+    pub frames: Vec<FrameStats>,
+}
+
+impl SequenceStats {
+    /// Sum of all frame times in cycles.
+    pub fn total_cycles(&self) -> Cycle {
+        self.frames.iter().map(FrameStats::total_cycles).sum()
+    }
+
+    /// Sum of raster-phase cycles only.
+    pub fn raster_cycles(&self) -> Cycle {
+        self.frames.iter().map(|f| f.raster_cycles).sum()
+    }
+
+    /// Mean frame time in cycles.
+    pub fn avg_frame_cycles(&self) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            self.total_cycles() as f64 / self.frames.len() as f64
+        }
+    }
+
+    /// Speedup of `self` relative to `other` (> 1 means `self` is faster).
+    pub fn speedup_over(&self, other: &SequenceStats) -> f64 {
+        let mine = self.total_cycles();
+        if mine == 0 {
+            return 0.0;
+        }
+        other.total_cycles() as f64 / mine as f64
+    }
+
+    /// Aggregate texture hit ratio over the sequence.
+    pub fn texture_hit_ratio(&self) -> f64 {
+        let mut agg = CacheStats::default();
+        for f in &self.frames {
+            agg.merge(&f.texture_cache);
+        }
+        agg.hit_ratio()
+    }
+
+    /// Mean texture latency over the sequence, in cycles.
+    pub fn avg_texture_latency(&self) -> f64 {
+        let reqs: u64 = self.frames.iter().map(|f| f.texture_requests).sum();
+        let lat: u64 = self.frames.iter().map(|f| f.texture_latency_sum).sum();
+        if reqs == 0 {
+            0.0
+        } else {
+            lat as f64 / reqs as f64
+        }
+    }
+
+    /// Total DRAM accesses over the sequence.
+    pub fn total_dram_accesses(&self) -> u64 {
+        self.frames.iter().map(|f| f.dram.total_accesses()).sum()
+    }
+
+    /// Mean texture-line replication factor over the sequence.
+    pub fn avg_texture_replication(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 1.0;
+        }
+        self.frames.iter().map(FrameStats::texture_replication).sum::<f64>()
+            / self.frames.len() as f64
+    }
+}
+
+/// Fraction of execution time attributable to memory, measured the way the paper does
+/// for Fig 6a: run with a realistic memory system and again with an ideal (always-hit)
+/// one; the difference is memory time.
+pub fn memory_time_fraction(real_cycles: Cycle, ideal_cycles: Cycle) -> f64 {
+    if real_cycles == 0 {
+        return 0.0;
+    }
+    let real = real_cycles as f64;
+    let ideal = ideal_cycles.min(real_cycles) as f64;
+    (real - ideal) / real
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_stats_hit_ratio() {
+        let s = CacheStats { accesses: 10, hits: 7, misses: 3, evictions: 0 };
+        assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn cache_stats_merge_adds() {
+        let mut a = CacheStats { accesses: 1, hits: 1, misses: 0, evictions: 0 };
+        a.merge(&CacheStats { accesses: 3, hits: 1, misses: 2, evictions: 1 });
+        assert_eq!(a, CacheStats { accesses: 4, hits: 2, misses: 2, evictions: 1 });
+    }
+
+    #[test]
+    fn dram_interval_histogram() {
+        let mut d = DramStats::new(100);
+        d.record_interval(5);
+        d.record_interval(99);
+        d.record_interval(100);
+        d.record_interval(350);
+        assert_eq!(d.intervals, vec![2, 1, 0, 1]);
+        assert_eq!(d.peak_interval(), 2);
+    }
+
+    #[test]
+    fn interval_cv_zero_for_uniform_and_positive_for_bursty() {
+        let mut smooth = DramStats::new(10);
+        smooth.intervals = vec![5, 5, 5, 5];
+        assert!(smooth.interval_cv() < 1e-12);
+        let mut bursty = DramStats::new(10);
+        bursty.intervals = vec![0, 20, 0, 0];
+        assert!(bursty.interval_cv() > 1.0);
+    }
+
+    #[test]
+    fn dram_merge_adds_histograms() {
+        let mut a = DramStats::new(10);
+        a.intervals = vec![1, 2];
+        a.reads = 3;
+        let mut b = DramStats::new(10);
+        b.intervals = vec![4, 5, 6];
+        b.writes = 2;
+        b.max_latency = 77;
+        a.merge(&b);
+        assert_eq!(a.intervals, vec![5, 7, 6]);
+        assert_eq!(a.total_accesses(), 5);
+        assert_eq!(a.max_latency, 77);
+    }
+
+    #[test]
+    fn heatmap_coherence_cdf_identical_frames() {
+        let mut h = TileHeatmap::new(4);
+        for (i, t) in h.tiles.iter_mut().enumerate() {
+            t.dram_accesses = (i as u64 + 1) * 10;
+        }
+        let cdf = h.coherence_cdf(&h.clone(), &[0.0, 0.2]);
+        assert_eq!(cdf, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn heatmap_coherence_cdf_disjoint_frames() {
+        let mut a = TileHeatmap::new(2);
+        a.tiles[0].dram_accesses = 100;
+        let mut b = TileHeatmap::new(2);
+        b.tiles[1].dram_accesses = 100;
+        // Tile 0: 100 vs 0 -> diff 1.0; tile 1: 0 vs 100 -> diff 1.0.
+        let cdf = a.coherence_cdf(&b, &[0.5, 1.0]);
+        assert_eq!(cdf, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn frame_stats_derived_metrics() {
+        let f = FrameStats {
+            geometry_cycles: 120,
+            raster_cycles: 880,
+            texture_requests: 4,
+            texture_latency_sum: 40,
+            texture_fill_lines: 30,
+            texture_unique_lines: 10,
+            ..FrameStats::default()
+        };
+        assert_eq!(f.total_cycles(), 1000);
+        assert!((f.raster_fraction() - 0.88).abs() < 1e-12);
+        assert!((f.avg_texture_latency() - 10.0).abs() < 1e-12);
+        assert!((f.texture_replication() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_speedup() {
+        let slow = SequenceStats {
+            frames: vec![FrameStats { raster_cycles: 200, ..FrameStats::default() }],
+        };
+        let fast = SequenceStats {
+            frames: vec![FrameStats { raster_cycles: 100, ..FrameStats::default() }],
+        };
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_fraction_clamps() {
+        assert_eq!(memory_time_fraction(0, 0), 0.0);
+        assert!((memory_time_fraction(100, 60) - 0.4).abs() < 1e-12);
+        // Ideal can't be slower than real; clamp to 0.
+        assert_eq!(memory_time_fraction(100, 150), 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! The per-frame adaptive controller (Fig 10 + the supertile resize policy, §III-D).
+//!
+//! Two decisions are taken at every frame boundary, from the previous frame's
+//! profile:
+//!
+//! 1. **Tile traversal order** — Z-order vs temperature-aware. A high texture hit
+//!    ratio (> 80 %) means memory congestion is unlikely, so Z-order is preferred;
+//!    decisions to *switch* are only taken when a significant (> 3 %) performance
+//!    variation is detected; and when **both** the hit ratio and performance degrade,
+//!    the alternative ordering is tried (the escape rule of §III-D).
+//! 2. **Supertile size** — grows while performance keeps improving, shrinks when it
+//!    degrades, within 2×2…16×16, with a 0.25 % significance threshold to avoid
+//!    flapping.
+//!
+//! All thresholds are parameters ([`AdaptiveParams`]) because the paper sweeps them
+//! in Fig 19.
+
+use crate::feedback::FrameFeedback;
+use tbr_common::Cycle;
+
+/// Which frame-level tile traversal the scheduler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TileOrderKind {
+    /// The baseline Morton traversal.
+    #[default]
+    ZOrder,
+    /// LIBRA's hottest/coldest ranked traversal.
+    Temperature,
+}
+
+impl TileOrderKind {
+    /// The other scheme.
+    pub fn flipped(self) -> Self {
+        match self {
+            TileOrderKind::ZOrder => TileOrderKind::Temperature,
+            TileOrderKind::Temperature => TileOrderKind::ZOrder,
+        }
+    }
+}
+
+/// Thresholds and bounds of the adaptive policy (paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveParams {
+    /// Texture hit ratio above which Z-order is preferred (0.80 in §III-D).
+    pub hit_ratio_threshold: f64,
+    /// Relative raster-cycle change considered significant for order switching
+    /// (0.03 in §III-D, swept in Fig 19b).
+    pub order_switch_threshold: f64,
+    /// Relative raster-cycle change considered significant for supertile resizing
+    /// (0.0025 in §III-D, swept in Fig 19a).
+    pub resize_threshold: f64,
+    /// Supertile edge used before any feedback exists.
+    pub initial_supertile_size: u32,
+    /// Smallest supertile edge (2 in §III-C).
+    pub min_supertile_size: u32,
+    /// Largest supertile edge (16 in §III-C).
+    pub max_supertile_size: u32,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        Self {
+            hit_ratio_threshold: 0.80,
+            order_switch_threshold: 0.03,
+            resize_threshold: 0.0025,
+            initial_supertile_size: 4,
+            min_supertile_size: 2,
+            max_supertile_size: 16,
+        }
+    }
+}
+
+/// The decision produced for the upcoming frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Tile traversal order to use.
+    pub order: TileOrderKind,
+    /// Supertile edge to use (meaningful when `order` is temperature-aware).
+    pub supertile_size: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Summary {
+    cycles: Cycle,
+    hit_ratio: f64,
+}
+
+/// The small FSM of §III-E ("four counters to store the number of cycles and the
+/// texture caches hit ratio of the last two frames").
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveController {
+    params: AdaptiveParams,
+    order: TileOrderKind,
+    size: u32,
+    growing: bool,
+    prev: Option<Summary>,
+}
+
+impl AdaptiveController {
+    /// Builds a controller with the given thresholds.
+    pub fn new(params: AdaptiveParams) -> Self {
+        Self {
+            order: TileOrderKind::ZOrder,
+            size: params
+                .initial_supertile_size
+                .clamp(params.min_supertile_size, params.max_supertile_size),
+            growing: true,
+            prev: None,
+            params,
+        }
+    }
+
+    /// The currently selected order (what the next frame will use).
+    pub fn order(&self) -> TileOrderKind {
+        self.order
+    }
+
+    /// The currently selected supertile size.
+    pub fn supertile_size(&self) -> u32 {
+        self.size
+    }
+
+    /// Consumes one frame's feedback and decides the next frame's order and
+    /// supertile size.
+    pub fn decide(&mut self, feedback: &FrameFeedback) -> Decision {
+        let cur = Summary { cycles: feedback.raster_cycles, hit_ratio: feedback.texture_hit_ratio };
+
+        match self.prev {
+            None => {
+                // First frame with data: pick by hit ratio alone.
+                self.order = if cur.hit_ratio >= self.params.hit_ratio_threshold {
+                    TileOrderKind::ZOrder
+                } else {
+                    TileOrderKind::Temperature
+                };
+            }
+            Some(prev) => {
+                let perf_delta = if prev.cycles == 0 {
+                    0.0
+                } else {
+                    (cur.cycles as f64 - prev.cycles as f64) / prev.cycles as f64
+                };
+                let hit_delta = cur.hit_ratio - prev.hit_ratio;
+                let significant = perf_delta.abs() > self.params.order_switch_threshold;
+
+                // Order decision (Fig 10): only act on significant variations.
+                if significant {
+                    let both_degrade = perf_delta > 0.0 && hit_delta < 0.0;
+                    if both_degrade {
+                        // Escape rule: current scheme is failing on both metrics.
+                        self.order = self.order.flipped();
+                    } else if cur.hit_ratio >= self.params.hit_ratio_threshold {
+                        self.order = TileOrderKind::ZOrder;
+                    } else {
+                        self.order = TileOrderKind::Temperature;
+                    }
+                }
+
+                // Supertile resize: grow while improving, shrink when degrading.
+                if perf_delta < -self.params.resize_threshold {
+                    self.step_size();
+                } else if perf_delta > self.params.resize_threshold {
+                    self.growing = !self.growing;
+                    self.step_size();
+                }
+            }
+        }
+
+        self.prev = Some(cur);
+        Decision { order: self.order, supertile_size: self.size }
+    }
+
+    fn step_size(&mut self) {
+        // Saturating step: at a bound the step is a no-op, and only a performance
+        // degradation (which flips `growing`) moves the size off the bound again.
+        if self.growing {
+            self.size = (self.size * 2).min(self.params.max_supertile_size);
+        } else {
+            self.size = (self.size / 2).max(self.params.min_supertile_size);
+        }
+    }
+}
+
+impl Default for AdaptiveController {
+    fn default() -> Self {
+        Self::new(AdaptiveParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbr_common::stats::TileHeatmap;
+
+    fn fb(cycles: Cycle, hit: f64) -> FrameFeedback {
+        FrameFeedback::new(TileHeatmap::new(0), cycles, hit)
+    }
+
+    #[test]
+    fn first_decision_uses_hit_ratio_alone() {
+        let mut c = AdaptiveController::default();
+        assert_eq!(c.decide(&fb(1000, 0.95)).order, TileOrderKind::ZOrder);
+        let mut c2 = AdaptiveController::default();
+        assert_eq!(c2.decide(&fb(1000, 0.5)).order, TileOrderKind::Temperature);
+    }
+
+    #[test]
+    fn insignificant_variation_keeps_current_order() {
+        let mut c = AdaptiveController::default();
+        c.decide(&fb(1000, 0.5)); // -> Temperature
+        // +1% change: below the 3% threshold, no switch even though hit is high now.
+        let d = c.decide(&fb(1010, 0.95));
+        assert_eq!(d.order, TileOrderKind::Temperature);
+    }
+
+    #[test]
+    fn significant_improvement_with_high_hit_ratio_selects_zorder() {
+        let mut c = AdaptiveController::default();
+        c.decide(&fb(1000, 0.5)); // Temperature
+        let d = c.decide(&fb(500, 0.9)); // -50% cycles, high hit
+        assert_eq!(d.order, TileOrderKind::ZOrder);
+    }
+
+    #[test]
+    fn both_degrading_flips_the_scheme() {
+        let mut c = AdaptiveController::default();
+        c.decide(&fb(1000, 0.9)); // ZOrder
+        // Performance -10% worse AND hit ratio down: escape to Temperature even
+        // though the hit ratio is still above the threshold.
+        let d = c.decide(&fb(1100, 0.85));
+        assert_eq!(d.order, TileOrderKind::Temperature);
+    }
+
+    #[test]
+    fn supertile_grows_while_improving_then_flips_on_degradation() {
+        let mut c = AdaptiveController::default();
+        assert_eq!(c.supertile_size(), 4);
+        c.decide(&fb(1000, 0.5));
+        // Improving run: 4 -> 8 -> 16 (clamped).
+        c.decide(&fb(900, 0.5));
+        assert_eq!(c.supertile_size(), 8);
+        c.decide(&fb(800, 0.5));
+        assert_eq!(c.supertile_size(), 16);
+        c.decide(&fb(700, 0.5));
+        assert_eq!(c.supertile_size(), 16, "clamped at max");
+        // Degradation: direction flips, size shrinks.
+        c.decide(&fb(900, 0.5));
+        assert_eq!(c.supertile_size(), 8);
+    }
+
+    #[test]
+    fn supertile_respects_min_bound() {
+        let mut c = AdaptiveController::default();
+        c.decide(&fb(1000, 0.5));
+        // Alternate degradations drive the size down to the 2x2 floor.
+        let mut cycles = 1000;
+        for _ in 0..10 {
+            cycles += cycles / 5;
+            c.decide(&fb(cycles, 0.5));
+            assert!(c.supertile_size() >= 2);
+        }
+    }
+
+    #[test]
+    fn tiny_resize_threshold_reacts_huge_threshold_freezes() {
+        let frozen = AdaptiveParams { resize_threshold: 0.15, ..AdaptiveParams::default() };
+        let mut c = AdaptiveController::new(frozen);
+        c.decide(&fb(1000, 0.5));
+        c.decide(&fb(950, 0.5)); // -5% — below 15% threshold
+        assert_eq!(c.supertile_size(), 4, "15% threshold behaves like a fixed size");
+    }
+
+    #[test]
+    fn flipped_is_involutive() {
+        assert_eq!(TileOrderKind::ZOrder.flipped().flipped(), TileOrderKind::ZOrder);
+    }
+}

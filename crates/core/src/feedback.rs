@@ -1,0 +1,40 @@
+//! Per-frame profiling data LIBRA's hardware gathers (§III-B, §III-D).
+//!
+//! "It counts the number of DRAM accesses and instructions in each tile of a frame
+//! and use this information to predict the hot and cold tiles in the next frame."
+//! The controller additionally keeps the raster-pipeline cycle count and the texture
+//! caches' hit ratio of the previous frames (four counters, §III-E).
+
+use tbr_common::stats::TileHeatmap;
+use tbr_common::Cycle;
+
+/// What one rendered frame reports back to the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameFeedback {
+    /// Per-tile DRAM-access and instruction tallies.
+    pub heatmap: TileHeatmap,
+    /// Cycles the Raster Pipeline spent on the frame.
+    pub raster_cycles: Cycle,
+    /// Aggregate hit ratio of the texture caches in `[0, 1]`.
+    pub texture_hit_ratio: f64,
+}
+
+impl FrameFeedback {
+    /// Convenience constructor.
+    pub fn new(heatmap: TileHeatmap, raster_cycles: Cycle, texture_hit_ratio: f64) -> Self {
+        Self { heatmap, raster_cycles, texture_hit_ratio }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_stores_fields() {
+        let fb = FrameFeedback::new(TileHeatmap::new(4), 1000, 0.9);
+        assert_eq!(fb.raster_cycles, 1000);
+        assert_eq!(fb.heatmap.tiles.len(), 4);
+        assert!((fb.texture_hit_ratio - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Hardware overhead model (§III-E).
+//!
+//! LIBRA's storage is one 64-bit entry per supertile (≤ 510 for an FHD frame at 2×2
+//! granularity ≈ 4 KB, < 0.2 % of the 2 MB L2's area) plus four counters for the
+//! adaptive FSM. The ranking unit sequentially compares pairs of entries: each of the
+//! `n·⌈log₂ n⌉` comparisons costs a conservative 3 cycles (two reads, one compare,
+//! potential writes overlap), giving an upper bound that must hide under the Geometry
+//! phase (≈ 270 000 cycles per frame on the paper's benchmarks).
+
+/// Architectural bits per temperature-table entry (16 + 24 + 15 + 9).
+pub const ENTRY_BITS: u64 = 64;
+/// Cycles charged per ranking comparison (two reads, compare, potential writes —
+/// conservative, §III-E).
+pub const CYCLES_PER_COMPARISON: u64 = 3;
+
+/// Table storage in bytes for `n` supertile entries.
+pub fn table_bytes(n: usize) -> u64 {
+    n as u64 * ENTRY_BITS / 8
+}
+
+/// Fraction of a `l2_bytes` L2's capacity the table occupies (the paper quotes area,
+/// which tracks SRAM capacity to first order).
+pub fn l2_fraction(n: usize, l2_bytes: u64) -> f64 {
+    table_bytes(n) as f64 / l2_bytes as f64
+}
+
+/// Comparisons of the O(n log n) ranking pass: `n · ⌈log₂ n⌉`.
+pub fn ranking_comparisons(n: usize) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    let log2_ceil = (usize::BITS - (n - 1).leading_zeros()) as u64;
+    n as u64 * log2_ceil
+}
+
+/// Upper-bound cycles to rank `n` entries.
+pub fn ranking_cycles(n: usize) -> u64 {
+    CYCLES_PER_COMPARISON * ranking_comparisons(n)
+}
+
+/// Whether the ranking operation hides entirely under a geometry phase of
+/// `geometry_cycles` (the paper's claim: 13 761 ≪ 270 000).
+pub fn ranking_hides_under_geometry(n: usize, geometry_cycles: u64) -> bool {
+    ranking_cycles(n) <= geometry_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_size_checks_out() {
+        // 510 entries x 64 bits = 4080 B ≈ 4 KB; < 0.2% of a 2 MB L2.
+        assert_eq!(table_bytes(510), 4080);
+        assert!(l2_fraction(510, 2 << 20) < 0.002);
+    }
+
+    #[test]
+    fn paper_ranking_bound_checks_out() {
+        // n = 510: ceil(log2 510) = 9 -> 4590 comparisons, 13770 cycles — the paper
+        // quotes 4587/13761 with the same O(n log n) model; we match within 0.1%.
+        let comps = ranking_comparisons(510);
+        assert!((4500..=4700).contains(&comps), "{comps}");
+        let cycles = ranking_cycles(510);
+        assert!((13_500..=14_100).contains(&cycles), "{cycles}");
+        assert!(ranking_hides_under_geometry(510, 270_000));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(ranking_comparisons(0), 0);
+        assert_eq!(ranking_comparisons(1), 0);
+        assert_eq!(ranking_cycles(1), 0);
+        assert_eq!(table_bytes(0), 0);
+    }
+
+    #[test]
+    fn larger_tables_cost_more() {
+        assert!(ranking_cycles(510) > ranking_cycles(128));
+        assert!(table_bytes(510) > table_bytes(128));
+    }
+}

@@ -1,0 +1,42 @@
+//! # libra — the paper's contribution: LIBRA, a Locality-aware Intelligent Balance
+//! Rendering Architecture (MICRO 2024)
+//!
+//! LIBRA renders multiple tiles in parallel (one per Raster Unit) and schedules which
+//! tile goes where using a *temperature-aware*, *locality-aware*, per-frame-adaptive
+//! policy:
+//!
+//! * [`feedback`] — what the hardware profiles each frame: per-tile DRAM accesses and
+//!   instruction counts (§III-B), raster-phase cycles and texture-cache hit ratio.
+//! * [`supertile`] — tiles grouped into S×S *supertiles* (§III-C) so that the
+//!   temperature order does not destroy the texture locality of nearby tiles.
+//! * [`temperature`] — the hardware temperature table (§III-E: 16-bit access count,
+//!   24-bit instruction count, 15-bit fixed-point accesses/instruction, 9-bit id =
+//!   64 bits/entry) and the hottest→coldest ranking.
+//! * [`adaptive`] — the per-frame controller of Fig 10: choose Z-order vs temperature
+//!   order from last frame's hit ratio (80 % threshold) and performance delta (3 %
+//!   threshold), and resize supertiles 2×2 ↔ 16×16 (0.25 % threshold).
+//! * [`scheduler`] — the tile dispatchers: the baseline single-RU Z-order fetcher, the
+//!   interleaved Z-order PTR dispatcher, static-supertile PTR, and the full LIBRA
+//!   scheduler (hot supertiles to one RU, cold to the others).
+//! * [`hw_cost`] — the hardware-overhead model (§III-E): table storage, ranking
+//!   latency (3 cycles per comparison, `n·⌈log₂ n⌉` comparisons), and the check that
+//!   ranking hides under the Geometry phase.
+//!
+//! The crate is deliberately independent of the simulator: it consumes
+//! [`feedback::FrameFeedback`] and produces [`scheduler::FramePlan`]s, exactly like
+//! the hardware block would.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod feedback;
+pub mod hw_cost;
+pub mod scheduler;
+pub mod supertile;
+pub mod temperature;
+
+pub use adaptive::{AdaptiveController, AdaptiveParams, TileOrderKind};
+pub use feedback::FrameFeedback;
+pub use scheduler::{FramePlan, SchedulerKind, TileScheduler};
+pub use supertile::SupertileGrid;
+pub use temperature::TemperatureTable;

@@ -1,0 +1,198 @@
+//! Supertiles: S×S groups of adjacent tiles (§III-C).
+//!
+//! "We propose to assemble tiles in squared groups of tiles, which we refer to as
+//! *supertiles*. […] The Tile Fetcher assigns a particular supertile to a Raster
+//! Unit, so its corresponding tiles will be scheduled to that Raster Unit one after
+//! another." Tiles inside a supertile are always traversed in Z-order (§III-D).
+
+use tbr_common::config::ScreenConfig;
+use tbr_common::ids::{SupertileId, TileCoord, TileId};
+use tbr_common::morton::zorder_traversal;
+use tbr_common::stats::TileHeatmap;
+
+/// Aggregated per-supertile counters (the values the temperature table stores).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupertileTally {
+    /// DRAM accesses of all member tiles.
+    pub dram_accesses: u64,
+    /// Instructions of all member tiles.
+    pub instructions: u64,
+}
+
+/// The supertile decomposition of a screen for a given supertile edge (in tiles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupertileGrid {
+    tiles_x: u32,
+    tiles_y: u32,
+    /// Supertile edge in tiles (1, 2, 4, 8 or 16).
+    pub size: u32,
+    sts_x: u32,
+    sts_y: u32,
+}
+
+impl SupertileGrid {
+    /// Builds the decomposition. `size = 1` degenerates to single tiles (used by the
+    /// plain Z-order schedulers).
+    ///
+    /// # Panics
+    /// Panics if `size` is zero or not a power of two.
+    pub fn new(screen: &ScreenConfig, size: u32) -> Self {
+        assert!(size > 0 && size.is_power_of_two(), "supertile size must be a power of two");
+        let tiles_x = screen.tiles_x();
+        let tiles_y = screen.tiles_y();
+        Self {
+            tiles_x,
+            tiles_y,
+            size,
+            sts_x: tiles_x.div_ceil(size),
+            sts_y: tiles_y.div_ceil(size),
+        }
+    }
+
+    /// Number of supertiles covering the screen.
+    pub fn num_supertiles(&self) -> usize {
+        (self.sts_x * self.sts_y) as usize
+    }
+
+    /// Supertile containing a tile.
+    pub fn supertile_of(&self, tile: TileCoord) -> SupertileId {
+        let sx = tile.x / self.size;
+        let sy = tile.y / self.size;
+        SupertileId(sy * self.sts_x + sx)
+    }
+
+    /// Member tiles of a supertile, in Z-order (§III-D: "tiles within a supertile are
+    /// always traversed in Z-order"). Edge supertiles may be partial.
+    pub fn tiles_of(&self, st: SupertileId) -> Vec<TileId> {
+        let sx = st.0 % self.sts_x;
+        let sy = st.0 / self.sts_x;
+        let x0 = sx * self.size;
+        let y0 = sy * self.size;
+        zorder_traversal(self.size, self.size)
+            .into_iter()
+            .filter_map(|c| {
+                let tx = x0 + c.x;
+                let ty = y0 + c.y;
+                (tx < self.tiles_x && ty < self.tiles_y).then(|| TileId(ty * self.tiles_x + tx))
+            })
+            .collect()
+    }
+
+    /// All supertiles in Z-order of their own grid (the traversal the static
+    /// supertile scheduler uses).
+    pub fn zorder_supertiles(&self) -> Vec<SupertileId> {
+        zorder_traversal(self.sts_x, self.sts_y)
+            .into_iter()
+            .map(|c| SupertileId(c.y * self.sts_x + c.x))
+            .collect()
+    }
+
+    /// Aggregates a per-tile heatmap at supertile granularity (§III-D: "the per-tile
+    /// memory accesses and instruction count metrics of the previous frame are first
+    /// aggregated at the chosen supertile granularity").
+    pub fn aggregate(&self, heatmap: &TileHeatmap) -> Vec<SupertileTally> {
+        let mut out = vec![SupertileTally::default(); self.num_supertiles()];
+        for (idx, tally) in heatmap.tiles.iter().enumerate() {
+            let coord = TileCoord::new(idx as u32 % self.tiles_x, idx as u32 / self.tiles_x);
+            let st = self.supertile_of(coord);
+            out[st.index()].dram_accesses += tally.dram_accesses;
+            out[st.index()].instructions += tally.instructions;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn screen() -> ScreenConfig {
+        ScreenConfig::quarter_fhd() // 30x17 tiles
+    }
+
+    #[test]
+    fn quarter_fhd_2x2_supertile_count_matches_paper() {
+        // Paper §III-E: 510 2x2 supertiles cover FHD; at quarter-FHD the same grid has
+        // 15x9 = 135 supertiles of 2x2 (with partial edges).
+        let g = SupertileGrid::new(&screen(), 2);
+        assert_eq!(g.num_supertiles(), 15 * 9);
+        // At FHD the paper's number appears exactly:
+        let fhd = SupertileGrid::new(&ScreenConfig::fhd(), 2);
+        assert_eq!(fhd.num_supertiles(), 510);
+    }
+
+    #[test]
+    fn every_tile_belongs_to_exactly_one_supertile() {
+        for size in [1u32, 2, 4, 8, 16] {
+            let g = SupertileGrid::new(&screen(), size);
+            let mut seen: HashSet<TileId> = HashSet::new();
+            for st in 0..g.num_supertiles() as u32 {
+                for t in g.tiles_of(SupertileId(st)) {
+                    assert!(seen.insert(t), "tile {t} in two supertiles (size {size})");
+                }
+            }
+            assert_eq!(seen.len(), screen().num_tiles(), "size {size} lost tiles");
+        }
+    }
+
+    #[test]
+    fn supertile_of_is_consistent_with_tiles_of() {
+        let g = SupertileGrid::new(&screen(), 4);
+        for st in 0..g.num_supertiles() as u32 {
+            for t in g.tiles_of(SupertileId(st)) {
+                let c = screen().tile_coord(t);
+                assert_eq!(g.supertile_of(c), SupertileId(st));
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_within_supertile_are_z_ordered() {
+        let g = SupertileGrid::new(&screen(), 2);
+        let tiles = g.tiles_of(SupertileId(0));
+        let coords: Vec<(u32, u32)> =
+            tiles.iter().map(|&t| { let c = screen().tile_coord(t); (c.x, c.y) }).collect();
+        assert_eq!(coords, [(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn partial_edge_supertiles_are_smaller() {
+        // 30x17 tiles with 4x4 supertiles: last column covers 2 tiles horizontally,
+        // last row 1 tile vertically.
+        let g = SupertileGrid::new(&screen(), 4);
+        let last = SupertileId(g.num_supertiles() as u32 - 1);
+        let tiles = g.tiles_of(last);
+        assert_eq!(tiles.len(), 2 * 1);
+    }
+
+    #[test]
+    fn aggregate_sums_member_tiles() {
+        let s = screen();
+        let g = SupertileGrid::new(&s, 2);
+        let mut hm = TileHeatmap::new(s.num_tiles());
+        // Put 10 accesses & 100 instructions in each tile of supertile 0.
+        for t in g.tiles_of(SupertileId(0)) {
+            hm.tiles[t.index()].dram_accesses = 10;
+            hm.tiles[t.index()].instructions = 100;
+        }
+        let agg = g.aggregate(&hm);
+        assert_eq!(agg[0], SupertileTally { dram_accesses: 40, instructions: 400 });
+        assert_eq!(agg[1], SupertileTally::default());
+    }
+
+    #[test]
+    fn zorder_supertiles_is_a_permutation() {
+        let g = SupertileGrid::new(&screen(), 8);
+        let order = g.zorder_supertiles();
+        let set: HashSet<_> = order.iter().collect();
+        assert_eq!(order.len(), g.num_supertiles());
+        assert_eq!(set.len(), g.num_supertiles());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_rejected() {
+        let _ = SupertileGrid::new(&screen(), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! The hardware temperature table and the hottest→coldest ranking (§III-B, §III-E).
+//!
+//! "We define the temperature of a tile (a proxy for memory intensity) as the ratio
+//! of DRAM accesses over the number of instructions, and arrange the tiles from
+//! highest to lowest temperature."
+//!
+//! The table is modelled with the paper's exact bit budget: 16 bits for the memory
+//! access count, 24 bits for the instruction count, 15 bits for the fixed-point
+//! accesses-per-instruction and 9 bits for the supertile ID — 64 bits per entry,
+//! at most 510 entries (one per 2×2 supertile of an FHD frame) ≈ 4 KB.
+
+use crate::supertile::SupertileTally;
+use tbr_common::ids::SupertileId;
+
+/// Saturation bound of the 16-bit access counter.
+pub const MAX_ACCESSES: u64 = (1 << 16) - 1;
+/// Saturation bound of the 24-bit instruction counter.
+pub const MAX_INSTRUCTIONS: u64 = (1 << 24) - 1;
+/// Fixed-point fractional bits of the accesses-per-instruction field.
+pub const API_FRAC_BITS: u32 = 12;
+/// Saturation bound of the 15-bit fixed-point accesses-per-instruction field.
+pub const MAX_API: u32 = (1 << 15) - 1;
+
+/// One 64-bit table entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TemperatureEntry {
+    /// 9-bit supertile id.
+    pub supertile: SupertileId,
+    /// 16-bit saturating DRAM access count.
+    pub accesses: u16,
+    /// 24-bit saturating instruction count (stored in a u32).
+    pub instructions: u32,
+    /// 15-bit fixed point accesses/instruction, [`API_FRAC_BITS`] fractional bits.
+    pub api_fixed: u16,
+}
+
+impl TemperatureEntry {
+    /// The temperature as a float (for analysis; hardware compares `api_fixed`).
+    pub fn temperature(&self) -> f64 {
+        self.api_fixed as f64 / (1u32 << API_FRAC_BITS) as f64
+    }
+}
+
+/// The on-chip buffer of per-supertile statistics plus the ranking operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TemperatureTable {
+    entries: Vec<TemperatureEntry>,
+}
+
+impl TemperatureTable {
+    /// Builds the table from the previous frame's aggregated supertile tallies,
+    /// applying the hardware counters' saturation.
+    pub fn from_tallies(tallies: &[SupertileTally]) -> Self {
+        let entries = tallies
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let accesses = t.dram_accesses.min(MAX_ACCESSES) as u16;
+                let instructions = t.instructions.min(MAX_INSTRUCTIONS) as u32;
+                // Fixed-point divide, as the hardware's divisor unit would produce.
+                let api = if instructions == 0 {
+                    // No instructions but accesses -> treat as maximally hot; fully
+                    // idle supertiles are coldest.
+                    if accesses > 0 {
+                        MAX_API
+                    } else {
+                        0
+                    }
+                } else {
+                    let q = ((accesses as u64) << API_FRAC_BITS) / instructions as u64;
+                    q.min(MAX_API as u64) as u32
+                };
+                TemperatureEntry {
+                    supertile: SupertileId(i as u32),
+                    accesses,
+                    instructions,
+                    api_fixed: api as u16,
+                }
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Table entries (analysis/tests).
+    pub fn entries(&self) -> &[TemperatureEntry] {
+        &self.entries
+    }
+
+    /// Ranks supertiles hottest → coldest (by the fixed-point temperature field, ties
+    /// broken by supertile id for determinism, matching a stable hardware sort).
+    pub fn rank(&self) -> Vec<SupertileId> {
+        let mut order: Vec<&TemperatureEntry> = self.entries.iter().collect();
+        order.sort_by(|a, b| {
+            b.api_fixed.cmp(&a.api_fixed).then_with(|| a.supertile.0.cmp(&b.supertile.0))
+        });
+        order.into_iter().map(|e| e.supertile).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tally(dram: u64, instr: u64) -> SupertileTally {
+        SupertileTally { dram_accesses: dram, instructions: instr }
+    }
+
+    #[test]
+    fn temperature_is_accesses_per_instruction() {
+        let t = TemperatureTable::from_tallies(&[tally(100, 1000), tally(10, 1000)]);
+        let e = t.entries();
+        assert!((e[0].temperature() - 0.1).abs() < 1e-3);
+        assert!((e[1].temperature() - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rank_orders_hottest_first() {
+        // Same instruction count, increasing accesses -> rank = reverse id order.
+        let t = TemperatureTable::from_tallies(&[
+            tally(10, 1000),
+            tally(30, 1000),
+            tally(20, 1000),
+        ]);
+        let r = t.rank();
+        assert_eq!(r, vec![SupertileId(1), SupertileId(2), SupertileId(0)]);
+    }
+
+    #[test]
+    fn high_accesses_low_instructions_is_hotter_than_raw_count() {
+        // 50 accesses / 100 instr (0.5) must outrank 200 accesses / 10000 instr
+        // (0.02): temperature is a *ratio*, not a raw count (design choice §III-B).
+        let t = TemperatureTable::from_tallies(&[tally(200, 10_000), tally(50, 100)]);
+        assert_eq!(t.rank()[0], SupertileId(1));
+    }
+
+    #[test]
+    fn counters_saturate_at_hardware_widths() {
+        let t = TemperatureTable::from_tallies(&[tally(1 << 20, 1 << 30)]);
+        let e = t.entries()[0];
+        assert_eq!(e.accesses as u64, MAX_ACCESSES);
+        assert_eq!(e.instructions as u64, MAX_INSTRUCTIONS);
+    }
+
+    #[test]
+    fn api_saturates_at_15_bits() {
+        // Enormous ratio: 65535 accesses / 1 instruction.
+        let t = TemperatureTable::from_tallies(&[tally(65_535, 1)]);
+        assert_eq!(t.entries()[0].api_fixed as u32, MAX_API);
+    }
+
+    #[test]
+    fn zero_instruction_supertiles() {
+        let t = TemperatureTable::from_tallies(&[tally(0, 0), tally(5, 0)]);
+        // Idle supertile is coldest; accesses-without-instructions is hottest.
+        assert_eq!(t.entries()[0].api_fixed, 0);
+        assert_eq!(t.entries()[1].api_fixed as u32, MAX_API);
+        assert_eq!(t.rank(), vec![SupertileId(1), SupertileId(0)]);
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let t = TemperatureTable::from_tallies(&[tally(10, 100), tally(10, 100)]);
+        assert_eq!(t.rank(), vec![SupertileId(0), SupertileId(1)]);
+    }
+
+    #[test]
+    fn entry_is_64_bits_of_architectural_state() {
+        // 16 + 24 + 15 + 9 = 64 (paper §III-E).
+        assert_eq!(16 + 24 + 15 + 9, 64);
+    }
+}

@@ -1,0 +1,176 @@
+//! # tbr-energy — event-based GPU + DRAM energy model
+//!
+//! Substitutes the McPAT + DRAMsim3 energy estimation of the paper's toolchain (see
+//! `DESIGN.md` §1) with a first-order event-count model: every architectural event
+//! (warp instruction, cache access, DRAM access, DRAM row activation) carries a fixed
+//! dynamic energy, and the whole GPU burns static (leakage) power every cycle. This
+//! captures the two effects the paper's energy result rests on:
+//!
+//! * LIBRA barely changes the *number* of events (Fig 14: DRAM accesses ≈ constant),
+//!   so dynamic energy is nearly unchanged;
+//! * LIBRA finishes frames *faster* (Fig 11), so leakage — a large fraction of a
+//!   mobile GPU's budget at 22 nm — drops proportionally, which is where most of the
+//!   9.2 % total saving comes from (plus lower DRAM-queue occupancy).
+//!
+//! ```
+//! use tbr_common::stats::FrameStats;
+//! use tbr_energy::EnergyModel;
+//!
+//! let model = EnergyModel::default();
+//! let frame = FrameStats { raster_cycles: 1_000_000, ..FrameStats::default() };
+//! let e = model.frame_energy(&frame);
+//! assert!(e.static_nj > 0.0 && e.total() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+use tbr_common::stats::{FrameStats, SequenceStats};
+
+/// Per-event energies (nanojoules) and leakage power, tuned to plausible 22 nm
+/// mobile-GPU magnitudes (Table I's tech node).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per SIMD warp instruction (32 lanes), nJ.
+    pub warp_instruction_nj: f64,
+    /// Energy per L1 access (texture/tile/vertex caches), nJ.
+    pub l1_access_nj: f64,
+    /// Energy per shared-L2 access, nJ.
+    pub l2_access_nj: f64,
+    /// Energy per 64 B DRAM data transfer, nJ.
+    pub dram_access_nj: f64,
+    /// Energy per DRAM row activation (precharge + activate), nJ.
+    pub dram_activate_nj: f64,
+    /// Energy per shaded fragment in the fixed-function path (raster, Early-Z,
+    /// blend, on-chip buffers), nJ.
+    pub fragment_fixed_nj: f64,
+    /// Whole-GPU leakage energy per core cycle, nJ (≈ 0.45 W at 800 MHz).
+    pub static_nj_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            warp_instruction_nj: 0.12,
+            l1_access_nj: 0.015,
+            l2_access_nj: 0.06,
+            dram_access_nj: 5.0,
+            dram_activate_nj: 2.0,
+            fragment_fixed_nj: 0.01,
+            static_nj_per_cycle: 0.55,
+        }
+    }
+}
+
+/// A frame's (or sequence's) energy, split by component.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Shader-core dynamic energy, nJ.
+    pub core_nj: f64,
+    /// Cache (L1 + L2) dynamic energy, nJ.
+    pub cache_nj: f64,
+    /// DRAM dynamic energy (transfers + activations), nJ.
+    pub dram_nj: f64,
+    /// Fixed-function (raster/Z/blend) dynamic energy, nJ.
+    pub fixed_nj: f64,
+    /// Leakage energy, nJ.
+    pub static_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nJ.
+    pub fn total(&self) -> f64 {
+        self.core_nj + self.cache_nj + self.dram_nj + self.fixed_nj + self.static_nj
+    }
+
+    /// Accumulates another breakdown.
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.core_nj += other.core_nj;
+        self.cache_nj += other.cache_nj;
+        self.dram_nj += other.dram_nj;
+        self.fixed_nj += other.fixed_nj;
+        self.static_nj += other.static_nj;
+    }
+}
+
+impl EnergyModel {
+    /// Energy of one rendered frame.
+    pub fn frame_energy(&self, f: &FrameStats) -> EnergyBreakdown {
+        let l1_accesses = f.texture_cache.accesses + f.tile_cache.accesses + f.vertex_cache.accesses;
+        EnergyBreakdown {
+            core_nj: f.instructions as f64 * self.warp_instruction_nj,
+            cache_nj: l1_accesses as f64 * self.l1_access_nj
+                + f.l2_cache.accesses as f64 * self.l2_access_nj,
+            dram_nj: f.dram.total_accesses() as f64 * self.dram_access_nj
+                + f.dram.row_misses as f64 * self.dram_activate_nj,
+            fixed_nj: f.fragments as f64 * self.fragment_fixed_nj,
+            static_nj: f.total_cycles() as f64 * self.static_nj_per_cycle,
+        }
+    }
+
+    /// Energy of a whole sequence.
+    pub fn sequence_energy(&self, s: &SequenceStats) -> EnergyBreakdown {
+        let mut total = EnergyBreakdown::default();
+        for f in &s.frames {
+            total.add(&self.frame_energy(f));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbr_common::stats::{CacheStats, DramStats};
+
+    fn frame() -> FrameStats {
+        FrameStats {
+            geometry_cycles: 100_000,
+            raster_cycles: 900_000,
+            instructions: 1_000_000,
+            fragments: 400_000,
+            texture_cache: CacheStats { accesses: 500_000, hits: 450_000, misses: 50_000, evictions: 0 },
+            l2_cache: CacheStats { accesses: 60_000, hits: 40_000, misses: 20_000, evictions: 0 },
+            dram: DramStats { reads: 18_000, writes: 4_000, row_misses: 6_000, ..DramStats::new(5000) },
+            ..FrameStats::default()
+        }
+    }
+
+    #[test]
+    fn components_are_positive_and_sum() {
+        let m = EnergyModel::default();
+        let e = m.frame_energy(&frame());
+        assert!(e.core_nj > 0.0 && e.cache_nj > 0.0 && e.dram_nj > 0.0 && e.static_nj > 0.0);
+        let sum = e.core_nj + e.cache_nj + e.dram_nj + e.fixed_nj + e.static_nj;
+        assert!((e.total() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_energy_scales_with_cycles() {
+        let m = EnergyModel::default();
+        let mut fast = frame();
+        fast.raster_cycles = 450_000;
+        let slow_e = m.frame_energy(&frame());
+        let fast_e = m.frame_energy(&fast);
+        assert!(fast_e.static_nj < slow_e.static_nj);
+        assert_eq!(fast_e.core_nj, slow_e.core_nj, "dynamic unchanged");
+        assert!(fast_e.total() < slow_e.total(), "faster frame saves energy");
+    }
+
+    #[test]
+    fn static_fraction_is_substantial_for_mobile() {
+        // The 9.2% total saving at 20.9% speedup implies leakage is a sizeable share.
+        let m = EnergyModel::default();
+        let e = m.frame_energy(&frame());
+        let frac = e.static_nj / e.total();
+        assert!((0.2..0.8).contains(&frac), "static fraction {frac}");
+    }
+
+    #[test]
+    fn sequence_energy_adds_frames() {
+        let m = EnergyModel::default();
+        let s = SequenceStats { frames: vec![frame(), frame()] };
+        let e1 = m.frame_energy(&frame());
+        let e2 = m.sequence_energy(&s);
+        assert!((e2.total() - 2.0 * e1.total()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,185 @@
+//! Homogeneous clipping (Sutherland–Hodgman) against the view frustum.
+//!
+//! §II-A: "in case a triangle is partially visible, a Clipping operation is applied,
+//! in which the primitive is split into smaller triangles and only those that entirely
+//! fall inside this visible region are kept." We clip the triangle polygon against the
+//! six frustum planes in clip space (`-w ≤ x, y, z ≤ w`, `w > 0`) and re-triangulate
+//! the resulting convex polygon as a fan.
+
+use crate::vec::{Vec2, Vec4};
+
+/// A vertex flowing through the clipper: clip-space position + interpolated UV.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClipVertex {
+    /// Clip-space position.
+    pub pos: Vec4,
+    /// Texture coordinate.
+    pub uv: Vec2,
+}
+
+impl ClipVertex {
+    /// Creates a clip vertex.
+    pub fn new(pos: Vec4, uv: Vec2) -> Self {
+        Self { pos, uv }
+    }
+
+    fn lerp(self, other: ClipVertex, t: f32) -> ClipVertex {
+        ClipVertex { pos: self.pos.lerp(other.pos, t), uv: self.uv.lerp(other.uv, t) }
+    }
+}
+
+/// The six frustum planes, expressed as signed distances that are ≥ 0 inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plane {
+    Left,   // x + w >= 0
+    Right,  // w - x >= 0
+    Bottom, // y + w >= 0
+    Top,    // w - y >= 0
+    Near,   // z + w >= 0
+    Far,    // w - z >= 0
+}
+
+const PLANES: [Plane; 6] =
+    [Plane::Near, Plane::Far, Plane::Left, Plane::Right, Plane::Bottom, Plane::Top];
+
+fn distance(p: Plane, v: Vec4) -> f32 {
+    match p {
+        Plane::Left => v.x + v.w,
+        Plane::Right => v.w - v.x,
+        Plane::Bottom => v.y + v.w,
+        Plane::Top => v.w - v.y,
+        Plane::Near => v.z + v.w,
+        Plane::Far => v.w - v.z,
+    }
+}
+
+/// Returns `true` when every vertex is outside the same frustum plane (trivially
+/// rejected — the Culling stage of §II-A).
+pub fn trivially_outside(verts: &[ClipVertex]) -> bool {
+    PLANES.iter().any(|&p| verts.iter().all(|v| distance(p, v.pos) < 0.0))
+}
+
+/// Returns `true` when every vertex is inside all planes (no clipping needed).
+pub fn fully_inside(verts: &[ClipVertex]) -> bool {
+    verts.iter().all(|v| PLANES.iter().all(|&p| distance(p, v.pos) >= 0.0))
+}
+
+/// Clips a convex polygon against all six frustum planes. The result is empty when
+/// the polygon is entirely outside.
+pub fn clip_polygon(verts: &[ClipVertex]) -> Vec<ClipVertex> {
+    let mut poly: Vec<ClipVertex> = verts.to_vec();
+    for &plane in &PLANES {
+        if poly.is_empty() {
+            break;
+        }
+        let mut out = Vec::with_capacity(poly.len() + 1);
+        for i in 0..poly.len() {
+            let cur = poly[i];
+            let next = poly[(i + 1) % poly.len()];
+            let d_cur = distance(plane, cur.pos);
+            let d_next = distance(plane, next.pos);
+            if d_cur >= 0.0 {
+                out.push(cur);
+            }
+            // The edge crosses the plane: emit the intersection point.
+            if (d_cur >= 0.0) != (d_next >= 0.0) {
+                let t = d_cur / (d_cur - d_next);
+                out.push(cur.lerp(next, t));
+            }
+        }
+        poly = out;
+    }
+    poly
+}
+
+/// Clips a triangle and re-triangulates the result as a fan. Returns 0, 1, or more
+/// triangles.
+pub fn clip_triangle(tri: [ClipVertex; 3]) -> Vec<[ClipVertex; 3]> {
+    if trivially_outside(&tri) {
+        return Vec::new();
+    }
+    if fully_inside(&tri) {
+        return vec![tri];
+    }
+    let poly = clip_polygon(&tri);
+    if poly.len() < 3 {
+        return Vec::new();
+    }
+    (1..poly.len() - 1).map(|i| [poly[0], poly[i], poly[i + 1]]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(x: f32, y: f32, z: f32, w: f32) -> ClipVertex {
+        ClipVertex::new(Vec4::new(x, y, z, w), Vec2::new(x, y))
+    }
+
+    #[test]
+    fn fully_inside_triangle_passes_through() {
+        let tri = [cv(0.0, 0.0, 0.0, 1.0), cv(0.5, 0.0, 0.0, 1.0), cv(0.0, 0.5, 0.0, 1.0)];
+        let out = clip_triangle(tri);
+        assert_eq!(out, vec![tri]);
+    }
+
+    #[test]
+    fn fully_outside_triangle_is_culled() {
+        let tri = [cv(2.0, 0.0, 0.0, 1.0), cv(3.0, 0.0, 0.0, 1.0), cv(2.0, 1.0, 0.0, 1.0)];
+        assert!(trivially_outside(&tri));
+        assert!(clip_triangle(tri).is_empty());
+    }
+
+    #[test]
+    fn straddling_triangle_is_split() {
+        // Crosses the right plane (x = w): part inside, part outside.
+        let tri = [cv(0.0, -0.5, 0.0, 1.0), cv(2.0, 0.0, 0.0, 1.0), cv(0.0, 0.5, 0.0, 1.0)];
+        let out = clip_triangle(tri);
+        assert!(!out.is_empty());
+        // Every output vertex obeys |x| <= w (with float tolerance).
+        for t in &out {
+            for v in t {
+                assert!(v.pos.x <= v.pos.w + 1e-5, "x={} w={}", v.pos.x, v.pos.w);
+            }
+        }
+        // Clipping a triangle against one plane yields a quad -> 2 triangles.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn clipped_uvs_are_interpolated() {
+        // Edge from u=0 to u=2 crossing x=w at the midpoint: the new vertex must get
+        // u = 1 (uv mirrors xy in `cv`).
+        let tri = [cv(0.0, 0.0, 0.0, 1.0), cv(2.0, 0.0, 0.0, 1.0), cv(0.0, 1.0, 0.0, 1.0)];
+        let poly = clip_polygon(&tri);
+        let crossing = poly
+            .iter()
+            .find(|v| (v.pos.x - 1.0).abs() < 1e-5 && v.pos.y.abs() < 1e-5)
+            .expect("crossing vertex on the bottom edge");
+        assert!((crossing.uv.x - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn near_plane_clip_splits_w_crossing() {
+        // One vertex behind the near plane (z < -w).
+        let tri = [cv(0.0, 0.0, -2.0, 1.0), cv(0.5, 0.0, 0.0, 1.0), cv(0.0, 0.5, 0.0, 1.0)];
+        let out = clip_triangle(tri);
+        assert!(!out.is_empty());
+        for t in &out {
+            for v in t {
+                assert!(v.pos.z + v.pos.w >= -1e-5, "vertex behind near plane survived");
+            }
+        }
+    }
+
+    #[test]
+    fn polygon_clip_of_inside_square_is_identity() {
+        let sq = [
+            cv(-0.5, -0.5, 0.0, 1.0),
+            cv(0.5, -0.5, 0.0, 1.0),
+            cv(0.5, 0.5, 0.0, 1.0),
+            cv(-0.5, 0.5, 0.0, 1.0),
+        ];
+        assert_eq!(clip_polygon(&sq), sq.to_vec());
+    }
+}

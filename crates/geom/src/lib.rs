@@ -1,0 +1,35 @@
+//! # tbr-geom — math and Geometry Pipeline of the LIBRA TBR GPU simulator
+//!
+//! The Geometry Pipeline (Fig 3, left) performs all geometry-related operations over
+//! the triangles that compose the scene:
+//!
+//! 1. the **Vertex Fetcher** reads vertices from memory (modelled in `tbr-sim` via the
+//!    vertex cache; this crate supplies the addresses),
+//! 2. the **Vertex Processors** transform them by a model-view-projection matrix
+//!    ([`pipeline`]),
+//! 3. **Primitive Assembly** builds triangles in program order,
+//! 4. **Culling** discards triangles entirely outside the view frustum and degenerate
+//!    (zero-area) ones,
+//! 5. **Clipping** splits partially-visible triangles against the near plane and
+//!    frustum sides (Sutherland–Hodgman in homogeneous coordinates, [`clip`]),
+//! 6. the **viewport transform** produces screen-space primitives for the Tiling
+//!    Engine.
+//!
+//! The crate also defines the scene vocabulary ([`scene::DrawCall`], [`scene::Scene`],
+//! [`scene::FragmentShaderDesc`]) shared by the workload generators and the raster
+//! pipeline, and small dense [`vec`]/[`mat`] math types written from scratch (no
+//! external math crates, per the reproduction brief).
+
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod clip;
+pub mod mat;
+pub mod pipeline;
+pub mod scene;
+pub mod vec;
+
+pub use mat::Mat4;
+pub use pipeline::{process_scene, GeomCounts, ScreenTriangle, ScreenVertex};
+pub use scene::{DrawCall, FragmentShaderDesc, Scene, Vertex};
+pub use vec::{Vec2, Vec3, Vec4};

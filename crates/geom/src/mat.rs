@@ -1,0 +1,135 @@
+//! 4×4 column-major matrices for the vertex transform stage.
+
+use crate::vec::{Vec3, Vec4};
+use core::ops::Mul;
+
+/// A 4×4 matrix, column-major (like OpenGL): `cols[c]` is the c-th column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// The four columns.
+    pub cols: [Vec4; 4],
+}
+
+impl Mat4 {
+    /// Identity matrix.
+    pub const IDENTITY: Mat4 = Mat4 {
+        cols: [
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Translation matrix.
+    pub fn translate(t: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.cols[3] = Vec4::new(t.x, t.y, t.z, 1.0);
+        m
+    }
+
+    /// Non-uniform scale matrix.
+    pub fn scale(s: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.cols[0].x = s.x;
+        m.cols[1].y = s.y;
+        m.cols[2].z = s.z;
+        m
+    }
+
+    /// Rotation about the Z axis by `angle` radians (counter-clockwise).
+    pub fn rotate_z(angle: f32) -> Mat4 {
+        let (s, c) = angle.sin_cos();
+        let mut m = Mat4::IDENTITY;
+        m.cols[0] = Vec4::new(c, s, 0.0, 0.0);
+        m.cols[1] = Vec4::new(-s, c, 0.0, 0.0);
+        m
+    }
+
+    /// Rotation about the Y axis by `angle` radians.
+    pub fn rotate_y(angle: f32) -> Mat4 {
+        let (s, c) = angle.sin_cos();
+        let mut m = Mat4::IDENTITY;
+        m.cols[0] = Vec4::new(c, 0.0, -s, 0.0);
+        m.cols[2] = Vec4::new(s, 0.0, c, 0.0);
+        m
+    }
+
+    /// Transforms a homogeneous vector.
+    pub fn transform(&self, v: Vec4) -> Vec4 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z + self.cols[3] * v.w
+    }
+
+    /// Transforms a point (`w = 1`).
+    pub fn transform_point(&self, p: Vec3) -> Vec4 {
+        self.transform(p.extend(1.0))
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+
+    fn mul(self, rhs: Mat4) -> Mat4 {
+        Mat4 { cols: rhs.cols.map(|c| self.transform(c)) }
+    }
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Mat4::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: Vec4, b: Vec4) -> bool {
+        (a.x - b.x).abs() < 1e-5
+            && (a.y - b.y).abs() < 1e-5
+            && (a.z - b.z).abs() < 1e-5
+            && (a.w - b.w).abs() < 1e-5
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let v = Vec4::new(1.0, 2.0, 3.0, 1.0);
+        assert_eq!(Mat4::IDENTITY.transform(v), v);
+    }
+
+    #[test]
+    fn translate_moves_points_not_directions() {
+        let m = Mat4::translate(Vec3::new(1.0, 2.0, 3.0));
+        let p = m.transform_point(Vec3::new(0.0, 0.0, 0.0));
+        assert!(approx(p, Vec4::new(1.0, 2.0, 3.0, 1.0)));
+        // Directions (w = 0) are unaffected by translation.
+        let d = m.transform(Vec4::new(1.0, 0.0, 0.0, 0.0));
+        assert!(approx(d, Vec4::new(1.0, 0.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn rotate_z_quarter_turn() {
+        let m = Mat4::rotate_z(std::f32::consts::FRAC_PI_2);
+        let v = m.transform(Vec4::new(1.0, 0.0, 0.0, 1.0));
+        assert!(approx(v, Vec4::new(0.0, 1.0, 0.0, 1.0)), "{v:?}");
+    }
+
+    #[test]
+    fn rotate_y_quarter_turn() {
+        let m = Mat4::rotate_y(std::f32::consts::FRAC_PI_2);
+        let v = m.transform(Vec4::new(1.0, 0.0, 0.0, 1.0));
+        assert!(approx(v, Vec4::new(0.0, 0.0, -1.0, 1.0)), "{v:?}");
+    }
+
+    #[test]
+    fn composition_applies_right_to_left() {
+        let t = Mat4::translate(Vec3::new(1.0, 0.0, 0.0));
+        let s = Mat4::scale(Vec3::new(2.0, 2.0, 2.0));
+        // (s * t) p == s(t(p))
+        let p = Vec3::new(1.0, 0.0, 0.0);
+        let a = (s * t).transform_point(p);
+        let b = s.transform(t.transform_point(p));
+        assert!(approx(a, b));
+        assert!(approx(a, Vec4::new(4.0, 0.0, 0.0, 1.0)));
+    }
+}

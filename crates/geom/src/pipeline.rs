@@ -1,0 +1,269 @@
+//! The Geometry Pipeline proper: vertex transform → primitive assembly → cull/clip →
+//! viewport transform.
+//!
+//! This is the *functional* half of the pipeline (what gets computed); the *timing*
+//! half (vertex-cache accesses, per-stage cycle costs) is applied by `tbr-sim`'s
+//! geometry phase using the counters returned in [`GeomCounts`].
+
+use crate::clip::{clip_triangle, ClipVertex};
+use crate::scene::{BlendMode, FragmentShaderDesc, Scene, TextureDesc};
+use tbr_common::config::ScreenConfig;
+use tbr_common::ids::DrawCallId;
+
+/// A vertex after the viewport transform: screen-space position (pixels), depth in
+/// `[0, 1]` and texture coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScreenVertex {
+    /// Screen X in pixels (0 = left edge).
+    pub x: f32,
+    /// Screen Y in pixels (0 = top edge).
+    pub y: f32,
+    /// Depth in `[0, 1]`; smaller is closer.
+    pub z: f32,
+    /// Texture U coordinate.
+    pub u: f32,
+    /// Texture V coordinate.
+    pub v: f32,
+}
+
+/// A screen-space triangle ready for binning and rasterisation, still carrying its
+/// draw-call state (texture, shader, blend mode) and program order (`seq`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreenTriangle {
+    /// The three vertices.
+    pub v: [ScreenVertex; 3],
+    /// Originating draw call.
+    pub draw: DrawCallId,
+    /// Bound texture.
+    pub texture: TextureDesc,
+    /// Fragment shader profile.
+    pub shader: FragmentShaderDesc,
+    /// Blend state.
+    pub blend: BlendMode,
+    /// Program-order sequence number across the whole frame (lower = earlier).
+    pub seq: u32,
+}
+
+impl ScreenTriangle {
+    /// Axis-aligned screen bounding box `(x0, y0, x1, y1)`, exclusive max, clamped to
+    /// the screen.
+    pub fn bounding_box(&self, screen: &ScreenConfig) -> (u32, u32, u32, u32) {
+        let xs = self.v.map(|v| v.x);
+        let ys = self.v.map(|v| v.y);
+        let fmin = |a: [f32; 3]| a.iter().copied().fold(f32::INFINITY, f32::min);
+        let fmax = |a: [f32; 3]| a.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let x0 = fmin(xs).floor().max(0.0) as u32;
+        let y0 = fmin(ys).floor().max(0.0) as u32;
+        let x1 = (fmax(xs).ceil() as u32).min(screen.width);
+        let y1 = (fmax(ys).ceil() as u32).min(screen.height);
+        (x0, y0, x1.max(x0), y1.max(y0))
+    }
+
+    /// Twice the signed area in pixels² (positive for counter-clockwise winding in a
+    /// Y-down screen).
+    pub fn double_area(&self) -> f32 {
+        let [a, b, c] = self.v;
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+}
+
+/// Counters produced while processing a scene, consumed by the timing model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeomCounts {
+    /// Vertex-array elements fetched (one per index).
+    pub vertices_fetched: u64,
+    /// Unique vertices transformed by the vertex shader.
+    pub vertices_shaded: u64,
+    /// Triangles assembled from index data.
+    pub prims_assembled: u64,
+    /// Triangles discarded by frustum culling or as degenerate.
+    pub prims_culled: u64,
+    /// Triangles that required clipping (were split).
+    pub prims_clipped: u64,
+    /// Screen-space triangles emitted to the Tiling Engine.
+    pub prims_out: u64,
+}
+
+/// Minimum |2·area| (pixels²) below which a triangle is discarded as degenerate.
+const MIN_DOUBLE_AREA: f32 = 1.0e-3;
+
+/// Runs the whole geometry pipeline over a scene, producing the screen-space
+/// primitives that feed the Tiling Engine, in program order.
+pub fn process_scene(scene: &Scene, screen: &ScreenConfig) -> (Vec<ScreenTriangle>, GeomCounts) {
+    let mut out = Vec::new();
+    let mut counts = GeomCounts::default();
+    let mut seq = 0u32;
+
+    for draw in &scene.draws {
+        counts.vertices_shaded += draw.vertices.len() as u64;
+        counts.vertices_fetched += draw.indices.len() as u64;
+
+        // Vertex shading: transform every unique vertex once (post-transform cache
+        // assumed perfect within a draw, as in real hardware with indexed draws).
+        let transformed: Vec<ClipVertex> = draw
+            .vertices
+            .iter()
+            .map(|vtx| ClipVertex::new(draw.transform.transform_point(vtx.pos), vtx.uv))
+            .collect();
+
+        for tri_idx in draw.indices.chunks_exact(3) {
+            counts.prims_assembled += 1;
+            let tri = [
+                transformed[tri_idx[0] as usize],
+                transformed[tri_idx[1] as usize],
+                transformed[tri_idx[2] as usize],
+            ];
+            let clipped = clip_triangle(tri);
+            if clipped.is_empty() {
+                counts.prims_culled += 1;
+                continue;
+            }
+            if clipped.len() > 1 || clipped[0] != tri {
+                counts.prims_clipped += 1;
+            }
+            for sub in clipped {
+                let st = ScreenTriangle {
+                    v: sub.map(|cv| viewport(cv, screen)),
+                    draw: draw.id,
+                    texture: draw.texture,
+                    shader: draw.shader,
+                    blend: draw.blend,
+                    seq,
+                };
+                if st.double_area().abs() < MIN_DOUBLE_AREA {
+                    counts.prims_culled += 1;
+                    continue;
+                }
+                counts.prims_out += 1;
+                out.push(st);
+                seq += 1;
+            }
+        }
+    }
+    (out, counts)
+}
+
+/// Perspective divide + viewport transform: NDC `[-1, 1]` → pixels, NDC depth
+/// `[-1, 1]` → `[0, 1]`.
+fn viewport(cv: ClipVertex, screen: &ScreenConfig) -> ScreenVertex {
+    let w = if cv.pos.w.abs() <= f32::EPSILON { 1.0 } else { cv.pos.w };
+    let inv_w = 1.0 / w;
+    let ndc_x = cv.pos.x * inv_w;
+    let ndc_y = cv.pos.y * inv_w;
+    let ndc_z = cv.pos.z * inv_w;
+    ScreenVertex {
+        x: (ndc_x * 0.5 + 0.5) * screen.width as f32,
+        y: (ndc_y * 0.5 + 0.5) * screen.height as f32,
+        z: (ndc_z * 0.5 + 0.5).clamp(0.0, 1.0),
+        u: cv.uv.x,
+        v: cv.uv.y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::screen_ortho;
+    use crate::scene::{DrawCall, Vertex};
+    use crate::vec::{Vec2, Vec3};
+    use tbr_common::ids::{DrawCallId, TextureId};
+
+    fn quad_draw(x0: f32, y0: f32, x1: f32, y1: f32, screen: &ScreenConfig) -> DrawCall {
+        DrawCall {
+            id: DrawCallId(0),
+            transform: screen_ortho(screen.width, screen.height),
+            vertices: vec![
+                Vertex::new(Vec3::new(x0, y0, 0.5), Vec2::new(0.0, 0.0)),
+                Vertex::new(Vec3::new(x1, y0, 0.5), Vec2::new(1.0, 0.0)),
+                Vertex::new(Vec3::new(x1, y1, 0.5), Vec2::new(1.0, 1.0)),
+                Vertex::new(Vec3::new(x0, y1, 0.5), Vec2::new(0.0, 1.0)),
+            ],
+            indices: vec![0, 1, 2, 0, 2, 3],
+            texture: TextureDesc::new(TextureId(0), 256),
+            shader: FragmentShaderDesc::simple(),
+            blend: BlendMode::Opaque,
+            base_depth: 0.5,
+        }
+    }
+
+    #[test]
+    fn onscreen_quad_produces_two_triangles() {
+        let screen = ScreenConfig::tiny();
+        let scene = Scene { draws: vec![quad_draw(10.0, 10.0, 100.0, 50.0, &screen)] };
+        let (tris, counts) = process_scene(&scene, &screen);
+        assert_eq!(tris.len(), 2);
+        assert_eq!(counts.prims_out, 2);
+        assert_eq!(counts.prims_assembled, 2);
+        assert_eq!(counts.prims_culled, 0);
+        assert_eq!(counts.vertices_shaded, 4);
+        assert_eq!(counts.vertices_fetched, 6);
+        // Screen positions land where the ortho camera puts them.
+        let bb = tris[0].bounding_box(&screen);
+        assert!(bb.0 >= 9 && bb.2 <= 101, "{bb:?}");
+    }
+
+    #[test]
+    fn offscreen_quad_is_culled_entirely() {
+        let screen = ScreenConfig::tiny();
+        let scene = Scene { draws: vec![quad_draw(-500.0, -500.0, -100.0, -100.0, &screen)] };
+        let (tris, counts) = process_scene(&scene, &screen);
+        assert!(tris.is_empty());
+        assert_eq!(counts.prims_culled, 2);
+        assert_eq!(counts.prims_out, 0);
+    }
+
+    #[test]
+    fn partially_visible_quad_is_clipped_not_dropped() {
+        let screen = ScreenConfig::tiny();
+        // Hangs off the left edge.
+        let scene = Scene { draws: vec![quad_draw(-50.0, 10.0, 60.0, 60.0, &screen)] };
+        let (tris, counts) = process_scene(&scene, &screen);
+        assert!(!tris.is_empty());
+        assert!(counts.prims_clipped >= 1);
+        for t in &tris {
+            for v in t.v {
+                assert!(v.x >= -0.01, "clipped geometry must not extend past x=0: {v:?}");
+                assert!(v.x <= screen.width as f32 + 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_triangle_is_culled() {
+        let screen = ScreenConfig::tiny();
+        let mut dc = quad_draw(10.0, 10.0, 100.0, 50.0, &screen);
+        dc.indices = vec![0, 0, 1]; // zero area
+        let (tris, counts) = process_scene(&Scene { draws: vec![dc] }, &screen);
+        assert!(tris.is_empty());
+        assert_eq!(counts.prims_culled, 1);
+    }
+
+    #[test]
+    fn program_order_is_preserved_in_seq() {
+        let screen = ScreenConfig::tiny();
+        let scene = Scene {
+            draws: vec![
+                quad_draw(0.0, 0.0, 50.0, 50.0, &screen),
+                quad_draw(20.0, 20.0, 80.0, 80.0, &screen),
+            ],
+        };
+        let (tris, _) = process_scene(&scene, &screen);
+        let seqs: Vec<u32> = tris.iter().map(|t| t.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "output must be in program order");
+        assert_eq!(seqs.len(), 4);
+    }
+
+    #[test]
+    fn depth_maps_into_unit_range() {
+        let screen = ScreenConfig::tiny();
+        let scene = Scene { draws: vec![quad_draw(10.0, 10.0, 100.0, 50.0, &screen)] };
+        let (tris, _) = process_scene(&scene, &screen);
+        for t in &tris {
+            for v in t.v {
+                assert!((0.0..=1.0).contains(&v.z), "z={} out of range", v.z);
+            }
+        }
+    }
+}

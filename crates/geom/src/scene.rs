@@ -1,0 +1,214 @@
+//! Scene description: what an application submits to the GPU each frame.
+//!
+//! A [`Scene`] is an ordered list of [`DrawCall`]s (order matters: primitives must be
+//! rendered in program order within each tile, §II-B). Each draw call carries its own
+//! model-view-projection transform, vertex/index arrays, bound texture and a
+//! [`FragmentShaderDesc`] describing the per-fragment work of its shader program.
+
+use crate::mat::Mat4;
+use crate::vec::{Vec2, Vec3};
+use tbr_common::ids::{DrawCallId, TextureId};
+
+/// An input vertex: object-space position + texture coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vertex {
+    /// Object-space position.
+    pub pos: Vec3,
+    /// Texture coordinate in `[0, 1]` (values outside wrap).
+    pub uv: Vec2,
+}
+
+impl Vertex {
+    /// Creates a vertex.
+    pub fn new(pos: Vec3, uv: Vec2) -> Self {
+        Self { pos, uv }
+    }
+}
+
+/// A bound texture: identity plus its (square, power-of-two) size in texels. The
+/// raster pipeline turns UVs into memory addresses with this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TextureDesc {
+    /// Texture identity (selects the address region).
+    pub id: TextureId,
+    /// Edge length in texels; must be a power of two.
+    pub size_texels: u32,
+}
+
+impl TextureDesc {
+    /// Creates a descriptor.
+    ///
+    /// # Panics
+    /// Panics if `size_texels` is zero or not a power of two.
+    pub fn new(id: TextureId, size_texels: u32) -> Self {
+        assert!(
+            size_texels.is_power_of_two(),
+            "texture size must be a power of two, got {size_texels}"
+        );
+        Self { id, size_texels }
+    }
+}
+
+/// Texture sampling filter. Bilinear filtering reads the 2×2 texel neighbourhood of
+/// every sample, which multiplies texture-cache traffic — the reason mobile GPUs care
+/// so much about texture locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FilterMode {
+    /// Nearest-texel sampling: one texel (one potential cache line) per sample.
+    #[default]
+    Nearest,
+    /// Bilinear sampling: the 2×2 texel neighbourhood (1–4 cache lines) per sample.
+    Bilinear,
+}
+
+/// Static description of a fragment shader program's dynamic behaviour: the shader
+/// executes `tex_samples` texture lookups, each preceded by `alu_per_sample` ALU
+/// instructions, followed by `alu_tail` final ALU instructions (lighting math,
+/// colour combination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragmentShaderDesc {
+    /// Texture sample instructions per fragment.
+    pub tex_samples: u32,
+    /// ALU instructions before each texture sample (address math etc.).
+    pub alu_per_sample: u32,
+    /// ALU instructions after the last sample.
+    pub alu_tail: u32,
+    /// Texture sampling filter.
+    pub filter: FilterMode,
+    /// When `true` the shader modifies fragment depth, so Early-Z must be disabled
+    /// and the visibility test runs after shading (the Late-Z stage, §II-A).
+    pub late_z: bool,
+}
+
+impl FragmentShaderDesc {
+    /// A minimal textured shader (1 sample, light ALU, nearest filtering).
+    pub fn simple() -> Self {
+        Self {
+            tex_samples: 1,
+            alu_per_sample: 2,
+            alu_tail: 4,
+            filter: FilterMode::Nearest,
+            late_z: false,
+        }
+    }
+
+    /// Returns a copy with bilinear filtering.
+    pub fn with_bilinear(mut self) -> Self {
+        self.filter = FilterMode::Bilinear;
+        self
+    }
+
+    /// Returns a copy with Late-Z (depth-modifying shader).
+    pub fn with_late_z(mut self) -> Self {
+        self.late_z = true;
+        self
+    }
+
+    /// Total instructions executed per fragment.
+    pub fn instructions_per_fragment(&self) -> u32 {
+        self.tex_samples * (self.alu_per_sample + 1) + self.alu_tail
+    }
+}
+
+impl Default for FragmentShaderDesc {
+    fn default() -> Self {
+        Self::simple()
+    }
+}
+
+/// How fragment colours combine with the colour buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlendMode {
+    /// Overwrite (depth-tested); occluded fragments can be killed by Early-Z.
+    #[default]
+    Opaque,
+    /// Alpha blending: fragments are depth-*tested* but do not write depth, and are
+    /// never killed by previously drawn transparent geometry.
+    AlphaBlend,
+}
+
+/// One draw call: a batch of indexed triangles with shared state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrawCall {
+    /// Identity (also selects the vertex-memory region).
+    pub id: DrawCallId,
+    /// Full model-view-projection transform into clip space.
+    pub transform: Mat4,
+    /// Vertex array.
+    pub vertices: Vec<Vertex>,
+    /// Index array; every 3 consecutive indices form a triangle.
+    pub indices: Vec<u32>,
+    /// Bound texture.
+    pub texture: TextureDesc,
+    /// Fragment shader profile.
+    pub shader: FragmentShaderDesc,
+    /// Blend state.
+    pub blend: BlendMode,
+    /// Depth in `[0,1)` assigned to this draw's fragments for 2-D layered scenes
+    /// (smaller = closer). 3-D draws derive depth from geometry instead when the
+    /// transform produces non-uniform `z`.
+    pub base_depth: f32,
+}
+
+impl DrawCall {
+    /// Number of triangles described by the index array.
+    pub fn num_triangles(&self) -> usize {
+        self.indices.len() / 3
+    }
+}
+
+/// A frame's worth of draw calls, in submission (program) order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scene {
+    /// Ordered draw calls.
+    pub draws: Vec<DrawCall>,
+}
+
+impl Scene {
+    /// Total triangles across all draw calls.
+    pub fn num_triangles(&self) -> usize {
+        self.draws.iter().map(DrawCall::num_triangles).sum()
+    }
+
+    /// Total vertices across all draw calls.
+    pub fn num_vertices(&self) -> usize {
+        self.draws.iter().map(|d| d.vertices.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shader_instruction_count() {
+        let s = FragmentShaderDesc { tex_samples: 2, alu_per_sample: 3, alu_tail: 5, ..FragmentShaderDesc::simple() };
+        // 2 * (3 + 1) + 5 = 13
+        assert_eq!(s.instructions_per_fragment(), 13);
+        assert_eq!(FragmentShaderDesc::simple().instructions_per_fragment(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_texture_rejected() {
+        let _ = TextureDesc::new(TextureId(0), 100);
+    }
+
+    #[test]
+    fn scene_counts() {
+        let dc = DrawCall {
+            id: DrawCallId(0),
+            transform: Mat4::IDENTITY,
+            vertices: vec![Vertex::default(); 4],
+            indices: vec![0, 1, 2, 2, 1, 3],
+            texture: TextureDesc::new(TextureId(0), 256),
+            shader: FragmentShaderDesc::simple(),
+            blend: BlendMode::Opaque,
+            base_depth: 0.5,
+        };
+        assert_eq!(dc.num_triangles(), 2);
+        let scene = Scene { draws: vec![dc.clone(), dc] };
+        assert_eq!(scene.num_triangles(), 4);
+        assert_eq!(scene.num_vertices(), 8);
+    }
+}

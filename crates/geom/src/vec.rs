@@ -1,0 +1,196 @@
+//! Small dense vector types (`f32`), written from scratch.
+
+use core::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// 2-component vector (texture coordinates, screen positions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+}
+
+/// 3-component vector (positions, normals).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+/// 4-component homogeneous vector (clip-space positions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W (homogeneous) component.
+    pub w: f32,
+}
+
+impl Vec2 {
+    /// Creates a vector.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Linear interpolation `self + t * (other - self)`.
+    pub fn lerp(self, other: Vec2, t: f32) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec2) -> f32 {
+        self.x * o.x + self.y * o.y
+    }
+}
+
+impl Vec3 {
+    /// Creates a vector.
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in the same direction; returns `self` unchanged if near zero.
+    pub fn normalize(self) -> Vec3 {
+        let l = self.length();
+        if l <= f32::EPSILON {
+            self
+        } else {
+            self * (1.0 / l)
+        }
+    }
+
+    /// Extends to homogeneous coordinates with the given `w`.
+    pub fn extend(self, w: f32) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, w)
+    }
+}
+
+impl Vec4 {
+    /// Creates a vector.
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// The `xyz` part.
+    pub fn truncate(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Linear interpolation `self + t * (other - self)`.
+    pub fn lerp(self, other: Vec4, t: f32) -> Vec4 {
+        self + (other - self) * t
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec4) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z + self.w * o.w
+    }
+}
+
+macro_rules! impl_ops {
+    ($t:ty { $($f:ident),+ }) => {
+        impl Add for $t {
+            type Output = $t;
+            fn add(self, o: $t) -> $t { Self { $($f: self.$f + o.$f),+ } }
+        }
+        impl AddAssign for $t {
+            fn add_assign(&mut self, o: $t) { $(self.$f += o.$f;)+ }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            fn sub(self, o: $t) -> $t { Self { $($f: self.$f - o.$f),+ } }
+        }
+        impl Mul<f32> for $t {
+            type Output = $t;
+            fn mul(self, s: f32) -> $t { Self { $($f: self.$f * s),+ } }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            fn neg(self) -> $t { Self { $($f: -self.$f),+ } }
+        }
+    };
+}
+
+impl_ops!(Vec2 { x, y });
+impl_ops!(Vec3 { x, y, z });
+impl_ops!(Vec4 { x, y, z, w });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic_and_lerp() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, 6.0);
+        assert_eq!(a + b, Vec2::new(4.0, 8.0));
+        assert_eq!(b - a, Vec2::new(2.0, 4.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(2.0, 4.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        let c = a.cross(b);
+        assert_eq!(c, Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(c.dot(a), 0.0);
+        assert_eq!(c.dot(b), 0.0);
+        // Anti-commutative.
+        assert_eq!(b.cross(a), -c);
+    }
+
+    #[test]
+    fn vec3_normalize() {
+        let v = Vec3::new(3.0, 0.0, 4.0);
+        let n = v.normalize();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+        // Zero vector stays put instead of producing NaN.
+        let z = Vec3::default().normalize();
+        assert_eq!(z, Vec3::default());
+    }
+
+    #[test]
+    fn vec4_truncate_extend_roundtrip() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v.extend(4.0).truncate(), v);
+    }
+
+    #[test]
+    fn vec4_lerp_midpoint() {
+        let a = Vec4::new(0.0, 0.0, 0.0, 1.0);
+        let b = Vec4::new(2.0, 4.0, 6.0, 1.0);
+        assert_eq!(a.lerp(b, 0.5), Vec4::new(1.0, 2.0, 3.0, 1.0));
+    }
+}

@@ -1,0 +1,281 @@
+//! Edge-function rasterisation of one primitive within one tile.
+//!
+//! §II-A: "The Rasterizer determines the pixels that are overlapped by each primitive
+//! in the current tile and discretizes each primitive into a set of *fragments*. In
+//! addition, the Rasterizer interpolates the values of the primitive's attributes."
+//!
+//! Coverage is evaluated at pixel centres with a top-left fill rule approximation;
+//! attributes (depth, UV) are interpolated barycentrically (affine — adequate for the
+//! mobile content modelled here and for the memory-address streams the simulator
+//! needs).
+
+use crate::quad::Quad;
+use tbr_geom::pipeline::ScreenTriangle;
+
+/// Per-triangle interpolation setup: edge functions and attribute gradients.
+#[derive(Debug, Clone, Copy)]
+pub struct TriangleSetup {
+    // Edge functions e_i(x, y) = a_i x + b_i y + c_i, positive inside.
+    a: [f32; 3],
+    b: [f32; 3],
+    c: [f32; 3],
+    inv_area2: f32,
+    z: [f32; 3],
+    u: [f32; 3],
+    v: [f32; 3],
+    /// Maximum screen-space UV derivative (in UV units per pixel), used for mip
+    /// selection — constant per triangle under affine interpolation.
+    pub uv_derivative: f32,
+}
+
+impl TriangleSetup {
+    /// Builds the setup; returns `None` for degenerate (zero-area) triangles.
+    pub fn new(tri: &ScreenTriangle) -> Option<Self> {
+        let area2 = tri.double_area();
+        if area2.abs() < 1.0e-6 {
+            return None;
+        }
+        // Normalise winding so all edge functions are positive inside.
+        let s = if area2 > 0.0 { 1.0 } else { -1.0 };
+        let p = tri.v;
+        let mut a = [0.0f32; 3];
+        let mut b = [0.0f32; 3];
+        let mut c = [0.0f32; 3];
+        for i in 0..3 {
+            let v0 = p[i];
+            let v1 = p[(i + 1) % 3];
+            // e(x,y) = (v1-v0) x (p - v0), z-component; positive to the left.
+            a[i] = s * (v0.y - v1.y);
+            b[i] = s * (v1.x - v0.x);
+            c[i] = s * (v1.y * v0.x - v1.x * v0.y);
+        }
+        // Barycentric weights: w_i proportional to the edge opposite vertex i.
+        // With the edge ordering above, edge i (from v_i to v_{i+1}) is opposite
+        // vertex i+2.
+        let inv_area2 = 1.0 / area2.abs();
+
+        // Affine attribute gradients for the UV derivative: solve via barycentric
+        // gradient. grad(w_i) = (a_{i'}, b_{i'}) * inv_area2 with i' = edge opposite.
+        let mut dudx = 0.0f32;
+        let mut dudy = 0.0f32;
+        let mut dvdx = 0.0f32;
+        let mut dvdy = 0.0f32;
+        for i in 0..3 {
+            let e = (i + 1) % 3; // edge opposite vertex i is edge i+1 in our ordering
+            let gx = a[e] * inv_area2;
+            let gy = b[e] * inv_area2;
+            dudx += p[i].u * gx;
+            dudy += p[i].u * gy;
+            dvdx += p[i].v * gx;
+            dvdy += p[i].v * gy;
+        }
+        let uv_derivative =
+            dudx.abs().max(dudy.abs()).max(dvdx.abs()).max(dvdy.abs());
+
+        Some(Self {
+            a,
+            b,
+            c,
+            inv_area2,
+            z: [p[0].z, p[1].z, p[2].z],
+            u: [p[0].u, p[1].u, p[2].u],
+            v: [p[0].v, p[1].v, p[2].v],
+            uv_derivative,
+        })
+    }
+
+    /// Evaluates coverage + attributes at a pixel centre; `None` when outside.
+    #[inline]
+    fn sample(&self, px: u32, py: u32) -> Option<(f32, f32, f32)> {
+        let x = px as f32 + 0.5;
+        let y = py as f32 + 0.5;
+        let e0 = self.a[0] * x + self.b[0] * y + self.c[0];
+        let e1 = self.a[1] * x + self.b[1] * y + self.c[1];
+        let e2 = self.a[2] * x + self.b[2] * y + self.c[2];
+        // Top-left-rule approximation: include edges on the >= 0 side.
+        if e0 < 0.0 || e1 < 0.0 || e2 < 0.0 {
+            return None;
+        }
+        // Barycentric weights: edge e_i is opposite vertex i+2.
+        let w2 = e0 * self.inv_area2;
+        let w0 = e1 * self.inv_area2;
+        let w1 = e2 * self.inv_area2;
+        let z = w0 * self.z[0] + w1 * self.z[1] + w2 * self.z[2];
+        let u = w0 * self.u[0] + w1 * self.u[1] + w2 * self.u[2];
+        let v = w0 * self.v[0] + w1 * self.v[1] + w2 * self.v[2];
+        Some((z, u, v))
+    }
+}
+
+/// Rasterises `tri` within the pixel rectangle `[x0, x1) × [y0, y1)` (a tile, already
+/// clipped to the screen), producing covered quads.
+pub fn rasterize_in_rect(
+    tri: &ScreenTriangle,
+    x0: u32,
+    y0: u32,
+    x1: u32,
+    y1: u32,
+) -> Vec<Quad> {
+    let Some(setup) = TriangleSetup::new(tri) else {
+        return Vec::new();
+    };
+    let mut quads = Vec::new();
+
+    // Intersect the tile rect with the triangle bbox, then align to quad grid.
+    let xs = tri.v.map(|v| v.x);
+    let ys = tri.v.map(|v| v.y);
+    let bminx = xs.iter().copied().fold(f32::INFINITY, f32::min).floor().max(x0 as f32) as u32;
+    let bminy = ys.iter().copied().fold(f32::INFINITY, f32::min).floor().max(y0 as f32) as u32;
+    let bmaxx = (xs.iter().copied().fold(f32::NEG_INFINITY, f32::max).ceil() as u32).min(x1);
+    let bmaxy = (ys.iter().copied().fold(f32::NEG_INFINITY, f32::max).ceil() as u32).min(y1);
+    if bminx >= bmaxx || bminy >= bmaxy {
+        return quads;
+    }
+    let qx0 = bminx & !1;
+    let qy0 = bminy & !1;
+
+    let mut py = qy0;
+    while py < bmaxy {
+        let mut px = qx0;
+        while px < bmaxx {
+            let mut mask = 0u8;
+            let mut z = [0.0f32; 4];
+            let mut uv = [(0.0f32, 0.0f32); 4];
+            for lane in 0..4u32 {
+                let lx = px + (lane & 1);
+                let ly = py + (lane >> 1);
+                if lx < x0 || lx >= x1 || ly < y0 || ly >= y1 {
+                    continue;
+                }
+                if let Some((sz, su, sv)) = setup.sample(lx, ly) {
+                    mask |= 1 << lane;
+                    z[lane as usize] = sz;
+                    uv[lane as usize] = (su, sv);
+                }
+            }
+            if mask != 0 {
+                quads.push(Quad { x: px, y: py, mask, z, uv });
+            }
+            px += 2;
+        }
+        py += 2;
+    }
+    quads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbr_common::ids::{DrawCallId, TextureId};
+    use tbr_geom::pipeline::ScreenVertex;
+    use tbr_geom::scene::{BlendMode, FragmentShaderDesc, TextureDesc};
+
+    fn tri(p: [(f32, f32); 3], uv: [(f32, f32); 3]) -> ScreenTriangle {
+        let mut v = [ScreenVertex::default(); 3];
+        for i in 0..3 {
+            v[i] = ScreenVertex { x: p[i].0, y: p[i].1, z: 0.5, u: uv[i].0, v: uv[i].1 };
+        }
+        ScreenTriangle {
+            v,
+            draw: DrawCallId(0),
+            texture: TextureDesc::new(TextureId(0), 64),
+            shader: FragmentShaderDesc::simple(),
+            blend: BlendMode::Opaque,
+            seq: 0,
+        }
+    }
+
+    fn coverage(quads: &[Quad]) -> u32 {
+        quads.iter().map(Quad::coverage).sum()
+    }
+
+    #[test]
+    fn right_triangle_covers_half_the_square() {
+        // A 32x32 right triangle covers ~half of the 32x32 square = ~512 pixels.
+        let t = tri([(0.0, 0.0), (32.0, 0.0), (0.0, 32.0)], [(0.0, 0.0); 3]);
+        let quads = rasterize_in_rect(&t, 0, 0, 32, 32);
+        let cov = coverage(&quads);
+        assert!((450..=560).contains(&cov), "coverage {cov} not ~512");
+    }
+
+    #[test]
+    fn full_square_from_two_triangles_covers_exactly_once() {
+        let a = tri([(0.0, 0.0), (32.0, 0.0), (0.0, 32.0)], [(0.0, 0.0); 3]);
+        let b = tri([(32.0, 0.0), (32.0, 32.0), (0.0, 32.0)], [(0.0, 0.0); 3]);
+        let ca = coverage(&rasterize_in_rect(&a, 0, 0, 32, 32));
+        let cb = coverage(&rasterize_in_rect(&b, 0, 0, 32, 32));
+        let total = ca + cb;
+        // The shared diagonal must not be double-counted badly: allow the diagonal
+        // (~32 px) of slack either way around the exact 1024.
+        assert!((992..=1056).contains(&total), "total coverage {total}");
+    }
+
+    #[test]
+    fn rasterization_is_clipped_to_rect() {
+        let t = tri([(0.0, 0.0), (64.0, 0.0), (0.0, 64.0)], [(0.0, 0.0); 3]);
+        for q in rasterize_in_rect(&t, 0, 0, 32, 32) {
+            for lane in 0..4 {
+                if q.mask & (1 << lane) != 0 {
+                    let (x, y) = q.lane_pixel(lane);
+                    assert!(x < 32 && y < 32, "fragment ({x},{y}) escaped the rect");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn winding_invariance() {
+        let ccw = tri([(0.0, 0.0), (32.0, 0.0), (0.0, 32.0)], [(0.0, 0.0); 3]);
+        let cw = tri([(0.0, 0.0), (0.0, 32.0), (32.0, 0.0)], [(0.0, 0.0); 3]);
+        assert_eq!(
+            coverage(&rasterize_in_rect(&ccw, 0, 0, 32, 32)),
+            coverage(&rasterize_in_rect(&cw, 0, 0, 32, 32))
+        );
+    }
+
+    #[test]
+    fn depth_interpolates_linearly() {
+        // z goes 0 at x=0 to 1 at x=32 along a wide thin quad pair; check midpoint.
+        let mut t = tri([(0.0, 0.0), (32.0, 0.0), (0.0, 32.0)], [(0.0, 0.0); 3]);
+        t.v[0].z = 0.0;
+        t.v[1].z = 1.0;
+        t.v[2].z = 0.0;
+        let quads = rasterize_in_rect(&t, 0, 0, 32, 32);
+        for q in &quads {
+            for lane in 0..4 {
+                if q.mask & (1 << lane) != 0 {
+                    let (x, _) = q.lane_pixel(lane);
+                    let expect = (x as f32 + 0.5) / 32.0;
+                    assert!(
+                        (q.z[lane] - expect).abs() < 0.05,
+                        "z at x={x}: {} vs {expect}",
+                        q.z[lane]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uv_derivative_matches_texel_density() {
+        // UV spans 1.0 over 32 pixels -> derivative = 1/32 per pixel.
+        let t = tri(
+            [(0.0, 0.0), (32.0, 0.0), (0.0, 32.0)],
+            [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)],
+        );
+        let setup = TriangleSetup::new(&t).unwrap();
+        assert!((setup.uv_derivative - 1.0 / 32.0).abs() < 1e-4, "{}", setup.uv_derivative);
+    }
+
+    #[test]
+    fn degenerate_triangle_produces_nothing() {
+        let t = tri([(0.0, 0.0), (10.0, 10.0), (20.0, 20.0)], [(0.0, 0.0); 3]);
+        assert!(rasterize_in_rect(&t, 0, 0, 32, 32).is_empty());
+    }
+
+    #[test]
+    fn empty_when_triangle_outside_rect() {
+        let t = tri([(100.0, 100.0), (120.0, 100.0), (100.0, 120.0)], [(0.0, 0.0); 3]);
+        assert!(rasterize_in_rect(&t, 0, 0, 32, 32).is_empty());
+    }
+}

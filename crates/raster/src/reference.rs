@@ -1,0 +1,159 @@
+//! A purely functional reference renderer.
+//!
+//! Renders a frame's screen-space primitives directly (whole-screen Z-buffer, no
+//! tiling, no timing) — the golden model the tiled pipeline is checked against in the
+//! integration tests, and the image producer for the examples (PPM output).
+
+use crate::quad::Quad;
+use crate::rasterizer::rasterize_in_rect;
+use tbr_common::config::ScreenConfig;
+use tbr_geom::pipeline::ScreenTriangle;
+use tbr_geom::scene::{BlendMode, TextureDesc};
+
+/// Deterministic procedural "texture sampling": hashes the texture id and texel
+/// coordinate into a colour, so images show stable per-texture patterns without any
+/// stored texel data.
+pub fn shade_color(tex: &TextureDesc, u: f32, v: f32) -> u32 {
+    let size = tex.size_texels as f32;
+    let wrap = |t: f32| -> u32 {
+        let f = t - t.floor();
+        ((f * size) as u32).min(tex.size_texels - 1)
+    };
+    let (tx, ty) = (wrap(u), wrap(v));
+    // xorshift-style mix of (texture, texel) -> stable pseudo-colour.
+    let mut h = tex.id.0.wrapping_mul(0x9E37_79B9) ^ (tx << 16 | ty);
+    h ^= h >> 15;
+    h = h.wrapping_mul(0x2C1B_3C6D);
+    h ^= h >> 12;
+    h = h.wrapping_mul(0x297A_2D39);
+    h ^= h >> 15;
+    0xFF00_0000 | (h & 0x00FF_FFFF)
+}
+
+/// Renders primitives (in program order) into an RGBA8 image of the screen.
+pub fn render_frame(tris: &[ScreenTriangle], screen: &ScreenConfig) -> Vec<u32> {
+    let w = screen.width;
+    let h = screen.height;
+    let mut color = vec![crate::color_buffer::CLEAR_COLOR; (w * h) as usize];
+    let mut depth = vec![f32::INFINITY; (w * h) as usize];
+
+    for tri in tris {
+        let quads = rasterize_in_rect(tri, 0, 0, w, h);
+        for q in quads {
+            write_quad(&q, tri, &mut color, &mut depth, w);
+        }
+    }
+    color
+}
+
+fn write_quad(q: &Quad, tri: &ScreenTriangle, color: &mut [u32], depth: &mut [f32], width: u32) {
+    for lane in 0..4usize {
+        if q.mask & (1 << lane) == 0 {
+            continue;
+        }
+        let (px, py) = q.lane_pixel(lane);
+        let idx = (py * width + px) as usize;
+        if q.z[lane] > depth[idx] {
+            continue;
+        }
+        let (u, v) = q.uv[lane];
+        let src = shade_color(&tri.texture, u, v);
+        match tri.blend {
+            BlendMode::Opaque => {
+                color[idx] = src;
+                depth[idx] = q.z[lane];
+            }
+            BlendMode::AlphaBlend => {
+                let dst = color[idx];
+                let mut out = 0xFF00_0000u32;
+                for shift in [0u32, 8, 16] {
+                    let d = (dst >> shift) & 0xFF;
+                    let s = (src >> shift) & 0xFF;
+                    out |= (((d + s) / 2) & 0xFF) << shift;
+                }
+                color[idx] = out;
+                // Transparent geometry does not write depth.
+            }
+        }
+    }
+}
+
+/// Encodes an RGBA8 image as binary PPM (P6), for easy viewing.
+pub fn to_ppm(frame: &[u32], width: u32, height: u32) -> Vec<u8> {
+    assert_eq!(frame.len(), (width * height) as usize, "frame size mismatch");
+    let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
+    out.reserve(frame.len() * 3);
+    for px in frame {
+        out.push((px & 0xFF) as u8);
+        out.push(((px >> 8) & 0xFF) as u8);
+        out.push(((px >> 16) & 0xFF) as u8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbr_common::ids::{DrawCallId, TextureId};
+    use tbr_geom::pipeline::ScreenVertex;
+    use tbr_geom::scene::FragmentShaderDesc;
+
+    fn tri(p: [(f32, f32); 3], z: f32, tex: u32, blend: BlendMode) -> ScreenTriangle {
+        let mut v = [ScreenVertex::default(); 3];
+        for i in 0..3 {
+            v[i] = ScreenVertex { x: p[i].0, y: p[i].1, z, u: p[i].0 / 64.0, v: p[i].1 / 64.0 };
+        }
+        ScreenTriangle {
+            v,
+            draw: DrawCallId(0),
+            texture: TextureDesc::new(TextureId(tex), 64),
+            shader: FragmentShaderDesc::simple(),
+            blend,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn shade_color_is_deterministic_and_texture_dependent() {
+        let t0 = TextureDesc::new(TextureId(0), 64);
+        let t1 = TextureDesc::new(TextureId(1), 64);
+        assert_eq!(shade_color(&t0, 0.3, 0.7), shade_color(&t0, 0.3, 0.7));
+        assert_ne!(shade_color(&t0, 0.3, 0.7), shade_color(&t1, 0.3, 0.7));
+        // Alpha is always opaque.
+        assert_eq!(shade_color(&t0, 0.1, 0.1) >> 24, 0xFF);
+    }
+
+    #[test]
+    fn nearer_triangle_wins_regardless_of_order() {
+        let s = ScreenConfig::tiny();
+        let near = tri([(0.0, 0.0), (64.0, 0.0), (0.0, 64.0)], 0.1, 0, BlendMode::Opaque);
+        let far = tri([(0.0, 0.0), (64.0, 0.0), (0.0, 64.0)], 0.9, 1, BlendMode::Opaque);
+        let a = render_frame(&[near, far], &s);
+        let b = render_frame(&[far, near], &s);
+        assert_eq!(a, b, "z-buffering must make order irrelevant for opaque geometry");
+    }
+
+    #[test]
+    fn uncovered_pixels_keep_clear_color() {
+        let s = ScreenConfig::tiny();
+        let t = tri([(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)], 0.5, 0, BlendMode::Opaque);
+        let img = render_frame(&[t], &s);
+        assert_eq!(img[(s.width * s.height - 1) as usize], crate::color_buffer::CLEAR_COLOR);
+        // Inside the triangle something was drawn.
+        assert_ne!(img[s.width as usize + 1], crate::color_buffer::CLEAR_COLOR);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = vec![0xFF00FF00u32; 4];
+        let ppm = to_ppm(&img, 2, 2);
+        assert!(ppm.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn ppm_rejects_wrong_dimensions() {
+        let _ = to_ppm(&[0u32; 3], 2, 2);
+    }
+}

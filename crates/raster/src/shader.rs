@@ -1,0 +1,338 @@
+//! The shader-core timing model.
+//!
+//! "The shader cores are designed to exploit [parallelism] by being highly
+//! multithreaded to increase throughput and hide memory latency." (§I)
+//!
+//! Each core issues one instruction per cycle from its in-order issue port and sends
+//! texture reads through its private L1 texture cache into the shared hierarchy.
+//! Warp execution is *steppable*: one [`ShaderCore::step_warp`] call executes one
+//! texture-sample stage (its preceding ALU burst, the sample instruction, and the
+//! line fetches) or the final ALU tail. The event-driven simulator interleaves steps
+//! from many warps — across cores and Raster Units — in global time order, which is
+//! what lets a core's other warps issue while one warp waits on memory (latency
+//! hiding) and keeps shared-resource reservations causal.
+//!
+//! Warp-slot admission (`max_warps` resident warps per core) is enforced by the
+//! caller that owns dispatch (the raster-phase loop / Raster Unit), since slot
+//! release times are only known once warps actually finish.
+
+use tbr_common::addr::AccessKind;
+use tbr_common::config::CacheConfig;
+use tbr_common::stats::CacheStats;
+use tbr_common::Cycle;
+use tbr_geom::scene::FragmentShaderDesc;
+use tbr_mem::hierarchy::{L1Cache, MemoryHierarchy};
+
+/// Cycles from last instruction to warp retirement (pipeline drain).
+const DRAIN_CYCLES: Cycle = 4;
+
+/// Accumulated result of one warp's execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarpOutcome {
+    /// Cycle the warp started.
+    pub start: Cycle,
+    /// Cycle the warp retired (valid once execution is done).
+    pub completion: Cycle,
+    /// SIMD instructions issued (ALU + texture).
+    pub instructions: u64,
+    /// Line-granular texture requests issued.
+    pub tex_requests: u64,
+    /// Sum of texture request latencies in cycles.
+    pub tex_latency_sum: u64,
+    /// DRAM accesses triggered by this warp's texture misses.
+    pub dram_accesses: u64,
+    /// Texture lines filled into this core's L1 (for replication tracking).
+    pub fills: Vec<u64>,
+}
+
+/// In-flight execution state of one warp on one core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarpExecState {
+    /// Next sample stage to execute (== `sample_lines.len()` means only the ALU
+    /// tail remains).
+    stage: usize,
+    /// Warp-local data-ready time.
+    t: Cycle,
+    /// Whether the warp has retired.
+    done: bool,
+    /// Statistics so far.
+    pub outcome: WarpOutcome,
+}
+
+impl WarpExecState {
+    /// The earliest cycle at which this warp can make progress.
+    pub fn ready_at(&self) -> Cycle {
+        self.t
+    }
+
+    /// Whether the warp has retired.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// One multithreaded shader core with a private texture L1.
+#[derive(Debug, Clone)]
+pub struct ShaderCore {
+    l1: L1Cache,
+    issue_free: Cycle,
+    max_warps: usize,
+}
+
+impl ShaderCore {
+    /// Builds a core with a texture L1 of the given geometry and `max_warps`
+    /// resident warp slots (advertised via [`ShaderCore::max_warps`]; enforced by
+    /// the dispatcher).
+    ///
+    /// # Panics
+    /// Panics if `max_warps` is zero.
+    pub fn new(texture_l1: CacheConfig, max_warps: usize) -> Self {
+        assert!(max_warps > 0, "a core needs at least one warp slot");
+        Self { l1: L1Cache::new(texture_l1), issue_free: 0, max_warps }
+    }
+
+    /// Resident-warp capacity of this core.
+    pub fn max_warps(&self) -> usize {
+        self.max_warps
+    }
+
+    /// Starts executing a warp that arrived (and was granted a slot) at `start`.
+    pub fn begin_warp(&self, start: Cycle) -> WarpExecState {
+        WarpExecState {
+            stage: 0,
+            t: start,
+            done: false,
+            outcome: WarpOutcome { start, ..WarpOutcome::default() },
+        }
+    }
+
+    /// Executes the warp's next stage: one (ALU burst + texture sample + line
+    /// fetches) group, or the final ALU tail. Returns `true` when the warp retired.
+    ///
+    /// # Panics
+    /// Panics if called on a warp that already finished.
+    pub fn step_warp(
+        &mut self,
+        shader: &FragmentShaderDesc,
+        sample_lines: &[Vec<u64>],
+        state: &mut WarpExecState,
+        hier: &mut MemoryHierarchy,
+    ) -> bool {
+        assert!(!state.done, "stepping a retired warp");
+        if state.stage < sample_lines.len() {
+            let lines = &sample_lines[state.stage];
+            // ALU burst before the sample (address math).
+            if shader.alu_per_sample > 0 {
+                let issue = state.t.max(self.issue_free);
+                self.issue_free = issue + shader.alu_per_sample as Cycle;
+                state.t = issue + shader.alu_per_sample as Cycle;
+                state.outcome.instructions += shader.alu_per_sample as u64;
+            }
+            // The texture sample instruction itself.
+            let issue = state.t.max(self.issue_free);
+            self.issue_free = issue + 1;
+            state.outcome.instructions += 1;
+            let mut ready = issue + 1;
+            for &line in lines {
+                let o = self.l1.access(line, issue, AccessKind::TextureRead, hier);
+                state.outcome.tex_requests += 1;
+                state.outcome.tex_latency_sum += o.completion - issue;
+                state.outcome.dram_accesses += o.dram_accesses as u64;
+                if let Some(f) = o.filled_line {
+                    state.outcome.fills.push(f);
+                }
+                ready = ready.max(o.completion);
+            }
+            state.t = ready;
+            state.stage += 1;
+            if state.stage < sample_lines.len() || shader.alu_tail > 0 {
+                return false;
+            }
+        } else if shader.alu_tail > 0 {
+            let issue = state.t.max(self.issue_free);
+            self.issue_free = issue + shader.alu_tail as Cycle;
+            state.t = issue + shader.alu_tail as Cycle;
+            state.outcome.instructions += shader.alu_tail as u64;
+        }
+        state.t += DRAIN_CYCLES;
+        state.outcome.completion = state.t;
+        state.done = true;
+        true
+    }
+
+    /// Convenience: runs a whole warp to completion in one call. Correct timing for
+    /// a *single* warp; when many warps must overlap, use the steppable API from an
+    /// event loop instead (running warps back-to-back here serialises their memory
+    /// phases through the shared reservations).
+    pub fn execute_warp(
+        &mut self,
+        shader: &FragmentShaderDesc,
+        sample_lines: &[Vec<u64>],
+        arrival: Cycle,
+        hier: &mut MemoryHierarchy,
+    ) -> WarpOutcome {
+        let mut state = self.begin_warp(arrival);
+        while !self.step_warp(shader, sample_lines, &mut state, hier) {}
+        state.outcome
+    }
+
+    /// The texture L1's counters.
+    pub fn l1_stats(&self) -> &CacheStats {
+        self.l1.stats()
+    }
+
+    /// Ends a frame: returns the L1 counters and resets per-frame timing state
+    /// (cache contents stay warm).
+    pub fn end_frame(&mut self) -> CacheStats {
+        self.issue_free = 0;
+        self.l1.end_frame()
+    }
+
+    /// Full reset between independent runs.
+    pub fn cold_reset(&mut self) {
+        self.issue_free = 0;
+        self.l1.cold_reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbr_common::config::DramConfig;
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(CacheConfig::shared_l2(), DramConfig::lpddr4(), 5000)
+    }
+
+    fn core() -> ShaderCore {
+        ShaderCore::new(CacheConfig::texture_l1(), 16)
+    }
+
+    fn shader(samples: u32, alu_pre: u32, alu_tail: u32) -> FragmentShaderDesc {
+        FragmentShaderDesc {
+            tex_samples: samples,
+            alu_per_sample: alu_pre,
+            alu_tail,
+            ..FragmentShaderDesc::simple()
+        }
+    }
+
+    #[test]
+    fn pure_alu_warp_costs_its_instruction_count() {
+        let mut h = hier();
+        let mut c = core();
+        let o = c.execute_warp(&shader(0, 0, 10), &[], 0, &mut h);
+        assert_eq!(o.instructions, 10);
+        assert_eq!(o.completion, 10 + DRAIN_CYCLES);
+        assert_eq!(o.tex_requests, 0);
+    }
+
+    #[test]
+    fn cold_texture_miss_reaches_dram() {
+        let mut h = hier();
+        let mut c = core();
+        let o = c.execute_warp(&shader(1, 0, 0), &[vec![0x4000_0000]], 0, &mut h);
+        assert!(o.completion > 100, "cold texture miss must reach DRAM");
+        assert_eq!(o.dram_accesses, 1);
+        assert_eq!(o.fills, vec![0x4000_0000]);
+    }
+
+    #[test]
+    fn stepped_warps_interleave_and_hide_latency() {
+        // Two warps with one memory sample each, stepped in time order: warp B's
+        // sample issues while warp A waits on DRAM, so both finish in roughly one
+        // memory round-trip instead of two.
+        let mut h = hier();
+        let mut c = core();
+        let s = shader(1, 0, 0);
+        let la = [vec![0x4000_0000u64]];
+        let lb = [vec![0x4100_0000u64]];
+        let mut a = c.begin_warp(0);
+        let mut b = c.begin_warp(1);
+        // Interleave: both issue their sample before either's data returns.
+        assert!(!c.step_warp(&s, &la, &mut a, &mut h) || a.is_done());
+        assert!(!c.step_warp(&s, &lb, &mut b, &mut h) || b.is_done());
+        while !a.is_done() {
+            c.step_warp(&s, &la, &mut a, &mut h);
+        }
+        while !b.is_done() {
+            c.step_warp(&s, &lb, &mut b, &mut h);
+        }
+        let serial_estimate = a.outcome.completion * 2;
+        assert!(
+            b.outcome.completion < serial_estimate - 50,
+            "latency hiding failed: a={} b={}",
+            a.outcome.completion,
+            b.outcome.completion
+        );
+    }
+
+    #[test]
+    fn repeated_lines_hit_the_l1() {
+        let mut h = hier();
+        let mut c = core();
+        let s = shader(1, 0, 0);
+        let a = c.execute_warp(&s, &[vec![0x4000_0000]], 0, &mut h);
+        let b = c.execute_warp(&s, &[vec![0x4000_0000]], a.completion, &mut h);
+        assert_eq!(b.dram_accesses, 0);
+        assert!(b.tex_latency_sum < a.tex_latency_sum);
+        assert_eq!(c.l1_stats().hits, 1);
+        assert!(b.fills.is_empty());
+    }
+
+    #[test]
+    fn instruction_count_matches_shader_shape() {
+        let mut h = hier();
+        let mut c = core();
+        let s = shader(2, 3, 5);
+        let o = c.execute_warp(&s, &[vec![0x4000_0000], vec![0x4000_0040]], 0, &mut h);
+        // 2 * (3 + 1) + 5 = 13 SIMD instructions.
+        assert_eq!(o.instructions, 13);
+        assert_eq!(o.tex_requests, 2);
+    }
+
+    #[test]
+    fn step_count_is_samples_plus_tail() {
+        let mut h = hier();
+        let mut c = core();
+        let s = shader(2, 1, 3);
+        let lines = [vec![0x4000_0000u64], vec![0x4000_0040u64]];
+        let mut st = c.begin_warp(0);
+        let mut steps = 0;
+        while !c.step_warp(&s, &lines, &mut st, &mut h) {
+            steps += 1;
+        }
+        steps += 1;
+        assert_eq!(steps, 3, "2 sample stages + 1 tail stage");
+        assert!(st.is_done());
+        assert_eq!(st.outcome.completion, st.ready_at());
+    }
+
+    #[test]
+    #[should_panic(expected = "retired warp")]
+    fn stepping_finished_warp_panics() {
+        let mut h = hier();
+        let mut c = core();
+        let s = shader(0, 0, 1);
+        let mut st = c.begin_warp(0);
+        assert!(c.step_warp(&s, &[], &mut st, &mut h));
+        let _ = c.step_warp(&s, &[], &mut st, &mut h);
+    }
+
+    #[test]
+    fn end_frame_resets_timing_keeps_cache_warm() {
+        let mut h = hier();
+        let mut c = core();
+        let s = shader(1, 0, 0);
+        c.execute_warp(&s, &[vec![0x4000_0000]], 0, &mut h);
+        let stats = c.end_frame();
+        assert_eq!(stats.accesses, 1);
+        let o = c.execute_warp(&s, &[vec![0x4000_0000]], 0, &mut h);
+        assert_eq!(o.dram_accesses, 0, "L1 contents must survive end_frame");
+    }
+
+    #[test]
+    fn max_warps_is_advertised() {
+        assert_eq!(core().max_warps(), 16);
+    }
+}

@@ -1,0 +1,150 @@
+//! The tile-sized on-chip Z-Buffer and the Early-Z test.
+//!
+//! §II-A: "This stage aims to eliminate fragments that are known to be occluded by a
+//! previously processed one. This is accomplished by employing a tile-sized on-chip
+//! buffer called *Z-Buffer* that stores the depth value of the closest fragment
+//! processed for each tile's pixel position so far." The Z-Buffer never needs to be
+//! written to main memory (§II-C).
+
+use crate::quad::Quad;
+
+/// Tile-local depth buffer; depth test is less-or-equal (smaller = closer).
+#[derive(Debug, Clone)]
+pub struct ZBuffer {
+    size: u32,
+    depths: Vec<f32>,
+    /// Fragments killed by the depth test since the last clear.
+    pub killed: u64,
+    /// Fragments that passed since the last clear.
+    pub passed: u64,
+}
+
+impl ZBuffer {
+    /// A cleared buffer for a `size`×`size` tile.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn new(size: u32) -> Self {
+        assert!(size > 0, "tile size must be non-zero");
+        Self { size, depths: vec![f32::INFINITY; (size * size) as usize], killed: 0, passed: 0 }
+    }
+
+    /// Clears to "infinitely far" for the next tile; resets the counters.
+    pub fn clear(&mut self) {
+        self.depths.fill(f32::INFINITY);
+        self.killed = 0;
+        self.passed = 0;
+    }
+
+    /// Depth-tests a quad whose coordinates are relative to the tile origin
+    /// `(tile_x0, tile_y0)`. Returns the surviving mask. When `depth_write` is true
+    /// (opaque geometry) passing fragments update the buffer; transparent geometry
+    /// tests but does not write.
+    pub fn test_quad(&mut self, quad: &Quad, tile_x0: u32, tile_y0: u32, depth_write: bool) -> u8 {
+        let mut surviving = 0u8;
+        for lane in 0..4usize {
+            if quad.mask & (1 << lane) == 0 {
+                continue;
+            }
+            let (px, py) = quad.lane_pixel(lane);
+            let lx = px - tile_x0;
+            let ly = py - tile_y0;
+            debug_assert!(lx < self.size && ly < self.size, "quad outside tile");
+            let idx = (ly * self.size + lx) as usize;
+            if quad.z[lane] <= self.depths[idx] {
+                surviving |= 1 << lane;
+                self.passed += 1;
+                if depth_write {
+                    self.depths[idx] = quad.z[lane];
+                }
+            } else {
+                self.killed += 1;
+            }
+        }
+        surviving
+    }
+
+    /// The stored depth at tile-local `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is outside the tile.
+    pub fn depth_at(&self, x: u32, y: u32) -> f32 {
+        assert!(x < self.size && y < self.size, "coordinate outside tile");
+        self.depths[(y * self.size + x) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_at(x: u32, y: u32, z: f32) -> Quad {
+        Quad { x, y, mask: 0xF, z: [z; 4], uv: [(0.0, 0.0); 4] }
+    }
+
+    #[test]
+    fn first_fragment_always_passes() {
+        let mut zb = ZBuffer::new(32);
+        let q = quad_at(0, 0, 0.5);
+        assert_eq!(zb.test_quad(&q, 0, 0, true), 0xF);
+        assert_eq!(zb.passed, 4);
+        assert_eq!(zb.killed, 0);
+    }
+
+    #[test]
+    fn closer_fragment_overwrites_farther_is_killed() {
+        let mut zb = ZBuffer::new(32);
+        zb.test_quad(&quad_at(0, 0, 0.5), 0, 0, true);
+        // Farther fragment: killed.
+        assert_eq!(zb.test_quad(&quad_at(0, 0, 0.9), 0, 0, true), 0);
+        assert_eq!(zb.killed, 4);
+        // Closer fragment: passes and updates.
+        assert_eq!(zb.test_quad(&quad_at(0, 0, 0.1), 0, 0, true), 0xF);
+        assert_eq!(zb.depth_at(0, 0), 0.1);
+    }
+
+    #[test]
+    fn equal_depth_passes() {
+        let mut zb = ZBuffer::new(32);
+        zb.test_quad(&quad_at(0, 0, 0.5), 0, 0, true);
+        assert_eq!(zb.test_quad(&quad_at(0, 0, 0.5), 0, 0, true), 0xF);
+    }
+
+    #[test]
+    fn transparent_geometry_tests_without_writing() {
+        let mut zb = ZBuffer::new(32);
+        // Transparent quad at 0.3 passes but doesn't write...
+        assert_eq!(zb.test_quad(&quad_at(0, 0, 0.3), 0, 0, false), 0xF);
+        // ...so a later opaque quad at 0.5 still passes.
+        assert_eq!(zb.test_quad(&quad_at(0, 0, 0.5), 0, 0, true), 0xF);
+    }
+
+    #[test]
+    fn tile_origin_offset_is_applied() {
+        let mut zb = ZBuffer::new(32);
+        // Quad at screen (64, 32) in the tile whose origin is (64, 32) -> local (0,0).
+        let q = quad_at(64, 32, 0.2);
+        zb.test_quad(&q, 64, 32, true);
+        assert_eq!(zb.depth_at(0, 0), 0.2);
+    }
+
+    #[test]
+    fn partial_masks_only_test_covered_lanes() {
+        let mut zb = ZBuffer::new(32);
+        let mut q = quad_at(0, 0, 0.5);
+        q.mask = 0b0101;
+        assert_eq!(zb.test_quad(&q, 0, 0, true), 0b0101);
+        assert_eq!(zb.passed, 2);
+        // The untested lanes are still at infinity.
+        assert_eq!(zb.depth_at(1, 0), f32::INFINITY);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut zb = ZBuffer::new(32);
+        zb.test_quad(&quad_at(0, 0, 0.5), 0, 0, true);
+        zb.clear();
+        assert_eq!(zb.depth_at(0, 0), f32::INFINITY);
+        assert_eq!(zb.passed, 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Immediate-Mode Rendering (IMR) comparison mode.
+//!
+//! §II of the paper motivates TBR against "traditional architectures that are not
+//! tile-based, also known as Immediate-Mode Rendering (IMR) GPUs", citing Antochi et
+//! al.: tiling considerably reduces external data traffic. This module makes that
+//! claim measurable inside the same simulator: primitives are rendered in submission
+//! order over the whole screen, and — the defining IMR property — the **depth buffer
+//! and colour buffer live in DRAM**, accessed through the L2 per quad instead of in
+//! per-tile on-chip SRAM.
+//!
+//! The model is deliberately coarse-grained relative to the TBR path (one combined
+//! read-modify-write stream per quad for Z and colour), because its purpose is the
+//! *traffic* comparison of `ablation_imr`, not a competitive IMR design.
+
+use tbr_common::addr::{framebuffer_addr, AccessKind};
+use tbr_common::config::GpuConfig;
+use tbr_common::ids::FrameId;
+use tbr_common::stats::{FrameStats, SequenceStats, TileHeatmap};
+use tbr_common::Cycle;
+use tbr_mem::hierarchy::{L1Cache, MemoryHierarchy};
+use tbr_raster::rasterizer::rasterize_in_rect;
+use tbr_raster::shader::ShaderCore;
+use tbr_workloads::{BenchmarkProfile, SceneGenerator};
+
+use crate::geometry_phase::run_geometry_phase;
+
+/// Simulated physical address of the IMR depth buffer (disjoint from the colour
+/// framebuffer region).
+const DEPTH_BASE_OFFSET: u64 = 0x4000_0000;
+
+/// Renders a benchmark sequence on an IMR organisation of the same GPU: same cores,
+/// same caches, same DRAM — but no tiling engine, and Z/colour traffic goes to DRAM.
+pub fn simulate_sequence_imr(
+    cfg: &GpuConfig,
+    profile: &BenchmarkProfile,
+    frames: u32,
+) -> SequenceStats {
+    cfg.validate().expect("invalid GPU configuration");
+    let gen = SceneGenerator::new(profile, &cfg.screen);
+    let mut hier = MemoryHierarchy::new(cfg.l2_cache, cfg.dram, cfg.dram_interval_cycles);
+    hier.ideal = cfg.ideal_memory;
+    let mut vertex_l1 = L1Cache::new(cfg.vertex_cache);
+    let total_cores = cfg.total_cores();
+    let mut cores: Vec<ShaderCore> =
+        (0..total_cores).map(|_| ShaderCore::new(cfg.texture_cache, cfg.max_warps_per_core)).collect();
+    // Depth values kept functionally (the traffic is what is timed).
+    let mut depth = vec![f32::INFINITY; (cfg.screen.width * cfg.screen.height) as usize];
+    let mut seq = SequenceStats::default();
+
+    for frame_no in 0..frames {
+        let scene = gen.scene(frame_no);
+        // IMR still runs the geometry pipeline, but with no binning: the binning
+        // cost and Parameter-Buffer traffic are charged as zero by re-timing below.
+        let geo = run_geometry_phase(cfg, &mut vertex_l1, &mut hier, &scene);
+        let vertex_cache = vertex_l1.end_frame();
+        let (geo_l2, geo_dram) = hier.end_frame();
+        depth.fill(f32::INFINITY);
+
+        let mut t: Cycle = 0;
+        let mut frame_end: Cycle = 0;
+        let mut next_core = 0usize;
+        let mut fragments = 0u64;
+        let mut warps = 0u64;
+        let mut instructions = 0u64;
+        let mut tex_requests = 0u64;
+        let mut tex_latency_sum = 0u64;
+        let w = cfg.screen.width;
+
+        for prim in &geo.tris {
+            t += cfg.costs.raster_setup_cycles;
+            let quads = rasterize_in_rect(prim, 0, 0, cfg.screen.width, cfg.screen.height);
+            if quads.is_empty() {
+                continue;
+            }
+            t += (quads.len() as Cycle).div_ceil(cfg.costs.raster_quads_per_cycle.max(1));
+
+            let lod = tbr_raster::rasterizer::TriangleSetup::new(prim)
+                .map(|s| tbr_raster::texture::select_mip(&prim.texture, s.uv_derivative))
+                .unwrap_or(0);
+
+            let mut surv: Vec<(tbr_raster::Quad, u8)> = Vec::with_capacity(quads.len());
+            for q in quads {
+                // IMR depth test: the Z-buffer is a DRAM-backed surface read (and
+                // written) through the L2 per quad — TBR keeps this on chip.
+                let zaddr = framebuffer_addr(&cfg.screen, q.x, q.y) + DEPTH_BASE_OFFSET;
+                let zr = hier.access(zaddr, t, AccessKind::TextureRead);
+                t = t.max(zr.completion);
+                let mut pass = 0u8;
+                for lane in 0..4usize {
+                    if q.mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let (px, py) = q.lane_pixel(lane);
+                    let idx = (py * w + px) as usize;
+                    if q.z[lane] <= depth[idx] {
+                        pass |= 1 << lane;
+                        if prim.blend == tbr_geom::scene::BlendMode::Opaque {
+                            depth[idx] = q.z[lane];
+                        }
+                    }
+                }
+                if pass == 0 {
+                    continue;
+                }
+                // Z write-back + colour read-modify-write, also DRAM-backed.
+                let _ = hier.access(zaddr, t, AccessKind::FramebufferWrite);
+                let caddr = framebuffer_addr(&cfg.screen, q.x, q.y);
+                let _ = hier.access(caddr, t, AccessKind::FramebufferWrite);
+                surv.push((q, pass));
+            }
+
+            // Shade surviving quads on the unified cores (same warp model as TBR).
+            for group in surv.chunks(cfg.quads_per_warp() as usize) {
+                let frag: u32 = group.iter().map(|(_, m)| m.count_ones()).sum();
+                fragments += frag as u64;
+                let lines = tbr_raster::raster_unit::gather_sample_lines_for(
+                    group,
+                    &prim.texture,
+                    lod,
+                    prim.shader.tex_samples,
+                    prim.shader.filter,
+                );
+                let core = &mut cores[next_core];
+                next_core = (next_core + 1) % total_cores;
+                let o = core.execute_warp(&prim.shader, &lines, t, &mut hier);
+                warps += 1;
+                instructions += o.instructions;
+                tex_requests += o.tex_requests;
+                tex_latency_sum += o.tex_latency_sum;
+                frame_end = frame_end.max(o.completion);
+            }
+            frame_end = frame_end.max(t);
+        }
+
+        let mut texture_cache = tbr_common::stats::CacheStats::default();
+        for c in &mut cores {
+            texture_cache.merge(&c.end_frame());
+        }
+        let (mut l2_cache, mut dram) = hier.end_frame();
+        l2_cache.merge(&geo_l2);
+        dram.merge(&geo_dram);
+
+        seq.frames.push(FrameStats {
+            frame: FrameId(frame_no),
+            geometry_cycles: geo.cycles,
+            raster_cycles: frame_end,
+            vertex_cache,
+            texture_cache,
+            l2_cache,
+            dram,
+            heatmap: TileHeatmap::new(cfg.screen.num_tiles()),
+            vertices: geo.counts.vertices_shaded,
+            primitives: geo.counts.prims_out,
+            fragments,
+            warps,
+            instructions,
+            texture_requests: tex_requests,
+            texture_latency_sum: tex_latency_sum,
+            ..FrameStats::default()
+        });
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_sequence, SchedulerKind};
+    use tbr_common::config::ScreenConfig;
+    use tbr_workloads::suite;
+
+    #[test]
+    fn imr_generates_more_dram_traffic_than_tbr() {
+        // The claim TBR exists for (§II, Antochi et al.): on-chip tile buffers cut
+        // external traffic. IMR pays DRAM for every quad's Z test and colour write.
+        let cfg = GpuConfig::baseline(ScreenConfig::tiny());
+        let p = suite().remove(4); // CCS
+        let tbr = simulate_sequence(&cfg, SchedulerKind::SingleZOrder, &p, 2);
+        let imr = simulate_sequence_imr(&cfg, &p, 2);
+        assert!(
+            imr.total_dram_accesses() > tbr.total_dram_accesses(),
+            "IMR {} must exceed TBR {}",
+            imr.total_dram_accesses(),
+            tbr.total_dram_accesses()
+        );
+    }
+
+    #[test]
+    fn imr_shades_the_same_fragments() {
+        let cfg = GpuConfig::baseline(ScreenConfig::tiny());
+        let p = suite().remove(0);
+        let tbr = simulate_sequence(&cfg, SchedulerKind::SingleZOrder, &p, 1);
+        let imr = simulate_sequence_imr(&cfg, &p, 1);
+        // Same geometry, same Early-Z discipline -> identical shaded-fragment count.
+        assert_eq!(tbr.frames[0].fragments, imr.frames[0].fragments);
+        assert_eq!(tbr.frames[0].primitives, imr.frames[0].primitives);
+    }
+
+    #[test]
+    fn imr_is_deterministic() {
+        let cfg = GpuConfig::baseline(ScreenConfig::tiny());
+        let p = suite().remove(0);
+        assert_eq!(simulate_sequence_imr(&cfg, &p, 2), simulate_sequence_imr(&cfg, &p, 2));
+    }
+}

@@ -1,0 +1,41 @@
+//! # tbr-sim — the cycle-level TBR GPU simulator
+//!
+//! Integrates every substrate of the workspace into the full GPU of Fig 3:
+//!
+//! * [`geometry_phase`] — the timed Geometry Pipeline + Tiling Engine: vertex fetch
+//!   through the vertex cache, vertex shading on the unified cores, primitive
+//!   assembly/cull/clip, and Parameter-Buffer writes through the L2;
+//! * [`raster_phase`] — the event-driven Raster Pipeline: N Raster Units pulling
+//!   tiles from the scheduler's [`libra::scheduler::FramePlan`], with warp-granular
+//!   interleaving across RUs so shared L2/DRAM contention is causally ordered;
+//! * [`gpu`] — [`GpuSimulator`]: the frame loop with LIBRA's feedback path (profile
+//!   frame *n*, schedule frame *n + 1*).
+//!
+//! The simulator is deterministic: the same configuration, scheduler and workload
+//! always produce identical cycle counts and statistics.
+//!
+//! ```
+//! use tbr_common::config::{GpuConfig, ScreenConfig};
+//! use tbr_sim::{simulate_sequence, SchedulerKind};
+//! use tbr_workloads::suite;
+//!
+//! // Two frames of a small screen finish quickly and deterministically.
+//! let screen = ScreenConfig::tiny();
+//! let profile = suite().remove(0);
+//! let cfg = GpuConfig::libra(screen, 2);
+//! let a = simulate_sequence(&cfg, SchedulerKind::Libra, &profile, 2);
+//! let b = simulate_sequence(&cfg, SchedulerKind::Libra, &profile, 2);
+//! assert_eq!(a.total_cycles(), b.total_cycles());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod geometry_phase;
+pub mod gpu;
+pub mod imr;
+pub mod raster_phase;
+pub mod report;
+
+pub use gpu::{simulate_frame, simulate_sequence, simulate_sequence_oracle, GpuSimulator};
+pub use imr::simulate_sequence_imr;
+pub use libra::scheduler::SchedulerKind;

@@ -1,0 +1,195 @@
+//! The Polygon List Builder: bins screen-space primitives into per-tile lists.
+//!
+//! §II-A: "The Polygon List Builder is in charge of binning the primitives into tiles,
+//! i.e., to produce a list in program order for each tile with all the primitives that
+//! totally (or partially) fall inside it."
+//!
+//! Binning uses an exact triangle/rectangle overlap test (bounding box + the three
+//! edge half-planes), not just the bounding box, so thin diagonal triangles don't get
+//! listed in tiles they never touch — this matters for per-tile workload fidelity.
+
+use tbr_common::config::ScreenConfig;
+use tbr_common::ids::{TileCoord, TileId};
+use tbr_geom::pipeline::ScreenTriangle;
+
+/// Per-tile primitive lists for one frame, each in program order. Entries are indices
+/// into the frame's primitive array.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TileBins {
+    /// `lists[tile.index()]` = primitive indices overlapping that tile.
+    pub lists: Vec<Vec<u32>>,
+    /// Total (primitive, tile) insertions — each is a Parameter Buffer write.
+    pub insertions: u64,
+}
+
+impl TileBins {
+    /// Primitive list of one tile.
+    ///
+    /// # Panics
+    /// Panics if `tile` is out of range.
+    pub fn list(&self, tile: TileId) -> &[u32] {
+        &self.lists[tile.index()]
+    }
+
+    /// Tiles that have at least one primitive.
+    pub fn non_empty_tiles(&self) -> usize {
+        self.lists.iter().filter(|l| !l.is_empty()).count()
+    }
+}
+
+/// Exact overlap test between a triangle and an axis-aligned rectangle
+/// `[x0, x1) × [y0, y1)` using the separating-axis theorem: the boxes' axes are
+/// handled by the bounding-box pre-test, and each triangle edge is tested against the
+/// rectangle's most-inside corner.
+pub fn triangle_overlaps_rect(tri: &ScreenTriangle, x0: f32, y0: f32, x1: f32, y1: f32) -> bool {
+    // Bounding-box reject.
+    let xs = tri.v.map(|v| v.x);
+    let ys = tri.v.map(|v| v.y);
+    let (tminx, tmaxx) = (xs.iter().copied().fold(f32::INFINITY, f32::min), xs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+    let (tminy, tmaxy) = (ys.iter().copied().fold(f32::INFINITY, f32::min), ys.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+    if tmaxx <= x0 || tminx >= x1 || tmaxy <= y0 || tminy >= y1 {
+        return false;
+    }
+
+    // Edge half-plane tests. Normalise winding so inside = positive.
+    let area2 = tri.double_area();
+    if area2 == 0.0 {
+        return false;
+    }
+    let sign = if area2 > 0.0 { 1.0 } else { -1.0 };
+    for i in 0..3 {
+        let a = tri.v[i];
+        let b = tri.v[(i + 1) % 3];
+        let (ex, ey) = (b.x - a.x, b.y - a.y);
+        // Pick the rectangle corner with the greatest signed distance ("most inside"
+        // corner for this edge); if even that corner is outside, the edge separates.
+        let cx = if sign * ey >= 0.0 { x0 } else { x1 };
+        let cy = if sign * ex >= 0.0 { y1 } else { y0 };
+        let dist = sign * (ex * (cy - a.y) - ey * (cx - a.x));
+        if dist <= 0.0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Bins a frame's primitives into per-tile lists (program order preserved because
+/// primitives are scanned in order).
+pub fn bin_triangles(tris: &[ScreenTriangle], screen: &ScreenConfig) -> TileBins {
+    let mut bins = TileBins { lists: vec![Vec::new(); screen.num_tiles()], insertions: 0 };
+    let ts = screen.tile_size as f32;
+    for (idx, tri) in tris.iter().enumerate() {
+        let (bx0, by0, bx1, by1) = tri.bounding_box(screen);
+        if bx0 >= bx1 || by0 >= by1 {
+            continue;
+        }
+        let t0x = bx0 / screen.tile_size;
+        let t0y = by0 / screen.tile_size;
+        // bounding_box is exclusive-max, so the last covered pixel is bx1-1.
+        let t1x = ((bx1 - 1) / screen.tile_size).min(screen.tiles_x() - 1);
+        let t1y = ((by1 - 1) / screen.tile_size).min(screen.tiles_y() - 1);
+        for ty in t0y..=t1y {
+            for tx in t0x..=t1x {
+                let rx0 = tx as f32 * ts;
+                let ry0 = ty as f32 * ts;
+                if triangle_overlaps_rect(tri, rx0, ry0, rx0 + ts, ry0 + ts) {
+                    let tile = screen.tile_id(TileCoord::new(tx, ty));
+                    bins.lists[tile.index()].push(idx as u32);
+                    bins.insertions += 1;
+                }
+            }
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbr_common::ids::{DrawCallId, TextureId};
+    use tbr_geom::pipeline::ScreenVertex;
+    use tbr_geom::scene::{BlendMode, FragmentShaderDesc, TextureDesc};
+
+    fn tri(p: [(f32, f32); 3]) -> ScreenTriangle {
+        ScreenTriangle {
+            v: p.map(|(x, y)| ScreenVertex { x, y, z: 0.5, u: 0.0, v: 0.0 }),
+            draw: DrawCallId(0),
+            texture: TextureDesc::new(TextureId(0), 64),
+            shader: FragmentShaderDesc::simple(),
+            blend: BlendMode::Opaque,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn small_triangle_lands_in_one_tile() {
+        let s = ScreenConfig::tiny(); // 8x4 tiles of 32px
+        let t = tri([(5.0, 5.0), (20.0, 5.0), (5.0, 20.0)]);
+        let bins = bin_triangles(&[t], &s);
+        assert_eq!(bins.insertions, 1);
+        assert_eq!(bins.list(TileId(0)), &[0]);
+        assert_eq!(bins.non_empty_tiles(), 1);
+    }
+
+    #[test]
+    fn tile_spanning_triangle_lands_in_all_covered_tiles() {
+        let s = ScreenConfig::tiny();
+        // Covers x in [0,64) x y in [0,64) fully -> tiles (0,0),(1,0),(0,1),(1,1).
+        let t = tri([(0.0, 0.0), (128.0, 0.0), (0.0, 128.0)]);
+        let bins = bin_triangles(&[t], &s);
+        // Bbox covers 4x4 tiles but the hypotenuse cuts the upper-right half away.
+        assert!(bins.insertions >= 4, "at least the 2x2 block near origin");
+        assert!(bins.list(TileId(0)).contains(&0));
+        // Tile (3,3) at pixels [96..128)^2 is entirely outside the hypotenuse
+        // x + y <= 128 except the single corner point — no overlap area.
+        let far = s.tile_id(TileCoord::new(3, 3));
+        assert!(bins.list(far).is_empty(), "exact test must reject corner-touching tile");
+    }
+
+    #[test]
+    fn thin_diagonal_triangle_skips_off_diagonal_tiles() {
+        let s = ScreenConfig::tiny();
+        // A sliver along the diagonal of a 4-tile-wide region.
+        let t = tri([(0.0, 0.0), (128.0, 126.0), (128.0, 128.0)]);
+        let bins = bin_triangles(&[t], &s);
+        // Bbox-only binning would insert into all 16 tiles; the exact test keeps only
+        // the tiles the sliver actually crosses (the diagonal band).
+        assert!(bins.insertions < 16, "sliver must not be binned by bbox alone");
+        assert!(bins.insertions >= 4, "it does cross the diagonal tiles");
+    }
+
+    #[test]
+    fn program_order_is_preserved_within_a_tile() {
+        let s = ScreenConfig::tiny();
+        let a = tri([(1.0, 1.0), (10.0, 1.0), (1.0, 10.0)]);
+        let b = tri([(2.0, 2.0), (12.0, 2.0), (2.0, 12.0)]);
+        let bins = bin_triangles(&[a, b], &s);
+        assert_eq!(bins.list(TileId(0)), &[0, 1]);
+    }
+
+    #[test]
+    fn winding_does_not_affect_overlap() {
+        let s = ScreenConfig::tiny();
+        let cw = tri([(5.0, 5.0), (5.0, 20.0), (20.0, 5.0)]);
+        let ccw = tri([(5.0, 5.0), (20.0, 5.0), (5.0, 20.0)]);
+        assert_eq!(bin_triangles(&[cw], &s).insertions, 1);
+        assert_eq!(bin_triangles(&[ccw], &s).insertions, 1);
+    }
+
+    #[test]
+    fn offscreen_triangle_bins_nowhere() {
+        let s = ScreenConfig::tiny();
+        let t = tri([(-50.0, -50.0), (-10.0, -50.0), (-50.0, -10.0)]);
+        let bins = bin_triangles(&[t], &s);
+        assert_eq!(bins.insertions, 0);
+    }
+
+    #[test]
+    fn full_screen_quad_touches_every_tile() {
+        let s = ScreenConfig::tiny();
+        let t1 = tri([(0.0, 0.0), (256.0, 0.0), (0.0, 128.0)]);
+        let t2 = tri([(256.0, 0.0), (256.0, 128.0), (0.0, 128.0)]);
+        let bins = bin_triangles(&[t1, t2], &s);
+        assert_eq!(bins.non_empty_tiles(), s.num_tiles());
+    }
+}

@@ -1,0 +1,117 @@
+//! The per-Raster-Unit primitive FIFO of the PTR architecture (Fig 5).
+//!
+//! "One input FIFO queue is required for each Raster Unit to allow them to progress at
+//! their own pace. These FIFO queues store a primitive in each entry, taking into
+//! account that all the primitives of a given tile must be rendered in the same Raster
+//! Unit to maintain the program order among overlapping primitives." (§III-A)
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with high-water-mark statistics, generic over the entry type
+/// (primitive indices in the simulator).
+#[derive(Debug, Clone)]
+pub struct PrimitiveFifo<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+    total_pushed: u64,
+}
+
+impl<T> PrimitiveFifo<T> {
+    /// Creates a FIFO holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be non-zero");
+        Self { queue: VecDeque::with_capacity(capacity), capacity, high_water: 0, total_pushed: 0 }
+    }
+
+    /// Attempts to enqueue; returns the entry back when the FIFO is full (the
+    /// producer must stall).
+    pub fn push(&mut self, entry: T) -> Result<(), T> {
+        if self.queue.len() >= self.capacity {
+            return Err(entry);
+        }
+        self.queue.push_back(entry);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Maximum occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total entries ever enqueued.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut f = PrimitiveFifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert_eq!((0..4).map(|_| f.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn full_fifo_rejects_and_returns_entry() {
+        let mut f = PrimitiveFifo::new(2);
+        f.push("a").unwrap();
+        f.push("b").unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push("c"), Err("c"));
+        f.pop();
+        assert!(f.push("c").is_ok());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut f = PrimitiveFifo::new(8);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        f.pop();
+        f.pop();
+        f.push(4).unwrap();
+        assert_eq!(f.high_water(), 3);
+        assert_eq!(f.total_pushed(), 4);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _: PrimitiveFifo<u32> = PrimitiveFifo::new(0);
+    }
+}

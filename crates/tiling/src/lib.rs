@@ -1,0 +1,27 @@
+//! # tbr-tiling — the Tiling Engine of the LIBRA TBR GPU simulator
+//!
+//! TBR architectures are *sort-middle* (§II-A): between the Geometry and Raster
+//! pipelines sits a Tiling Engine that bins every screen-space primitive into the
+//! tiles it overlaps and stores the per-tile primitive lists in a main-memory region
+//! called the *Parameter Buffer*. Once the whole frame's geometry is binned, the Tile
+//! Fetcher walks the tiles (one per Raster Unit at a time in the PTR architecture) and
+//! streams each tile's primitives — in program order — into that Raster Unit's FIFO.
+//!
+//! * [`binner`] — the Polygon List Builder: exact triangle/tile overlap tests (not
+//!   just bounding boxes), producing [`binner::TileBins`].
+//! * [`param_buffer`] — the Parameter Buffer bookkeeping: per-tile list lengths and
+//!   the memory addresses its writes/reads touch.
+//! * [`traversal`] — frame-level tile traversal orders (Z-order/Morton, scanline).
+//! * [`fetcher`] — the per-Raster-Unit primitive FIFO of Fig 5.
+
+#![warn(missing_docs)]
+
+pub mod binner;
+pub mod fetcher;
+pub mod param_buffer;
+pub mod traversal;
+
+pub use binner::{bin_triangles, TileBins};
+pub use fetcher::PrimitiveFifo;
+pub use param_buffer::ParamBuffer;
+pub use traversal::{tile_order, TraversalOrder};

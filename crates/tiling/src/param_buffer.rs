@@ -1,0 +1,117 @@
+//! Parameter Buffer bookkeeping.
+//!
+//! The Parameter Buffer is the main-memory data structure holding each tile's
+//! primitive list (§II-A). The Polygon List Builder appends entries as it bins
+//! geometry; the Tile Fetcher later reads each list sequentially. This module tracks
+//! list lengths and produces the addresses those writes and reads touch, so the
+//! memory model can time them.
+
+use tbr_common::addr::{param_entry_addr, PARAM_ENTRY_BYTES};
+use tbr_common::ids::TileId;
+
+/// The per-frame Parameter Buffer state: one append cursor per tile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamBuffer {
+    counts: Vec<u64>,
+}
+
+impl ParamBuffer {
+    /// An empty buffer for `num_tiles` tiles.
+    pub fn new(num_tiles: usize) -> Self {
+        Self { counts: vec![0; num_tiles] }
+    }
+
+    /// Appends one primitive entry to `tile`'s list and returns the address written.
+    ///
+    /// # Panics
+    /// Panics if `tile` is out of range.
+    pub fn push(&mut self, tile: TileId) -> u64 {
+        let n = self.counts[tile.index()];
+        self.counts[tile.index()] = n + 1;
+        param_entry_addr(tile, n)
+    }
+
+    /// Number of entries currently in `tile`'s list.
+    ///
+    /// # Panics
+    /// Panics if `tile` is out of range.
+    pub fn len(&self, tile: TileId) -> u64 {
+        self.counts[tile.index()]
+    }
+
+    /// Whether `tile`'s list is empty.
+    pub fn is_empty(&self, tile: TileId) -> bool {
+        self.len(tile) == 0
+    }
+
+    /// Address the Tile Fetcher reads for entry `n` of `tile`'s list.
+    ///
+    /// # Panics
+    /// Panics if `n` is past the end of the list.
+    pub fn read_addr(&self, tile: TileId, n: u64) -> u64 {
+        assert!(n < self.counts[tile.index()], "read past end of tile list");
+        param_entry_addr(tile, n)
+    }
+
+    /// Total bytes written into the buffer this frame.
+    pub fn bytes_written(&self) -> u64 {
+        self.counts.iter().sum::<u64>() * PARAM_ENTRY_BYTES
+    }
+
+    /// Clears all lists (start of a new frame).
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_returns_consecutive_addresses() {
+        let mut pb = ParamBuffer::new(4);
+        let t = TileId(2);
+        let a0 = pb.push(t);
+        let a1 = pb.push(t);
+        assert_eq!(a1 - a0, PARAM_ENTRY_BYTES);
+        assert_eq!(pb.len(t), 2);
+        assert!(pb.is_empty(TileId(0)));
+    }
+
+    #[test]
+    fn read_matches_write_addresses() {
+        let mut pb = ParamBuffer::new(2);
+        let t = TileId(1);
+        let w: Vec<u64> = (0..5).map(|_| pb.push(t)).collect();
+        let r: Vec<u64> = (0..5).map(|n| pb.read_addr(t, n)).collect();
+        assert_eq!(w, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn reading_past_end_panics() {
+        let pb = ParamBuffer::new(1);
+        let _ = pb.read_addr(TileId(0), 0);
+    }
+
+    #[test]
+    fn tiles_use_disjoint_regions() {
+        let mut pb = ParamBuffer::new(2);
+        let a = pb.push(TileId(0));
+        let b = pb.push(TileId(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bytes_written_and_clear() {
+        let mut pb = ParamBuffer::new(3);
+        pb.push(TileId(0));
+        pb.push(TileId(0));
+        pb.push(TileId(2));
+        assert_eq!(pb.bytes_written(), 3 * PARAM_ENTRY_BYTES);
+        pb.clear();
+        assert_eq!(pb.bytes_written(), 0);
+        assert!(pb.is_empty(TileId(0)));
+    }
+}

@@ -1,0 +1,69 @@
+//! Frame-level tile traversal orders.
+//!
+//! §II-B: "The most common tile traversal orders in computer graphics are scanline and
+//! Morton order. […] we assume the Morton order (or Z-order) as the one used in the
+//! baseline GPU of this work."
+
+use tbr_common::config::ScreenConfig;
+use tbr_common::hilbert::hilbert_traversal;
+use tbr_common::ids::TileId;
+use tbr_common::morton::{scanline_traversal, zorder_traversal};
+
+/// The order in which the Tile Fetcher visits tiles within a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TraversalOrder {
+    /// Morton / Z-order (the baseline's cache-friendly order).
+    #[default]
+    ZOrder,
+    /// Row-major scanline order.
+    Scanline,
+    /// Hilbert-curve order (never jumps: consecutive tiles are always adjacent;
+    /// used by the DTexL-style traversal ablation).
+    Hilbert,
+}
+
+/// Produces the full tile visiting order for a screen.
+pub fn tile_order(screen: &ScreenConfig, order: TraversalOrder) -> Vec<TileId> {
+    let coords = match order {
+        TraversalOrder::ZOrder => zorder_traversal(screen.tiles_x(), screen.tiles_y()),
+        TraversalOrder::Scanline => scanline_traversal(screen.tiles_x(), screen.tiles_y()),
+        TraversalOrder::Hilbert => hilbert_traversal(screen.tiles_x(), screen.tiles_y()),
+    };
+    coords.into_iter().map(|c| screen.tile_id(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn both_orders_are_permutations_of_all_tiles() {
+        let s = ScreenConfig::quarter_fhd();
+        for order in [TraversalOrder::ZOrder, TraversalOrder::Scanline, TraversalOrder::Hilbert] {
+            let tiles = tile_order(&s, order);
+            assert_eq!(tiles.len(), s.num_tiles());
+            let set: HashSet<_> = tiles.iter().copied().collect();
+            assert_eq!(set.len(), s.num_tiles());
+        }
+    }
+
+    #[test]
+    fn scanline_is_sequential_tile_ids() {
+        let s = ScreenConfig::tiny();
+        let tiles = tile_order(&s, TraversalOrder::Scanline);
+        let expect: Vec<TileId> = (0..s.num_tiles() as u32).map(TileId).collect();
+        assert_eq!(tiles, expect);
+    }
+
+    #[test]
+    fn zorder_starts_at_origin_and_stays_local_initially() {
+        let s = ScreenConfig::quarter_fhd();
+        let tiles = tile_order(&s, TraversalOrder::ZOrder);
+        assert_eq!(tiles[0], TileId(0));
+        // The first four visited tiles form the 2x2 block at the origin.
+        let first4: HashSet<_> =
+            tiles[..4].iter().map(|&t| s.tile_coord(t)).map(|c| (c.x, c.y)).collect();
+        assert_eq!(first4, HashSet::from([(0, 0), (1, 0), (0, 1), (1, 1)]));
+    }
+}

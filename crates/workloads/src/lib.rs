@@ -1,0 +1,30 @@
+//! # tbr-workloads — synthetic mobile-game workloads for the LIBRA simulator
+//!
+//! The paper evaluates 32 commercial Android games captured through the TEAPOT
+//! toolchain (Table II). Those traces are not publicly available, so this crate
+//! substitutes them with 32 parameterised synthetic scene generators that reproduce
+//! the statistical properties every LIBRA mechanism depends on (see `DESIGN.md` §1):
+//!
+//! * **per-tile heterogeneity with spatial clustering** (Fig 2): scenes are composed
+//!   of full-screen background layers (cold, uniform), spatially clustered groups of
+//!   small, overlapping, texture-hungry objects (hot), scattered mid-ground objects
+//!   and a HUD — so DRAM-access heatmaps show hot blobs on a cold field;
+//! * **frame-to-frame coherence** (Fig 8): the layout is static per benchmark (seeded
+//!   RNG), and per-frame change is smooth scrolling plus bounded jitter;
+//! * **a memory-intensity spectrum** (Fig 6): texture footprints range from
+//!   cache-resident (compute-bound games, high-ALU shaders) to several MB per frame
+//!   streamed through unique sprite-atlas regions (memory-bound games);
+//! * **2D / 2.5D / 3D variety** (Table II categories).
+//!
+//! [`suite()`] returns the 32 profiles; [`SceneGenerator`] turns a profile into a
+//! deterministic per-frame [`tbr_geom::Scene`].
+
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod scene;
+pub mod suite;
+
+pub use profile::{BenchmarkProfile, Category};
+pub use scene::SceneGenerator;
+pub use suite::suite;

@@ -1,0 +1,158 @@
+//! Benchmark profile: the knobs a synthetic "game" is generated from.
+
+use tbr_geom::scene::FragmentShaderDesc;
+
+/// Scene dimensionality category (Table II: "We cover games in 2D (e.g. CCS), 2.5D
+/// (e.g. CoC), and 3D (e.g. SuS)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Flat sprite scenes (match-3, endless jumpers).
+    TwoD,
+    /// Isometric/layered scenes (strategy, builders).
+    TwoHalfD,
+    /// Perspective scenes (runners, racers, shooters).
+    ThreeD,
+}
+
+impl Category {
+    /// Short label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::TwoD => "2D",
+            Category::TwoHalfD => "2.5D",
+            Category::ThreeD => "3D",
+        }
+    }
+}
+
+/// All generation parameters of one synthetic benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Full descriptive name.
+    pub name: &'static str,
+    /// Three-letter abbreviation used in the paper's figures (e.g. `CCS`).
+    pub abbrev: &'static str,
+    /// Scene category.
+    pub category: Category,
+    /// Whether the profile is *designed* to be memory-intensive (≥ 25 % of time in
+    /// memory, §V). The actual classification is measured (Fig 6a); this flag selects
+    /// the expected group in the experiment harness.
+    pub memory_intensive: bool,
+    /// RNG seed: the whole layout and all motion derive deterministically from it.
+    pub seed: u64,
+    /// Full-screen scrolling background layers (cold, uniform work).
+    pub background_layers: u32,
+    /// Edge of the background/atlas textures in texels (power of two).
+    pub texture_size: u32,
+    /// Number of hot clusters (dense groups of overlapping detailed objects).
+    pub hotspot_clusters: u32,
+    /// Objects per cluster.
+    pub cluster_objects: u32,
+    /// Cluster radius as a fraction of the screen's smaller dimension.
+    pub cluster_radius_frac: f32,
+    /// Object edge range in pixels `(min, max)`.
+    pub object_size_px: (f32, f32),
+    /// Overdraw layers inside clusters (back-to-front, all shaded).
+    pub overdraw_layers: u32,
+    /// Uniformly scattered mid-ground objects (coins, rails, pickups).
+    pub scattered_objects: u32,
+    /// HUD quads (alpha-blended, static, top/bottom bands).
+    pub hud_elements: u32,
+    /// Distinct texture atlases the scene cycles through.
+    pub texture_pool: u32,
+    /// Texels sampled per screen pixel (1.0 = native density; < 1 = magnified
+    /// sprites that reuse texels). The main texture-footprint knob.
+    pub texel_density: f32,
+    /// Per-fragment shader profile (ALU vs texture balance = compute vs memory).
+    pub shader: FragmentShaderDesc,
+    /// Scroll velocity in pixels/frame `(x, y)` — the frame-coherence knob.
+    pub scroll_speed: (f32, f32),
+    /// Per-frame random cluster displacement bound in pixels (coherence noise).
+    pub jitter_px: f32,
+}
+
+impl BenchmarkProfile {
+    /// Rough triangle count per frame (for Table II-style reporting).
+    pub fn approx_triangles(&self) -> u64 {
+        let quads = self.background_layers as u64
+            + (self.hotspot_clusters * self.cluster_objects * self.overdraw_layers) as u64
+            + self.scattered_objects as u64
+            + self.hud_elements as u64
+            // 3-D games add the 8x12-quad perspective ground strip.
+            + if self.category == Category::ThreeD { 96 } else { 0 };
+        quads * 2
+    }
+
+    /// Rough texture footprint per frame in bytes: every drawn fragment samples its
+    /// own atlas region at `texel_density` texels per pixel, `tex_samples` textures
+    /// per fragment.
+    pub fn approx_footprint_bytes(&self, screen_pixels: u64) -> u64 {
+        let density2 = (self.texel_density * self.texel_density) as f64;
+        let bg = self.background_layers as u64 * screen_pixels;
+        let avg_obj = {
+            let (lo, hi) = self.object_size_px;
+            let e = (lo + hi) * 0.5;
+            (e * e) as u64
+        };
+        let objects = (self.hotspot_clusters * self.cluster_objects * self.overdraw_layers)
+            as u64
+            * avg_obj
+            + self.scattered_objects as u64 * avg_obj;
+        (((bg + objects) * 4 * self.shader.tex_samples as u64) as f64 * density2) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "Test Game",
+            abbrev: "TsG",
+            category: Category::TwoD,
+            memory_intensive: true,
+            seed: 7,
+            background_layers: 2,
+            texture_size: 512,
+            hotspot_clusters: 3,
+            cluster_objects: 10,
+            cluster_radius_frac: 0.15,
+            object_size_px: (24.0, 48.0),
+            overdraw_layers: 2,
+            scattered_objects: 20,
+            hud_elements: 4,
+            texture_pool: 8,
+            texel_density: 1.0,
+            shader: FragmentShaderDesc::simple(),
+            scroll_speed: (4.0, 0.0),
+            jitter_px: 1.0,
+        }
+    }
+
+    #[test]
+    fn approx_triangles_counts_all_quads() {
+        let p = sample();
+        // (2 + 3*10*2 + 20 + 4) * 2 = 172
+        assert_eq!(p.approx_triangles(), 172);
+    }
+
+    #[test]
+    fn footprint_grows_with_samples_and_layers() {
+        let p = sample();
+        let base = p.approx_footprint_bytes(960 * 544);
+        let mut heavier = p.clone();
+        heavier.shader.tex_samples = 2;
+        assert_eq!(heavier.approx_footprint_bytes(960 * 544), base * 2);
+        let mut more_bg = p;
+        more_bg.background_layers = 4;
+        assert!(more_bg.approx_footprint_bytes(960 * 544) > base);
+    }
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(Category::TwoD.label(), "2D");
+        assert_eq!(Category::TwoHalfD.label(), "2.5D");
+        assert_eq!(Category::ThreeD.label(), "3D");
+    }
+}

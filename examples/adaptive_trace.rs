@@ -1,0 +1,64 @@
+//! Traces LIBRA's per-frame adaptive decisions (Fig 10 in action): the tile ordering
+//! scheme and the supertile size chosen for every frame of a sequence, alongside the
+//! metrics that drove them.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_trace [ABBREV] [FRAMES]
+//! ```
+
+use libra::adaptive::{AdaptiveController, AdaptiveParams, TileOrderKind};
+use libra::feedback::FrameFeedback;
+use libra_repro::prelude::*;
+
+fn main() {
+    let abbrev = std::env::args().nth(1).unwrap_or_else(|| "SuS".into());
+    let frames: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let profile = suite()
+        .into_iter()
+        .find(|p| p.abbrev == abbrev)
+        .unwrap_or_else(|| panic!("unknown benchmark `{abbrev}`"));
+    let screen = ScreenConfig::quarter_fhd();
+    let cfg = GpuConfig::libra(screen, 2);
+
+    // Run the full LIBRA simulation once for the real cycle numbers...
+    let seq = simulate_sequence(&cfg, SchedulerKind::Libra, &profile, frames);
+    // ...and replay its feedback through a controller to display the decisions the
+    // scheduler took at each frame boundary.
+    let mut controller = AdaptiveController::new(AdaptiveParams::default());
+
+    println!(
+        "LIBRA adaptive trace — {} ({}), {} frames\n",
+        profile.name, profile.abbrev, frames
+    );
+    println!(
+        "{:>5} {:>12} {:>9} {:>13} {:>10} {:>10}",
+        "frame", "raster cyc", "tex hit%", "order", "supertile", "dram/frame"
+    );
+    for f in &seq.frames {
+        let fb = FrameFeedback::new(
+            f.heatmap.clone(),
+            f.raster_cycles,
+            f.texture_cache.hit_ratio(),
+        );
+        let d = controller.decide(&fb);
+        println!(
+            "{:>5} {:>12} {:>8.1}% {:>13} {:>9}x{:<1} {:>9}",
+            f.frame.0,
+            f.raster_cycles,
+            f.texture_cache.hit_ratio() * 100.0,
+            match d.order {
+                TileOrderKind::ZOrder => "z-order",
+                TileOrderKind::Temperature => "temperature",
+            },
+            d.supertile_size,
+            d.supertile_size,
+            f.dram.total_accesses(),
+        );
+    }
+    println!(
+        "\nsequence: {:.0} cycles/frame avg, {:.1} FPS at {} MHz",
+        seq.avg_frame_cycles(),
+        cfg.fps(seq.avg_frame_cycles()),
+        cfg.freq_mhz
+    );
+}

@@ -1,0 +1,74 @@
+//! Load-balance and heterogeneity probe: per-RU finish times for PTR vs LIBRA, and
+//! the per-tile DRAM-access distribution (the Fig 2 contrast).
+
+use libra_repro::prelude::*;
+use tbr_mem::hierarchy::{L1Cache, MemoryHierarchy};
+use tbr_raster::raster_unit::RasterUnit;
+use tbr_sim::geometry_phase::run_geometry_phase;
+use tbr_sim::raster_phase::run_raster_phase;
+use tbr_workloads::SceneGenerator;
+
+fn run(label: &str, kind: SchedulerKind, cfg: &GpuConfig, p: &BenchmarkProfile) {
+    // Warm up one frame so LIBRA has feedback, then measure frame 1.
+    let mut sched = kind.build();
+    let mut hier = MemoryHierarchy::new(cfg.l2_cache, cfg.dram, cfg.dram_interval_cycles);
+    let mut vertex_l1 = L1Cache::new(cfg.vertex_cache);
+    let mut rus: Vec<RasterUnit> =
+        (0..cfg.num_raster_units).map(|_| RasterUnit::new(cfg)).collect();
+    let gen = SceneGenerator::new(p, &cfg.screen);
+    let mut feedback = None;
+    let mut last = None;
+    for f in 0..2u32 {
+        let scene = gen.scene(f);
+        let geo = run_geometry_phase(cfg, &mut vertex_l1, &mut hier, &scene);
+        hier.end_frame();
+        let mut plan = sched.plan_frame(&cfg.screen, feedback.as_ref());
+        let r = run_raster_phase(cfg, &mut rus, &mut hier, &mut plan, &geo.tris, &geo.bins);
+        let tex: tbr_common::stats::CacheStats =
+            rus.iter().fold(Default::default(), |mut a, ru| {
+                a.merge(&ru.texture_stats());
+                a
+            });
+        feedback = Some(libra::feedback::FrameFeedback::new(
+            r.heatmap.clone(),
+            r.raster_cycles,
+            tex.hit_ratio(),
+        ));
+        for ru in &mut rus {
+            ru.end_frame();
+        }
+        hier.end_frame();
+        last = Some(r);
+    }
+    let r = last.unwrap();
+    println!(
+        "{:<18} wall={:>8} ru_finish={:?} imbalance={:>5.1}%",
+        label,
+        r.raster_cycles,
+        r.ru_finish,
+        (1.0 - *r.ru_finish.iter().min().unwrap() as f64
+            / *r.ru_finish.iter().max().unwrap() as f64)
+            * 100.0
+    );
+    if label.starts_with("PTR") {
+        let mut dram: Vec<u64> = r.heatmap.tiles.iter().map(|t| t.dram_accesses).collect();
+        dram.sort_unstable();
+        let pct = |q: f64| dram[((dram.len() - 1) as f64 * q) as usize];
+        println!(
+            "  tile DRAM deciles: p10={} p50={} p90={} p99={} max={}",
+            pct(0.1),
+            pct(0.5),
+            pct(0.9),
+            pct(0.99),
+            dram[dram.len() - 1]
+        );
+    }
+}
+
+fn main() {
+    let abbrev = std::env::args().nth(1).unwrap_or_else(|| "CCS".into());
+    let p = suite().into_iter().find(|x| x.abbrev == abbrev).unwrap();
+    let ptr = GpuConfig::libra(ScreenConfig::quarter_fhd(), 2);
+    run("PTR", SchedulerKind::InterleavedZOrder, &ptr, &p);
+    run("LIBRA", SchedulerKind::Libra, &ptr, &p);
+}

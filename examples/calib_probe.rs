@@ -1,0 +1,77 @@
+//! Calibration probe: runs one benchmark under several memory-system variants to
+//! locate the dominant stall source. Not part of the documented API surface.
+
+use libra_repro::prelude::*;
+
+fn run(label: &str, cfg: &GpuConfig, profile: &tbr_workloads::BenchmarkProfile) {
+    use tbr_mem::hierarchy::{L1Cache, MemoryHierarchy};
+    use tbr_raster::raster_unit::RasterUnit;
+    use tbr_sim::geometry_phase::run_geometry_phase;
+    use tbr_sim::raster_phase::run_raster_phase;
+    use tbr_workloads::SceneGenerator;
+
+    let scene = SceneGenerator::new(profile, &cfg.screen).scene(1);
+    let mut hier = MemoryHierarchy::new(cfg.l2_cache, cfg.dram, cfg.dram_interval_cycles);
+    hier.ideal = cfg.ideal_memory;
+    let mut vertex_l1 = L1Cache::new(cfg.vertex_cache);
+    let geo = run_geometry_phase(cfg, &mut vertex_l1, &mut hier, &scene);
+    hier.end_frame();
+    let mut rus: Vec<RasterUnit> =
+        (0..cfg.num_raster_units).map(|_| RasterUnit::new(cfg)).collect();
+    let mut sched = SchedulerKind::SingleZOrder.build();
+    let mut plan = sched.plan_frame(&cfg.screen, None);
+    let r = run_raster_phase(cfg, &mut rus, &mut hier, &mut plan, &geo.tris, &geo.bins);
+    let tex: tbr_common::stats::CacheStats =
+        rus.iter().fold(Default::default(), |mut a, ru| {
+            a.merge(&ru.texture_stats());
+            a
+        });
+    println!(
+        "{:<20} raster={:>9} fe={:>9} drain={:>9} flush={:>8} warps={:>6} texreq={:>8} l1hit={:>5.1}% l2={:>7} dram={:>7} avglat={:>6.1}",
+        label,
+        r.raster_cycles,
+        r.fe_cycles,
+        r.drain_cycles,
+        r.flush_cycles,
+        r.warps,
+        r.tex_requests,
+        tex.hit_ratio() * 100.0,
+        hier.l2_stats().accesses,
+        hier.dram_stats().total_accesses(),
+        hier.dram_stats().avg_latency(),
+    );
+}
+
+fn main() {
+    let abbrev = std::env::args().nth(1).unwrap_or_else(|| "CCS".into());
+    let p = suite().into_iter().find(|x| x.abbrev == abbrev).unwrap();
+    let screen = ScreenConfig::quarter_fhd();
+
+    let base = GpuConfig::baseline(screen);
+    run("baseline", &base, &p);
+
+    let mut fast_lat = base.clone();
+    fast_lat.dram.row_hit_latency = 10;
+    fast_lat.dram.row_miss_latency = 20;
+    run("dram lat/5", &fast_lat, &p);
+
+    let mut fat_bus = base.clone();
+    fat_bus.dram.burst_cycles = 1;
+    fat_bus.dram.bank_occupancy = 2;
+    run("dram 4x bandwidth", &fat_bus, &p);
+
+    let mut both = fast_lat.clone();
+    both.dram.burst_cycles = 1;
+    both.dram.bank_occupancy = 2;
+    run("lat/5 + 4x bw", &both, &p);
+
+    let mut big_l2 = base.clone();
+    big_l2.l2_cache.size_bytes = 32 << 20;
+    run("32MB L2", &big_l2, &p);
+
+    let mut more_warps = base.clone();
+    more_warps.max_warps_per_core = 64;
+    run("64 warp slots", &more_warps, &p);
+
+    run("ideal memory", &base.clone().with_ideal_memory(), &p);
+}

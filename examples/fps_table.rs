@@ -1,0 +1,39 @@
+//! Suite-wide frames-per-second table: baseline vs LIBRA (the paper's "+11.4 %
+//! increase in frame rate" claim, across both workload classes).
+//!
+//! ```sh
+//! cargo run --release --example fps_table [FRAMES]
+//! ```
+
+use libra_repro::prelude::*;
+
+fn main() {
+    let frames: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let screen = ScreenConfig::quarter_fhd();
+    let base_cfg = GpuConfig::baseline(screen);
+    let libra_cfg = GpuConfig::libra(screen, 2);
+
+    println!(
+        "{:<6} {:<8} {:>10} {:>10} {:>8}",
+        "bench", "class", "base FPS", "LIBRA FPS", "Δ"
+    );
+    let mut deltas = Vec::new();
+    for p in suite() {
+        let base = simulate_sequence(&base_cfg, SchedulerKind::SingleZOrder, &p, frames);
+        let libra = simulate_sequence(&libra_cfg, SchedulerKind::Libra, &p, frames);
+        let fb = base_cfg.fps(base.avg_frame_cycles());
+        let fl = libra_cfg.fps(libra.avg_frame_cycles());
+        let d = (fl / fb - 1.0) * 100.0;
+        deltas.push(d);
+        println!(
+            "{:<6} {:<8} {:>10.1} {:>10.1} {:>+7.1}%",
+            p.abbrev,
+            if p.memory_intensive { "memory" } else { "compute" },
+            fb,
+            fl,
+            d
+        );
+    }
+    let avg = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    println!("\nAVG FPS increase: {avg:+.1}%   (paper: +11.4% across the suite)");
+}

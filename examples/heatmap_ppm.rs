@@ -1,0 +1,65 @@
+//! Fig 2 as images: renders one frame of a benchmark to `<ABBREV>_frame.ppm` and its
+//! per-tile DRAM-access heatmap to `<ABBREV>_heatmap.ppm`.
+//!
+//! ```sh
+//! cargo run --release --example heatmap_ppm [ABBREV]   # default SuS
+//! ```
+
+use std::error::Error;
+use std::fs;
+
+use libra_repro::prelude::*;
+use tbr_geom::process_scene;
+use tbr_raster::reference::{render_frame, to_ppm};
+use tbr_workloads::SceneGenerator;
+
+/// Maps a normalised heat value to a blue→red colour ramp (packed 0xAABBGGRR).
+fn heat_color(v: f64) -> u32 {
+    let v = v.clamp(0.0, 1.0);
+    let r = (255.0 * v) as u32;
+    let b = (255.0 * (1.0 - v)) as u32;
+    let g = (96.0 * (1.0 - (2.0 * v - 1.0).abs())) as u32;
+    0xFF00_0000 | (b << 16) | (g << 8) | r
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let abbrev = std::env::args().nth(1).unwrap_or_else(|| "SuS".into());
+    let profile = suite()
+        .into_iter()
+        .find(|p| p.abbrev == abbrev)
+        .ok_or_else(|| format!("unknown benchmark `{abbrev}`"))?;
+    let screen = ScreenConfig::quarter_fhd();
+    let cfg = GpuConfig::baseline(screen);
+
+    // The rendered frame (reference renderer).
+    let scene = SceneGenerator::new(&profile, &screen).scene(1);
+    let (tris, _) = process_scene(&scene, &screen);
+    let image = render_frame(&tris, &screen);
+    let frame_path = format!("{abbrev}_frame.ppm");
+    fs::write(&frame_path, to_ppm(&image, screen.width, screen.height))?;
+
+    // The per-tile DRAM heatmap (timed simulation).
+    let stats = simulate_sequence(&cfg, SchedulerKind::SingleZOrder, &profile, 2);
+    let frame = stats.frames.last().expect("frames rendered");
+    let max = frame.heatmap.tiles.iter().map(|t| t.dram_accesses).max().unwrap_or(1).max(1);
+    let mut heat = vec![0u32; (screen.width * screen.height) as usize];
+    for (i, t) in frame.heatmap.tiles.iter().enumerate() {
+        let v = (t.dram_accesses as f64 + 1.0).ln() / (max as f64 + 1.0).ln();
+        let c = heat_color(v);
+        let (x0, y0, x1, y1) = screen.tile_rect(tbr_common::ids::TileId(i as u32));
+        for y in y0..y1 {
+            for x in x0..x1 {
+                heat[(y * screen.width + x) as usize] = c;
+            }
+        }
+    }
+    let heat_path = format!("{abbrev}_heatmap.ppm");
+    fs::write(&heat_path, to_ppm(&heat, screen.width, screen.height))?;
+
+    println!("wrote {frame_path} (rendered frame) and {heat_path} (DRAM heatmap)");
+    println!(
+        "max per-tile DRAM accesses: {max}; total frame DRAM accesses: {}",
+        frame.dram.total_accesses()
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Diagnostic: compute/memory time split (Fig 6a methodology) plus DRAM behaviour
+//! for a few benchmarks. Used to calibrate the workload suite.
+//!
+//! ```sh
+//! cargo run --release --example mem_breakdown [FRAMES] [ABBREV...]
+//! ```
+
+use libra_repro::prelude::*;
+use tbr_common::stats::memory_time_fraction;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let frames: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let wanted: Vec<String> = args.iter().skip(1).cloned().collect();
+    let screen = ScreenConfig::quarter_fhd();
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>7} {:>9} {:>9} {:>9} {:>8} {:>9}",
+        "bench", "real-cyc", "ideal-cyc", "mem%", "dram/f", "avg-lat", "max-lat", "cv", "frag/f"
+    );
+    for p in suite() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == p.abbrev) {
+            continue;
+        }
+        let real = simulate_sequence(
+            &GpuConfig::baseline(screen),
+            SchedulerKind::SingleZOrder,
+            &p,
+            frames,
+        );
+        let ideal = simulate_sequence(
+            &GpuConfig::baseline(screen).with_ideal_memory(),
+            SchedulerKind::SingleZOrder,
+            &p,
+            frames,
+        );
+        let f = real.frames.last().unwrap();
+        println!(
+            "{:<6} {:>12} {:>12} {:>6.1}% {:>9} {:>9.1} {:>9} {:>8.2} {:>9}",
+            p.abbrev,
+            real.total_cycles() / frames as u64,
+            ideal.total_cycles() / frames as u64,
+            memory_time_fraction(real.total_cycles(), ideal.total_cycles()) * 100.0,
+            f.dram.total_accesses(),
+            f.dram.avg_latency(),
+            f.dram.max_latency,
+            f.dram.interval_cv(),
+            f.fragments,
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: compare the baseline GPU, plain parallel tile rendering (PTR), and
+//! LIBRA on one memory-intensive benchmark.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart [ABBREV] [FRAMES]
+//! ```
+//! e.g. `cargo run --release --example quickstart CCS 8`.
+
+use libra_repro::prelude::*;
+use tbr_energy::EnergyModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let abbrev = args.get(1).map(String::as_str).unwrap_or("CCS").to_string();
+    let frames: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    let profile = suite()
+        .into_iter()
+        .find(|p| p.abbrev == abbrev)
+        .unwrap_or_else(|| panic!("unknown benchmark abbreviation `{abbrev}`"));
+    let screen = ScreenConfig::quarter_fhd();
+    println!(
+        "benchmark {} ({}) — {} frames at {}x{} ({} tiles)\n",
+        profile.name,
+        profile.abbrev,
+        frames,
+        screen.width,
+        screen.height,
+        screen.num_tiles()
+    );
+
+    let energy = EnergyModel::default();
+    let baseline_cfg = GpuConfig::baseline(screen);
+    let ptr_cfg = GpuConfig::libra(screen, 2);
+
+    let baseline = simulate_sequence(&baseline_cfg, SchedulerKind::SingleZOrder, &profile, frames);
+    let ptr = simulate_sequence(&ptr_cfg, SchedulerKind::InterleavedZOrder, &profile, frames);
+    let libra = simulate_sequence(&ptr_cfg, SchedulerKind::Libra, &profile, frames);
+
+    let base_energy = energy.sequence_energy(&baseline).total();
+    println!(
+        "{:<22} {:>14} {:>9} {:>10} {:>10} {:>11} {:>9}",
+        "config", "cycles/frame", "speedup", "tex-lat", "tex-hit%", "DRAM/frame", "energy"
+    );
+    for (name, seq) in
+        [("baseline 1RUx8", &baseline), ("PTR 2RUx4", &ptr), ("LIBRA 2RUx4", &libra)]
+    {
+        println!(
+            "{:<22} {:>14.0} {:>8.3}x {:>10.1} {:>9.1}% {:>11.0} {:>8.1}%",
+            name,
+            seq.avg_frame_cycles(),
+            seq.speedup_over(&baseline),
+            seq.avg_texture_latency(),
+            seq.texture_hit_ratio() * 100.0,
+            seq.total_dram_accesses() as f64 / frames as f64,
+            energy.sequence_energy(seq).total() / base_energy * 100.0,
+        );
+    }
+    println!(
+        "\nFPS: baseline {:.1} → LIBRA {:.1}",
+        baseline_cfg.fps(baseline.avg_frame_cycles()),
+        ptr_cfg.fps(libra.avg_frame_cycles())
+    );
+}

@@ -1,0 +1,72 @@
+//! Scheduler calibration probe: compares dispatch policies on one benchmark and
+//! reports the DRAM-balance metrics LIBRA targets (interval CV, peak).
+
+use libra::adaptive::AdaptiveParams;
+use libra_repro::prelude::*;
+
+fn run(label: &str, kind: SchedulerKind, cfg: &GpuConfig, p: &BenchmarkProfile, frames: u32) {
+    let s = simulate_sequence(cfg, kind, p, frames);
+    let f = s.frames.last().unwrap();
+    println!(
+        "{:<26} cyc/f={:>8.0} texlat={:>6.1} hit={:>5.1}% dram/f={:>7.0} cv={:>5.2} peak={:>5}",
+        label,
+        s.avg_frame_cycles(),
+        s.avg_texture_latency(),
+        s.texture_hit_ratio() * 100.0,
+        s.total_dram_accesses() as f64 / frames as f64,
+        f.dram.interval_cv(),
+        f.dram.peak_interval(),
+    );
+}
+
+fn main() {
+    let abbrev = std::env::args().nth(1).unwrap_or_else(|| "CCS".into());
+    let frames: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let p = suite().into_iter().find(|x| x.abbrev == abbrev).unwrap();
+    let screen = ScreenConfig::quarter_fhd();
+    let base = GpuConfig::baseline(screen);
+    let ptr = GpuConfig::libra(screen, 2);
+
+    run("baseline 1RUx8", SchedulerKind::SingleZOrder, &base, &p, frames);
+    run("PTR interleaved", SchedulerKind::InterleavedZOrder, &ptr, &p, frames);
+    for size in [2u32, 4, 8, 16] {
+        run(
+            &format!("static supertile {size}x{size}"),
+            SchedulerKind::StaticSupertile(size),
+            &ptr,
+            &p,
+            frames,
+        );
+    }
+    // Pure temperature order with a pinned supertile size (no adaptivity).
+    for size in [2u32, 4, 8] {
+        let params = AdaptiveParams {
+            hit_ratio_threshold: 1.1,       // always below threshold -> temperature
+            order_switch_threshold: 1.0e9,  // never switch
+            resize_threshold: 1.0e9,        // never resize
+            initial_supertile_size: size,
+            ..AdaptiveParams::default()
+        };
+        run(
+            &format!("temperature fixed {size}x{size}"),
+            SchedulerKind::LibraWithParams(params),
+            &ptr,
+            &p,
+            frames,
+        );
+    }
+    run("LIBRA adaptive", SchedulerKind::Libra, &ptr, &p, frames);
+
+    if std::env::args().nth(3).as_deref() == Some("mshr") {
+        for m in [4u64, 8, 12, 16, 24, 32] {
+            let mut b = base.clone();
+            b.texture_cache.mshrs = m;
+            let mut d = ptr.clone();
+            d.texture_cache.mshrs = m;
+            run(&format!("mshr{m} base"), SchedulerKind::SingleZOrder, &b, &p, frames);
+            run(&format!("mshr{m} PTR"), SchedulerKind::InterleavedZOrder, &d, &p, frames);
+            run(&format!("mshr{m} LIBRA"), SchedulerKind::Libra, &d, &p, frames);
+        }
+    }
+}
+// (appended) MSHR sweep when invoked with a third arg "mshr".

@@ -1,0 +1,197 @@
+//! `libra-sim` — command-line driver for the LIBRA TBR GPU simulator.
+//!
+//! ```text
+//! libra-sim suite                         list the 32 benchmarks
+//! libra-sim run <ABBREV> [opts]           simulate one benchmark
+//! libra-sim compare <ABBREV> [opts]       baseline vs PTR vs LIBRA
+//! libra-sim sweep-ru <ABBREV> [opts]      1..4 Raster Units
+//!
+//! options: --frames N (default 6)   --fhd   --scheduler z|scanline|hilbert|static2|
+//!          static4|static8|static16|libra   --rus N   --cores N   --ideal-memory
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace intentionally carries no CLI
+//! dependency).
+
+use std::process::ExitCode;
+
+use libra_repro::prelude::*;
+use tbr_sim::report;
+
+#[derive(Debug, Clone)]
+struct Opts {
+    frames: u32,
+    fhd: bool,
+    scheduler: SchedulerKind,
+    rus: usize,
+    cores: usize,
+    ideal: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            frames: 6,
+            fhd: false,
+            scheduler: SchedulerKind::Libra,
+            rus: 2,
+            cores: 4,
+            ideal: false,
+        }
+    }
+}
+
+fn parse_scheduler(s: &str) -> Result<SchedulerKind, String> {
+    Ok(match s {
+        "z" | "zorder" => SchedulerKind::SingleZOrder,
+        "scanline" => SchedulerKind::Scanline,
+        "hilbert" => SchedulerKind::Hilbert,
+        "static2" => SchedulerKind::StaticSupertile(2),
+        "static4" => SchedulerKind::StaticSupertile(4),
+        "static8" => SchedulerKind::StaticSupertile(8),
+        "static16" => SchedulerKind::StaticSupertile(16),
+        "libra" => SchedulerKind::Libra,
+        other => return Err(format!("unknown scheduler `{other}`")),
+    })
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut need = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--frames" => o.frames = need("--frames")?.parse().map_err(|e| format!("{e}"))?,
+            "--fhd" => o.fhd = true,
+            "--scheduler" => o.scheduler = parse_scheduler(need("--scheduler")?)?,
+            "--rus" => o.rus = need("--rus")?.parse().map_err(|e| format!("{e}"))?,
+            "--cores" => o.cores = need("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--ideal-memory" => o.ideal = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn screen(o: &Opts) -> ScreenConfig {
+    if o.fhd {
+        ScreenConfig::fhd()
+    } else {
+        ScreenConfig::quarter_fhd()
+    }
+}
+
+fn config(o: &Opts) -> GpuConfig {
+    let mut cfg = GpuConfig::libra(screen(o), o.rus);
+    cfg.cores_per_ru = o.cores;
+    cfg.ideal_memory = o.ideal;
+    cfg
+}
+
+fn find(abbrev: &str) -> Result<BenchmarkProfile, String> {
+    suite()
+        .into_iter()
+        .find(|p| p.abbrev.eq_ignore_ascii_case(abbrev))
+        .ok_or_else(|| format!("unknown benchmark `{abbrev}` (try `libra-sim suite`)"))
+}
+
+fn cmd_suite() {
+    println!("{:<6} {:<24} {:<5} {:<8} {:>8}", "abbr", "name", "cat", "class", "tris≈");
+    for p in suite() {
+        println!(
+            "{:<6} {:<24} {:<5} {:<8} {:>8}",
+            p.abbrev,
+            p.name,
+            p.category.label(),
+            if p.memory_intensive { "memory" } else { "compute" },
+            p.approx_triangles()
+        );
+    }
+}
+
+fn cmd_run(abbrev: &str, o: &Opts) -> Result<(), String> {
+    let p = find(abbrev)?;
+    let cfg = config(o);
+    let s = simulate_sequence(&cfg, o.scheduler, &p, o.frames);
+    println!(
+        "{}",
+        report::sequence_summary(&format!("{} ({} RU x {} cores)", p.abbrev, o.rus, o.cores), &s, &cfg)
+    );
+    for f in &s.frames {
+        println!("  {}", report::frame_line(f));
+    }
+    Ok(())
+}
+
+fn cmd_compare(abbrev: &str, o: &Opts) -> Result<(), String> {
+    let p = find(abbrev)?;
+    let base_cfg = GpuConfig::baseline(screen(o));
+    let dual_cfg = GpuConfig::libra(screen(o), 2);
+    let base = simulate_sequence(&base_cfg, SchedulerKind::SingleZOrder, &p, o.frames);
+    let ptr = simulate_sequence(&dual_cfg, SchedulerKind::InterleavedZOrder, &p, o.frames);
+    let libra = simulate_sequence(&dual_cfg, SchedulerKind::Libra, &p, o.frames);
+    print!("{}", report::sequence_summary("baseline 1RUx8", &base, &base_cfg));
+    print!("{}", report::sequence_summary("PTR 2RUx4", &ptr, &dual_cfg));
+    print!("{}", report::sequence_summary("LIBRA 2RUx4", &libra, &dual_cfg));
+    println!("{}", report::compare("baseline", &base, "PTR  ", &ptr));
+    println!("{}", report::compare("baseline", &base, "LIBRA", &libra));
+    Ok(())
+}
+
+fn cmd_sweep_ru(abbrev: &str, o: &Opts) -> Result<(), String> {
+    let p = find(abbrev)?;
+    println!("{:<4} {:>12} {:>9}", "RUs", "cycles/f", "speedup");
+    let mut base_cycles = 0.0;
+    for n in 1..=4usize {
+        let cfg = GpuConfig::libra(screen(o), n);
+        let s = simulate_sequence(&cfg, SchedulerKind::Libra, &p, o.frames);
+        if n == 1 {
+            base_cycles = s.avg_frame_cycles();
+        }
+        println!("{:<4} {:>12.0} {:>8.3}x", n, s.avg_frame_cycles(), base_cycles / s.avg_frame_cycles());
+    }
+    Ok(())
+}
+
+fn usage() {
+    eprintln!(
+        "usage: libra-sim <suite|run|compare|sweep-ru> [ABBREV] [--frames N] [--fhd] \
+         [--scheduler z|scanline|hilbert|staticN|libra] [--rus N] [--cores N] [--ideal-memory]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd {
+        "suite" => {
+            cmd_suite();
+            Ok(())
+        }
+        "run" | "compare" | "sweep-ru" => {
+            let Some(abbrev) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            parse_opts(&args[2..]).and_then(|o| match cmd {
+                "run" => cmd_run(abbrev, &o),
+                "compare" => cmd_compare(abbrev, &o),
+                _ => cmd_sweep_ru(abbrev, &o),
+            })
+        }
+        _ => Err(format!("unknown command `{cmd}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests (proptest) on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use libra_repro::prelude::*;
+use tbr_common::config::CacheConfig;
+use tbr_common::morton::{morton_decode, morton_encode, zorder_traversal};
+use tbr_geom::clip::{clip_triangle, ClipVertex};
+use tbr_geom::vec::{Vec2, Vec4};
+use tbr_mem::cache::Cache;
+
+use libra::supertile::{SupertileGrid, SupertileTally};
+use libra::temperature::TemperatureTable;
+
+proptest! {
+    #[test]
+    fn morton_roundtrips(x in any::<u32>(), y in any::<u32>()) {
+        prop_assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+    }
+
+    #[test]
+    fn morton_preserves_quadrant_order(x in 0u32..1 << 15, y in 0u32..1 << 15) {
+        // Doubling both coordinates moves strictly later in Morton order.
+        prop_assert!(morton_encode(x, y) <= morton_encode(x * 2 + 1, y * 2 + 1));
+    }
+
+    #[test]
+    fn zorder_traversal_is_a_permutation(w in 1u32..40, h in 1u32..40) {
+        let order = zorder_traversal(w, h);
+        prop_assert_eq!(order.len(), (w * h) as usize);
+        let mut seen = vec![false; (w * h) as usize];
+        for c in order {
+            prop_assert!(c.x < w && c.y < h);
+            let idx = (c.y * w + c.x) as usize;
+            prop_assert!(!seen[idx], "tile visited twice");
+            seen[idx] = true;
+        }
+    }
+
+    #[test]
+    fn clipped_triangles_stay_inside_the_frustum(
+        coords in proptest::collection::vec(-3.0f32..3.0, 9)
+    ) {
+        let tri = [
+            ClipVertex::new(Vec4::new(coords[0], coords[1], coords[2], 1.0), Vec2::default()),
+            ClipVertex::new(Vec4::new(coords[3], coords[4], coords[5], 1.0), Vec2::default()),
+            ClipVertex::new(Vec4::new(coords[6], coords[7], coords[8], 1.0), Vec2::default()),
+        ];
+        for out in clip_triangle(tri) {
+            for v in out {
+                let w = v.pos.w;
+                prop_assert!(v.pos.x >= -w - 1e-3 && v.pos.x <= w + 1e-3);
+                prop_assert!(v.pos.y >= -w - 1e-3 && v.pos.y <= w + 1e-3);
+                prop_assert!(v.pos.z >= -w - 1e-3 && v.pos.z <= w + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hit_after_access(addrs in proptest::collection::vec(0u64..1 << 20, 1..200)) {
+        let mut cache = Cache::new(CacheConfig::texture_l1());
+        for &a in &addrs {
+            cache.access(a);
+            // Immediately re-probing the same address must hit (it was just filled).
+            prop_assert!(cache.probe(a), "address {a:#x} not resident after access");
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+    }
+
+    #[test]
+    fn supertiles_partition_any_screen(
+        tiles_x in 1u32..64,
+        tiles_y in 1u32..64,
+        size_log in 0u32..5,
+    ) {
+        let screen = tbr_common::config::ScreenConfig {
+            width: tiles_x * 32,
+            height: tiles_y * 32,
+            tile_size: 32,
+        };
+        let grid = SupertileGrid::new(&screen, 1 << size_log);
+        let mut seen = vec![false; screen.num_tiles()];
+        for st in 0..grid.num_supertiles() as u32 {
+            for t in grid.tiles_of(tbr_common::ids::SupertileId(st)) {
+                prop_assert!(!seen[t.index()], "tile in two supertiles");
+                seen[t.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some tile not covered");
+    }
+
+    #[test]
+    fn temperature_rank_is_sorted_and_complete(
+        tallies in proptest::collection::vec((0u64..100_000, 0u64..10_000_000), 1..511)
+    ) {
+        let tallies: Vec<SupertileTally> = tallies
+            .into_iter()
+            .map(|(d, i)| SupertileTally { dram_accesses: d, instructions: i })
+            .collect();
+        let table = TemperatureTable::from_tallies(&tallies);
+        let rank = table.rank();
+        prop_assert_eq!(rank.len(), tallies.len());
+        // Permutation.
+        let mut seen = vec![false; tallies.len()];
+        for id in &rank {
+            prop_assert!(!seen[id.index()]);
+            seen[id.index()] = true;
+        }
+        // Hottest-first by the hardware fixed-point field.
+        let api: Vec<u16> = rank.iter().map(|id| table.entries()[id.index()].api_fixed).collect();
+        prop_assert!(api.windows(2).all(|w| w[0] >= w[1]), "rank not descending");
+    }
+
+    #[test]
+    fn frame_plans_always_cover_all_tiles(
+        kind_sel in 0usize..6,
+        rus in 1u8..5,
+        seed in 0u64..1000,
+    ) {
+        use libra::feedback::FrameFeedback;
+        use tbr_common::stats::TileHeatmap;
+
+        let screen = ScreenConfig::tiny();
+        let kind = [
+            SchedulerKind::SingleZOrder,
+            SchedulerKind::Scanline,
+            SchedulerKind::Hilbert,
+            SchedulerKind::StaticSupertile(2),
+            SchedulerKind::StaticSupertile(8),
+            SchedulerKind::Libra,
+        ][kind_sel];
+        let mut sched = kind.build();
+        // Pseudo-random feedback derived from the seed.
+        let mut hm = TileHeatmap::new(screen.num_tiles());
+        for (i, t) in hm.tiles.iter_mut().enumerate() {
+            t.dram_accesses = (seed.wrapping_mul(31).wrapping_add(i as u64 * 7)) % 5000;
+            t.instructions = 1 + (seed.wrapping_add(i as u64 * 13)) % 100_000;
+        }
+        let fb = FrameFeedback::new(hm, 100_000 + seed * 100, (seed % 100) as f64 / 100.0);
+        let mut plan = sched.plan_frame(&screen, Some(&fb));
+
+        let mut seen = vec![false; screen.num_tiles()];
+        let mut ru = 0u8;
+        while let Some(group) = plan.next_group(tbr_common::ids::RasterUnitId(ru)) {
+            for t in group {
+                prop_assert!(!seen[t.index()], "tile dispatched twice");
+                seen[t.index()] = true;
+            }
+            ru = (ru + 1) % rus;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "plan lost tiles");
+    }
+
+    #[test]
+    fn coherence_cdf_is_monotone(values in proptest::collection::vec(0u64..1000, 8)) {
+        use tbr_common::stats::TileHeatmap;
+        let mut a = TileHeatmap::new(values.len());
+        let mut b = TileHeatmap::new(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            a.tiles[i].dram_accesses = v;
+            b.tiles[i].dram_accesses = v.wrapping_mul(3) % 1000;
+        }
+        let thresholds = [0.1, 0.2, 0.5, 1.0];
+        let cdf = a.coherence_cdf(&b, &thresholds);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12, "CDF must be monotone");
+        }
+        prop_assert!((cdf[3] - 1.0).abs() < 1e-12, "everything differs by at most 100%");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn rasterized_coverage_matches_area(
+        x0 in 2.0f32..60.0,
+        y0 in 2.0f32..60.0,
+        w in 8.0f32..60.0,
+        h in 8.0f32..60.0,
+    ) {
+        use tbr_common::ids::{DrawCallId, TextureId};
+        use tbr_geom::pipeline::ScreenVertex;
+        use tbr_geom::scene::{BlendMode, FragmentShaderDesc, TextureDesc};
+        use tbr_raster::rasterizer::rasterize_in_rect;
+
+        // An axis-aligned rectangle (two triangles) must cover ~w*h pixels.
+        let mk = |p: [(f32, f32); 3]| tbr_geom::pipeline::ScreenTriangle {
+            v: p.map(|(x, y)| ScreenVertex { x, y, z: 0.5, u: 0.0, v: 0.0 }),
+            draw: DrawCallId(0),
+            texture: TextureDesc::new(TextureId(0), 64),
+            shader: FragmentShaderDesc::simple(),
+            blend: BlendMode::Opaque,
+            seq: 0,
+        };
+        let (x1, y1) = (x0 + w, y0 + h);
+        let a = mk([(x0, y0), (x1, y0), (x0, y1)]);
+        let b = mk([(x1, y0), (x1, y1), (x0, y1)]);
+        let cov: u32 = rasterize_in_rect(&a, 0, 0, 128, 128)
+            .iter()
+            .chain(rasterize_in_rect(&b, 0, 0, 128, 128).iter())
+            .map(|q| q.coverage())
+            .sum();
+        let area = w * h;
+        let err = (cov as f32 - area).abs() / area;
+        // Pixel-centre sampling error is bounded by the perimeter.
+        prop_assert!(err < 0.35, "coverage {cov} vs area {area}");
+    }
+}
