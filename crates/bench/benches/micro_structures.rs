@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks of the core data structures — the ablation-level
-//! performance checks for the design choices listed in DESIGN.md §5.
+//! Micro-benchmarks of the core data structures — the ablation-level performance
+//! checks for the design choices listed in DESIGN.md §5. Runs on the in-repo
+//! harness (`libra_bench::harness`) so the workspace stays free of crates.io
+//! dependencies.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use libra_bench::harness::{black_box, Harness};
 
 use libra::scheduler::SchedulerKind;
 use libra::supertile::{SupertileGrid, SupertileTally};
@@ -13,22 +15,18 @@ use tbr_mem::cache::Cache;
 use tbr_raster::rasterizer::rasterize_in_rect;
 use tbr_workloads::{suite, SceneGenerator};
 
-fn bench_morton(c: &mut Criterion) {
-    c.bench_function("morton_encode", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..1024u32 {
-                acc ^= morton_encode(black_box(i), black_box(i * 7));
-            }
-            acc
-        })
+fn bench_morton(h: &mut Harness) {
+    h.bench("morton_encode", || {
+        let mut acc = 0u64;
+        for i in 0..1024u32 {
+            acc ^= morton_encode(black_box(i), black_box(i * 7));
+        }
+        acc
     });
-    c.bench_function("zorder_traversal_510_tiles", |b| {
-        b.iter(|| zorder_traversal(black_box(30), black_box(17)))
-    });
+    h.bench("zorder_traversal_510_tiles", || zorder_traversal(black_box(30), black_box(17)));
 }
 
-fn bench_temperature(c: &mut Criterion) {
+fn bench_temperature(h: &mut Harness) {
     // The hardware-sized table: 510 supertiles (paper §III-E).
     let tallies: Vec<SupertileTally> = (0..510)
         .map(|i| SupertileTally {
@@ -36,43 +34,37 @@ fn bench_temperature(c: &mut Criterion) {
             instructions: 1000 + (i * 97) % 65536,
         })
         .collect();
-    c.bench_function("temperature_table_build_510", |b| {
-        b.iter(|| TemperatureTable::from_tallies(black_box(&tallies)))
-    });
+    h.bench("temperature_table_build_510", || TemperatureTable::from_tallies(black_box(&tallies)));
     let table = TemperatureTable::from_tallies(&tallies);
-    c.bench_function("temperature_table_rank_510", |b| b.iter(|| black_box(&table).rank()));
+    h.bench("temperature_table_rank_510", || black_box(&table).rank());
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_access_stream_4k", |b| {
-        b.iter(|| {
-            let mut cache = Cache::new(CacheConfig::texture_l1());
-            let mut hits = 0u64;
-            for i in 0..4096u64 {
-                hits += cache.access(black_box(i * 64 % (64 << 10))).is_hit() as u64;
-            }
-            hits
-        })
+fn bench_cache(h: &mut Harness) {
+    h.bench("cache_access_stream_4k", || {
+        let mut cache = Cache::new(CacheConfig::texture_l1());
+        let mut hits = 0u64;
+        for i in 0..4096u64 {
+            hits += cache.access(black_box(i * 64 % (64 << 10))).is_hit() as u64;
+        }
+        hits
     });
 }
 
-fn bench_rasterizer(c: &mut Criterion) {
+fn bench_rasterizer(h: &mut Harness) {
     let screen = ScreenConfig::tiny();
     let p = suite().remove(0);
     let scene = SceneGenerator::new(&p, &screen).scene(0);
     let (tris, _) = tbr_geom::process_scene(&scene, &screen);
-    c.bench_function("rasterize_scene_into_tile", |b| {
-        b.iter(|| {
-            let mut quads = 0usize;
-            for t in &tris {
-                quads += rasterize_in_rect(black_box(t), 0, 0, 32, 32).len();
-            }
-            quads
-        })
+    h.bench("rasterize_scene_into_tile", || {
+        let mut quads = 0usize;
+        for t in &tris {
+            quads += rasterize_in_rect(black_box(t), 0, 0, 32, 32).len();
+        }
+        quads
     });
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler(h: &mut Harness) {
     let screen = ScreenConfig::quarter_fhd();
     let mut heatmap = TileHeatmap::new(screen.num_tiles());
     for (i, t) in heatmap.tiles.iter_mut().enumerate() {
@@ -80,23 +72,22 @@ fn bench_scheduler(c: &mut Criterion) {
         t.instructions = 1000 + (i as u64 * 7) % 9000;
     }
     let feedback = libra::feedback::FrameFeedback::new(heatmap, 500_000, 0.6);
-    c.bench_function("libra_plan_frame_510_tiles", |b| {
-        b.iter(|| {
-            let mut sched = SchedulerKind::Libra.build();
-            // Two plans: one cold (Z-order fallback), one informed.
-            let _ = sched.plan_frame(black_box(&screen), None);
-            sched.plan_frame(black_box(&screen), Some(black_box(&feedback)))
-        })
+    h.bench("libra_plan_frame_510_tiles", || {
+        let mut sched = SchedulerKind::Libra.build();
+        // Two plans: one cold (Z-order fallback), one informed.
+        let _ = sched.plan_frame(black_box(&screen), None);
+        sched.plan_frame(black_box(&screen), Some(black_box(&feedback)))
     });
-    c.bench_function("supertile_aggregate_2x2", |b| {
-        let grid = SupertileGrid::new(&screen, 2);
-        b.iter(|| grid.aggregate(black_box(&feedback.heatmap)))
-    });
+    let grid = SupertileGrid::new(&screen, 2);
+    h.bench("supertile_aggregate_2x2", || grid.aggregate(black_box(&feedback.heatmap)));
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_morton, bench_temperature, bench_cache, bench_rasterizer, bench_scheduler
-);
-criterion_main!(micro);
+fn main() {
+    let mut h = Harness::new("micro_structures");
+    bench_morton(&mut h);
+    bench_temperature(&mut h);
+    bench_cache(&mut h);
+    bench_rasterizer(&mut h);
+    bench_scheduler(&mut h);
+    h.finish();
+}

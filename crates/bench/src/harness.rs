@@ -1,0 +1,180 @@
+//! Minimal in-repo micro-benchmark harness (criterion replacement).
+//!
+//! The workspace builds hermetically offline, so the micro-benchmarks cannot pull
+//! `criterion` from crates.io. This module provides the small subset the repo
+//! actually needs: named wall-clock benchmarks with automatic iteration-count
+//! calibration, per-iteration statistics (mean / min / max / stddev over samples),
+//! aligned console output, and the same CSV-under-`bench_results/` convention every
+//! other experiment target follows.
+//!
+//! ```no_run
+//! use libra_bench::harness::{black_box, Harness};
+//!
+//! let mut h = Harness::new("micro_structures");
+//! h.bench("sum_1k", || (0..1024u64).map(black_box).sum::<u64>());
+//! h.finish();
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time of one measurement sample. Iteration counts are
+/// calibrated so each sample runs roughly this long, which keeps timer overhead
+/// (~20 ns per `Instant::now` pair) far below 0.1 % of the measurement.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Statistics of one named benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (one row of the report).
+    pub name: String,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Mean ns/iteration over all samples.
+    pub mean_ns: f64,
+    /// Fastest sample's ns/iteration (the least-perturbed estimate).
+    pub min_ns: f64,
+    /// Slowest sample's ns/iteration.
+    pub max_ns: f64,
+    /// Population standard deviation of the per-sample means, ns/iteration.
+    pub stddev_ns: f64,
+}
+
+/// A named collection of micro-benchmarks: run each with [`Harness::bench`], then
+/// [`Harness::finish`] prints the table and writes `bench_results/<id>.csv`.
+#[derive(Debug)]
+pub struct Harness {
+    id: String,
+    samples: u32,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Creates a harness whose CSV lands in `bench_results/<id>.csv`.
+    ///
+    /// `LIBRA_BENCH_SAMPLES` overrides the default of 20 samples per benchmark
+    /// (e.g. `LIBRA_BENCH_SAMPLES=3` for a smoke run).
+    pub fn new(id: &str) -> Self {
+        let samples = std::env::var("LIBRA_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(20);
+        println!("{:<34} {:>12} {:>12} {:>12} {:>10}", "benchmark", "mean", "min", "max", "stddev");
+        Self { id: id.to_string(), samples, results: Vec::new() }
+    }
+
+    /// Runs one benchmark: calibrates an iteration count so a sample takes about
+    /// [`TARGET_SAMPLE`], then times `self.samples` samples of that many calls.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the optimiser
+    /// cannot delete the measured work.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm up and calibrate: double the batch until it costs >= ~1/8 of the
+        // target, then scale linearly. Bounded to keep pathological cases finite.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= TARGET_SAMPLE / 8 || iters >= 1 << 24 {
+                break el.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+        let iters_per_sample =
+            ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 26);
+
+        let mut sample_means = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            sample_means.push(t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+
+        let n = sample_means.len() as f64;
+        let mean = sample_means.iter().sum::<f64>() / n;
+        let var = sample_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / n;
+        let r = BenchResult {
+            name: name.to_string(),
+            iters_per_sample,
+            samples: self.samples,
+            mean_ns: mean,
+            min_ns: sample_means.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_ns: sample_means.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            stddev_ns: var.sqrt(),
+        };
+        println!(
+            "{:<34} {:>12} {:>12} {:>12} {:>10}",
+            r.name,
+            fmt_ns(r.mean_ns),
+            fmt_ns(r.min_ns),
+            fmt_ns(r.max_ns),
+            fmt_ns(r.stddev_ns)
+        );
+        self.results.push(r);
+    }
+
+    /// Prints nothing further (rows were printed live) and writes the CSV.
+    pub fn finish(self) -> Vec<BenchResult> {
+        let rows: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{:.2},{:.2},{:.2},{:.2},{},{}",
+                    r.name, r.mean_ns, r.min_ns, r.max_ns, r.stddev_ns, r.iters_per_sample, r.samples
+                )
+            })
+            .collect();
+        crate::Env::from_env(1).write_csv(
+            &self.id,
+            "benchmark,mean_ns,min_ns,max_ns,stddev_ns,iters_per_sample,samples",
+            &rows,
+        );
+        self.results
+    }
+}
+
+/// Human-readable nanosecond quantity (`473ns`, `12.3µs`, `4.56ms`).
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_stats() {
+        std::env::set_var("LIBRA_BENCH_SAMPLES", "3");
+        let mut h = Harness::new("harness_selftest");
+        h.bench("noop_sum", || (0..64u64).sum::<u64>());
+        std::env::remove_var("LIBRA_BENCH_SAMPLES");
+        let r = &h.results[0];
+        assert!(r.mean_ns > 0.0);
+        assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+        assert!(r.iters_per_sample >= 1);
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(473.0), "473ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30µs");
+        assert_eq!(fmt_ns(4_560_000.0), "4.56ms");
+    }
+}

@@ -14,6 +14,9 @@
 //!   tile fetcher and inside LIBRA supertiles.
 //! * [`addr`] — the simulated physical address map (vertex data, parameter buffer,
 //!   textures, framebuffer) and [`addr::AccessKind`].
+//! * [`rng`] — the vendored deterministic PRNG (SplitMix64-seeded xoshiro256++)
+//!   behind scene synthesis, property-test generation and campaign job seeding,
+//!   keeping the workspace free of crates.io dependencies.
 //!
 //! Nothing in here performs simulation; it is pure data and arithmetic, which keeps
 //! the dependency DAG of the workspace acyclic.
@@ -35,6 +38,7 @@ pub mod error;
 pub mod hilbert;
 pub mod ids;
 pub mod morton;
+pub mod rng;
 pub mod stats;
 
 /// Simulation time, in GPU core cycles (800 MHz in the paper's Table I).

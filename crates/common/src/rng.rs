@@ -1,0 +1,220 @@
+//! Vendored deterministic PRNG: SplitMix64-seeded xoshiro256++.
+//!
+//! The workspace builds hermetically offline, so instead of pulling `rand` from
+//! crates.io we carry the two tiny, well-studied generators the `rand` ecosystem
+//! itself builds on:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood's 64-bit mixer. Equidistributed, passes
+//!   BigCrush, and — crucially — turns *any* 64-bit seed (including 0 and other
+//!   low-entropy values) into a well-mixed state. Used here only to expand seeds.
+//! * [`Xoshiro256pp`] — Blackman & Vigna's xoshiro256++ 1.0, the general-purpose
+//!   generator recommended by its authors. 256-bit state, period 2^256 − 1.
+//!
+//! Both algorithms are public domain (CC0) reference constructions; the
+//! implementations below are written from the published recurrences.
+//!
+//! Everything downstream (scene synthesis, property-test case generation, campaign
+//! job seeding) derives from these, so a `(seed, call sequence)` pair fully
+//! determines every "random" choice in the repository — the bedrock of the
+//! bit-identical parallel-campaign guarantee (see `DESIGN.md`).
+
+/// SplitMix64: a fixed-increment counter passed through a 64-bit finalising mixer.
+///
+/// ```
+/// use tbr_common::rng::SplitMix64;
+/// let mut sm = SplitMix64::new(0);
+/// let a = sm.next_u64();
+/// assert_ne!(a, sm.next_u64(), "stream must advance");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a raw 64-bit seed (any value is fine).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One-shot SplitMix64 mix of a single value — the stateless form used to derive
+/// independent sub-seeds (per-frame streams, per-campaign-job seeds) from a parent
+/// seed without correlating the resulting streams.
+pub fn splitmix64_mix(seed: u64) -> u64 {
+    SplitMix64::new(seed).next_u64()
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019).
+///
+/// Seeded through SplitMix64 as the authors prescribe, so even adjacent or
+/// zero-entropy `u64` seeds yield decorrelated streams.
+///
+/// ```
+/// use tbr_common::rng::Xoshiro256pp;
+/// let mut a = Xoshiro256pp::seed_from_u64(42);
+/// let mut b = Xoshiro256pp::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the 256-bit state by running SplitMix64 four times, per the reference
+    /// implementation's guidance. The all-zero state (the one invalid state) cannot
+    /// be produced this way.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Next 64-bit output (the `++` scrambler: `rotl(s0 + s3, 23) + s0`).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit draw — the better-mixed bits).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u32` in `[0, n)` via the multiply-shift range reduction
+    /// (Lemire's unbiased-enough fast path; the modulo bias over a 32-bit draw is
+    /// below 2^-32 · n, invisible at simulator scales). `n = 0` returns 0.
+    pub fn gen_u32(&mut self, n: u32) -> u32 {
+        if n == 0 {
+            return 0;
+        }
+        ((self.next_u32() as u64 * n as u64) >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)` from the top 24 bits of a 64-bit draw.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`. Degenerate ranges (`hi <= lo`) return `lo`.
+    pub fn gen_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform `f32` in the closed interval `[lo, hi]`.
+    ///
+    /// The half-open sampler already makes `hi` unreachable only by one part in
+    /// 2^24; the closed form simply widens the scale by one ULP-step of the 24-bit
+    /// lattice so both endpoints are attainable, matching `rand`'s
+    /// `gen_range(lo..=hi)` contract closely enough for scene synthesis.
+    pub fn gen_f32_inclusive(&mut self, lo: f32, hi: f32) -> f32 {
+        if hi <= lo {
+            return lo;
+        }
+        let t = (self.next_u64() >> 40) as f32 * (1.0 / ((1u32 << 24) - 1) as f32);
+        (lo + (hi - lo) * t).min(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_zero_seed_is_well_mixed() {
+        // Known first outputs of SplitMix64(0), from the public-domain reference C
+        // implementation (Vigna, prng.di.unimi.it).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn xoshiro_streams_are_deterministic_and_distinct() {
+        let mut a = Xoshiro256pp::seed_from_u64(7);
+        let mut b = Xoshiro256pp::seed_from_u64(7);
+        let mut c = Xoshiro256pp::seed_from_u64(8);
+        let av: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let cv: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(av, bv);
+        assert_ne!(av, cv, "adjacent seeds must decorrelate through SplitMix64");
+    }
+
+    #[test]
+    fn gen_u32_stays_in_range_and_covers() {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_u32(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws must cover [0,7)");
+        assert_eq!(rng.gen_u32(0), 0);
+        assert_eq!(rng.gen_u32(1), 0);
+    }
+
+    #[test]
+    fn gen_f32_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_f32(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&v));
+            let w = rng.gen_f32_inclusive(0.0, 1.0);
+            assert!((0.0..=1.0).contains(&w));
+        }
+        // Degenerate ranges collapse to lo instead of panicking (rand panics here;
+        // scene synthesis wants the permissive behaviour for zero-jitter profiles).
+        assert_eq!(rng.gen_f32(5.0, 5.0), 5.0);
+        assert_eq!(rng.gen_f32_inclusive(5.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn f32_distribution_is_roughly_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2024);
+        let mut buckets = [0u32; 10];
+        const N: u32 = 10_000;
+        for _ in 0..N {
+            let v = rng.next_f32();
+            buckets[(v * 10.0) as usize % 10] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (N / 10).abs_diff(b) < N / 20,
+                "bucket {i} has {b} of {N} draws — not uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn splitmix_mix_derives_decorrelated_subseeds() {
+        // Consecutive job indices must yield thoroughly different sub-seeds.
+        let a = splitmix64_mix(100);
+        let b = splitmix64_mix(101);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 12, "avalanche too weak: {:#x} vs {:#x}", a, b);
+    }
+}

@@ -1,0 +1,340 @@
+//! Deterministic parallel simulation-campaign driver.
+//!
+//! Every figure of the paper is a sweep: workload × scheduler × GPU configuration,
+//! each point one independent [`simulate_sequence`](crate::simulate_sequence) run.
+//! The cycle-level simulator itself is strictly single-threaded, but the points
+//! share nothing, so campaign throughput scales with cores — the classic
+//! "parallelize across simulation instances, not within one" result from the
+//! architecture-simulation literature.
+//!
+//! # Determinism scheme
+//!
+//! Parallel execution is **bit-identical** to serial execution, regardless of
+//! thread count or scheduling jitter:
+//!
+//! 1. *Per-job seeds are position-derived.* Job `i` simulates its profile with an
+//!    effective seed `profile.seed ^ splitmix64_mix(campaign_seed ^ i·φ64)` — a pure
+//!    function of `(campaign_seed, i)`, never of which worker ran it or when.
+//!    Campaign seed 0 means "no perturbation": the canonical paper suite.
+//! 2. *Jobs share no mutable state.* Each worker builds its own GPU, caches, DRAM
+//!    and scheduler from the job spec; the simulator is deterministic
+//!    (same inputs → same cycle counts).
+//! 3. *Ordered result collection.* Workers write into the result slot indexed by
+//!    the job's position, so the returned `Vec` is in campaign order — the same
+//!    order `run_serial` produces — no matter which thread finished first.
+//!
+//! Work distribution uses a work-stealing queue: jobs are dealt round-robin into
+//! per-worker deques; a worker pops from the front of its own deque and, when
+//! empty, steals from the back of a victim's. Stealing only changes *who* runs a
+//! job, never *what* the job computes, so the guarantee above is unaffected.
+//!
+//! ```
+//! use tbr_common::config::{GpuConfig, ScreenConfig};
+//! use tbr_sim::campaign::Campaign;
+//! use tbr_sim::SchedulerKind;
+//! use tbr_workloads::suite;
+//!
+//! let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+//! let mut c = Campaign::new(0);
+//! for p in suite().into_iter().take(2) {
+//!     c.push(&cfg, SchedulerKind::Libra, p, 1);
+//! }
+//! let parallel = c.run(2);
+//! let serial = c.run_serial();
+//! assert_eq!(parallel, serial); // bit-identical, in campaign order
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use libra::scheduler::SchedulerKind;
+use tbr_common::config::GpuConfig;
+use tbr_common::rng::splitmix64_mix;
+use tbr_common::stats::SequenceStats;
+use tbr_workloads::BenchmarkProfile;
+
+use crate::gpu::simulate_sequence;
+
+/// The golden-gamma increment of SplitMix64 — spaces job indices far apart in the
+/// mixer's input domain so adjacent jobs get decorrelated seeds.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One independent simulation point of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignJob {
+    /// GPU configuration of this point.
+    pub cfg: GpuConfig,
+    /// Tile scheduler of this point.
+    pub scheduler: SchedulerKind,
+    /// Workload profile (its `seed` is perturbed per [`Campaign::job_seed`]).
+    pub profile: BenchmarkProfile,
+    /// Frames to simulate.
+    pub frames: u32,
+}
+
+/// One finished point: the job's position, its effective seed, and its stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Index of the job in the campaign (results come back in this order).
+    pub job: usize,
+    /// Workload abbreviation (for reports).
+    pub abbrev: &'static str,
+    /// Scheduler name (for reports).
+    pub scheduler: &'static str,
+    /// The effective workload seed the job ran with.
+    pub effective_seed: u64,
+    /// Full per-frame statistics of the sequence.
+    pub stats: SequenceStats,
+}
+
+/// A batch of independent simulation jobs with a campaign-level seed.
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    /// Campaign seed. 0 leaves every profile's canonical seed untouched; any other
+    /// value resamples each job's scene layout deterministically.
+    pub seed: u64,
+    jobs: Vec<CampaignJob>,
+}
+
+impl Campaign {
+    /// Creates an empty campaign.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, jobs: Vec::new() }
+    }
+
+    /// Appends one simulation point.
+    pub fn push(
+        &mut self,
+        cfg: &GpuConfig,
+        scheduler: SchedulerKind,
+        profile: BenchmarkProfile,
+        frames: u32,
+    ) {
+        self.jobs.push(CampaignJob { cfg: cfg.clone(), scheduler, profile, frames });
+    }
+
+    /// Builds the full cross product `profiles × schedulers` on one configuration —
+    /// the shape of most figure sweeps.
+    pub fn grid(
+        seed: u64,
+        cfg: &GpuConfig,
+        schedulers: &[SchedulerKind],
+        profiles: &[BenchmarkProfile],
+        frames: u32,
+    ) -> Self {
+        let mut c = Self::new(seed);
+        for p in profiles {
+            for &s in schedulers {
+                c.push(cfg, s, p.clone(), frames);
+            }
+        }
+        c
+    }
+
+    /// The jobs in campaign order.
+    pub fn jobs(&self) -> &[CampaignJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the campaign is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The seed perturbation of job `index`: a pure function of
+    /// `(campaign seed, index)`, independent of worker assignment. Campaign seed 0
+    /// disables perturbation so the canonical suite (the paper's fixed layouts)
+    /// simulates as-is.
+    pub fn job_seed(&self, index: usize) -> u64 {
+        if self.seed == 0 {
+            0
+        } else {
+            splitmix64_mix(self.seed ^ (index as u64).wrapping_mul(GOLDEN_GAMMA))
+        }
+    }
+
+    /// Runs job `index` to completion (the single shared code path of the serial
+    /// and parallel drivers — both orders therefore compute bit-identical stats).
+    fn run_job(&self, index: usize) -> CampaignResult {
+        let job = &self.jobs[index];
+        let mut profile = job.profile.clone();
+        let effective_seed = profile.seed ^ self.job_seed(index);
+        profile.seed = effective_seed;
+        let stats = simulate_sequence(&job.cfg, job.scheduler, &profile, job.frames);
+        CampaignResult {
+            job: index,
+            abbrev: job.profile.abbrev,
+            scheduler: job.scheduler.build().name(),
+            effective_seed,
+            stats,
+        }
+    }
+
+    /// Runs every job on the calling thread, in campaign order.
+    pub fn run_serial(&self) -> Vec<CampaignResult> {
+        (0..self.jobs.len()).map(|i| self.run_job(i)).collect()
+    }
+
+    /// Runs the campaign on `threads` worker threads (clamped to at least 1) and
+    /// returns results in campaign order, bit-identical to [`Campaign::run_serial`].
+    pub fn run(&self, threads: usize) -> Vec<CampaignResult> {
+        let threads = threads.clamp(1, self.jobs.len().max(1));
+        if threads <= 1 || self.jobs.len() <= 1 {
+            return self.run_serial();
+        }
+
+        // Deal jobs round-robin into per-worker deques. Round-robin (rather than
+        // contiguous chunks) interleaves heavy and light workloads, so the initial
+        // split is already balanced and stealing is the exception.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, _) in self.jobs.iter().enumerate() {
+            queues[i % threads].lock().unwrap().push_back(i);
+        }
+
+        let slots: Vec<Mutex<Option<CampaignResult>>> =
+            self.jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..threads {
+                let queues = &queues;
+                let slots = &slots;
+                scope.spawn(move || {
+                    loop {
+                        // Own queue first (front: preserves the dealt order)…
+                        let job = queues[me].lock().unwrap().pop_front().or_else(|| {
+                            // …then steal from the back of the first non-empty
+                            // victim, scanning away from ourselves.
+                            (1..threads).find_map(|k| {
+                                queues[(me + k) % threads].lock().unwrap().pop_back()
+                            })
+                        });
+                        match job {
+                            Some(i) => *slots[i].lock().unwrap() = Some(self.run_job(i)),
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("every job slot filled"))
+            .collect()
+    }
+
+    /// Runs the campaign both in parallel and serially, asserting bit-identical
+    /// results; returns `(results, parallel_secs, serial_secs)`. This is the CI
+    /// smoke entry point — any divergence panics with the first differing job.
+    pub fn run_verified(&self, threads: usize) -> (Vec<CampaignResult>, f64, f64) {
+        let t0 = Instant::now();
+        let par = self.run(threads);
+        let par_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let ser = self.run_serial();
+        let ser_secs = t1.elapsed().as_secs_f64();
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(
+                p, s,
+                "parallel job {} ({} / {}) diverged from the serial run",
+                p.job, p.abbrev, p.scheduler
+            );
+        }
+        (par, par_secs, ser_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbr_common::config::ScreenConfig;
+    use tbr_workloads::suite;
+
+    fn small_campaign(seed: u64, points: usize) -> Campaign {
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        let mut c = Campaign::new(seed);
+        for p in suite().into_iter().take(points) {
+            c.push(&cfg, SchedulerKind::Libra, p, 1);
+        }
+        c
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let c = small_campaign(0, 5);
+        let serial = c.run_serial();
+        for threads in [2, 3, 5, 8] {
+            let par = c.run(threads);
+            assert_eq!(par, serial, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_campaign_order() {
+        let c = small_campaign(7, 6);
+        let res = c.run(4);
+        for (i, r) in res.iter().enumerate() {
+            assert_eq!(r.job, i);
+        }
+    }
+
+    #[test]
+    fn zero_seed_matches_direct_simulation() {
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        let p = suite().remove(0);
+        let mut c = Campaign::new(0);
+        c.push(&cfg, SchedulerKind::Libra, p.clone(), 2);
+        let res = c.run(2);
+        let direct = simulate_sequence(&cfg, SchedulerKind::Libra, &p, 2);
+        assert_eq!(res[0].stats, direct, "seed 0 must not perturb the canonical suite");
+        assert_eq!(res[0].effective_seed, p.seed);
+    }
+
+    #[test]
+    fn nonzero_seed_perturbs_each_job_differently() {
+        let c = small_campaign(42, 3);
+        assert_ne!(c.job_seed(0), c.job_seed(1));
+        assert_ne!(c.job_seed(1), c.job_seed(2));
+        // Same campaign seed → same derivation; different seed → different.
+        let c2 = small_campaign(42, 3);
+        assert_eq!(c.job_seed(2), c2.job_seed(2));
+        let c3 = small_campaign(43, 3);
+        assert_ne!(c.job_seed(0), c3.job_seed(0));
+    }
+
+    #[test]
+    fn run_verified_smoke() {
+        let c = small_campaign(1, 4);
+        let (res, _, _) = c.run_verified(2);
+        assert_eq!(res.len(), 4);
+        assert!(res.iter().all(|r| r.stats.total_cycles() > 0));
+    }
+
+    #[test]
+    fn empty_and_single_job_campaigns_work() {
+        let c = Campaign::new(0);
+        assert!(c.is_empty());
+        assert!(c.run(4).is_empty());
+        let c1 = small_campaign(0, 1);
+        assert_eq!(c1.run(8).len(), 1);
+    }
+
+    #[test]
+    fn grid_builds_the_cross_product() {
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        let profiles: Vec<_> = suite().into_iter().take(3).collect();
+        let scheds = [SchedulerKind::SingleZOrder, SchedulerKind::Libra];
+        let c = Campaign::grid(0, &cfg, &scheds, &profiles, 2);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.jobs()[0].profile.abbrev, profiles[0].abbrev);
+        assert_eq!(c.jobs()[1].scheduler, SchedulerKind::Libra);
+    }
+}

@@ -9,7 +9,10 @@
 //!   tiles from the scheduler's [`libra::scheduler::FramePlan`], with warp-granular
 //!   interleaving across RUs so shared L2/DRAM contention is causally ordered;
 //! * [`gpu`] — [`GpuSimulator`]: the frame loop with LIBRA's feedback path (profile
-//!   frame *n*, schedule frame *n + 1*).
+//!   frame *n*, schedule frame *n + 1*);
+//! * [`campaign`] — the deterministic parallel campaign driver: independent
+//!   (workload × scheduler × config) sweep points fanned across `std::thread`
+//!   workers via a work-stealing queue, bit-identical to the serial order.
 //!
 //! The simulator is deterministic: the same configuration, scheduler and workload
 //! always produce identical cycle counts and statistics.
@@ -30,12 +33,14 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod geometry_phase;
 pub mod gpu;
 pub mod imr;
 pub mod raster_phase;
 pub mod report;
 
+pub use campaign::{Campaign, CampaignJob, CampaignResult};
 pub use gpu::{simulate_frame, simulate_sequence, simulate_sequence_oracle, GpuSimulator};
 pub use imr::simulate_sequence_imr;
 pub use libra::scheduler::SchedulerKind;

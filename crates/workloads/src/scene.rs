@@ -4,10 +4,8 @@
 //! the profile seed; each frame applies smooth scrolling and bounded jitter on top,
 //! which is exactly what gives the workloads their frame-to-frame coherence (Fig 8).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::profile::{BenchmarkProfile, Category};
+use tbr_common::rng::Xoshiro256pp;
 use tbr_common::config::ScreenConfig;
 use tbr_common::ids::{DrawCallId, TextureId};
 use tbr_geom::camera::{perspective, screen_ortho};
@@ -51,36 +49,36 @@ pub struct SceneGenerator {
 impl SceneGenerator {
     /// Builds the static layout from the profile seed.
     pub fn new(profile: &BenchmarkProfile, screen: &ScreenConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(profile.seed);
         let w = screen.width as f32;
         let h = screen.height as f32;
         let radius = profile.cluster_radius_frac * w.min(h);
         let (olo, ohi) = profile.object_size_px;
         let ts = profile.texture_size as f32;
 
-        let obj = |rng: &mut StdRng, cx_off: f32, cy_off: f32, layer: u32| -> ObjDef {
-            let size = rng.gen_range(olo..=ohi);
+        let obj = |rng: &mut Xoshiro256pp, cx_off: f32, cy_off: f32, layer: u32| -> ObjDef {
+            let size = rng.gen_f32_inclusive(olo, ohi);
             ObjDef {
                 dx: cx_off,
                 dy: cy_off,
                 size,
                 // Back-to-front inside a cluster: later overdraw layers are nearer.
-                z: 0.5 - layer as f32 * 0.01 - rng.gen_range(0.0..0.005),
-                u0: rng.gen_range(0.0..(1.0 - size / ts).max(0.01)),
-                v0: rng.gen_range(0.0..(1.0 - size / ts).max(0.01)),
+                z: 0.5 - layer as f32 * 0.01 - rng.gen_f32(0.0, 0.005),
+                u0: rng.gen_f32(0.0, (1.0 - size / ts).max(0.01)),
+                v0: rng.gen_f32(0.0, (1.0 - size / ts).max(0.01)),
             }
         };
 
         let clusters = (0..profile.hotspot_clusters)
             .map(|_| {
-                let cx = rng.gen_range(0.1 * w..0.9 * w);
-                let cy = rng.gen_range(0.1 * h..0.9 * h);
-                let tex = rng.gen_range(0..profile.texture_pool.max(1));
+                let cx = rng.gen_f32(0.1 * w, 0.9 * w);
+                let cy = rng.gen_f32(0.1 * h, 0.9 * h);
+                let tex = rng.gen_u32(profile.texture_pool.max(1));
                 let mut objects = Vec::new();
                 for layer in 0..profile.overdraw_layers.max(1) {
                     for _ in 0..profile.cluster_objects {
-                        let ox = rng.gen_range(-radius..radius);
-                        let oy = rng.gen_range(-radius..radius);
+                        let ox = rng.gen_f32(-radius, radius);
+                        let oy = rng.gen_f32(-radius, radius);
                         objects.push(obj(&mut rng, ox, oy, layer));
                     }
                 }
@@ -90,9 +88,9 @@ impl SceneGenerator {
 
         let scattered = (0..profile.scattered_objects)
             .map(|_| {
-                let x = rng.gen_range(0.0..w);
-                let y = rng.gen_range(0.0..h);
-                let tex = rng.gen_range(0..profile.texture_pool.max(1));
+                let x = rng.gen_f32(0.0, w);
+                let y = rng.gen_f32(0.0, h);
+                let tex = rng.gen_u32(profile.texture_pool.max(1));
                 let mut o = obj(&mut rng, x, y, 0);
                 o.z = 0.65;
                 (o, tex)
@@ -102,15 +100,15 @@ impl SceneGenerator {
         let hud = (0..profile.hud_elements)
             .map(|i| {
                 let band_top = i % 2 == 0;
-                let x = rng.gen_range(0.0..w * 0.8);
-                let size = rng.gen_range(24.0..64.0f32);
+                let x = rng.gen_f32(0.0, w * 0.8);
+                let size = rng.gen_f32(24.0, 64.0);
                 ObjDef {
                     dx: x,
                     dy: if band_top { 4.0 } else { h - size - 4.0 },
                     size,
                     z: 0.05,
-                    u0: rng.gen_range(0.0..0.9),
-                    v0: rng.gen_range(0.0..0.9),
+                    u0: rng.gen_f32(0.0, 0.9),
+                    v0: rng.gen_f32(0.0, 0.9),
                 }
             })
             .collect();
@@ -144,7 +142,7 @@ impl SceneGenerator {
         let h = self.screen.height as f32;
         let transform: Mat4 = screen_ortho(self.screen.width, self.screen.height);
         let mut frame_rng =
-            StdRng::seed_from_u64(p.seed ^ (frame as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Xoshiro256pp::seed_from_u64(p.seed ^ (frame as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut draws: Vec<DrawCall> = Vec::new();
         let mut next_id = 0u32;
         let mut draw_id = || {
@@ -259,8 +257,8 @@ impl SceneGenerator {
         // Hot clusters: jittered positions, one draw call per cluster (shared atlas).
         for cluster in &self.clusters {
             let ts = p.texture_size as f32;
-            let jx = frame_rng.gen_range(-p.jitter_px..=p.jitter_px.max(0.001));
-            let jy = frame_rng.gen_range(-p.jitter_px..=p.jitter_px.max(0.001));
+            let jx = frame_rng.gen_f32_inclusive(-p.jitter_px, p.jitter_px.max(0.001));
+            let jy = frame_rng.gen_f32_inclusive(-p.jitter_px, p.jitter_px.max(0.001));
             let mut dc = DrawCall {
                 id: draw_id(),
                 transform,

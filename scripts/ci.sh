@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: hermetic offline build, full test suite, and a 2-thread campaign smoke
+# run verified bit-identical against serial execution.
+#
+# The workspace has zero crates.io dependencies, so everything here must succeed
+# with no network and no registry cache. CARGO_NET_OFFLINE=1 turns any accidental
+# reintroduction of an external dependency into a hard failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=1
+
+echo "== [1/3] offline release build =="
+cargo build --release --workspace
+
+echo "== [2/3] test suite =="
+cargo test -q
+
+echo "== [3/3] 2-thread campaign smoke (parallel == serial, bit-identical) =="
+cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 --verify
+
+echo "ci.sh: all gates passed"

@@ -5,9 +5,13 @@
 //! libra-sim run <ABBREV> [opts]           simulate one benchmark
 //! libra-sim compare <ABBREV> [opts]       baseline vs PTR vs LIBRA
 //! libra-sim sweep-ru <ABBREV> [opts]      1..4 Raster Units
+//! libra-sim campaign [opts]               parallel sweep over the whole suite
 //!
 //! options: --frames N (default 6)   --fhd   --scheduler z|scanline|hilbert|static2|
 //!          static4|static8|static16|libra   --rus N   --cores N   --ideal-memory
+//!
+//! campaign options (additionally): --threads N (default: all cores)   --seed S
+//!          --verify (re-run serially, assert bit-identical results)
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace intentionally carries no CLI
@@ -26,6 +30,9 @@ struct Opts {
     rus: usize,
     cores: usize,
     ideal: bool,
+    threads: usize,
+    seed: u64,
+    verify: bool,
 }
 
 impl Default for Opts {
@@ -37,6 +44,9 @@ impl Default for Opts {
             rus: 2,
             cores: 4,
             ideal: false,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            seed: 0,
+            verify: false,
         }
     }
 }
@@ -69,6 +79,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--rus" => o.rus = need("--rus")?.parse().map_err(|e| format!("{e}"))?,
             "--cores" => o.cores = need("--cores")?.parse().map_err(|e| format!("{e}"))?,
             "--ideal-memory" => o.ideal = true,
+            "--threads" => o.threads = need("--threads")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => o.seed = need("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--verify" => o.verify = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -155,10 +168,67 @@ fn cmd_sweep_ru(abbrev: &str, o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Parallel sweep of the whole suite under one scheduler: the smallest useful
+/// campaign (one job per workload), reported in campaign order with wall-clock and
+/// per-job summary lines.
+fn cmd_campaign(o: &Opts) -> Result<(), String> {
+    use tbr_sim::Campaign;
+
+    let cfg = config(o);
+    let threads = o.threads.max(1);
+    let schedulers = [o.scheduler];
+    let profiles = suite();
+    let campaign = Campaign::grid(o.seed, &cfg, &schedulers, &profiles, o.frames);
+    println!(
+        "campaign: {} jobs ({} workloads x {} scheduler) on {} thread(s), seed {}",
+        campaign.len(),
+        profiles.len(),
+        schedulers.len(),
+        threads,
+        o.seed
+    );
+
+    let start = std::time::Instant::now();
+    let results = if o.verify {
+        let (results, par_secs, ser_secs) = campaign.run_verified(threads);
+        println!(
+            "verify: parallel ({} threads) bit-identical to serial — {:.2}s vs {:.2}s ({:.2}x)",
+            threads,
+            par_secs,
+            ser_secs,
+            ser_secs / par_secs.max(1e-9)
+        );
+        results
+    } else {
+        campaign.run(threads)
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!("{:<6} {:<10} {:>12} {:>12} {:>8}", "bench", "scheduler", "cycles/f", "dram", "texL1%");
+    for r in &results {
+        println!(
+            "{:<6} {:<10} {:>12.0} {:>12} {:>7.1}%",
+            r.abbrev,
+            r.scheduler,
+            r.stats.avg_frame_cycles(),
+            r.stats.total_dram_accesses(),
+            r.stats.texture_hit_ratio() * 100.0
+        );
+    }
+    println!(
+        "campaign done: {} jobs x {} frames in {:.2}s wall-clock",
+        results.len(),
+        o.frames,
+        elapsed
+    );
+    Ok(())
+}
+
 fn usage() {
     eprintln!(
-        "usage: libra-sim <suite|run|compare|sweep-ru> [ABBREV] [--frames N] [--fhd] \
-         [--scheduler z|scanline|hilbert|staticN|libra] [--rus N] [--cores N] [--ideal-memory]"
+        "usage: libra-sim <suite|run|compare|sweep-ru|campaign> [ABBREV] [--frames N] [--fhd] \
+         [--scheduler z|scanline|hilbert|staticN|libra] [--rus N] [--cores N] [--ideal-memory] \
+         [--threads N] [--seed S] [--verify]"
     );
 }
 
@@ -173,6 +243,7 @@ fn main() -> ExitCode {
             cmd_suite();
             Ok(())
         }
+        "campaign" => parse_opts(&args[1..]).and_then(|o| cmd_campaign(&o)),
         "run" | "compare" | "sweep-ru" => {
             let Some(abbrev) = args.get(1) else {
                 usage();

@@ -46,6 +46,6 @@ pub mod prelude {
     pub use tbr_common::ids::{SupertileId, TileCoord, TileId};
     pub use tbr_common::stats::{FrameStats, SequenceStats};
     pub use tbr_energy::EnergyModel;
-    pub use tbr_sim::{simulate_frame, simulate_sequence, GpuSimulator};
+    pub use tbr_sim::{simulate_frame, simulate_sequence, Campaign, CampaignResult, GpuSimulator};
     pub use tbr_workloads::{suite, BenchmarkProfile, Category};
 }

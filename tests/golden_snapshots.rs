@@ -1,0 +1,117 @@
+//! Golden-snapshot tests: two `ScreenConfig::tiny()` workloads with every counter
+//! that matters pinned per `SchedulerKind`, so perf-model drift fails loudly.
+//!
+//! The simulator is a deterministic integer machine: total cycles, DRAM accesses
+//! and texture-L1 hit/access counts are exact, not statistical. Any intentional
+//! change to the timing model, cache hierarchy, scheduler or scene synthesis WILL
+//! move these numbers — that is the point. When that happens, re-derive the table
+//! (the `print_current_goldens` helper below emits it in source form) and update
+//! it in the same commit as the model change, with the delta called out in the
+//! commit message.
+//!
+//! Workloads: `AAt` (2D, suite index 0) and `GrT` (3D, memory-intensive, suite
+//! index 7) — one light and one heavy point, both on the dual-RU LIBRA config.
+
+use libra_repro::prelude::*;
+
+/// One pinned measurement: (workload, scheduler label, total cycles over 2 frames,
+/// total DRAM accesses, texture-L1 hits, texture-L1 accesses).
+const GOLDENS: &[(&str, &str, u64, u64, u64, u64)] = &[
+    ("AAt", "SingleZOrder", 208141, 29864, 211716, 303585),
+    ("AAt", "Scanline", 210682, 30159, 210968, 303585),
+    ("AAt", "Hilbert", 208838, 29732, 211657, 303585),
+    ("AAt", "StaticSupertile4", 209899, 29988, 213025, 303585),
+    ("AAt", "Libra", 207800, 29265, 211828, 303585),
+    ("GrT", "SingleZOrder", 546284, 100435, 485673, 721166),
+    ("GrT", "Scanline", 556243, 101795, 485490, 721166),
+    ("GrT", "Hilbert", 554120, 100374, 485012, 721166),
+    ("GrT", "StaticSupertile4", 557281, 102296, 485877, 721166),
+    ("GrT", "Libra", 545379, 98247, 485397, 721166),
+];
+
+const FRAMES: u32 = 2;
+
+fn kinds() -> [(&'static str, SchedulerKind); 5] {
+    [
+        ("SingleZOrder", SchedulerKind::SingleZOrder),
+        ("Scanline", SchedulerKind::Scanline),
+        ("Hilbert", SchedulerKind::Hilbert),
+        ("StaticSupertile4", SchedulerKind::StaticSupertile(4)),
+        ("Libra", SchedulerKind::Libra),
+    ]
+}
+
+fn workloads() -> Vec<BenchmarkProfile> {
+    suite().into_iter().filter(|p| p.abbrev == "AAt" || p.abbrev == "GrT").collect()
+}
+
+fn measure(p: &BenchmarkProfile, kind: SchedulerKind) -> (u64, u64, u64, u64) {
+    let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+    let s = simulate_sequence(&cfg, kind, p, FRAMES);
+    (
+        s.total_cycles(),
+        s.total_dram_accesses(),
+        s.frames.iter().map(|f| f.texture_cache.hits).sum(),
+        s.frames.iter().map(|f| f.texture_cache.accesses).sum(),
+    )
+}
+
+#[test]
+fn golden_snapshots_hold_per_scheduler() {
+    let profiles = workloads();
+    assert_eq!(profiles.len(), 2, "golden workloads must exist in the suite");
+    let mut drifted = Vec::new();
+    for p in &profiles {
+        for (label, kind) in kinds() {
+            let (cycles, dram, hits, accesses) = measure(p, kind);
+            let golden = GOLDENS
+                .iter()
+                .find(|g| g.0 == p.abbrev && g.1 == label)
+                .unwrap_or_else(|| panic!("no golden row for {}/{label}", p.abbrev));
+            if (cycles, dram, hits, accesses) != (golden.2, golden.3, golden.4, golden.5) {
+                drifted.push(format!(
+                    "{}/{label}: cycles {} (golden {}), dram {} (golden {}), \
+                     tex-L1 {}/{} (golden {}/{})",
+                    p.abbrev, cycles, golden.2, dram, golden.3, hits, accesses, golden.4, golden.5
+                ));
+            }
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "perf model drifted from the pinned goldens — if intentional, regenerate the \
+         table with `cargo test print_current_goldens -- --ignored --nocapture`:\n{}",
+        drifted.join("\n")
+    );
+}
+
+#[test]
+fn golden_hit_ratios_are_derived_consistently() {
+    // The pinned hit/access integers imply the reported float hit ratio; guard the
+    // derivation too so the ratio-reporting path can't silently change meaning.
+    for g in GOLDENS {
+        let expect = g.4 as f64 / g.5 as f64;
+        assert!((0.5..1.0).contains(&expect), "{}/{} ratio {expect} implausible", g.0, g.1);
+    }
+    let p = &workloads()[0];
+    let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+    let s = simulate_sequence(&cfg, SchedulerKind::Libra, p, FRAMES);
+    let golden = GOLDENS.iter().find(|g| g.0 == p.abbrev && g.1 == "Libra").unwrap();
+    assert!(
+        (s.texture_hit_ratio() - golden.4 as f64 / golden.5 as f64).abs() < 1e-9,
+        "texture_hit_ratio() no longer equals hits/accesses"
+    );
+}
+
+/// Regenerates the `GOLDENS` table in source form after an intentional model
+/// change: `cargo test print_current_goldens -- --ignored --nocapture`.
+#[test]
+#[ignore = "generator, not a check"]
+fn print_current_goldens() {
+    for p in &workloads() {
+        for (label, kind) in kinds() {
+            let (cycles, dram, hits, accesses) = measure(p, kind);
+            println!("    ({:?}, {:?}, {cycles}, {dram}, {hits}, {accesses}),", p.abbrev, label);
+        }
+    }
+}

@@ -1,6 +1,11 @@
-//! Property-based tests (proptest) on the core data structures and invariants.
+//! Property-based tests on the core data structures and invariants, running on the
+//! in-repo seeded runner (`tests/support`) so the workspace needs no crates.io
+//! dependencies. Each `check`/`check_default` call generates seeded random cases
+//! and reports the failing case's seed for replay (see `support::check`).
 
-use proptest::prelude::*;
+mod support;
+
+use support::{check, check_default, Gen};
 
 use libra_repro::prelude::*;
 use tbr_common::config::CacheConfig;
@@ -12,68 +17,89 @@ use tbr_mem::cache::Cache;
 use libra::supertile::{SupertileGrid, SupertileTally};
 use libra::temperature::TemperatureTable;
 
-proptest! {
-    #[test]
-    fn morton_roundtrips(x in any::<u32>(), y in any::<u32>()) {
-        prop_assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
-    }
+#[test]
+fn morton_roundtrips() {
+    check_default("morton_roundtrips", |g: &mut Gen| {
+        let (x, y) = (g.any_u32(), g.any_u32());
+        ensure_eq!(morton_decode(morton_encode(x, y)), (x, y));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn morton_preserves_quadrant_order(x in 0u32..1 << 15, y in 0u32..1 << 15) {
+#[test]
+fn morton_preserves_quadrant_order() {
+    check_default("morton_preserves_quadrant_order", |g: &mut Gen| {
         // Doubling both coordinates moves strictly later in Morton order.
-        prop_assert!(morton_encode(x, y) <= morton_encode(x * 2 + 1, y * 2 + 1));
-    }
+        let x = g.u32(0, 1 << 15);
+        let y = g.u32(0, 1 << 15);
+        ensure!(
+            morton_encode(x, y) <= morton_encode(x * 2 + 1, y * 2 + 1),
+            "order violated at ({x}, {y})"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn zorder_traversal_is_a_permutation(w in 1u32..40, h in 1u32..40) {
+#[test]
+fn zorder_traversal_is_a_permutation() {
+    check_default("zorder_traversal_is_a_permutation", |g: &mut Gen| {
+        let (w, h) = (g.u32(1, 40), g.u32(1, 40));
         let order = zorder_traversal(w, h);
-        prop_assert_eq!(order.len(), (w * h) as usize);
+        ensure_eq!(order.len(), (w * h) as usize);
         let mut seen = vec![false; (w * h) as usize];
         for c in order {
-            prop_assert!(c.x < w && c.y < h);
+            ensure!(c.x < w && c.y < h, "tile ({},{}) outside {w}x{h}", c.x, c.y);
             let idx = (c.y * w + c.x) as usize;
-            prop_assert!(!seen[idx], "tile visited twice");
+            ensure!(!seen[idx], "tile visited twice");
             seen[idx] = true;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn clipped_triangles_stay_inside_the_frustum(
-        coords in proptest::collection::vec(-3.0f32..3.0, 9)
-    ) {
+#[test]
+fn clipped_triangles_stay_inside_the_frustum() {
+    check_default("clipped_triangles_stay_inside_the_frustum", |g: &mut Gen| {
+        let coord = |g: &mut Gen| g.f32(-3.0, 3.0);
         let tri = [
-            ClipVertex::new(Vec4::new(coords[0], coords[1], coords[2], 1.0), Vec2::default()),
-            ClipVertex::new(Vec4::new(coords[3], coords[4], coords[5], 1.0), Vec2::default()),
-            ClipVertex::new(Vec4::new(coords[6], coords[7], coords[8], 1.0), Vec2::default()),
+            ClipVertex::new(Vec4::new(coord(g), coord(g), coord(g), 1.0), Vec2::default()),
+            ClipVertex::new(Vec4::new(coord(g), coord(g), coord(g), 1.0), Vec2::default()),
+            ClipVertex::new(Vec4::new(coord(g), coord(g), coord(g), 1.0), Vec2::default()),
         ];
         for out in clip_triangle(tri) {
             for v in out {
                 let w = v.pos.w;
-                prop_assert!(v.pos.x >= -w - 1e-3 && v.pos.x <= w + 1e-3);
-                prop_assert!(v.pos.y >= -w - 1e-3 && v.pos.y <= w + 1e-3);
-                prop_assert!(v.pos.z >= -w - 1e-3 && v.pos.z <= w + 1e-3);
+                ensure!(v.pos.x >= -w - 1e-3 && v.pos.x <= w + 1e-3, "x out: {:?}", v.pos);
+                ensure!(v.pos.y >= -w - 1e-3 && v.pos.y <= w + 1e-3, "y out: {:?}", v.pos);
+                ensure!(v.pos.z >= -w - 1e-3 && v.pos.z <= w + 1e-3, "z out: {:?}", v.pos);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cache_hit_after_access(addrs in proptest::collection::vec(0u64..1 << 20, 1..200)) {
+#[test]
+fn cache_hit_after_access() {
+    check_default("cache_hit_after_access", |g: &mut Gen| {
+        let addrs = g.vec(1, 200, |g| g.u64(0, 1 << 20));
         let mut cache = Cache::new(CacheConfig::texture_l1());
         for &a in &addrs {
             cache.access(a);
             // Immediately re-probing the same address must hit (it was just filled).
-            prop_assert!(cache.probe(a), "address {a:#x} not resident after access");
+            ensure!(cache.probe(a), "address {a:#x} not resident after access");
         }
         let s = cache.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-    }
+        ensure_eq!(s.hits + s.misses, s.accesses);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn supertiles_partition_any_screen(
-        tiles_x in 1u32..64,
-        tiles_y in 1u32..64,
-        size_log in 0u32..5,
-    ) {
+#[test]
+fn supertiles_partition_any_screen() {
+    check_default("supertiles_partition_any_screen", |g: &mut Gen| {
+        let tiles_x = g.u32(1, 64);
+        let tiles_y = g.u32(1, 64);
+        let size_log = g.u32(0, 5);
         let screen = tbr_common::config::ScreenConfig {
             width: tiles_x * 32,
             height: tiles_y * 32,
@@ -83,43 +109,47 @@ proptest! {
         let mut seen = vec![false; screen.num_tiles()];
         for st in 0..grid.num_supertiles() as u32 {
             for t in grid.tiles_of(tbr_common::ids::SupertileId(st)) {
-                prop_assert!(!seen[t.index()], "tile in two supertiles");
+                ensure!(!seen[t.index()], "tile in two supertiles");
                 seen[t.index()] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s), "some tile not covered");
-    }
+        ensure!(seen.iter().all(|&s| s), "some tile not covered");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn temperature_rank_is_sorted_and_complete(
-        tallies in proptest::collection::vec((0u64..100_000, 0u64..10_000_000), 1..511)
-    ) {
-        let tallies: Vec<SupertileTally> = tallies
-            .into_iter()
-            .map(|(d, i)| SupertileTally { dram_accesses: d, instructions: i })
-            .collect();
+#[test]
+fn temperature_rank_is_sorted_and_complete() {
+    check_default("temperature_rank_is_sorted_and_complete", |g: &mut Gen| {
+        let tallies: Vec<SupertileTally> = g.vec(1, 511, |g| SupertileTally {
+            dram_accesses: g.u64(0, 100_000),
+            instructions: g.u64(0, 10_000_000),
+        });
         let table = TemperatureTable::from_tallies(&tallies);
         let rank = table.rank();
-        prop_assert_eq!(rank.len(), tallies.len());
+        ensure_eq!(rank.len(), tallies.len());
         // Permutation.
         let mut seen = vec![false; tallies.len()];
         for id in &rank {
-            prop_assert!(!seen[id.index()]);
+            ensure!(!seen[id.index()], "supertile ranked twice");
             seen[id.index()] = true;
         }
         // Hottest-first by the hardware fixed-point field.
         let api: Vec<u16> = rank.iter().map(|id| table.entries()[id.index()].api_fixed).collect();
-        prop_assert!(api.windows(2).all(|w| w[0] >= w[1]), "rank not descending");
-    }
+        ensure!(api.windows(2).all(|w| w[0] >= w[1]), "rank not descending");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn frame_plans_always_cover_all_tiles(
-        kind_sel in 0usize..6,
-        rus in 1u8..5,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn frame_plans_always_cover_all_tiles() {
+    check_default("frame_plans_always_cover_all_tiles", |g: &mut Gen| {
         use libra::feedback::FrameFeedback;
         use tbr_common::stats::TileHeatmap;
+
+        let kind_sel = g.usize(0, 6);
+        let rus = g.u32(1, 5) as u8;
+        let seed = g.u64(0, 1000);
 
         let screen = ScreenConfig::tiny();
         let kind = [
@@ -144,17 +174,21 @@ proptest! {
         let mut ru = 0u8;
         while let Some(group) = plan.next_group(tbr_common::ids::RasterUnitId(ru)) {
             for t in group {
-                prop_assert!(!seen[t.index()], "tile dispatched twice");
+                ensure!(!seen[t.index()], "tile dispatched twice");
                 seen[t.index()] = true;
             }
             ru = (ru + 1) % rus;
         }
-        prop_assert!(seen.iter().all(|&s| s), "plan lost tiles");
-    }
+        ensure!(seen.iter().all(|&s| s), "plan lost tiles");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn coherence_cdf_is_monotone(values in proptest::collection::vec(0u64..1000, 8)) {
+#[test]
+fn coherence_cdf_is_monotone() {
+    check_default("coherence_cdf_is_monotone", |g: &mut Gen| {
         use tbr_common::stats::TileHeatmap;
+        let values = g.vec(8, 9, |g| g.u64(0, 1000));
         let mut a = TileHeatmap::new(values.len());
         let mut b = TileHeatmap::new(values.len());
         for (i, &v) in values.iter().enumerate() {
@@ -164,26 +198,27 @@ proptest! {
         let thresholds = [0.1, 0.2, 0.5, 1.0];
         let cdf = a.coherence_cdf(&b, &thresholds);
         for w in cdf.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-12, "CDF must be monotone");
+            ensure!(w[0] <= w[1] + 1e-12, "CDF must be monotone");
         }
-        prop_assert!((cdf[3] - 1.0).abs() < 1e-12, "everything differs by at most 100%");
-    }
+        ensure!((cdf[3] - 1.0).abs() < 1e-12, "everything differs by at most 100%");
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn rasterized_coverage_matches_area(
-        x0 in 2.0f32..60.0,
-        y0 in 2.0f32..60.0,
-        w in 8.0f32..60.0,
-        h in 8.0f32..60.0,
-    ) {
+#[test]
+fn rasterized_coverage_matches_area() {
+    // Heavier property (full-rect rasterization): fewer cases, like the original
+    // proptest config (`ProptestConfig::with_cases(8)`).
+    check("rasterized_coverage_matches_area", 8, |g: &mut Gen| {
         use tbr_common::ids::{DrawCallId, TextureId};
         use tbr_geom::pipeline::ScreenVertex;
         use tbr_geom::scene::{BlendMode, FragmentShaderDesc, TextureDesc};
         use tbr_raster::rasterizer::rasterize_in_rect;
+
+        let x0 = g.f32(2.0, 60.0);
+        let y0 = g.f32(2.0, 60.0);
+        let w = g.f32(8.0, 60.0);
+        let h = g.f32(8.0, 60.0);
 
         // An axis-aligned rectangle (two triangles) must cover ~w*h pixels.
         let mk = |p: [(f32, f32); 3]| tbr_geom::pipeline::ScreenTriangle {
@@ -205,6 +240,7 @@ proptest! {
         let area = w * h;
         let err = (cov as f32 - area).abs() / area;
         // Pixel-centre sampling error is bounded by the perimeter.
-        prop_assert!(err < 0.35, "coverage {cov} vs area {area}");
-    }
+        ensure!(err < 0.35, "coverage {cov} vs area {area}");
+        Ok(())
+    });
 }

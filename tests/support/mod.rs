@@ -1,0 +1,147 @@
+//! Minimal in-repo property-testing support (proptest replacement).
+//!
+//! The workspace builds hermetically offline, so the property tests cannot pull
+//! `proptest` from crates.io. This module supplies the slice the repo needs:
+//!
+//! * [`Gen`] — seeded case generation on the vendored xoshiro256++
+//!   ([`tbr_common::rng`]): uniform scalars, ranges and vectors;
+//! * [`check`] — the runner: N generated cases per property, each derived from a
+//!   per-case seed, with a failing-input report that names the property, the case
+//!   number, the case seed, and the environment variable to replay it;
+//! * [`ensure!`] — the `prop_assert!`-style early return used inside properties.
+//!
+//! Replaying a failure: the panic message prints the case seed; rerun with
+//! `LIBRA_PROPTEST_SEED=<seed> LIBRA_PROPTEST_CASES=1 cargo test <property>` to
+//! regenerate exactly the failing inputs under a debugger.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tbr_common::rng::{splitmix64_mix, Xoshiro256pp};
+
+/// Default cases per property; `LIBRA_PROPTEST_CASES` overrides.
+const DEFAULT_CASES: u32 = 96;
+
+/// Seeded input generator handed to every property case.
+pub struct Gen {
+    rng: Xoshiro256pp,
+}
+
+impl Gen {
+    /// A generator for one case, from the case seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: Xoshiro256pp::seed_from_u64(seed) }
+    }
+
+    /// Any `u32` (full range).
+    pub fn any_u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "empty range");
+        lo + self.rng.gen_u32(hi - lo)
+    }
+
+    /// Uniform `u64` in `[lo, hi)` (ranges up to 2^32 wide).
+    pub fn u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        let width = hi - lo;
+        assert!(width <= u32::MAX as u64 + 1, "range too wide for u64 generator");
+        lo + self.rng.gen_u32(width.min(u32::MAX as u64) as u32) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.u32(lo as u32, hi as u32) as usize
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_f32(lo, hi)
+    }
+
+    /// A vector with uniform length in `[len_lo, len_hi)` whose elements come from
+    /// `f`.
+    pub fn vec<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize(len_lo, len_hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// Runs `property` over generated cases; panics with a replayable report on the
+/// first failure (either an `Err` return or a panic inside the property).
+pub fn check(name: &str, cases: u32, property: impl Fn(&mut Gen) -> Result<(), String>) {
+    let cases = std::env::var("LIBRA_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases);
+    let base: u64 = std::env::var("LIBRA_PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x11BA_5EED);
+
+    for case in 0..cases {
+        // Per-case seed: pure function of (base seed, case index), so any single
+        // case replays independently of the others.
+        let seed = splitmix64_mix(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut Gen::new(seed))));
+        let failure = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(msg)) => msg,
+            Err(panic) => panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panicked with a non-string payload".into()),
+        };
+        panic!(
+            "property `{name}` failed at case {case} of {cases} (case seed {seed:#x}):\n  \
+             {failure}\nreplay: LIBRA_PROPTEST_SEED={base} cargo test --test property_tests {name}"
+        );
+    }
+}
+
+/// Shorthand for the default case count.
+pub fn check_default(name: &str, property: impl Fn(&mut Gen) -> Result<(), String>) {
+    check(name, DEFAULT_CASES, property);
+}
+
+/// `prop_assert!`-style guard: returns `Err(...)` from the enclosing property when
+/// the condition is false, carrying either a formatted message or the condition
+/// text itself.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("condition failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!` counterpart on top of [`ensure!`].
+#[macro_export]
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "{} != {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+}
