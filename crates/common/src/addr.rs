@@ -36,6 +36,12 @@ pub const FRAMEBUFFER_BYTES_PER_PIXEL: u64 = 4;
 /// Bytes reserved per draw call in the vertex region.
 pub const VERTEX_DRAW_STRIDE: u64 = 1 << 22;
 
+// Compile-time guarantee that the regions cannot overlap under generous bounds
+// (64 draw calls, 4096 tiles).
+const _: () = assert!(VERTEX_BASE + 64 * VERTEX_DRAW_STRIDE <= PARAM_BASE);
+const _: () = assert!(PARAM_BASE + 4096 * PARAM_TILE_STRIDE <= TEXTURE_BASE);
+const _: () = assert!(TEXTURE_BASE < FRAMEBUFFER_BASE);
+
 /// What a memory access is for. Determines which L1 it goes through and how the
 /// statistics attribute it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,14 +97,6 @@ pub fn framebuffer_addr(screen: &ScreenConfig, x: u32, y: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn regions_do_not_overlap() {
-        // Generous bounds: vertex region ends before param region etc.
-        assert!(VERTEX_BASE + 64 * VERTEX_DRAW_STRIDE <= PARAM_BASE);
-        assert!(PARAM_BASE + 4096 * PARAM_TILE_STRIDE <= TEXTURE_BASE);
-        assert!(TEXTURE_BASE < FRAMEBUFFER_BASE);
-    }
 
     #[test]
     fn vertex_addrs_are_stride_spaced() {

@@ -184,7 +184,7 @@ impl CacheConfig {
         if !self.line_bytes.is_power_of_two() {
             return Err(ConfigError::NotPowerOfTwo { field: "line_bytes", value: self.line_bytes });
         }
-        if self.size_bytes % (self.line_bytes * self.assoc) != 0
+        if !self.size_bytes.is_multiple_of(self.line_bytes * self.assoc)
             || !self.num_sets().is_power_of_two()
         {
             return Err(ConfigError::CacheGeometry {
@@ -433,7 +433,7 @@ impl GpuConfig {
         if self.cores_per_ru == 0 {
             return Err(ConfigError::Zero { field: "cores_per_ru" });
         }
-        if self.warp_size == 0 || self.warp_size % 4 != 0 {
+        if self.warp_size == 0 || !self.warp_size.is_multiple_of(4) {
             return Err(ConfigError::Zero { field: "warp_size" });
         }
         if self.max_warps_per_core == 0 {
@@ -540,12 +540,11 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = GpuConfig::default();
-        c.num_raster_units = 0;
+        let c = GpuConfig { num_raster_units: 0, ..GpuConfig::default() };
         assert!(matches!(c.validate(), Err(ConfigError::Zero { field: "num_raster_units" })));
 
-        let mut c = GpuConfig::default();
-        c.warp_size = 30; // not a multiple of 4
+        // warp_size 30: not a multiple of 4.
+        let c = GpuConfig { warp_size: 30, ..GpuConfig::default() };
         assert!(c.validate().is_err());
 
         let mut c = GpuConfig::default();

@@ -17,6 +17,13 @@
 //! * [`rng`] — the vendored deterministic PRNG (SplitMix64-seeded xoshiro256++)
 //!   behind scene synthesis, property-test generation and campaign job seeding,
 //!   keeping the workspace free of crates.io dependencies.
+//! * [`trace`] — the runtime-gated cycle-level event tracer (spans + instants in
+//!   simulated time) with a hand-rolled Chrome trace-event JSON writer for
+//!   Perfetto / `chrome://tracing`.
+//! * [`metrics`] — the typed metrics registry ([`metrics::MetricsRegistry`]) the
+//!   GPU model, memory hierarchy and scheduler publish into; JSON/CSV output.
+//! * [`json`] — a minimal validating JSON parser backing the trace-export smoke
+//!   checks (no serde anywhere in the workspace).
 //!
 //! Nothing in here performs simulation; it is pure data and arithmetic, which keeps
 //! the dependency DAG of the workspace acyclic.
@@ -37,9 +44,12 @@ pub mod config;
 pub mod error;
 pub mod hilbert;
 pub mod ids;
+pub mod json;
+pub mod metrics;
 pub mod morton;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 /// Simulation time, in GPU core cycles (800 MHz in the paper's Table I).
 pub type Cycle = u64;

@@ -2,6 +2,7 @@
 //! harness (and by LIBRA's own feedback loop).
 
 use crate::ids::{FrameId, TileId};
+use crate::metrics::MetricsRegistry;
 use crate::Cycle;
 
 /// Hit/miss counters of one cache (or one aggregated group of caches).
@@ -33,6 +34,16 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.evictions += other.evictions;
+    }
+
+    /// Publishes this counter set into `reg` as `cache_*` counters plus a
+    /// `cache_hit_ratio` gauge, labelled with the given label pairs.
+    pub fn publish(&self, reg: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.add_counter("cache_accesses", labels, self.accesses);
+        reg.add_counter("cache_hits", labels, self.hits);
+        reg.add_counter("cache_misses", labels, self.misses);
+        reg.add_counter("cache_evictions", labels, self.evictions);
+        reg.set_gauge("cache_hit_ratio", labels, self.hit_ratio());
     }
 }
 
@@ -116,7 +127,21 @@ impl DramStats {
         var.sqrt() / mean
     }
 
-    /// Merges another counter set (histograms are added bucket-wise).
+    /// Merges another counter set.
+    ///
+    /// Histogram handling depends on the bucket widths:
+    /// * merging into a `Default` instance (width 0, no samples) adopts the
+    ///   other side's width,
+    /// * equal widths add bucket-wise,
+    /// * a width that is an exact multiple of the other re-buckets the finer
+    ///   histogram into the coarser one (the merged histogram keeps the coarser
+    ///   width, so counts stay exact),
+    /// * anything else is a programming error and panics — the old behaviour of
+    ///   silently adding bucket `i` of a 5 000-cycle histogram to bucket `i` of
+    ///   a 1 000-cycle one produced meaningless Fig-7 curves.
+    ///
+    /// # Panics
+    /// Panics when both histograms carry samples at incommensurable widths.
     pub fn merge(&mut self, other: &DramStats) {
         self.reads += other.reads;
         self.writes += other.writes;
@@ -124,12 +149,89 @@ impl DramStats {
         self.row_misses += other.row_misses;
         self.latency_sum += other.latency_sum;
         self.max_latency = self.max_latency.max(other.max_latency);
-        if self.intervals.len() < other.intervals.len() {
-            self.intervals.resize(other.intervals.len(), 0);
+        // Effective widths: `record_interval` clamps a width of 0 (the `Default`
+        // instance) to 1; a histogram with no samples is width-agnostic (0 here).
+        let self_w = if self.intervals.is_empty() { 0 } else { self.interval_width.max(1) };
+        let other_w = if other.intervals.is_empty() { 0 } else { other.interval_width.max(1) };
+        match (self_w, other_w) {
+            (_, 0) => {
+                // Other has no samples; still adopt its width if we are a bare
+                // `Default` accumulator so later merges use it.
+                if self.interval_width == 0 {
+                    self.interval_width = other.interval_width;
+                }
+            }
+            (0, w) => {
+                // We have no samples yet: take the other histogram wholesale.
+                self.interval_width = w;
+                self.intervals = other.intervals.clone();
+            }
+            (a, b) if a == b => {
+                if self.intervals.len() < other.intervals.len() {
+                    self.intervals.resize(other.intervals.len(), 0);
+                }
+                for (dst, src) in self.intervals.iter_mut().zip(&other.intervals) {
+                    *dst += src;
+                }
+            }
+            (a, b) if a.is_multiple_of(b) => {
+                // Other is finer: fold its buckets into our coarser ones.
+                for (i, &count) in other.intervals.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    let ci = (i as u64 * b / a) as usize;
+                    if ci >= self.intervals.len() {
+                        self.intervals.resize(ci + 1, 0);
+                    }
+                    self.intervals[ci] += count;
+                }
+            }
+            (a, b) if b.is_multiple_of(a) => {
+                // We are finer: coarsen ourselves to the other's width, then add.
+                let mut coarse: Vec<u64> = Vec::new();
+                for (i, &count) in self.intervals.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    let ci = (i as u64 * a / b) as usize;
+                    if ci >= coarse.len() {
+                        coarse.resize(ci + 1, 0);
+                    }
+                    coarse[ci] += count;
+                }
+                self.interval_width = b;
+                self.intervals = coarse;
+                if self.intervals.len() < other.intervals.len() {
+                    self.intervals.resize(other.intervals.len(), 0);
+                }
+                for (dst, src) in self.intervals.iter_mut().zip(&other.intervals) {
+                    *dst += src;
+                }
+            }
+            (a, b) => panic!(
+                "DramStats::merge: incommensurable interval widths {a} and {b} \
+                 (one must divide the other)"
+            ),
         }
-        for (dst, src) in self.intervals.iter_mut().zip(&other.intervals) {
-            *dst += src;
-        }
+    }
+
+    /// Publishes these counters into `reg` as `dram_*` metrics (counters, latency
+    /// gauges and the Fig-7 interval histogram), labelled with the given pairs.
+    pub fn publish(&self, reg: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.add_counter("dram_reads", labels, self.reads);
+        reg.add_counter("dram_writes", labels, self.writes);
+        reg.add_counter("dram_row_hits", labels, self.row_hits);
+        reg.add_counter("dram_row_misses", labels, self.row_misses);
+        reg.set_gauge("dram_avg_latency_cycles", labels, self.avg_latency());
+        reg.set_gauge("dram_max_latency_cycles", labels, self.max_latency as f64);
+        reg.set_gauge("dram_interval_cv", labels, self.interval_cv());
+        reg.set_histogram(
+            "dram_requests_per_interval",
+            labels,
+            self.interval_width,
+            self.intervals.clone(),
+        );
     }
 }
 
@@ -291,6 +393,41 @@ impl FrameStats {
             self.raster_cycles as f64 / total as f64
         }
     }
+
+    /// Publishes every counter of this frame into `reg`, labelled with the given
+    /// pairs (callers typically add a `frame` label). Caches publish under a
+    /// `cache` label; DRAM under `dram_*`.
+    pub fn publish(&self, reg: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        let with = |extra: (&'static str, &str), labels: &[(&str, &str)]| -> Vec<(String, String)> {
+            let mut v: Vec<(String, String)> =
+                labels.iter().map(|(k, val)| (k.to_string(), val.to_string())).collect();
+            v.push((extra.0.to_string(), extra.1.to_string()));
+            v
+        };
+        for (name, cache) in [
+            ("vertex", &self.vertex_cache),
+            ("tile", &self.tile_cache),
+            ("texture", &self.texture_cache),
+            ("l2", &self.l2_cache),
+        ] {
+            let owned = with(("cache", name), labels);
+            let borrowed: Vec<(&str, &str)> =
+                owned.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            cache.publish(reg, &borrowed);
+        }
+        self.dram.publish(reg, labels);
+        reg.add_counter("geometry_cycles", labels, self.geometry_cycles);
+        reg.add_counter("raster_cycles", labels, self.raster_cycles);
+        reg.add_counter("vertices", labels, self.vertices);
+        reg.add_counter("primitives", labels, self.primitives);
+        reg.add_counter("fragments", labels, self.fragments);
+        reg.add_counter("warps", labels, self.warps);
+        reg.add_counter("instructions", labels, self.instructions);
+        reg.add_counter("texture_requests", labels, self.texture_requests);
+        reg.set_gauge("texture_avg_latency_cycles", labels, self.avg_texture_latency());
+        reg.set_gauge("texture_replication", labels, self.texture_replication());
+        reg.set_gauge("raster_fraction", labels, self.raster_fraction());
+    }
 }
 
 /// Statistics of a rendered frame sequence.
@@ -334,6 +471,24 @@ impl SequenceStats {
         let mut agg = CacheStats::default();
         for f in &self.frames {
             agg.merge(&f.texture_cache);
+        }
+        agg.hit_ratio()
+    }
+
+    /// Aggregate shared-L2 hit ratio over the sequence.
+    pub fn l2_hit_ratio(&self) -> f64 {
+        let mut agg = CacheStats::default();
+        for f in &self.frames {
+            agg.merge(&f.l2_cache);
+        }
+        agg.hit_ratio()
+    }
+
+    /// Aggregate tile-cache (colour/depth buffer) hit ratio over the sequence.
+    pub fn tile_hit_ratio(&self) -> f64 {
+        let mut agg = CacheStats::default();
+        for f in &self.frames {
+            agg.merge(&f.tile_cache);
         }
         agg.hit_ratio()
     }
@@ -428,6 +583,84 @@ mod tests {
         assert_eq!(a.intervals, vec![5, 7, 6]);
         assert_eq!(a.total_accesses(), 5);
         assert_eq!(a.max_latency, 77);
+    }
+
+    #[test]
+    fn dram_merge_into_default_adopts_width() {
+        let mut agg = DramStats::default();
+        let mut d = DramStats::new(5000);
+        d.record_interval(4999);
+        d.record_interval(5001);
+        agg.merge(&d);
+        assert_eq!(agg.interval_width, 5000);
+        assert_eq!(agg.intervals, vec![1, 1]);
+        // A second merge at the adopted width keeps adding bucket-wise.
+        agg.merge(&d);
+        assert_eq!(agg.intervals, vec![2, 2]);
+    }
+
+    #[test]
+    fn dram_merge_rebuckets_commensurable_widths() {
+        // Finer into coarser: width 1000 samples fold into width 5000 buckets.
+        let mut coarse = DramStats::new(5000);
+        coarse.record_interval(0);
+        let mut fine = DramStats::new(1000);
+        fine.record_interval(500); // fine bucket 0 -> coarse bucket 0
+        fine.record_interval(6100); // fine bucket 6 -> coarse bucket 1
+        coarse.merge(&fine);
+        assert_eq!(coarse.interval_width, 5000);
+        assert_eq!(coarse.intervals, vec![2, 1]);
+        // Coarser into finer: the accumulator coarsens itself to the wider width.
+        let mut acc = DramStats::new(1000);
+        acc.record_interval(500);
+        acc.record_interval(6100);
+        let mut wide = DramStats::new(5000);
+        wide.record_interval(0);
+        acc.merge(&wide);
+        assert_eq!(acc.interval_width, 5000);
+        assert_eq!(acc.intervals, vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incommensurable interval widths")]
+    fn dram_merge_rejects_incommensurable_widths() {
+        let mut a = DramStats::new(3000);
+        a.record_interval(0);
+        let mut b = DramStats::new(2000);
+        b.record_interval(0);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn publish_fills_registry() {
+        let mut f = FrameStats {
+            geometry_cycles: 100,
+            raster_cycles: 900,
+            ..FrameStats::default()
+        };
+        f.l2_cache = CacheStats { accesses: 10, hits: 6, misses: 4, evictions: 0 };
+        f.dram = DramStats::new(5000);
+        f.dram.reads = 12;
+        let mut reg = MetricsRegistry::new();
+        f.publish(&mut reg, &[("frame", "0")]);
+        assert_eq!(
+            reg.counter_value("cache_hits", &[("frame", "0"), ("cache", "l2")]),
+            Some(6)
+        );
+        assert_eq!(reg.counter_value("dram_reads", &[("frame", "0")]), Some(12));
+        assert_eq!(reg.counter_value("raster_cycles", &[("frame", "0")]), Some(900));
+    }
+
+    #[test]
+    fn sequence_hierarchy_hit_ratios() {
+        let f = FrameStats {
+            l2_cache: CacheStats { accesses: 8, hits: 2, misses: 6, evictions: 0 },
+            tile_cache: CacheStats { accesses: 4, hits: 3, misses: 1, evictions: 0 },
+            ..FrameStats::default()
+        };
+        let s = SequenceStats { frames: vec![f] };
+        assert!((s.l2_hit_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.tile_hit_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! Cycle-level event tracer: span + instant events in **simulated** cycles, emitted
+//! as Chrome trace-event JSON loadable in Perfetto / `chrome://tracing`.
+//!
+//! The simulator is a deterministic integer machine, so every trace is bit-identical
+//! across runs, host machines and `--threads N` settings: timestamps are simulated
+//! cycles, never wall-clock. One cycle is encoded as one microsecond of trace time
+//! (the Chrome format's native unit), so "1 ms" in Perfetto reads as 1 000 cycles.
+//!
+//! # Zero overhead when disabled
+//!
+//! Collection is gated by a thread-local flag checked by [`is_enabled`]; every
+//! recording function returns immediately (a single thread-local load + branch)
+//! unless [`start`] installed a collector on the current thread. Instrumentation
+//! sites that need to format names are expected to guard with `if
+//! trace::is_enabled()` so no allocation happens on the disabled path. Tracing is
+//! observation only — it never feeds back into simulated timing, so enabling it
+//! cannot change any statistic (the golden snapshots pin this).
+//!
+//! # Track model
+//!
+//! Events land on typed [`Track`]s — the Perfetto rows. All tracks of one
+//! simulation share pid 0; a merged campaign trace
+//! ([`Trace::chrome_json_multi`]) gives each job its own pid so Perfetto shows one
+//! process group per simulation point.
+//!
+//! ```
+//! use tbr_common::trace::{self, Track};
+//!
+//! trace::start();
+//! assert!(trace::is_enabled());
+//! trace::span(Track::Phases, "geometry", 0, 1_000);
+//! trace::instant(Track::Scheduler, "plan", 0);
+//! let t = trace::finish().expect("collector was installed");
+//! assert_eq!(t.events.len(), 2);
+//! assert!(t.chrome_json().contains("\"traceEvents\""));
+//! assert!(!trace::is_enabled());
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+
+use crate::Cycle;
+
+/// A named timeline row in the trace (one Perfetto "thread").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// Frame-level phase spans (geometry / raster) and their sub-phases.
+    Phases,
+    /// Scheduler decisions, LIBRA feedback/resize events and tile steals.
+    Scheduler,
+    /// Front-end (fetch → rasterise → Early-Z) occupancy of one Raster Unit.
+    RuFrontEnd(u8),
+    /// Fragment-stage occupancy of one Raster Unit.
+    RuFragment(u8),
+    /// Colour-buffer flush issue of one Raster Unit (double-buffered, so it
+    /// overlaps the next tile's fragment stage and needs its own row).
+    RuFlush(u8),
+    /// Busy interval of one DRAM bank (Fig 7's per-bank view).
+    DramBank {
+        /// Memory channel the bank belongs to.
+        channel: u8,
+        /// Bank index within the channel.
+        bank: u8,
+    },
+    /// Data-bus occupancy of one DRAM channel (the bandwidth ceiling).
+    DramBus(u8),
+}
+
+impl Track {
+    /// Stable Perfetto thread id of this track (also its sort order).
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Phases => 1,
+            Track::Scheduler => 2,
+            Track::RuFrontEnd(i) => 16 + 4 * i as u64,
+            Track::RuFragment(i) => 17 + 4 * i as u64,
+            Track::RuFlush(i) => 18 + 4 * i as u64,
+            Track::DramBus(c) => 512 + c as u64,
+            Track::DramBank { channel, bank } => 1024 + 64 * channel as u64 + bank as u64,
+        }
+    }
+
+    /// Human-readable row label shown by Perfetto.
+    pub fn label(self) -> String {
+        match self {
+            Track::Phases => "phases".into(),
+            Track::Scheduler => "scheduler".into(),
+            Track::RuFrontEnd(i) => format!("RU{i} front-end"),
+            Track::RuFragment(i) => format!("RU{i} fragment"),
+            Track::RuFlush(i) => format!("RU{i} flush"),
+            Track::DramBus(c) => format!("DRAM ch{c} bus"),
+            Track::DramBank { channel, bank } => format!("DRAM ch{channel} bank{bank}"),
+        }
+    }
+}
+
+/// Whether an event is a duration span or a point-in-time marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A complete span (`ph: "X"`) with the given duration in cycles.
+    Span {
+        /// Span length in cycles.
+        dur: Cycle,
+    },
+    /// An instant event (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded event, already shifted into the global (sequence-wide) timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Timeline row.
+    pub track: Track,
+    /// Event name (the slice label in Perfetto).
+    pub name: String,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Start cycle on the global timeline.
+    pub ts: Cycle,
+    /// Extra key/value payload (the Perfetto `args` pane).
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// A finished recording: every event of one simulation, in emission order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Events in emission (causal) order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events on a given track.
+    pub fn on_track(&self, track: Track) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.track == track)
+    }
+
+    /// Serialises this trace as a single-process Chrome trace-event JSON document.
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        write_process(&mut out, &mut first, 0, "LIBRA GPU", &self.events);
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Serialises several traces (e.g. one per campaign job) into one document,
+    /// each under its own pid/process group labelled with its job name.
+    pub fn chrome_json_multi(jobs: &[(String, Trace)]) -> String {
+        let events: usize = jobs.iter().map(|(_, t)| t.events.len()).sum();
+        let mut out = String::with_capacity(64 + events * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for (pid, (label, trace)) in jobs.iter().enumerate() {
+            write_process(&mut out, &mut first, pid as u64, label, &trace.events);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+fn comma(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// Appends JSON-escaped `s` (without surrounding quotes).
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_process(out: &mut String, first: &mut bool, pid: u64, name: &str, events: &[TraceEvent]) {
+    comma(out, first);
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\""
+    ));
+    push_escaped(out, name);
+    out.push_str("\"}}");
+
+    // One thread_name metadata record per distinct track, in tid order.
+    let tracks: BTreeSet<Track> = events.iter().map(|e| e.track).collect();
+    for t in tracks {
+        comma(out, first);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"",
+            t.tid()
+        ));
+        push_escaped(out, &t.label());
+        out.push_str("\"}}");
+    }
+
+    for e in events {
+        comma(out, first);
+        let (ph, tail) = match e.kind {
+            EventKind::Span { dur } => ("X", format!(",\"dur\":{dur}")),
+            EventKind::Instant => ("i", ",\"s\":\"t\"".to_string()),
+        };
+        out.push_str(&format!(
+            "{{\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{},\"ts\":{}{tail},\"name\":\"",
+            e.track.tid(),
+            e.ts
+        ));
+        push_escaped(out, &e.name);
+        out.push('"');
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                push_escaped(out, k);
+                out.push_str("\":\"");
+                push_escaped(out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+}
+
+#[derive(Debug, Default)]
+struct Collector {
+    events: Vec<TraceEvent>,
+    base: Cycle,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Installs a fresh collector on the current thread; subsequent recording calls on
+/// this thread accumulate events until [`finish`].
+pub fn start() {
+    COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::default()));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Whether a collector is installed on the current thread. Instrumentation sites
+/// guard event construction with this so the disabled path costs one branch.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Uninstalls the collector and returns the recorded trace (`None` if [`start`]
+/// was never called on this thread).
+pub fn finish() -> Option<Trace> {
+    ENABLED.with(|e| e.set(false));
+    COLLECTOR.with(|c| c.borrow_mut().take()).map(|c| Trace { events: c.events })
+}
+
+/// Sets the offset added to every subsequently recorded timestamp. The simulator
+/// restarts local time at 0 every phase of every frame; the frame loop advances
+/// this base so a whole sequence lands on one continuous timeline.
+pub fn set_time_base(base: Cycle) {
+    if !is_enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.base = base;
+        }
+    });
+}
+
+/// The current time base (0 when disabled).
+pub fn time_base() -> Cycle {
+    if !is_enabled() {
+        return 0;
+    }
+    COLLECTOR.with(|c| c.borrow().as_ref().map_or(0, |col| col.base))
+}
+
+fn record(track: Track, name: String, kind: EventKind, ts: Cycle, args: Vec<(&'static str, String)>) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            let ts = col.base + ts;
+            col.events.push(TraceEvent { track, name, kind, ts, args });
+        }
+    });
+}
+
+/// Records a complete span `[start, end]` in phase-local cycles. No-op when
+/// tracing is disabled. `end < start` is clamped to a zero-length span.
+pub fn span(track: Track, name: impl Into<String>, start: Cycle, end: Cycle) {
+    span_args(track, name, start, end, Vec::new());
+}
+
+/// [`span`] with an args payload (shown in Perfetto's detail pane).
+pub fn span_args(
+    track: Track,
+    name: impl Into<String>,
+    start: Cycle,
+    end: Cycle,
+    args: Vec<(&'static str, String)>,
+) {
+    if !is_enabled() {
+        return;
+    }
+    let dur = end.saturating_sub(start);
+    record(track, name.into(), EventKind::Span { dur }, start, args);
+}
+
+/// Records an instant event at `at` (phase-local cycles). No-op when disabled.
+pub fn instant(track: Track, name: impl Into<String>, at: Cycle) {
+    instant_args(track, name, at, Vec::new());
+}
+
+/// [`instant`] with an args payload.
+pub fn instant_args(
+    track: Track,
+    name: impl Into<String>,
+    at: Cycle,
+    args: Vec<(&'static str, String)>,
+) {
+    if !is_enabled() {
+        return;
+    }
+    record(track, name.into(), EventKind::Instant, at, args);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        assert!(!is_enabled());
+        span(Track::Phases, "ignored", 0, 10);
+        instant(Track::Scheduler, "ignored", 5);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn start_record_finish_round_trip() {
+        start();
+        span_args(Track::RuFrontEnd(0), "tile 3", 10, 40, vec![("fragments", "12".into())]);
+        instant(Track::Scheduler, "steal", 25);
+        let t = finish().expect("collector installed");
+        assert!(!is_enabled());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events[0].kind, EventKind::Span { dur: 30 });
+        assert_eq!(t.events[0].ts, 10);
+        assert_eq!(t.events[1].kind, EventKind::Instant);
+    }
+
+    #[test]
+    fn time_base_shifts_events_onto_the_global_timeline() {
+        start();
+        span(Track::Phases, "geometry", 0, 100);
+        set_time_base(1_000);
+        assert_eq!(time_base(), 1_000);
+        span(Track::Phases, "raster", 0, 100);
+        let t = finish().unwrap();
+        assert_eq!(t.events[0].ts, 0);
+        assert_eq!(t.events[1].ts, 1_000);
+    }
+
+    #[test]
+    fn inverted_span_clamps_to_zero_length() {
+        start();
+        span(Track::Phases, "odd", 50, 10);
+        let t = finish().unwrap();
+        assert_eq!(t.events[0].kind, EventKind::Span { dur: 0 });
+    }
+
+    #[test]
+    fn chrome_json_has_metadata_and_events() {
+        start();
+        span(Track::DramBank { channel: 0, bank: 3 }, "rd miss", 0, 100);
+        let t = finish().unwrap();
+        let j = t.chrome_json();
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("process_name"));
+        assert!(j.contains("DRAM ch0 bank3"));
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("\"dur\":100"));
+    }
+
+    #[test]
+    fn multi_trace_assigns_one_pid_per_job() {
+        start();
+        instant(Track::Scheduler, "a", 0);
+        let a = finish().unwrap();
+        start();
+        instant(Track::Scheduler, "b", 0);
+        let b = finish().unwrap();
+        let j = Trace::chrome_json_multi(&[("job a".into(), a), ("job b".into(), b)]);
+        assert!(j.contains("\"pid\":0"));
+        assert!(j.contains("\"pid\":1"));
+        assert!(j.contains("job a") && j.contains("job b"));
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        start();
+        instant(Track::Scheduler, "quote \" backslash \\", 0);
+        let j = finish().unwrap().chrome_json();
+        assert!(j.contains("quote \\\" backslash \\\\"));
+    }
+
+    #[test]
+    fn track_tids_are_unique_for_distinct_tracks() {
+        let tracks = [
+            Track::Phases,
+            Track::Scheduler,
+            Track::RuFrontEnd(0),
+            Track::RuFragment(0),
+            Track::RuFlush(0),
+            Track::RuFrontEnd(1),
+            Track::DramBus(0),
+            Track::DramBus(1),
+            Track::DramBank { channel: 0, bank: 0 },
+            Track::DramBank { channel: 1, bank: 7 },
+        ];
+        let tids: std::collections::HashSet<u64> = tracks.iter().map(|t| t.tid()).collect();
+        assert_eq!(tids.len(), tracks.len());
+    }
+}

@@ -16,6 +16,7 @@
 //! in Fig 19.
 
 use crate::feedback::FrameFeedback;
+use tbr_common::trace::{self, Track};
 use tbr_common::Cycle;
 
 /// Which frame-level tile traversal the scheduler uses.
@@ -124,6 +125,7 @@ impl AdaptiveController {
     /// supertile size.
     pub fn decide(&mut self, feedback: &FrameFeedback) -> Decision {
         let cur = Summary { cycles: feedback.raster_cycles, hit_ratio: feedback.texture_hit_ratio };
+        let (order_before, size_before) = (self.order, self.size);
 
         match self.prev {
             None => {
@@ -167,6 +169,35 @@ impl AdaptiveController {
         }
 
         self.prev = Some(cur);
+        // Observation only: surface the feedback and any state change on the
+        // scheduler track (phase-local time 0 = the frame boundary).
+        if trace::is_enabled() {
+            trace::instant_args(
+                Track::Scheduler,
+                "libra feedback",
+                0,
+                vec![
+                    ("raster_cycles", cur.cycles.to_string()),
+                    ("texture_hit_ratio", format!("{:.4}", cur.hit_ratio)),
+                ],
+            );
+            if self.order != order_before {
+                trace::instant_args(
+                    Track::Scheduler,
+                    "order switch",
+                    0,
+                    vec![("from", format!("{order_before:?}")), ("to", format!("{:?}", self.order))],
+                );
+            }
+            if self.size != size_before {
+                trace::instant_args(
+                    Track::Scheduler,
+                    "supertile resize",
+                    0,
+                    vec![("from", size_before.to_string()), ("to", self.size.to_string())],
+                );
+            }
+        }
         Decision { order: self.order, supertile_size: self.size }
     }
 

@@ -23,6 +23,7 @@ use crate::supertile::SupertileGrid;
 use crate::temperature::TemperatureTable;
 use tbr_common::config::ScreenConfig;
 use tbr_common::ids::{RasterUnitId, TileId};
+use tbr_common::metrics::MetricsRegistry;
 use tbr_common::morton::{scanline_traversal, zorder_traversal};
 use tbr_common::Cycle;
 
@@ -61,6 +62,20 @@ impl FramePlan {
         } else {
             self.groups.pop_front()
         }
+    }
+
+    /// Publishes the plan's shape into `reg` under the given labels: the chosen
+    /// order, supertile edge, group count and ranking-hardware cost.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.set_gauge("plan_supertile_size", labels, self.supertile_size as f64);
+        reg.set_gauge(
+            "plan_order_temperature",
+            labels,
+            if self.order == TileOrderKind::Temperature { 1.0 } else { 0.0 },
+        );
+        reg.set_gauge("plan_hot_cold", labels, if self.hot_cold { 1.0 } else { 0.0 });
+        reg.add_counter("plan_groups", labels, self.groups.len() as u64);
+        reg.add_counter("plan_ranking_cycles", labels, self.ranking_cycles);
     }
 }
 
@@ -408,6 +423,38 @@ mod tests {
         plan.next_group(RasterUnitId(0));
         assert_eq!(plan.remaining_tiles(), n0 - 1);
         assert!(!plan.is_exhausted());
+    }
+
+    #[test]
+    fn plan_publishes_its_shape() {
+        let s = screen();
+        let plan = ZOrderScheduler.plan_frame(&s, None);
+        let mut reg = MetricsRegistry::new();
+        plan.publish_metrics(&mut reg, &[("frame", "0")]);
+        assert_eq!(
+            reg.counter_value("plan_groups", &[("frame", "0")]),
+            Some(s.num_tiles() as u64)
+        );
+        assert_eq!(reg.gauge_value("plan_order_temperature", &[("frame", "0")]), Some(0.0));
+    }
+
+    #[test]
+    fn adaptive_decisions_show_up_on_the_scheduler_track() {
+        use tbr_common::trace::{self, Track};
+        let s = screen();
+        let mut sched = SchedulerKind::Libra.build();
+        let mut hm = TileHeatmap::new(s.num_tiles());
+        for (i, t) in hm.tiles.iter_mut().enumerate() {
+            t.dram_accesses = (i % 37) as u64;
+        }
+        trace::start();
+        // Low hit ratio -> first decision switches to Temperature: one feedback
+        // instant plus one order-switch instant.
+        let _ = sched.plan_frame(&s, Some(&FrameFeedback::new(hm, 100_000, 0.5)));
+        let t = trace::finish().unwrap();
+        let on_sched: Vec<_> = t.on_track(Track::Scheduler).collect();
+        assert!(on_sched.iter().any(|e| e.name == "libra feedback"));
+        assert!(on_sched.iter().any(|e| e.name == "order switch"));
     }
 
     #[test]

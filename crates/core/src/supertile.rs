@@ -163,7 +163,7 @@ mod tests {
         let g = SupertileGrid::new(&screen(), 4);
         let last = SupertileId(g.num_supertiles() as u32 - 1);
         let tiles = g.tiles_of(last);
-        assert_eq!(tiles.len(), 2 * 1);
+        assert_eq!(tiles.len(), 2);
     }
 
     #[test]

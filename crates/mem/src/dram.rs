@@ -14,6 +14,7 @@
 
 use tbr_common::config::{DramConfig, PagePolicy};
 use tbr_common::stats::DramStats;
+use tbr_common::trace::{self, Track};
 use tbr_common::Cycle;
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -91,6 +92,14 @@ impl DramModel {
                 bank.open_row = None;
                 bank.next_refresh += self.cfg.refresh_interval;
                 self.stats_refreshes += 1;
+                if trace::is_enabled() {
+                    trace::span(
+                        Track::DramBank { channel: channel as u8, bank: bank_in_chan as u8 },
+                        "refresh",
+                        refresh_start,
+                        refresh_start + self.cfg.refresh_latency,
+                    );
+                }
             }
         }
 
@@ -136,6 +145,22 @@ impl DramModel {
         self.stats.latency_sum += latency;
         self.stats.max_latency = self.stats.max_latency.max(latency);
         self.stats.record_interval(now);
+
+        // Observation only: the per-bank busy interval and the channel-bus burst.
+        if trace::is_enabled() {
+            trace::span_args(
+                Track::DramBank { channel: channel as u8, bank: bank_in_chan as u8 },
+                if row_hit { "row hit" } else { "row miss" },
+                start,
+                start + self.cfg.bank_occupancy.max(1),
+                vec![
+                    ("row", row.to_string()),
+                    ("write", is_write.to_string()),
+                    ("latency", latency.to_string()),
+                ],
+            );
+            trace::span(Track::DramBus(channel as u8), "burst", bus_start, completion);
+        }
 
         completion
     }
@@ -264,6 +289,29 @@ mod tests {
         assert_eq!(s.total_accesses(), 1);
         assert_eq!(d.stats().total_accesses(), 0);
         assert_eq!(d.stats().interval_width, 5000);
+    }
+
+    #[test]
+    fn tracing_emits_bank_and_bus_spans_without_changing_timing() {
+        let mut plain = model();
+        let mut traced = model();
+        let addrs: Vec<u64> = (0..32).map(|i| i * 64).collect();
+        let untraced: Vec<Cycle> =
+            addrs.iter().map(|&a| plain.request(a, 0, false)).collect();
+        trace::start();
+        let with_trace: Vec<Cycle> =
+            addrs.iter().map(|&a| traced.request(a, 0, false)).collect();
+        let t = trace::finish().unwrap();
+        assert_eq!(untraced, with_trace, "tracing must not perturb timing");
+        let bank_spans = t
+            .events
+            .iter()
+            .filter(|e| matches!(e.track, Track::DramBank { .. }))
+            .count();
+        let bus_spans =
+            t.events.iter().filter(|e| matches!(e.track, Track::DramBus(_))).count();
+        assert_eq!(bank_spans, addrs.len(), "one bank span per request");
+        assert_eq!(bus_spans, addrs.len(), "one bus span per request");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::cache::Cache;
 use crate::dram::DramModel;
 use tbr_common::addr::AccessKind;
 use tbr_common::config::{CacheConfig, DramConfig};
+use tbr_common::metrics::MetricsRegistry;
 use tbr_common::stats::{CacheStats, DramStats};
 use tbr_common::Cycle;
 
@@ -154,6 +155,17 @@ impl MemoryHierarchy {
         let dram = self.dram.take_stats();
         self.dram.reset_state();
         (l2, dram)
+    }
+
+    /// Publishes the hierarchy's *live* (since the last `end_frame`) counters into
+    /// `reg` under the given labels: the shared L2 as `cache=l2` plus the `dram_*`
+    /// family and the refresh count.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        let mut l2_labels: Vec<(&str, &str)> = labels.to_vec();
+        l2_labels.push(("cache", "l2"));
+        self.l2.stats().publish(reg, &l2_labels);
+        self.dram.stats().publish(reg, labels);
+        reg.add_counter("dram_refreshes", labels, self.dram.refreshes());
     }
 
     /// Invalidates the L2 and closes all DRAM rows (between independent runs).
@@ -354,6 +366,21 @@ mod tests {
         let b = h.access(0x4000_1000, 0, AccessKind::TextureRead);
         assert!(b.completion >= a.completion.min(b.completion));
         assert!(h.l2_stats().accesses == 2);
+    }
+
+    #[test]
+    fn publish_metrics_exports_live_counters() {
+        let mut h = hier();
+        let mut l1 = L1Cache::new(CacheConfig::texture_l1());
+        l1.access(0x4000_0000, 0, AccessKind::TextureRead, &mut h);
+        let mut reg = MetricsRegistry::new();
+        h.publish_metrics(&mut reg, &[("scope", "test")]);
+        assert_eq!(
+            reg.counter_value("cache_accesses", &[("scope", "test"), ("cache", "l2")]),
+            Some(1)
+        );
+        assert_eq!(reg.counter_value("dram_reads", &[("scope", "test")]), Some(1));
+        assert!(reg.get("dram_requests_per_interval", &[("scope", "test")]).is_some());
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl ColorBuffer {
         tile_x0: u32,
         tile_y0: u32,
     ) {
-        for lane in 0..4usize {
+        for (lane, &color) in colors.iter().enumerate() {
             if surviving & (1 << lane) == 0 {
                 continue;
             }
@@ -69,8 +69,8 @@ impl ColorBuffer {
             debug_assert!(lx < self.size && ly < self.size, "quad outside tile");
             let idx = (ly * self.size + lx) as usize;
             self.pixels[idx] = match blend {
-                BlendMode::Opaque => colors[lane],
-                BlendMode::AlphaBlend => blend_alpha(self.pixels[idx], colors[lane]),
+                BlendMode::Opaque => color,
+                BlendMode::AlphaBlend => blend_alpha(self.pixels[idx], color),
             };
         }
     }
@@ -133,7 +133,7 @@ mod tests {
     fn alpha_blend_mixes_channels() {
         let mut cb = ColorBuffer::new(32);
         cb.write_quad(&quad_at(0, 0), 0xF, [0xFF0000FF; 4], BlendMode::Opaque, 0, 0);
-        cb.write_quad(&quad_at(0, 0), 0xF, [0xFF00_00_01; 4], BlendMode::AlphaBlend, 0, 0);
+        cb.write_quad(&quad_at(0, 0), 0xF, [0xFF000001; 4], BlendMode::AlphaBlend, 0, 0);
         // R channel: (0xFF + 0x01) / 2 = 0x80.
         assert_eq!(cb.color_at(0, 0) & 0xFF, 0x80);
     }

@@ -118,16 +118,12 @@ impl RasterUnit {
         // ahead of the pipeline into the RU's FIFO (Fig 5), one per cycle, so list
         // fetch latency is pipelined rather than serialising the front-end.
         let mut read_done: Vec<Cycle> = Vec::with_capacity(prims.len());
-        {
-            let mut issue = now;
-            for n in 0..prims.len() {
-                let entry_addr = param_entry_addr(tile, n as u64);
-                let rd = self.tile_l1.access(entry_addr, issue, AccessKind::ParamRead, hier);
-                issue += 1;
-                out.param_reads += 1;
-                out.dram_accesses += rd.dram_accesses as u64;
-                read_done.push(rd.completion);
-            }
+        for (n, issue) in (0..prims.len()).zip(now..) {
+            let entry_addr = param_entry_addr(tile, n as u64);
+            let rd = self.tile_l1.access(entry_addr, issue, AccessKind::ParamRead, hier);
+            out.param_reads += 1;
+            out.dram_accesses += rd.dram_accesses as u64;
+            read_done.push(rd.completion);
         }
 
         for (n, prim) in prims.iter().enumerate() {
@@ -167,10 +163,10 @@ impl RasterUnit {
                 // Functional shading + blending (timing belongs to the warps). Only
                 // depth-passing lanes reach the Colour Buffer, Early- or Late-Z.
                 let mut colors = [0u32; 4];
-                for lane in 0..4usize {
+                for (lane, color) in colors.iter_mut().enumerate() {
                     if pass & (1 << lane) != 0 {
                         let (u, v) = q.uv[lane];
-                        colors[lane] = shade_color(&prim.texture, u, v);
+                        *color = shade_color(&prim.texture, u, v);
                     }
                 }
                 self.color.write_quad(&q, pass, colors, prim.blend, tx0, ty0);

@@ -60,14 +60,14 @@ impl TriangleSetup {
         let mut dudy = 0.0f32;
         let mut dvdx = 0.0f32;
         let mut dvdy = 0.0f32;
-        for i in 0..3 {
+        for (i, v) in p.iter().enumerate() {
             let e = (i + 1) % 3; // edge opposite vertex i is edge i+1 in our ordering
             let gx = a[e] * inv_area2;
             let gy = b[e] * inv_area2;
-            dudx += p[i].u * gx;
-            dudy += p[i].u * gy;
-            dvdx += p[i].v * gx;
-            dvdy += p[i].v * gy;
+            dudx += v.u * gx;
+            dudy += v.u * gy;
+            dvdx += v.v * gx;
+            dvdy += v.v * gy;
         }
         let uv_derivative =
             dudx.abs().max(dudy.abs()).max(dvdx.abs()).max(dvdy.abs());

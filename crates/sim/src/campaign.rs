@@ -52,6 +52,7 @@ use libra::scheduler::SchedulerKind;
 use tbr_common::config::GpuConfig;
 use tbr_common::rng::splitmix64_mix;
 use tbr_common::stats::SequenceStats;
+use tbr_common::trace::{self, Trace};
 use tbr_workloads::BenchmarkProfile;
 
 use crate::gpu::simulate_sequence;
@@ -86,6 +87,87 @@ pub struct CampaignResult {
     pub effective_seed: u64,
     /// Full per-frame statistics of the sequence.
     pub stats: SequenceStats,
+}
+
+/// Host-side wall-clock profile of one worker thread of a campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerProfile {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Jobs this worker completed.
+    pub jobs_run: usize,
+    /// Jobs obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Wall-clock seconds spent inside jobs (excludes queue waits).
+    pub busy_secs: f64,
+}
+
+/// Host-side wall-clock profile of one campaign job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobProfile {
+    /// Job index in campaign order.
+    pub job: usize,
+    /// Workload abbreviation.
+    pub abbrev: &'static str,
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Worker that ran the job.
+    pub worker: usize,
+    /// Wall-clock seconds the job took.
+    pub secs: f64,
+}
+
+/// Host-side profile of a whole campaign run: wall-clock, per-worker utilization
+/// and steal counts, per-job timings. Written to `bench_results/` by
+/// `libra-sim campaign --profile`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignProfile {
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock seconds.
+    pub wall_secs: f64,
+    /// One entry per worker.
+    pub workers: Vec<WorkerProfile>,
+    /// One entry per job, in campaign order.
+    pub jobs: Vec<JobProfile>,
+}
+
+impl CampaignProfile {
+    /// Mean worker utilization in `[0, 1]`: busy time over `threads × wall`.
+    pub fn utilization(&self) -> f64 {
+        let busy: f64 = self.workers.iter().map(|w| w.busy_secs).sum();
+        let denom = self.threads as f64 * self.wall_secs;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (busy / denom).min(1.0)
+        }
+    }
+
+    /// Per-worker CSV (`worker,jobs_run,steals,busy_secs,utilization`).
+    pub fn workers_csv(&self) -> String {
+        let mut out = String::from("worker,jobs_run,steals,busy_secs,utilization\n");
+        for w in &self.workers {
+            let util = if self.wall_secs > 0.0 { w.busy_secs / self.wall_secs } else { 0.0 };
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.4}\n",
+                w.worker, w.jobs_run, w.steals, w.busy_secs, util
+            ));
+        }
+        out
+    }
+
+    /// Per-job CSV (`job,abbrev,scheduler,worker,secs`).
+    pub fn jobs_csv(&self) -> String {
+        let mut out = String::from("job,abbrev,scheduler,worker,secs\n");
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "{},{},{},{},{:.6}\n",
+                j.job, j.abbrev, j.scheduler, j.worker, j.secs
+            ));
+        }
+        out
+    }
 }
 
 /// A batch of independent simulation jobs with a campaign-level seed.
@@ -176,17 +258,74 @@ impl Campaign {
         }
     }
 
+    /// Runs job `index` with an optional per-job trace collector installed on the
+    /// calling thread. Tracing is observation-only, so the returned stats are
+    /// bit-identical either way.
+    fn run_job_maybe_traced(&self, index: usize, traced: bool) -> (CampaignResult, Option<Trace>) {
+        if traced {
+            trace::start();
+        }
+        let r = self.run_job(index);
+        let t = if traced { trace::finish() } else { None };
+        (r, t)
+    }
+
+    fn trace_label(r: &CampaignResult) -> String {
+        format!("job{} {} {}", r.job, r.abbrev, r.scheduler)
+    }
+
     /// Runs every job on the calling thread, in campaign order.
     pub fn run_serial(&self) -> Vec<CampaignResult> {
         (0..self.jobs.len()).map(|i| self.run_job(i)).collect()
     }
 
-    /// Runs the campaign on `threads` worker threads (clamped to at least 1) and
-    /// returns results in campaign order, bit-identical to [`Campaign::run_serial`].
-    pub fn run(&self, threads: usize) -> Vec<CampaignResult> {
+    /// The full driver behind [`run`](Campaign::run), [`run_profiled`](Campaign::run_profiled)
+    /// and [`run_traced`](Campaign::run_traced): runs the campaign on `threads`
+    /// workers and returns, in campaign order, the results, the host-side profile,
+    /// and (when `traced`) one simulated-time trace per job. Timestamps in the
+    /// traces are simulated cycles, so they are identical for every thread count.
+    pub fn run_full(
+        &self,
+        threads: usize,
+        traced: bool,
+    ) -> (Vec<CampaignResult>, CampaignProfile, Vec<(String, Trace)>) {
+        let t0 = Instant::now();
         let threads = threads.clamp(1, self.jobs.len().max(1));
+
         if threads <= 1 || self.jobs.len() <= 1 {
-            return self.run_serial();
+            let mut results = Vec::with_capacity(self.jobs.len());
+            let mut traces = Vec::new();
+            let mut job_profiles = Vec::with_capacity(self.jobs.len());
+            let mut busy = 0.0;
+            for i in 0..self.jobs.len() {
+                let jt = Instant::now();
+                let (r, t) = self.run_job_maybe_traced(i, traced);
+                let secs = jt.elapsed().as_secs_f64();
+                busy += secs;
+                job_profiles.push(JobProfile {
+                    job: i,
+                    abbrev: r.abbrev,
+                    scheduler: r.scheduler,
+                    worker: 0,
+                    secs,
+                });
+                if let Some(t) = t {
+                    traces.push((Self::trace_label(&r), t));
+                }
+                results.push(r);
+            }
+            let profile = CampaignProfile {
+                threads: 1,
+                wall_secs: t0.elapsed().as_secs_f64(),
+                workers: vec![WorkerProfile {
+                    worker: 0,
+                    jobs_run: self.jobs.len(),
+                    steals: 0,
+                    busy_secs: busy,
+                }],
+                jobs: job_profiles,
+            };
+            return (results, profile, traces);
         }
 
         // Deal jobs round-robin into per-worker deques. Round-robin (rather than
@@ -198,36 +337,100 @@ impl Campaign {
             queues[i % threads].lock().unwrap().push_back(i);
         }
 
-        let slots: Vec<Mutex<Option<CampaignResult>>> =
-            self.jobs.iter().map(|_| Mutex::new(None)).collect();
+        type Slot = (CampaignResult, Option<Trace>, JobProfile);
+        let slots: Vec<Mutex<Option<Slot>>> = self.jobs.iter().map(|_| Mutex::new(None)).collect();
+        let worker_slots: Vec<Mutex<Option<WorkerProfile>>> =
+            (0..threads).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for me in 0..threads {
                 let queues = &queues;
                 let slots = &slots;
+                let worker_slots = &worker_slots;
                 scope.spawn(move || {
+                    let mut prof =
+                        WorkerProfile { worker: me, jobs_run: 0, steals: 0, busy_secs: 0.0 };
                     loop {
                         // Own queue first (front: preserves the dealt order)…
+                        let mut stolen = false;
                         let job = queues[me].lock().unwrap().pop_front().or_else(|| {
                             // …then steal from the back of the first non-empty
                             // victim, scanning away from ourselves.
                             (1..threads).find_map(|k| {
-                                queues[(me + k) % threads].lock().unwrap().pop_back()
+                                let j = queues[(me + k) % threads].lock().unwrap().pop_back();
+                                stolen |= j.is_some();
+                                j
                             })
                         });
                         match job {
-                            Some(i) => *slots[i].lock().unwrap() = Some(self.run_job(i)),
+                            Some(i) => {
+                                if stolen {
+                                    prof.steals += 1;
+                                }
+                                let jt = Instant::now();
+                                let (r, t) = self.run_job_maybe_traced(i, traced);
+                                let secs = jt.elapsed().as_secs_f64();
+                                prof.jobs_run += 1;
+                                prof.busy_secs += secs;
+                                let jp = JobProfile {
+                                    job: i,
+                                    abbrev: r.abbrev,
+                                    scheduler: r.scheduler,
+                                    worker: me,
+                                    secs,
+                                };
+                                *slots[i].lock().unwrap() = Some((r, t, jp));
+                            }
                             None => break,
                         }
                     }
+                    *worker_slots[me].lock().unwrap() = Some(prof);
                 });
             }
         });
 
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("every job slot filled"))
-            .collect()
+        let mut results = Vec::with_capacity(self.jobs.len());
+        let mut traces = Vec::new();
+        let mut job_profiles = Vec::with_capacity(self.jobs.len());
+        for s in slots {
+            let (r, t, jp) = s.into_inner().unwrap().expect("every job slot filled");
+            if let Some(t) = t {
+                traces.push((Self::trace_label(&r), t));
+            }
+            job_profiles.push(jp);
+            results.push(r);
+        }
+        let profile = CampaignProfile {
+            threads,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            workers: worker_slots
+                .into_iter()
+                .map(|w| w.into_inner().unwrap().expect("worker profile filled"))
+                .collect(),
+            jobs: job_profiles,
+        };
+        (results, profile, traces)
+    }
+
+    /// Runs the campaign on `threads` worker threads (clamped to at least 1) and
+    /// returns results in campaign order, bit-identical to [`Campaign::run_serial`].
+    pub fn run(&self, threads: usize) -> Vec<CampaignResult> {
+        self.run_full(threads, false).0
+    }
+
+    /// [`run`](Campaign::run) plus the host-side wall-clock profile.
+    pub fn run_profiled(&self, threads: usize) -> (Vec<CampaignResult>, CampaignProfile) {
+        let (results, profile, _) = self.run_full(threads, false);
+        (results, profile)
+    }
+
+    /// [`run`](Campaign::run) with per-job cycle-level tracing enabled: returns one
+    /// labelled [`Trace`] per job, in campaign order. Merge them into one Perfetto
+    /// document with [`Trace::chrome_json_multi`]; since timestamps are simulated
+    /// cycles, the merged JSON is byte-identical for every `threads` value.
+    pub fn run_traced(&self, threads: usize) -> (Vec<CampaignResult>, Vec<(String, Trace)>) {
+        let (results, _, traces) = self.run_full(threads, true);
+        (results, traces)
     }
 
     /// Runs the campaign both in parallel and serially, asserting bit-identical
@@ -325,6 +528,63 @@ mod tests {
         assert!(c.run(4).is_empty());
         let c1 = small_campaign(0, 1);
         assert_eq!(c1.run(8).len(), 1);
+    }
+
+    #[test]
+    fn profile_accounts_for_every_job_and_worker() {
+        let c = small_campaign(0, 5);
+        let (res, prof) = c.run_profiled(3);
+        assert_eq!(res.len(), 5);
+        assert_eq!(prof.threads, 3);
+        assert_eq!(prof.workers.len(), 3);
+        assert_eq!(prof.jobs.len(), 5);
+        assert_eq!(prof.workers.iter().map(|w| w.jobs_run).sum::<usize>(), 5);
+        assert!(prof.wall_secs > 0.0);
+        for (i, j) in prof.jobs.iter().enumerate() {
+            assert_eq!(j.job, i);
+            assert!(j.worker < 3);
+            assert!(j.secs >= 0.0);
+        }
+        let u = prof.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        // CSVs: header + one row per worker / per job.
+        assert_eq!(prof.workers_csv().lines().count(), 1 + 3);
+        assert_eq!(prof.jobs_csv().lines().count(), 1 + 5);
+    }
+
+    #[test]
+    fn serial_path_profile_uses_worker_zero() {
+        let c = small_campaign(0, 2);
+        let (_, prof) = c.run_profiled(1);
+        assert_eq!(prof.threads, 1);
+        assert_eq!(prof.workers.len(), 1);
+        assert_eq!(prof.workers[0].steals, 0);
+        assert!(prof.jobs.iter().all(|j| j.worker == 0));
+    }
+
+    #[test]
+    fn tracing_changes_no_results_and_labels_every_job() {
+        let c = small_campaign(0, 3);
+        let plain = c.run(2);
+        let (traced, traces) = c.run_traced(2);
+        assert_eq!(traced, plain, "tracing must be observation-only");
+        assert_eq!(traces.len(), 3);
+        for (i, (label, trace)) in traces.iter().enumerate() {
+            assert!(label.starts_with(&format!("job{i} ")), "bad label {label:?}");
+            assert!(!trace.events.is_empty(), "job {i} produced an empty trace");
+        }
+    }
+
+    #[test]
+    fn merged_trace_json_is_stable_across_thread_counts() {
+        let c = small_campaign(0, 3);
+        let (_, t1) = c.run_traced(1);
+        let (_, t3) = c.run_traced(3);
+        assert_eq!(
+            Trace::chrome_json_multi(&t1),
+            Trace::chrome_json_multi(&t3),
+            "simulated-time stamps must make the merged trace thread-count invariant"
+        );
     }
 
     #[test]

@@ -5,7 +5,10 @@ use libra::feedback::FrameFeedback;
 use libra::scheduler::{SchedulerKind, TileScheduler};
 use tbr_common::config::GpuConfig;
 use tbr_common::ids::FrameId;
+use tbr_common::metrics::MetricsRegistry;
 use tbr_common::stats::{FrameStats, SequenceStats};
+use tbr_common::trace::{self, Track};
+use tbr_common::Cycle;
 use tbr_geom::Scene;
 use tbr_mem::hierarchy::{L1Cache, MemoryHierarchy};
 use tbr_raster::raster_unit::RasterUnit;
@@ -23,6 +26,11 @@ pub struct GpuSimulator {
     scheduler: Box<dyn TileScheduler>,
     prev_feedback: Option<FrameFeedback>,
     frame_no: u32,
+    metrics: MetricsRegistry,
+    /// Global-timeline offset of the current frame. Phases restart local time at
+    /// 0; the tracer's time base is advanced so a whole sequence lands on one
+    /// continuous timeline. Pure observation state — never read by the model.
+    trace_base: Cycle,
 }
 
 impl GpuSimulator {
@@ -44,8 +52,15 @@ impl GpuSimulator {
             rus,
             prev_feedback: None,
             frame_no: 0,
+            metrics: MetricsRegistry::new(),
+            trace_base: 0,
             cfg,
         }
+    }
+
+    /// The metrics published so far (one label set per rendered frame).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The configuration this GPU was built with.
@@ -61,6 +76,10 @@ impl GpuSimulator {
     /// Renders one frame and returns its statistics. Cache contents stay warm across
     /// frames (as in real hardware); timing restarts at cycle 0 each frame.
     pub fn render_frame(&mut self, scene: &Scene) -> FrameStats {
+        let traced = trace::is_enabled();
+        if traced {
+            trace::set_time_base(self.trace_base);
+        }
         // ---- Geometry phase (sort-middle front half). The LIBRA ranking runs in
         // parallel with it (§III-E), so the phase costs max(geometry, ranking).
         let geo = run_geometry_phase(&self.cfg, &mut self.vertex_l1, &mut self.hier, scene);
@@ -69,6 +88,33 @@ impl GpuSimulator {
 
         let mut plan = self.scheduler.plan_frame(&self.cfg.screen, self.prev_feedback.as_ref());
         let geometry_cycles = geo.cycles.max(plan.ranking_cycles);
+
+        let frame_label = self.frame_no.to_string();
+        plan.publish_metrics(&mut self.metrics, &[("frame", &frame_label)]);
+
+        if traced {
+            trace::span_args(
+                Track::Phases,
+                "geometry",
+                0,
+                geometry_cycles,
+                vec![("frame", frame_label.clone())],
+            );
+            trace::instant_args(
+                Track::Scheduler,
+                "plan",
+                0,
+                vec![
+                    ("frame", frame_label.clone()),
+                    ("order", format!("{:?}", plan.order)),
+                    ("supertile", plan.supertile_size.to_string()),
+                    ("hot_cold", plan.hot_cold.to_string()),
+                ],
+            );
+            // Raster-phase events restart local time at 0; shift them past the
+            // geometry phase on the global timeline.
+            trace::set_time_base(self.trace_base + geometry_cycles);
+        }
 
         // ---- Raster phase.
         let raster = run_raster_phase(
@@ -80,6 +126,15 @@ impl GpuSimulator {
             &geo.bins,
         );
         debug_assert!(plan.is_exhausted(), "raster phase must consume the whole plan");
+        if traced {
+            trace::span_args(
+                Track::Phases,
+                "raster",
+                0,
+                raster.raster_cycles,
+                vec![("frame", frame_label.clone())],
+            );
+        }
 
         // ---- Collect per-frame counters.
         let mut texture_cache = tbr_common::stats::CacheStats::default();
@@ -113,6 +168,12 @@ impl GpuSimulator {
             texture_fill_lines: raster.fill_lines,
             texture_unique_lines: raster.unique_lines,
         };
+
+        stats.publish(&mut self.metrics, &[("frame", &frame_label)]);
+        self.trace_base += stats.total_cycles();
+        if traced {
+            trace::set_time_base(self.trace_base);
+        }
 
         // ---- Close the feedback loop for the next frame.
         self.prev_feedback = Some(FrameFeedback::new(

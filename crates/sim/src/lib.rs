@@ -40,7 +40,7 @@ pub mod imr;
 pub mod raster_phase;
 pub mod report;
 
-pub use campaign::{Campaign, CampaignJob, CampaignResult};
+pub use campaign::{Campaign, CampaignJob, CampaignProfile, CampaignResult, JobProfile, WorkerProfile};
 pub use gpu::{simulate_frame, simulate_sequence, simulate_sequence_oracle, GpuSimulator};
 pub use imr::simulate_sequence_imr;
 pub use libra::scheduler::SchedulerKind;

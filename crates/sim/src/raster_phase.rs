@@ -25,6 +25,7 @@ use libra::scheduler::FramePlan;
 use tbr_common::config::GpuConfig;
 use tbr_common::ids::{RasterUnitId, TileId};
 use tbr_common::stats::TileHeatmap;
+use tbr_common::trace::{self, Track};
 use tbr_common::Cycle;
 use tbr_geom::pipeline::ScreenTriangle;
 use tbr_mem::hierarchy::MemoryHierarchy;
@@ -136,10 +137,11 @@ impl RuState {
         for f in &self.inflight {
             consider(f.exec.ready_at());
         }
-        if self.fe_ready.is_some() && self.fragment_stage_idle() {
-            // Promotion of the parked tile into the fragment stage.
-            let r = self.fe_ready.as_ref().expect("checked");
-            consider(self.frag_gate.max(r.fe_done));
+        if let Some(r) = &self.fe_ready {
+            if self.fragment_stage_idle() {
+                // Promotion of the parked tile into the fragment stage.
+                consider(self.frag_gate.max(r.fe_done));
+            }
         }
         if self.fe_ready.is_none() && !(self.no_more_groups && self.tiles.is_empty()) {
             consider(self.fe_time); // front-end of the next tile
@@ -191,7 +193,7 @@ pub fn run_raster_phase(
         let mut best: Option<(usize, Cycle)> = None;
         for (i, st) in states.iter().enumerate() {
             if let Some(t) = st.next_time(max_warps) {
-                if best.map_or(true, |(_, bt)| t < bt) {
+                if best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((i, t));
                 }
             }
@@ -228,7 +230,7 @@ pub fn run_raster_phase(
         };
 
         if let Some((idx, t)) = step_idx {
-            if other_min.map_or(true, |o| t <= o) {
+            if other_min.is_none_or(|o| t <= o) {
                 let done = {
                     let InFlight { warp, exec, core } = &mut st.inflight[idx];
                     rus[i].step_warp_on(*core, warp, exec, hier)
@@ -259,9 +261,25 @@ pub fn run_raster_phase(
                         let tile = st.cur_tile.take().expect("warps imply a current tile");
                         let flush_start = st.tile_last;
                         out.drain_cycles += flush_start.saturating_sub(st.frag_start);
+                        if trace::is_enabled() {
+                            trace::span(
+                                Track::RuFragment(i as u8),
+                                format!("tile {}", tile.0),
+                                st.frag_start,
+                                flush_start,
+                            );
+                        }
                         let (flush_done, last_write, writes) =
                             rus[i].flush_tile(tile, &cfg.screen, flush_start, hier);
                         out.flush_cycles += flush_done - flush_start;
+                        if trace::is_enabled() {
+                            trace::span(
+                                Track::RuFlush(i as u8),
+                                format!("flush {}", tile.0),
+                                flush_start,
+                                flush_done,
+                            );
+                        }
                         out.heatmap.tally_mut(tile).dram_accesses += writes;
                         st.frag_gate = flush_start.max(st.last_flush_done);
                         st.last_flush_done = flush_done;
@@ -278,7 +296,7 @@ pub fn run_raster_phase(
         if let Some(w) = st.pending.front() {
             if st.has_free_slot(max_warps) {
                 let start = w.arrival.max(st.frag_gate).max(st.slot_gate);
-                if step_idx.map_or(true, |(_, t)| start <= t) {
+                if step_idx.is_none_or(|(_, t)| start <= t) {
                     let w = st.pending.pop_front().expect("checked non-empty");
                     let core = (0..st.core_load.len())
                         .filter(|&c| st.core_load[c] < max_warps)
@@ -304,6 +322,14 @@ pub fn run_raster_phase(
                     let (flush_done, last_write, writes) =
                         rus[i].flush_tile(r.tile, &cfg.screen, start, hier);
                     out.flush_cycles += flush_done - start;
+                    if trace::is_enabled() {
+                        trace::span(
+                            Track::RuFlush(i as u8),
+                            format!("flush {}", r.tile.0),
+                            start,
+                            flush_done,
+                        );
+                    }
                     out.heatmap.tally_mut(r.tile).dram_accesses += writes;
                     st.frag_gate = start.max(st.last_flush_done);
                     st.last_flush_done = flush_done;
@@ -340,6 +366,18 @@ pub fn run_raster_phase(
                             _ => VecDeque::new(),
                         };
                         let st = &mut states[i];
+                        if !stolen.is_empty() && trace::is_enabled() {
+                            trace::instant_args(
+                                Track::Scheduler,
+                                "tile steal",
+                                st.fe_time,
+                                vec![
+                                    ("thief", i.to_string()),
+                                    ("victim", victim.expect("stolen implies victim").to_string()),
+                                    ("tiles", stolen.len().to_string()),
+                                ],
+                            );
+                        }
                         if stolen.is_empty() {
                             st.no_more_groups = true;
                             let finish = st.fe_time.max(st.frag_gate).max(st.last_flush_done);
@@ -356,9 +394,22 @@ pub fn run_raster_phase(
                 let list = bins.list(tile);
                 let tile_prims: Vec<&ScreenTriangle> =
                     list.iter().map(|&idx| &prims[idx as usize]).collect();
+                let fe_start = st.fe_time;
                 let fe =
                     rus[i].render_tile_front_end(tile, &tile_prims, &cfg.screen, st.fe_time, hier);
                 out.fe_cycles += fe.fe_done - st.fe_time;
+                if trace::is_enabled() {
+                    trace::span_args(
+                        Track::RuFrontEnd(i as u8),
+                        format!("tile {}", tile.0),
+                        fe_start,
+                        fe.fe_done,
+                        vec![
+                            ("prims", tile_prims.len().to_string()),
+                            ("fragments", fe.fragments.to_string()),
+                        ],
+                    );
+                }
                 out.fragments += fe.fragments;
                 out.earlyz_killed += fe.earlyz_killed;
                 {

@@ -12,7 +12,7 @@ use tbr_common::stats::{FrameStats, SequenceStats};
 pub fn frame_line(f: &FrameStats) -> String {
     format!(
         "{}: {} cycles (geom {} + raster {}), {} prims, {} frags, {} warps, \
-         tex hit {:.1}%, tex lat {:.1}, DRAM {} (lat {:.1})",
+         tex hit {:.1}%, tile hit {:.1}%, L2 hit {:.1}%, tex lat {:.1}, DRAM {} (lat {:.1})",
         f.frame,
         f.total_cycles(),
         f.geometry_cycles,
@@ -21,6 +21,8 @@ pub fn frame_line(f: &FrameStats) -> String {
         f.fragments,
         f.warps,
         f.texture_cache.hit_ratio() * 100.0,
+        f.tile_cache.hit_ratio() * 100.0,
+        f.l2_cache.hit_ratio() * 100.0,
         f.avg_texture_latency(),
         f.dram.total_accesses(),
         f.dram.avg_latency(),
@@ -41,6 +43,11 @@ pub fn sequence_summary(label: &str, s: &SequenceStats, cfg: &GpuConfig) -> Stri
         s.texture_hit_ratio() * 100.0,
         s.avg_texture_latency(),
         s.avg_texture_replication()
+    ));
+    out.push_str(&format!(
+        "  caches: tile hit {:.1}%, L2 hit {:.1}%\n",
+        s.tile_hit_ratio() * 100.0,
+        s.l2_hit_ratio() * 100.0
     ));
     out.push_str(&format!(
         "  DRAM: {:.0} accesses/frame\n",
@@ -96,10 +103,17 @@ mod tests {
 
     #[test]
     fn frame_line_mentions_key_metrics() {
-        let f = FrameStats { raster_cycles: 1234, ..FrameStats::default() };
+        let f = FrameStats {
+            raster_cycles: 1234,
+            tile_cache: CacheStats { accesses: 10, hits: 5, misses: 5, evictions: 0 },
+            l2_cache: CacheStats { accesses: 4, hits: 3, misses: 1, evictions: 0 },
+            ..FrameStats::default()
+        };
         let line = frame_line(&f);
         assert!(line.contains("1234"));
         assert!(line.contains("DRAM"));
+        assert!(line.contains("tile hit 50.0%"), "{line}");
+        assert!(line.contains("L2 hit 75.0%"), "{line}");
     }
 
     #[test]
@@ -109,6 +123,8 @@ mod tests {
         assert!(text.contains("base"));
         assert!(text.contains("FPS"));
         assert!(text.contains("texture"));
+        assert!(text.contains("tile hit"), "{text}");
+        assert!(text.contains("L2 hit"), "{text}");
     }
 
     #[test]

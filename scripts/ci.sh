@@ -10,13 +10,21 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=1
 
-echo "== [1/3] offline release build =="
+echo "== [1/5] offline release build =="
 cargo build --release --workspace
 
-echo "== [2/3] test suite =="
+echo "== [2/5] clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== [3/5] test suite =="
 cargo test -q
 
-echo "== [3/3] 2-thread campaign smoke (parallel == serial, bit-identical) =="
+echo "== [4/5] trace-export smoke (emit, then validate with the in-repo parser) =="
+cargo run --release --bin libra-sim -- run AAt --frames 1 \
+    --trace-out target/ci_trace.json --report-json target/ci_report.json
+cargo run --release --bin libra-sim -- trace-check target/ci_trace.json
+
+echo "== [5/5] 2-thread campaign smoke (parallel == serial, bit-identical) =="
 cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 --verify
 
 echo "ci.sh: all gates passed"

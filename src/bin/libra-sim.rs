@@ -6,13 +6,22 @@
 //! libra-sim compare <ABBREV> [opts]       baseline vs PTR vs LIBRA
 //! libra-sim sweep-ru <ABBREV> [opts]      1..4 Raster Units
 //! libra-sim campaign [opts]               parallel sweep over the whole suite
+//! libra-sim trace-check <FILE>            validate an emitted Chrome trace
 //!
 //! options: --frames N (default 6)   --fhd   --scheduler z|scanline|hilbert|static2|
 //!          static4|static8|static16|libra   --rus N   --cores N   --ideal-memory
 //!
+//! run options (additionally): --trace-out FILE (Perfetto/Chrome trace JSON)
+//!          --report-json FILE (full metrics-registry report)
+//!
 //! campaign options (additionally): --threads N (default: all cores)   --seed S
 //!          --verify (re-run serially, assert bit-identical results)
+//!          --profile (write worker/job wall-clock CSVs to bench_results/)
+//!          --trace-out FILE (merged per-job traces, one Perfetto process each)
 //! ```
+//!
+//! Traces carry *simulated* timestamps (1 GPU cycle = 1 µs on the Perfetto
+//! timeline), so trace output is bit-identical for every `--threads` value.
 //!
 //! Argument parsing is hand-rolled (the workspace intentionally carries no CLI
 //! dependency).
@@ -33,6 +42,9 @@ struct Opts {
     threads: usize,
     seed: u64,
     verify: bool,
+    profile: bool,
+    trace_out: Option<String>,
+    report_json: Option<String>,
 }
 
 impl Default for Opts {
@@ -47,6 +59,9 @@ impl Default for Opts {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             seed: 0,
             verify: false,
+            profile: false,
+            trace_out: None,
+            report_json: None,
         }
     }
 }
@@ -82,6 +97,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--threads" => o.threads = need("--threads")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => o.seed = need("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--verify" => o.verify = true,
+            "--profile" => o.profile = true,
+            "--trace-out" => o.trace_out = Some(need("--trace-out")?.clone()),
+            "--report-json" => o.report_json = Some(need("--report-json")?.clone()),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -124,10 +142,33 @@ fn cmd_suite() {
     }
 }
 
+fn write_file(path: &str, contents: &str, what: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("writing {what} to {path}: {e}"))?;
+    println!("{what} written to {path}");
+    Ok(())
+}
+
 fn cmd_run(abbrev: &str, o: &Opts) -> Result<(), String> {
+    use tbr_common::trace;
+
     let p = find(abbrev)?;
     let cfg = config(o);
-    let s = simulate_sequence(&cfg, o.scheduler, &p, o.frames);
+
+    // The simulator publishes into its metrics registry unconditionally; the trace
+    // collector is installed only on request (it is observation-only either way —
+    // stats are bit-identical with tracing on or off).
+    let mut sim = GpuSimulator::new(cfg.clone(), o.scheduler);
+    if o.trace_out.is_some() {
+        trace::start();
+    }
+    let s = sim.render_sequence(&p, o.frames);
+    let trace = trace::finish();
+
     println!(
         "{}",
         report::sequence_summary(&format!("{} ({} RU x {} cores)", p.abbrev, o.rus, o.cores), &s, &cfg)
@@ -135,6 +176,60 @@ fn cmd_run(abbrev: &str, o: &Opts) -> Result<(), String> {
     for f in &s.frames {
         println!("  {}", report::frame_line(f));
     }
+
+    if let Some(path) = &o.trace_out {
+        let trace = trace.expect("collector was installed above");
+        write_file(path, &trace.chrome_json(), "Chrome trace")?;
+    }
+    if let Some(path) = &o.report_json {
+        write_file(path, &sim.metrics().to_json(), "metrics report")?;
+    }
+    Ok(())
+}
+
+/// Validates that `path` holds a well-formed Chrome trace: parses the JSON with
+/// the in-repo parser and checks the `traceEvents` envelope plus the per-event
+/// required fields. This is the CI smoke gate for the trace exporter.
+fn cmd_trace_check(path: &str) -> Result<(), String> {
+    use tbr_common::json;
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{path}: missing `traceEvents` array"))?;
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    let mut metadata = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}: event {i} has no `ph`"))?;
+        for field in ["pid", "tid"] {
+            if ev.get(field).and_then(|v| v.as_f64()).is_none() {
+                return Err(format!("{path}: event {i} ({ph}) has no numeric `{field}`"));
+            }
+        }
+        match ph {
+            "X" => {
+                spans += 1;
+                for field in ["ts", "dur"] {
+                    if ev.get(field).and_then(|v| v.as_f64()).is_none() {
+                        return Err(format!("{path}: span {i} has no numeric `{field}`"));
+                    }
+                }
+            }
+            "i" => instants += 1,
+            "M" => metadata += 1,
+            other => return Err(format!("{path}: event {i} has unexpected phase `{other}`")),
+        }
+    }
+    println!(
+        "{path}: ok — {} events ({spans} spans, {instants} instants, {metadata} metadata)",
+        events.len()
+    );
     Ok(())
 }
 
@@ -200,7 +295,22 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         );
         results
     } else {
-        campaign.run(threads)
+        let (results, profile, traces) = campaign.run_full(threads, o.trace_out.is_some());
+        if let Some(path) = &o.trace_out {
+            write_file(path, &tbr_common::trace::Trace::chrome_json_multi(&traces), "Chrome trace")?;
+        }
+        if o.profile {
+            write_file("bench_results/campaign_workers.csv", &profile.workers_csv(), "worker profile")?;
+            write_file("bench_results/campaign_jobs.csv", &profile.jobs_csv(), "job profile")?;
+            println!(
+                "profile: {} threads, {:.2}s wall, {:.1}% mean worker utilization, {} steals",
+                profile.threads,
+                profile.wall_secs,
+                profile.utilization() * 100.0,
+                profile.workers.iter().map(|w| w.steals).sum::<u64>()
+            );
+        }
+        results
     };
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -226,9 +336,10 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
 
 fn usage() {
     eprintln!(
-        "usage: libra-sim <suite|run|compare|sweep-ru|campaign> [ABBREV] [--frames N] [--fhd] \
-         [--scheduler z|scanline|hilbert|staticN|libra] [--rus N] [--cores N] [--ideal-memory] \
-         [--threads N] [--seed S] [--verify]"
+        "usage: libra-sim <suite|run|compare|sweep-ru|campaign|trace-check> [ABBREV|FILE] \
+         [--frames N] [--fhd] [--scheduler z|scanline|hilbert|staticN|libra] [--rus N] \
+         [--cores N] [--ideal-memory] [--threads N] [--seed S] [--verify] [--profile] \
+         [--trace-out FILE] [--report-json FILE]"
     );
 }
 
@@ -244,6 +355,13 @@ fn main() -> ExitCode {
             Ok(())
         }
         "campaign" => parse_opts(&args[1..]).and_then(|o| cmd_campaign(&o)),
+        "trace-check" => {
+            let Some(path) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            cmd_trace_check(path)
+        }
         "run" | "compare" | "sweep-ru" => {
             let Some(abbrev) = args.get(1) else {
                 usage();

@@ -44,8 +44,12 @@ pub mod prelude {
     pub use libra::temperature::TemperatureTable;
     pub use tbr_common::config::{DramConfig, GpuConfig, ScreenConfig};
     pub use tbr_common::ids::{SupertileId, TileCoord, TileId};
+    pub use tbr_common::metrics::MetricsRegistry;
     pub use tbr_common::stats::{FrameStats, SequenceStats};
+    pub use tbr_common::trace::{self, Trace, Track};
     pub use tbr_energy::EnergyModel;
-    pub use tbr_sim::{simulate_frame, simulate_sequence, Campaign, CampaignResult, GpuSimulator};
+    pub use tbr_sim::{
+        simulate_frame, simulate_sequence, Campaign, CampaignProfile, CampaignResult, GpuSimulator,
+    };
     pub use tbr_workloads::{suite, BenchmarkProfile, Category};
 }

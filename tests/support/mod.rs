@@ -118,12 +118,16 @@ pub fn check_default(name: &str, property: impl Fn(&mut Gen) -> Result<(), Strin
 #[macro_export]
 macro_rules! ensure {
     ($cond:expr) => {
-        if !$cond {
+        // Bind to a bool first so the negation is on `bool`, not on a partial-ord
+        // comparison (clippy::neg_cmp_op_on_partial_ord at every call site).
+        let ok: bool = $cond;
+        if !ok {
             return Err(format!("condition failed: {}", stringify!($cond)));
         }
     };
     ($cond:expr, $($fmt:tt)+) => {
-        if !$cond {
+        let ok: bool = $cond;
+        if !ok {
             return Err(format!($($fmt)+));
         }
     };
