@@ -1,0 +1,53 @@
+//! Simulator-throughput benchmark: the indexed event-queue core versus the
+//! retired linear-scan loop it replaced, measured as host wall-clock over the
+//! whole workload suite (`events/s` and `ns/event`).
+//!
+//! This measures the *simulator*, not the simulated GPU — the speedup is the
+//! binding constraint for scaling studies like Fig 18, where the scan's
+//! O(raster units) event selection dominates. The default configuration is
+//! therefore the 64 RU x 8 core scaling point; at the paper's small default
+//! (2 RU x 4 cores) the fixed functional cost per event dominates and the
+//! speedup shrinks to near-unity (see EXPERIMENTS.md "simulation throughput").
+//!
+//! Record-only: numbers are written to `bench_results/sim_throughput.json`, and
+//! the scan/heap equality of simulated cycles and event counts is asserted by
+//! `tbr_sim::throughput::compare` itself. Override the configuration with
+//! `LIBRA_FRAMES`, `LIBRA_TP_RUS`, `LIBRA_TP_CORES`.
+
+use libra_bench::banner;
+
+use tbr_common::config::{GpuConfig, ScreenConfig};
+use tbr_sim::throughput;
+use tbr_workloads::suite;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    banner(
+        "sim_throughput",
+        "host wall-clock of the heap event loop vs the scan oracle (record only)",
+        "infrastructure — enables the Fig 18 scaling sweeps",
+    );
+    let frames = env_usize("LIBRA_FRAMES", 1) as u32;
+    let rus = env_usize("LIBRA_TP_RUS", 64);
+    let cores = env_usize("LIBRA_TP_CORES", 8);
+    let mut cfg = GpuConfig::libra(ScreenConfig::tiny(), rus);
+    cfg.cores_per_ru = cores;
+
+    let profiles = suite();
+    println!(
+        "{} workloads x {frames} frames, {rus} RU x {cores} cores (scan first, then heap)\n",
+        profiles.len()
+    );
+    let report = throughput::compare(&cfg, libra::scheduler::SchedulerKind::Libra, &profiles, frames);
+    print!("{}", report.render());
+
+    let _ = std::fs::create_dir_all("bench_results");
+    let path = "bench_results/sim_throughput.json";
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("\n[json] {path}"),
+        Err(e) => eprintln!("\n[json] FAILED writing {path}: {e}"),
+    }
+}

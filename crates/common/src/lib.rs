@@ -42,6 +42,8 @@
 pub mod addr;
 pub mod config;
 pub mod error;
+pub mod event_queue;
+pub mod fasthash;
 pub mod hilbert;
 pub mod ids;
 pub mod json;

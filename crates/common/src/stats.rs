@@ -356,6 +356,10 @@ pub struct FrameStats {
     pub texture_fill_lines: u64,
     /// Distinct texture lines touched frame-wide (replication = fills / unique).
     pub texture_unique_lines: u64,
+    /// Simulator micro-events processed for this frame (geometry fetch/bin events
+    /// plus raster event-loop decisions). A *simulator*-side measure — the basis
+    /// of the events/sec throughput benchmark — not a property of the GPU.
+    pub micro_events: u64,
 }
 
 impl FrameStats {
@@ -424,6 +428,7 @@ impl FrameStats {
         reg.add_counter("warps", labels, self.warps);
         reg.add_counter("instructions", labels, self.instructions);
         reg.add_counter("texture_requests", labels, self.texture_requests);
+        reg.add_counter("micro_events", labels, self.micro_events);
         reg.set_gauge("texture_avg_latency_cycles", labels, self.avg_texture_latency());
         reg.set_gauge("texture_replication", labels, self.texture_replication());
         reg.set_gauge("raster_fraction", labels, self.raster_fraction());

@@ -24,6 +24,38 @@ struct Bank {
     next_refresh: Cycle,
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefreshCatchup {
+    next_free: Cycle,
+    next_refresh: Cycle,
+    refreshes: u64,
+}
+
+/// Closed form for the refresh catch-up recurrence
+/// `nf ← max(nr, nf) + latency; nr ← nr + interval` applied while `now >= nr`.
+///
+/// With `k` elapsed refreshes, `nf_k = max_i(nr0 + i·interval + (k - i)·latency)`
+/// over `i ∈ 0..k`, plus the `nf0 + k·latency` chain; the max over `i` is attained
+/// at an endpoint because the expression is affine in `i`. Requires
+/// `now >= next_refresh` and `interval > 0`.
+fn refresh_catchup(
+    now: Cycle,
+    next_refresh: Cycle,
+    next_free: Cycle,
+    interval: Cycle,
+    latency: Cycle,
+) -> RefreshCatchup {
+    debug_assert!(interval > 0 && now >= next_refresh);
+    let k = (now - next_refresh) / interval + 1;
+    let chained = next_free.max(next_refresh) + k * latency;
+    let last_alone = next_refresh + (k - 1) * interval + latency;
+    RefreshCatchup {
+        next_free: chained.max(last_alone),
+        next_refresh: next_refresh + k * interval,
+        refreshes: k,
+    }
+}
+
 /// The DRAM device array + memory controller front.
 #[derive(Debug, Clone)]
 pub struct DramModel {
@@ -86,19 +118,34 @@ impl DramModel {
             if bank.next_refresh == 0 {
                 bank.next_refresh = self.cfg.refresh_interval * (1 + bank_idx as u64 % 8) / 8;
             }
-            while now >= bank.next_refresh {
-                let refresh_start = bank.next_refresh.max(bank.next_free);
-                bank.next_free = refresh_start + self.cfg.refresh_latency;
-                bank.open_row = None;
-                bank.next_refresh += self.cfg.refresh_interval;
-                self.stats_refreshes += 1;
+            if now >= bank.next_refresh {
                 if trace::is_enabled() {
-                    trace::span(
-                        Track::DramBank { channel: channel as u8, bank: bank_in_chan as u8 },
-                        "refresh",
-                        refresh_start,
-                        refresh_start + self.cfg.refresh_latency,
+                    // Tracing needs one span per elapsed refresh, so replay them.
+                    while now >= bank.next_refresh {
+                        let refresh_start = bank.next_refresh.max(bank.next_free);
+                        bank.next_free = refresh_start + self.cfg.refresh_latency;
+                        bank.open_row = None;
+                        bank.next_refresh += self.cfg.refresh_interval;
+                        self.stats_refreshes += 1;
+                        trace::span(
+                            Track::DramBank { channel: channel as u8, bank: bank_in_chan as u8 },
+                            "refresh",
+                            refresh_start,
+                            refresh_start + self.cfg.refresh_latency,
+                        );
+                    }
+                } else {
+                    let catchup = refresh_catchup(
+                        now,
+                        bank.next_refresh,
+                        bank.next_free,
+                        self.cfg.refresh_interval,
+                        self.cfg.refresh_latency,
                     );
+                    bank.next_free = catchup.next_free;
+                    bank.next_refresh = catchup.next_refresh;
+                    bank.open_row = None;
+                    self.stats_refreshes += catchup.refreshes;
                 }
             }
         }
@@ -381,6 +428,52 @@ mod policy_tests {
         d.request(0x80, 1_000_000, false);
         assert_eq!(d.refreshes(), 0);
         assert_eq!(d.stats().row_hits, 1, "row stays open without refresh");
+    }
+
+    #[test]
+    fn refresh_catchup_matches_reference_loop() {
+        // Reference: the literal per-refresh recurrence the traced path still runs.
+        fn reference(now: Cycle, mut nr: Cycle, mut nf: Cycle, i: Cycle, l: Cycle) -> RefreshCatchup {
+            let mut refreshes = 0;
+            while now >= nr {
+                nf = nr.max(nf) + l;
+                nr += i;
+                refreshes += 1;
+            }
+            RefreshCatchup { next_free: nf, next_refresh: nr, refreshes }
+        }
+        let mut rng = tbr_common::rng::Xoshiro256pp::seed_from_u64(0x00D7_A311);
+        for _ in 0..5000 {
+            let interval = 1 + rng.next_u64() % 4000;
+            let latency = rng.next_u64() % 600; // covers latency 0, < interval, >= interval
+            let nr = rng.next_u64() % 5000;
+            let nf = rng.next_u64() % 10_000;
+            let now = nr + rng.next_u64() % 50_000;
+            let fast = refresh_catchup(now, nr, nf, interval, latency);
+            let slow = reference(now, nr, nf, interval, latency);
+            assert_eq!(
+                fast, slow,
+                "now={now} nr={nr} nf={nf} interval={interval} latency={latency}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_and_untraced_refresh_timing_agree() {
+        let mut cfg = DramConfig::lpddr4();
+        cfg.refresh_interval = 700;
+        cfg.refresh_latency = 90;
+        let mut plain = DramModel::new(cfg, 5000);
+        let mut traced = DramModel::new(cfg, 5000);
+        let times: Vec<Cycle> = (0..40).map(|i| i * i * 37).collect();
+        let untraced: Vec<Cycle> =
+            times.iter().map(|&t| plain.request(t % 7 * 64, t, false)).collect();
+        trace::start();
+        let with_trace: Vec<Cycle> =
+            times.iter().map(|&t| traced.request(t % 7 * 64, t, false)).collect();
+        let _ = trace::finish();
+        assert_eq!(untraced, with_trace);
+        assert_eq!(plain.refreshes(), traced.refreshes());
     }
 
     #[test]

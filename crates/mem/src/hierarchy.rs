@@ -10,13 +10,11 @@
 //! The hierarchy supports an *ideal memory* mode in which every L1 access hits — the
 //! configuration the paper uses to separate compute time from memory time (Fig 6a).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::cache::Cache;
 use crate::dram::DramModel;
 use tbr_common::addr::AccessKind;
 use tbr_common::config::{CacheConfig, DramConfig};
+use tbr_common::event_queue::EventQueue;
 use tbr_common::metrics::MetricsRegistry;
 use tbr_common::stats::{CacheStats, DramStats};
 use tbr_common::Cycle;
@@ -27,12 +25,12 @@ use tbr_common::Cycle;
 #[derive(Debug, Clone, Default)]
 struct MshrFile {
     capacity: u64,
-    outstanding: BinaryHeap<Reverse<Cycle>>,
+    outstanding: EventQueue<()>,
 }
 
 impl MshrFile {
     fn new(capacity: u64) -> Self {
-        Self { capacity, outstanding: BinaryHeap::new() }
+        Self { capacity, outstanding: EventQueue::new() }
     }
 
     /// Reserves an MSHR for a miss issued at `now`; returns the possibly-delayed
@@ -41,7 +39,7 @@ impl MshrFile {
         if self.capacity == 0 {
             return now;
         }
-        while let Some(&Reverse(done)) = self.outstanding.peek() {
+        while let Some((done, ())) = self.outstanding.peek() {
             if done <= now {
                 self.outstanding.pop();
             } else {
@@ -49,7 +47,7 @@ impl MshrFile {
             }
         }
         if self.outstanding.len() as u64 >= self.capacity {
-            let Reverse(earliest) = self.outstanding.pop().expect("non-empty");
+            let (earliest, ()) = self.outstanding.pop().expect("non-empty");
             now.max(earliest)
         } else {
             now
@@ -58,7 +56,7 @@ impl MshrFile {
 
     fn record_fill(&mut self, completion: Cycle) {
         if self.capacity > 0 {
-            self.outstanding.push(Reverse(completion));
+            self.outstanding.push(completion, ());
         }
     }
 

@@ -87,16 +87,23 @@ impl ColorBuffer {
     /// The 64 B-line framebuffer addresses the flush of `tile` writes (16 RGBA8
     /// pixels per line, clipped to the screen).
     pub fn flush_line_addrs(&self, tile: TileId, screen: &ScreenConfig) -> Vec<u64> {
-        let (x0, y0, x1, y1) = screen.tile_rect(tile);
         let mut addrs = Vec::new();
+        self.flush_addrs_into(tile, screen, &mut addrs);
+        addrs
+    }
+
+    /// Non-allocating form of [`ColorBuffer::flush_line_addrs`]: clears `out` and
+    /// fills it in place, so per-flush callers can reuse one scratch buffer.
+    pub fn flush_addrs_into(&self, tile: TileId, screen: &ScreenConfig, out: &mut Vec<u64>) {
+        out.clear();
+        let (x0, y0, x1, y1) = screen.tile_rect(tile);
         for y in y0..y1 {
             let mut x = x0;
             while x < x1 {
-                addrs.push(framebuffer_addr(screen, x, y));
+                out.push(framebuffer_addr(screen, x, y));
                 x += 16; // 16 pixels x 4 B = 64 B
             }
         }
-        addrs
     }
 
     /// Copies the tile's pixels into a full-frame image at the tile's position

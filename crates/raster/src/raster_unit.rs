@@ -13,9 +13,9 @@
 
 use crate::color_buffer::ColorBuffer;
 use crate::quad::Quad;
-use crate::rasterizer::{rasterize_in_rect, TriangleSetup};
+use crate::rasterizer::{rasterize_in_rect_into, TriangleSetup};
 use crate::reference::shade_color;
-use crate::shader::{ShaderCore, WarpOutcome};
+use crate::shader::{SampleLines, ShaderCore, WarpOutcome};
 use crate::texture::{bilinear_line_addrs, select_mip, texel_line_addr};
 use crate::zbuffer::ZBuffer;
 use tbr_common::addr::{param_entry_addr, AccessKind};
@@ -39,7 +39,7 @@ pub struct WarpWork {
     /// Covered fragments in the warp (≤ 32).
     pub fragments: u32,
     /// Distinct texture cache lines per sample instruction.
-    pub sample_lines: Vec<Vec<u64>>,
+    pub sample_lines: SampleLines,
 }
 
 /// Everything the tile front-end produced.
@@ -73,6 +73,13 @@ pub struct RasterUnit {
     costs: PipelineCosts,
     quads_per_warp: usize,
     next_core: usize,
+    // Scratch buffers reused across tiles so the per-event path stays
+    // allocation-free once warmed up. Purely capacity caches: no state crosses
+    // from one use to the next (each user clears before filling).
+    scratch_read_done: Vec<Cycle>,
+    scratch_surviving: Vec<(Quad, u8)>,
+    scratch_flush: Vec<u64>,
+    scratch_quads: Vec<Quad>,
 }
 
 impl RasterUnit {
@@ -88,6 +95,10 @@ impl RasterUnit {
             costs: cfg.costs,
             quads_per_warp: cfg.quads_per_warp() as usize,
             next_core: 0,
+            scratch_read_done: Vec::new(),
+            scratch_surviving: Vec::new(),
+            scratch_flush: Vec::new(),
+            scratch_quads: Vec::new(),
         }
     }
 
@@ -117,7 +128,10 @@ impl RasterUnit {
         // Stream the tile's Parameter-Buffer list: the Tile Fetcher issues reads
         // ahead of the pipeline into the RU's FIFO (Fig 5), one per cycle, so list
         // fetch latency is pipelined rather than serialising the front-end.
-        let mut read_done: Vec<Cycle> = Vec::with_capacity(prims.len());
+        let mut read_done = std::mem::take(&mut self.scratch_read_done);
+        read_done.clear();
+        let mut surviving = std::mem::take(&mut self.scratch_surviving);
+        let mut quads = std::mem::take(&mut self.scratch_quads);
         for (n, issue) in (0..prims.len()).zip(now..) {
             let entry_addr = param_entry_addr(tile, n as u64);
             let rd = self.tile_l1.access(entry_addr, issue, AccessKind::ParamRead, hier);
@@ -132,7 +146,7 @@ impl RasterUnit {
             fe += self.costs.raster_setup_cycles;
             out.primitives += 1;
 
-            let quads = rasterize_in_rect(prim, tx0, ty0, tx1, ty1);
+            rasterize_in_rect_into(prim, tx0, ty0, tx1, ty1, &mut quads);
             if quads.is_empty() {
                 continue;
             }
@@ -148,8 +162,8 @@ impl RasterUnit {
             // shaded and the visibility test happens after shading (Late-Z, §II-A).
             let late_z = prim.shader.late_z;
 
-            let mut surviving: Vec<(Quad, u8)> = Vec::with_capacity(quads.len());
-            for q in quads {
+            surviving.clear();
+            for &q in &quads {
                 let pass = self.zbuffer.test_quad(&q, tx0, ty0, depth_write);
                 let covered = q.coverage() as u64;
                 let passed = pass.count_ones() as u64;
@@ -194,6 +208,9 @@ impl RasterUnit {
                 });
             }
         }
+        self.scratch_read_done = read_done;
+        self.scratch_surviving = surviving;
+        self.scratch_quads = quads;
         out.fe_done = fe;
         out
     }
@@ -237,7 +254,8 @@ impl RasterUnit {
         now: Cycle,
         hier: &mut MemoryHierarchy,
     ) -> (Cycle, Cycle, u64) {
-        let addrs = self.color.flush_line_addrs(tile, screen);
+        let mut addrs = std::mem::take(&mut self.scratch_flush);
+        self.color.flush_addrs_into(tile, screen, &mut addrs);
         let mut fe = now;
         let mut last = now;
         for addr in &addrs {
@@ -245,7 +263,9 @@ impl RasterUnit {
             fe += self.costs.flush_cycles_per_line;
             last = last.max(o.completion);
         }
-        (fe, last, addrs.len() as u64)
+        let writes = addrs.len() as u64;
+        self.scratch_flush = addrs;
+        (fe, last, writes)
     }
 
     /// Copies the last rendered tile's pixels into a frame image (examples/tests).
@@ -294,7 +314,7 @@ pub fn gather_sample_lines_for(
     lod: u32,
     tex_samples: u32,
     filter: FilterMode,
-) -> Vec<Vec<u64>> {
+) -> SampleLines {
     gather_sample_lines(group, texture, lod, tex_samples, filter)
 }
 
@@ -309,10 +329,9 @@ fn gather_sample_lines(
     lod: u32,
     tex_samples: u32,
     filter: FilterMode,
-) -> Vec<Vec<u64>> {
-    let mut per_sample = Vec::with_capacity(tex_samples as usize);
+) -> SampleLines {
+    let mut out = SampleLines::with_capacity(tex_samples as usize * group.len() * 2, tex_samples as usize);
     for s in 0..tex_samples {
-        let mut lines: Vec<u64> = Vec::with_capacity(group.len() * 2);
         for (q, pass) in group {
             let mut quad_lines = [0u64; 16];
             let mut n = 0;
@@ -339,11 +358,11 @@ fn gather_sample_lines(
                     }
                 }
             }
-            lines.extend_from_slice(&quad_lines[..n]);
+            out.extend_lines(&quad_lines[..n]);
         }
-        per_sample.push(lines);
+        out.end_stage();
     }
-    per_sample
+    out
 }
 
 #[cfg(test)]
@@ -464,7 +483,7 @@ mod tests {
         let mut requests = 0usize;
         let mut unique = std::collections::HashSet::new();
         for w in &out.warps {
-            for lines in &w.sample_lines {
+            for lines in w.sample_lines.iter_stages() {
                 // 8 quads x at most 4 distinct lines per quad.
                 assert!(lines.len() <= 32);
                 assert!(!lines.is_empty());
@@ -572,13 +591,13 @@ mod feature_tests {
         let nearest = tri(0.5, 0, FragmentShaderDesc::simple());
         let out_n = ru.render_tile_front_end(TileId(0), &[&nearest], &cfg.screen, 0, &mut h);
         let req_n: usize =
-            out_n.warps.iter().flat_map(|w| w.sample_lines.iter()).map(Vec::len).sum();
+            out_n.warps.iter().map(|w| w.sample_lines.total_lines()).sum();
 
         let mut ru2 = RasterUnit::new(&cfg);
         let bilinear = tri(0.5, 0, FragmentShaderDesc::simple().with_bilinear());
         let out_b = ru2.render_tile_front_end(TileId(0), &[&bilinear], &cfg.screen, 0, &mut h);
         let req_b: usize =
-            out_b.warps.iter().flat_map(|w| w.sample_lines.iter()).map(Vec::len).sum();
+            out_b.warps.iter().map(|w| w.sample_lines.total_lines()).sum();
 
         assert!(req_b > req_n, "bilinear {req_b} must exceed nearest {req_n}");
         assert!(req_b <= req_n * 4, "bilinear touches at most 4x the lines");

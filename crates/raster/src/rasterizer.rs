@@ -116,10 +116,25 @@ pub fn rasterize_in_rect(
     x1: u32,
     y1: u32,
 ) -> Vec<Quad> {
-    let Some(setup) = TriangleSetup::new(tri) else {
-        return Vec::new();
-    };
     let mut quads = Vec::new();
+    rasterize_in_rect_into(tri, x0, y0, x1, y1, &mut quads);
+    quads
+}
+
+/// [`rasterize_in_rect`] writing into a caller-owned buffer (cleared first), so
+/// the per-(primitive × tile) hot path can reuse one allocation.
+pub fn rasterize_in_rect_into(
+    tri: &ScreenTriangle,
+    x0: u32,
+    y0: u32,
+    x1: u32,
+    y1: u32,
+    quads: &mut Vec<Quad>,
+) {
+    quads.clear();
+    let Some(setup) = TriangleSetup::new(tri) else {
+        return;
+    };
 
     // Intersect the tile rect with the triangle bbox, then align to quad grid.
     let xs = tri.v.map(|v| v.x);
@@ -129,7 +144,7 @@ pub fn rasterize_in_rect(
     let bmaxx = (xs.iter().copied().fold(f32::NEG_INFINITY, f32::max).ceil() as u32).min(x1);
     let bmaxy = (ys.iter().copied().fold(f32::NEG_INFINITY, f32::max).ceil() as u32).min(y1);
     if bminx >= bmaxx || bminy >= bmaxy {
-        return quads;
+        return;
     }
     let qx0 = bminx & !1;
     let qy0 = bminy & !1;
@@ -160,7 +175,6 @@ pub fn rasterize_in_rect(
         }
         py += 2;
     }
-    quads
 }
 
 #[cfg(test)]

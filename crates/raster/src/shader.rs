@@ -45,11 +45,87 @@ pub struct WarpOutcome {
     pub fills: Vec<u64>,
 }
 
+/// Per-stage texture line lists of one warp, flattened into one allocation.
+///
+/// A warp with `t` texture stages used to carry `Vec<Vec<u64>>` — one heap
+/// allocation per stage, at roughly a million warps per simulated frame. The
+/// flat layout (stage `i` is `lines[ends[i-1]..ends[i]]`) costs two allocations
+/// per warp regardless of stage count and keeps the lines contiguous for the
+/// L1 access loop.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleLines {
+    lines: Vec<u64>,
+    ends: Vec<u32>,
+}
+
+impl SampleLines {
+    /// An empty list with room for `lines` total lines across `stages` stages.
+    pub fn with_capacity(lines: usize, stages: usize) -> Self {
+        Self { lines: Vec::with_capacity(lines), ends: Vec::with_capacity(stages) }
+    }
+
+    /// Builds from the nested per-stage representation (test convenience).
+    pub fn from_nested(stages: &[Vec<u64>]) -> Self {
+        let mut out = Self::with_capacity(stages.iter().map(Vec::len).sum(), stages.len());
+        for st in stages {
+            out.lines.extend_from_slice(st);
+            out.end_stage();
+        }
+        out
+    }
+
+    /// Number of texture stages.
+    #[inline]
+    pub fn stages(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// The line addresses of stage `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.stages()`.
+    #[inline]
+    pub fn stage(&self, i: usize) -> &[u64] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.lines[start..self.ends[i] as usize]
+    }
+
+    /// Iterates the stages in order.
+    pub fn iter_stages(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        (0..self.stages()).map(|i| self.stage(i))
+    }
+
+    /// Total line addresses across all stages.
+    #[inline]
+    pub fn total_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Appends a line to the stage currently being built.
+    #[inline]
+    pub fn push_line(&mut self, line: u64) {
+        self.lines.push(line);
+    }
+
+    /// Appends several lines to the stage currently being built.
+    #[inline]
+    pub fn extend_lines(&mut self, lines: &[u64]) {
+        self.lines.extend_from_slice(lines);
+    }
+
+    /// Closes the stage currently being built (lines pushed afterwards belong
+    /// to the next stage).
+    #[inline]
+    pub fn end_stage(&mut self) {
+        self.ends.push(self.lines.len() as u32);
+    }
+}
+
 /// In-flight execution state of one warp on one core.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WarpExecState {
-    /// Next sample stage to execute (== `sample_lines.len()` means only the ALU
-    /// tail remains).
+    /// Next sample stage to execute (== `sample_lines.stages()` means only the
+    /// ALU tail remains).
     stage: usize,
     /// Warp-local data-ready time.
     t: Cycle,
@@ -114,13 +190,13 @@ impl ShaderCore {
     pub fn step_warp(
         &mut self,
         shader: &FragmentShaderDesc,
-        sample_lines: &[Vec<u64>],
+        sample_lines: &SampleLines,
         state: &mut WarpExecState,
         hier: &mut MemoryHierarchy,
     ) -> bool {
         assert!(!state.done, "stepping a retired warp");
-        if state.stage < sample_lines.len() {
-            let lines = &sample_lines[state.stage];
+        if state.stage < sample_lines.stages() {
+            let lines = sample_lines.stage(state.stage);
             // ALU burst before the sample (address math).
             if shader.alu_per_sample > 0 {
                 let issue = state.t.max(self.issue_free);
@@ -145,7 +221,7 @@ impl ShaderCore {
             }
             state.t = ready;
             state.stage += 1;
-            if state.stage < sample_lines.len() || shader.alu_tail > 0 {
+            if state.stage < sample_lines.stages() || shader.alu_tail > 0 {
                 return false;
             }
         } else if shader.alu_tail > 0 {
@@ -167,7 +243,7 @@ impl ShaderCore {
     pub fn execute_warp(
         &mut self,
         shader: &FragmentShaderDesc,
-        sample_lines: &[Vec<u64>],
+        sample_lines: &SampleLines,
         arrival: Cycle,
         hier: &mut MemoryHierarchy,
     ) -> WarpOutcome {
@@ -221,7 +297,7 @@ mod tests {
     fn pure_alu_warp_costs_its_instruction_count() {
         let mut h = hier();
         let mut c = core();
-        let o = c.execute_warp(&shader(0, 0, 10), &[], 0, &mut h);
+        let o = c.execute_warp(&shader(0, 0, 10), &SampleLines::default(), 0, &mut h);
         assert_eq!(o.instructions, 10);
         assert_eq!(o.completion, 10 + DRAIN_CYCLES);
         assert_eq!(o.tex_requests, 0);
@@ -231,7 +307,7 @@ mod tests {
     fn cold_texture_miss_reaches_dram() {
         let mut h = hier();
         let mut c = core();
-        let o = c.execute_warp(&shader(1, 0, 0), &[vec![0x4000_0000]], 0, &mut h);
+        let o = c.execute_warp(&shader(1, 0, 0), &SampleLines::from_nested(&[vec![0x4000_0000]]), 0, &mut h);
         assert!(o.completion > 100, "cold texture miss must reach DRAM");
         assert_eq!(o.dram_accesses, 1);
         assert_eq!(o.fills, vec![0x4000_0000]);
@@ -245,8 +321,8 @@ mod tests {
         let mut h = hier();
         let mut c = core();
         let s = shader(1, 0, 0);
-        let la = [vec![0x4000_0000u64]];
-        let lb = [vec![0x4100_0000u64]];
+        let la = SampleLines::from_nested(&[vec![0x4000_0000u64]]);
+        let lb = SampleLines::from_nested(&[vec![0x4100_0000u64]]);
         let mut a = c.begin_warp(0);
         let mut b = c.begin_warp(1);
         // Interleave: both issue their sample before either's data returns.
@@ -272,8 +348,8 @@ mod tests {
         let mut h = hier();
         let mut c = core();
         let s = shader(1, 0, 0);
-        let a = c.execute_warp(&s, &[vec![0x4000_0000]], 0, &mut h);
-        let b = c.execute_warp(&s, &[vec![0x4000_0000]], a.completion, &mut h);
+        let a = c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000]]), 0, &mut h);
+        let b = c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000]]), a.completion, &mut h);
         assert_eq!(b.dram_accesses, 0);
         assert!(b.tex_latency_sum < a.tex_latency_sum);
         assert_eq!(c.l1_stats().hits, 1);
@@ -285,7 +361,7 @@ mod tests {
         let mut h = hier();
         let mut c = core();
         let s = shader(2, 3, 5);
-        let o = c.execute_warp(&s, &[vec![0x4000_0000], vec![0x4000_0040]], 0, &mut h);
+        let o = c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000], vec![0x4000_0040]]), 0, &mut h);
         // 2 * (3 + 1) + 5 = 13 SIMD instructions.
         assert_eq!(o.instructions, 13);
         assert_eq!(o.tex_requests, 2);
@@ -296,7 +372,7 @@ mod tests {
         let mut h = hier();
         let mut c = core();
         let s = shader(2, 1, 3);
-        let lines = [vec![0x4000_0000u64], vec![0x4000_0040u64]];
+        let lines = SampleLines::from_nested(&[vec![0x4000_0000u64], vec![0x4000_0040u64]]);
         let mut st = c.begin_warp(0);
         let mut steps = 0;
         while !c.step_warp(&s, &lines, &mut st, &mut h) {
@@ -315,8 +391,8 @@ mod tests {
         let mut c = core();
         let s = shader(0, 0, 1);
         let mut st = c.begin_warp(0);
-        assert!(c.step_warp(&s, &[], &mut st, &mut h));
-        let _ = c.step_warp(&s, &[], &mut st, &mut h);
+        assert!(c.step_warp(&s, &SampleLines::default(), &mut st, &mut h));
+        let _ = c.step_warp(&s, &SampleLines::default(), &mut st, &mut h);
     }
 
     #[test]
@@ -324,10 +400,10 @@ mod tests {
         let mut h = hier();
         let mut c = core();
         let s = shader(1, 0, 0);
-        c.execute_warp(&s, &[vec![0x4000_0000]], 0, &mut h);
+        c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000]]), 0, &mut h);
         let stats = c.end_frame();
         assert_eq!(stats.accesses, 1);
-        let o = c.execute_warp(&s, &[vec![0x4000_0000]], 0, &mut h);
+        let o = c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000]]), 0, &mut h);
         assert_eq!(o.dram_accesses, 0, "L1 contents must survive end_frame");
     }
 

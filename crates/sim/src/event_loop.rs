@@ -1,0 +1,104 @@
+//! Selection of the raster-phase event-loop implementation.
+//!
+//! The simulator has two drivers for "advance the micro-event with the earliest
+//! timestamp": the **indexed** driver (binary heaps with lazy invalidation — the
+//! default, and the fast path) and the legacy **scan** driver (O(RUs × warps)
+//! linear scan per event). The scan loop is the behavioural specification: the
+//! indexed driver must reproduce its event sequence *bit-identically*, and
+//! `tests/event_loop_diff.rs` holds the two against each other as a differential
+//! oracle.
+//!
+//! The mode is resolved per raster phase from, in priority order:
+//!
+//! 1. the process-global override set by [`set_mode`] (the CLI's `--event-loop`
+//!    flag and tests use this), and otherwise
+//! 2. the `LIBRA_EVENT_LOOP` environment variable (`heap` or `scan`),
+//! 3. defaulting to [`EventLoopMode::Heap`].
+//!
+//! The override is a relaxed atomic: concurrent simulations reading it while it
+//! changes is benign *because* the two modes are bit-identical — mode selection
+//! can never change a result, only how fast it is produced.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which event-loop driver the raster phase uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventLoopMode {
+    /// Indexed next-event core: per-RU warp queues + a global RU queue
+    /// (deterministic binary heaps with lazy invalidation).
+    Heap,
+    /// The legacy per-event linear scan, kept as the differential oracle.
+    Scan,
+}
+
+const UNSET: u8 = 0;
+const HEAP: u8 = 1;
+const SCAN: u8 = 2;
+
+static OVERRIDE: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Sets (or with `None` clears) the process-global mode override, which takes
+/// precedence over `LIBRA_EVENT_LOOP`.
+pub fn set_mode(mode: Option<EventLoopMode>) {
+    let v = match mode {
+        None => UNSET,
+        Some(EventLoopMode::Heap) => HEAP,
+        Some(EventLoopMode::Scan) => SCAN,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The current process-global override, if any (lets measurement code
+/// save/restore the mode around a pinned-mode run).
+pub fn override_mode() -> Option<EventLoopMode> {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        HEAP => Some(EventLoopMode::Heap),
+        SCAN => Some(EventLoopMode::Scan),
+        _ => None,
+    }
+}
+
+/// Resolves the mode the next raster phase will run under.
+pub fn mode() -> EventLoopMode {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        HEAP => EventLoopMode::Heap,
+        SCAN => EventLoopMode::Scan,
+        _ => match std::env::var("LIBRA_EVENT_LOOP") {
+            Ok(v) if v.eq_ignore_ascii_case("scan") => EventLoopMode::Scan,
+            _ => EventLoopMode::Heap,
+        },
+    }
+}
+
+/// Parses a mode name as accepted by `LIBRA_EVENT_LOOP` / `--event-loop`.
+pub fn parse(name: &str) -> Option<EventLoopMode> {
+    if name.eq_ignore_ascii_case("heap") {
+        Some(EventLoopMode::Heap)
+    } else if name.eq_ignore_ascii_case("scan") {
+        Some(EventLoopMode::Scan)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_takes_precedence_and_clears() {
+        set_mode(Some(EventLoopMode::Scan));
+        assert_eq!(mode(), EventLoopMode::Scan);
+        set_mode(Some(EventLoopMode::Heap));
+        assert_eq!(mode(), EventLoopMode::Heap);
+        set_mode(None);
+        // Without an override the env var (unset in tests) defaults to Heap.
+    }
+
+    #[test]
+    fn parse_accepts_both_names() {
+        assert_eq!(parse("heap"), Some(EventLoopMode::Heap));
+        assert_eq!(parse("SCAN"), Some(EventLoopMode::Scan));
+        assert_eq!(parse("calendar"), None);
+    }
+}

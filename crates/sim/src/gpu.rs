@@ -167,6 +167,7 @@ impl GpuSimulator {
             texture_latency_sum: raster.tex_latency_sum,
             texture_fill_lines: raster.fill_lines,
             texture_unique_lines: raster.unique_lines,
+            micro_events: geo.events + raster.events,
         };
 
         stats.publish(&mut self.metrics, &[("frame", &frame_label)]);
@@ -378,6 +379,7 @@ pub fn simulate_sequence_oracle(
             texture_latency_sum: raster.tex_latency_sum,
             texture_fill_lines: raster.fill_lines,
             texture_unique_lines: raster.unique_lines,
+            micro_events: geo.events + raster.events,
         });
     }
     seq

@@ -34,13 +34,16 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod event_loop;
 pub mod geometry_phase;
 pub mod gpu;
 pub mod imr;
 pub mod raster_phase;
 pub mod report;
+pub mod throughput;
 
 pub use campaign::{Campaign, CampaignJob, CampaignProfile, CampaignResult, JobProfile, WorkerProfile};
+pub use event_loop::EventLoopMode;
 pub use gpu::{simulate_frame, simulate_sequence, simulate_sequence_oracle, GpuSimulator};
 pub use imr::simulate_sequence_imr;
 pub use libra::scheduler::SchedulerKind;

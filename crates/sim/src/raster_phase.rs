@@ -19,10 +19,13 @@
 //! new warps wait for a retirement — why low-workload tiles cannot fill wide cores
 //! (the Fig 4 effect).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use tbr_common::fasthash::U64Set;
 
 use libra::scheduler::FramePlan;
 use tbr_common::config::GpuConfig;
+use tbr_common::event_queue::EventQueue;
 use tbr_common::ids::{RasterUnitId, TileId};
 use tbr_common::stats::TileHeatmap;
 use tbr_common::trace::{self, Track};
@@ -32,6 +35,8 @@ use tbr_mem::hierarchy::MemoryHierarchy;
 use tbr_raster::raster_unit::{RasterUnit, WarpWork};
 use tbr_raster::shader::WarpExecState;
 use tbr_tiling::binner::TileBins;
+
+use crate::event_loop::{self, EventLoopMode};
 
 /// Aggregate output of one frame's raster phase.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -64,6 +69,10 @@ pub struct RasterPhaseResult {
     pub flush_cycles: u64,
     /// Cycle at which each Raster Unit finished its last tile (load balance).
     pub ru_finish: Vec<Cycle>,
+    /// Micro-events processed by the event loop (one per scheduler decision).
+    /// Identical between the heap and scan drivers; the throughput benchmark
+    /// divides wall-clock by this to get ns/event.
+    pub events: u64,
 }
 
 #[derive(Debug)]
@@ -150,66 +159,60 @@ impl RuState {
     }
 }
 
-/// Runs the raster phase from cycle 0 until every tile in `plan` has been rendered
-/// and flushed.
-pub fn run_raster_phase(
-    cfg: &GpuConfig,
-    rus: &mut [RasterUnit],
-    hier: &mut MemoryHierarchy,
-    plan: &mut FramePlan,
-    prims: &[ScreenTriangle],
-    bins: &TileBins,
-) -> RasterPhaseResult {
-    let max_warps = cfg.max_warps_per_core;
-    let mut out = RasterPhaseResult {
-        heatmap: TileHeatmap::new(cfg.screen.num_tiles()),
-        ru_finish: vec![0; rus.len()],
-        ..RasterPhaseResult::default()
-    };
-    let mut unique: HashSet<u64> = HashSet::new();
-    let mut frame_end: Cycle = 0;
+/// What processing one event changed about the RU's in-flight warp set — exactly
+/// the information the indexed driver needs to update its per-RU warp queue
+/// incrementally (the scan driver ignores it).
+#[derive(Debug, Clone, Copy)]
+enum Effect {
+    /// The warp at `idx` stepped and stays in flight with a new ready time.
+    Stepped { idx: usize },
+    /// The warp at `idx` retired. Removal is `swap_remove`, so the former last
+    /// warp (if any) now lives at `idx`; its queue entry under the old position
+    /// lazily invalidates.
+    Retired { idx: usize },
+    /// A pending warp was admitted at the back of `inflight`.
+    Admitted,
+    /// Promotion / front-end / steal / finish: the in-flight set is unchanged.
+    Other,
+}
 
-    let mut states: Vec<RuState> = rus
-        .iter()
-        .map(|ru| RuState {
-            tiles: VecDeque::new(),
-            fe_ready: None,
-            fe_time: 0,
-            pending: VecDeque::new(),
-            inflight: Vec::new(),
-            core_load: vec![0; ru.num_cores()],
-            slot_gate: 0,
-            cur_tile: None,
-            frag_gate: 0,
-            last_flush_done: 0,
-            frag_start: 0,
-            tile_last: 0,
-            no_more_groups: false,
-        })
-        .collect();
+/// Everything one frame's raster phase threads through its event loop. The
+/// branch semantics live in [`PhaseCtx::process`]; the *order* in which events
+/// are selected lives in the drivers ([`drive_scan`] / [`drive_heap`]), which
+/// must agree bit-identically.
+struct PhaseCtx<'a> {
+    cfg: &'a GpuConfig,
+    max_warps: usize,
+    rus: &'a mut [RasterUnit],
+    hier: &'a mut MemoryHierarchy,
+    plan: &'a mut FramePlan,
+    prims: &'a [ScreenTriangle],
+    bins: &'a TileBins,
+    states: Vec<RuState>,
+    out: RasterPhaseResult,
+    unique: U64Set,
+    frame_end: Cycle,
+    /// Scratch for the per-tile primitive list (reused across tiles).
+    prim_scratch: Vec<&'a ScreenTriangle>,
+}
 
-    loop {
-        // Pick the RU with the earliest micro-event.
-        let mut best: Option<(usize, Cycle)> = None;
-        for (i, st) in states.iter().enumerate() {
-            if let Some(t) = st.next_time(max_warps) {
-                if best.is_none_or(|(_, bt)| t < bt) {
-                    best = Some((i, t));
-                }
-            }
-        }
-        let Some((i, _event_time)) = best else {
-            break; // all RUs done
-        };
+impl<'a> PhaseCtx<'a> {
+    /// Processes one micro-event on RU `i`. `step_idx` is the earliest in-flight
+    /// warp as `(vector position, ready time)` — lowest position among ties —
+    /// supplied by the driver (scan: `min_by_key`; heap: warp-queue peek).
+    ///
+    /// Branch priority (the spec both drivers reproduce): step the earliest warp
+    /// when it ties-or-beats every other candidate; else admit a pending warp;
+    /// else promote a parked tile; else run the front-end / steal / finish.
+    fn process(&mut self, i: usize, step_idx: Option<(usize, Cycle)>) -> Effect {
+        let Self {
+            cfg, max_warps, rus, hier, plan, prims, bins, states, out, unique, frame_end,
+            prim_scratch,
+        } = self;
+        let max_warps = *max_warps;
         let st = &mut states[i];
 
         // 1) Step the earliest in-flight warp if it is the earliest event.
-        let step_idx = st
-            .inflight
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, f)| f.exec.ready_at())
-            .map(|(k, f)| (k, f.exec.ready_at()));
         let other_min = {
             let mut t: Option<Cycle> = None;
             let mut consider = |c: Cycle| t = Some(t.map_or(c, |x: Cycle| x.min(c)));
@@ -235,60 +238,61 @@ pub fn run_raster_phase(
                     let InFlight { warp, exec, core } = &mut st.inflight[idx];
                     rus[i].step_warp_on(*core, warp, exec, hier)
                 };
-                if done {
-                    let was_full = !st.has_free_slot(max_warps);
-                    let f = st.inflight.swap_remove(idx);
-                    let o = f.exec.outcome;
-                    out.warps += 1;
-                    out.instructions += o.instructions;
-                    out.tex_requests += o.tex_requests;
-                    out.tex_latency_sum += o.tex_latency_sum;
-                    out.fill_lines += o.fills.len() as u64;
-                    unique.extend(o.fills.iter().copied());
-                    let tally = out.heatmap.tally_mut(f.warp.tile);
-                    tally.instructions += o.instructions;
-                    tally.dram_accesses += o.dram_accesses;
-                    tally.warps += 1;
-                    st.core_load[f.core] -= 1;
-                    if was_full {
-                        st.slot_gate = st.slot_gate.max(o.completion);
-                    }
-                    st.tile_last = st.tile_last.max(o.completion);
-
-                    if st.pending.is_empty() && st.inflight.is_empty() {
-                        // Fragment stage done: flush asynchronously (double-buffered
-                        // Colour Buffer — the flush only gates the tile after next).
-                        let tile = st.cur_tile.take().expect("warps imply a current tile");
-                        let flush_start = st.tile_last;
-                        out.drain_cycles += flush_start.saturating_sub(st.frag_start);
-                        if trace::is_enabled() {
-                            trace::span(
-                                Track::RuFragment(i as u8),
-                                format!("tile {}", tile.0),
-                                st.frag_start,
-                                flush_start,
-                            );
-                        }
-                        let (flush_done, last_write, writes) =
-                            rus[i].flush_tile(tile, &cfg.screen, flush_start, hier);
-                        out.flush_cycles += flush_done - flush_start;
-                        if trace::is_enabled() {
-                            trace::span(
-                                Track::RuFlush(i as u8),
-                                format!("flush {}", tile.0),
-                                flush_start,
-                                flush_done,
-                            );
-                        }
-                        out.heatmap.tally_mut(tile).dram_accesses += writes;
-                        st.frag_gate = flush_start.max(st.last_flush_done);
-                        st.last_flush_done = flush_done;
-                        st.slot_gate = 0;
-                        out.ru_finish[i] = out.ru_finish[i].max(last_write).max(flush_start);
-                        frame_end = frame_end.max(last_write).max(flush_start);
-                    }
+                if !done {
+                    return Effect::Stepped { idx };
                 }
-                continue;
+                let was_full = !st.has_free_slot(max_warps);
+                let f = st.inflight.swap_remove(idx);
+                let o = f.exec.outcome;
+                out.warps += 1;
+                out.instructions += o.instructions;
+                out.tex_requests += o.tex_requests;
+                out.tex_latency_sum += o.tex_latency_sum;
+                out.fill_lines += o.fills.len() as u64;
+                unique.extend(o.fills.iter().copied());
+                let tally = out.heatmap.tally_mut(f.warp.tile);
+                tally.instructions += o.instructions;
+                tally.dram_accesses += o.dram_accesses;
+                tally.warps += 1;
+                st.core_load[f.core] -= 1;
+                if was_full {
+                    st.slot_gate = st.slot_gate.max(o.completion);
+                }
+                st.tile_last = st.tile_last.max(o.completion);
+
+                if st.pending.is_empty() && st.inflight.is_empty() {
+                    // Fragment stage done: flush asynchronously (double-buffered
+                    // Colour Buffer — the flush only gates the tile after next).
+                    let tile = st.cur_tile.take().expect("warps imply a current tile");
+                    let flush_start = st.tile_last;
+                    out.drain_cycles += flush_start.saturating_sub(st.frag_start);
+                    if trace::is_enabled() {
+                        trace::span(
+                            Track::RuFragment(i as u8),
+                            format!("tile {}", tile.0),
+                            st.frag_start,
+                            flush_start,
+                        );
+                    }
+                    let (flush_done, last_write, writes) =
+                        rus[i].flush_tile(tile, &cfg.screen, flush_start, hier);
+                    out.flush_cycles += flush_done - flush_start;
+                    if trace::is_enabled() {
+                        trace::span(
+                            Track::RuFlush(i as u8),
+                            format!("flush {}", tile.0),
+                            flush_start,
+                            flush_done,
+                        );
+                    }
+                    out.heatmap.tally_mut(tile).dram_accesses += writes;
+                    st.frag_gate = flush_start.max(st.last_flush_done);
+                    st.last_flush_done = flush_done;
+                    st.slot_gate = 0;
+                    out.ru_finish[i] = out.ru_finish[i].max(last_write).max(flush_start);
+                    *frame_end = (*frame_end).max(last_write).max(flush_start);
+                }
+                return Effect::Retired { idx };
             }
         }
 
@@ -306,7 +310,7 @@ pub fn run_raster_phase(
                     let exec = rus[i].begin_warp_on(core, start);
                     st.core_load[core] += 1;
                     st.inflight.push(InFlight { warp: w, exec, core });
-                    continue;
+                    return Effect::Admitted;
                 }
             }
         }
@@ -334,14 +338,14 @@ pub fn run_raster_phase(
                     st.frag_gate = start.max(st.last_flush_done);
                     st.last_flush_done = flush_done;
                     out.ru_finish[i] = out.ru_finish[i].max(last_write);
-                    frame_end = frame_end.max(last_write);
+                    *frame_end = (*frame_end).max(last_write);
                 } else {
                     st.cur_tile = Some(r.tile);
                     st.pending = r.warps;
                     st.frag_start = start;
                     st.tile_last = start;
                 }
-                continue;
+                return Effect::Other;
             }
         }
 
@@ -382,21 +386,21 @@ pub fn run_raster_phase(
                             st.no_more_groups = true;
                             let finish = st.fe_time.max(st.frag_gate).max(st.last_flush_done);
                             out.ru_finish[i] = out.ru_finish[i].max(finish);
-                            frame_end = frame_end.max(finish);
+                            *frame_end = (*frame_end).max(finish);
                         } else {
                             st.tiles = stolen;
                         }
-                        continue;
+                        return Effect::Other;
                     }
                 }
             }
             if let Some(tile) = st.tiles.pop_front() {
                 let list = bins.list(tile);
-                let tile_prims: Vec<&ScreenTriangle> =
-                    list.iter().map(|&idx| &prims[idx as usize]).collect();
+                prim_scratch.clear();
+                prim_scratch.extend(list.iter().map(|&idx| &prims[idx as usize]));
                 let fe_start = st.fe_time;
                 let fe =
-                    rus[i].render_tile_front_end(tile, &tile_prims, &cfg.screen, st.fe_time, hier);
+                    rus[i].render_tile_front_end(tile, prim_scratch, &cfg.screen, st.fe_time, hier);
                 out.fe_cycles += fe.fe_done - st.fe_time;
                 if trace::is_enabled() {
                     trace::span_args(
@@ -405,7 +409,7 @@ pub fn run_raster_phase(
                         fe_start,
                         fe.fe_done,
                         vec![
-                            ("prims", tile_prims.len().to_string()),
+                            ("prims", prim_scratch.len().to_string()),
                             ("fragments", fe.fragments.to_string()),
                         ],
                     );
@@ -421,13 +425,200 @@ pub fn run_raster_phase(
                 st.fe_ready =
                     Some(FeReady { tile, fe_done: fe.fe_done, warps: fe.warps.into() });
             }
-            continue;
+            return Effect::Other;
         }
         unreachable!("event selection offered no processable event");
     }
+}
 
-    out.unique_lines = unique.len() as u64;
-    out.raster_cycles = frame_end;
+/// The legacy O(RUs × warps)-per-event linear scan — the behavioural oracle the
+/// indexed driver is differentially tested against (`LIBRA_EVENT_LOOP=scan`).
+fn drive_scan(ctx: &mut PhaseCtx) {
+    loop {
+        // Pick the RU with the earliest micro-event (strict `<`: lowest index
+        // wins ties — the contract the heap driver's key order reproduces).
+        let mut best: Option<(usize, Cycle)> = None;
+        for (i, st) in ctx.states.iter().enumerate() {
+            if let Some(t) = st.next_time(ctx.max_warps) {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        let Some((i, _event_time)) = best else {
+            break; // all RUs done
+        };
+        let step_idx = ctx.states[i]
+            .inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| f.exec.ready_at())
+            .map(|(k, f)| (k, f.exec.ready_at()));
+        ctx.out.events += 1;
+        ctx.process(i, step_idx);
+    }
+}
+
+/// `next_time` with the in-flight minimum answered by the RU's warp queue
+/// instead of a linear pass (must stay semantically identical to
+/// [`RuState::next_time`]).
+fn next_time_indexed(
+    st: &RuState,
+    max_warps: usize,
+    warps: &mut EventQueue<u32>,
+) -> Option<Cycle> {
+    if st.finished() {
+        return None;
+    }
+    let mut t: Option<Cycle> = None;
+    let mut consider = |c: Cycle| t = Some(t.map_or(c, |x: Cycle| x.min(c)));
+    if let Some(w) = st.pending.front() {
+        if st.has_free_slot(max_warps) {
+            consider(w.arrival.max(st.frag_gate).max(st.slot_gate));
+        }
+    }
+    if let Some((wt, _)) = warps.peek_valid(|wt, k| {
+        (k as usize) < st.inflight.len() && st.inflight[k as usize].exec.ready_at() == wt
+    }) {
+        consider(wt);
+    }
+    if let Some(r) = &st.fe_ready {
+        if st.fragment_stage_idle() {
+            consider(st.frag_gate.max(r.fe_done));
+        }
+    }
+    if st.fe_ready.is_none() && !(st.no_more_groups && st.tiles.is_empty()) {
+        consider(st.fe_time);
+    }
+    t
+}
+
+/// The indexed next-event driver: a global queue of RUs keyed `(next event
+/// time, RU index)` plus one warp queue per RU keyed `(ready time, in-flight
+/// position)`. Lexicographic key order makes every pop reproduce the scan's
+/// first-minimum tie-break exactly; rescheduled entries invalidate lazily.
+///
+/// Invariants the [`Effect`] bookkeeping maintains:
+/// * every in-flight warp has a queue entry under its current `(ready, pos)` —
+///   stale duplicates are harmless because an entry that passes validation is
+///   indistinguishable from the live entry with the same key;
+/// * `cached[i]` is RU *i*'s current `next_time` and the RU queue holds an
+///   entry for it. Processing RU *i* never changes another RU's `next_time`
+///   (tile stealing leaves the victim's candidate set untouched: the victim
+///   keeps a non-empty tile queue), so only RU *i* is recomputed per event.
+fn drive_heap(ctx: &mut PhaseCtx) {
+    let n = ctx.states.len();
+    let mut warp_queues: Vec<EventQueue<u32>> = (0..n).map(|_| EventQueue::new()).collect();
+    let mut cached: Vec<Option<Cycle>> = vec![None; n];
+    let mut ru_queue: EventQueue<u32> = EventQueue::with_capacity(n);
+    for (i, slot) in cached.iter_mut().enumerate() {
+        *slot = ctx.states[i].next_time(ctx.max_warps);
+        if let Some(t) = *slot {
+            ru_queue.push(t, i as u32);
+        }
+    }
+
+    while let Some((_, iu)) = ru_queue.pop_valid(|t, k| cached[k as usize] == Some(t)) {
+        let i = iu as usize;
+        let step_idx = {
+            let st = &ctx.states[i];
+            warp_queues[i]
+                .peek_valid(|t, k| {
+                    (k as usize) < st.inflight.len()
+                        && st.inflight[k as usize].exec.ready_at() == t
+                })
+                .map(|(t, k)| (k as usize, t))
+        };
+        ctx.out.events += 1;
+        let effect = ctx.process(i, step_idx);
+
+        let wq = &mut warp_queues[i];
+        let st = &ctx.states[i];
+        match effect {
+            Effect::Stepped { idx } => {
+                // The peeked entry was consumed; the warp rescheduled.
+                wq.pop();
+                wq.push(st.inflight[idx].exec.ready_at(), idx as u32);
+            }
+            Effect::Retired { idx } => {
+                wq.pop();
+                if st.inflight.is_empty() {
+                    wq.clear();
+                } else if idx < st.inflight.len() {
+                    // swap_remove moved the former last warp into `idx`.
+                    wq.push(st.inflight[idx].exec.ready_at(), idx as u32);
+                }
+            }
+            Effect::Admitted => {
+                let idx = st.inflight.len() - 1;
+                wq.push(st.inflight[idx].exec.ready_at(), idx as u32);
+            }
+            Effect::Other => {}
+        }
+        cached[i] = next_time_indexed(st, ctx.max_warps, wq);
+        if let Some(t) = cached[i] {
+            ru_queue.push(t, i as u32);
+        }
+    }
+}
+
+/// Runs the raster phase from cycle 0 until every tile in `plan` has been rendered
+/// and flushed. The event loop driver is selected per [`event_loop::mode`]; both
+/// drivers produce bit-identical results.
+pub fn run_raster_phase(
+    cfg: &GpuConfig,
+    rus: &mut [RasterUnit],
+    hier: &mut MemoryHierarchy,
+    plan: &mut FramePlan,
+    prims: &[ScreenTriangle],
+    bins: &TileBins,
+) -> RasterPhaseResult {
+    let ru_count = rus.len();
+    let states: Vec<RuState> = rus
+        .iter()
+        .map(|ru| RuState {
+            tiles: VecDeque::new(),
+            fe_ready: None,
+            fe_time: 0,
+            pending: VecDeque::new(),
+            inflight: Vec::new(),
+            core_load: vec![0; ru.num_cores()],
+            slot_gate: 0,
+            cur_tile: None,
+            frag_gate: 0,
+            last_flush_done: 0,
+            frag_start: 0,
+            tile_last: 0,
+            no_more_groups: false,
+        })
+        .collect();
+    let mut ctx = PhaseCtx {
+        cfg,
+        max_warps: cfg.max_warps_per_core,
+        rus,
+        hier,
+        plan,
+        prims,
+        bins,
+        states,
+        out: RasterPhaseResult {
+            heatmap: TileHeatmap::new(cfg.screen.num_tiles()),
+            ru_finish: vec![0; ru_count],
+            ..RasterPhaseResult::default()
+        },
+        unique: U64Set::default(),
+        frame_end: 0,
+        prim_scratch: Vec::new(),
+    };
+
+    match event_loop::mode() {
+        EventLoopMode::Heap => drive_heap(&mut ctx),
+        EventLoopMode::Scan => drive_scan(&mut ctx),
+    }
+
+    let mut out = ctx.out;
+    out.unique_lines = ctx.unique.len() as u64;
+    out.raster_cycles = ctx.frame_end;
     out
 }
 
@@ -452,6 +643,24 @@ mod tests {
         let mut sched = kind.build();
         let mut plan = sched.plan_frame(&cfg.screen, None);
         run_raster_phase(cfg, &mut rus, &mut hier, &mut plan, &tris, &bins)
+    }
+
+    #[test]
+    fn scan_and_heap_drivers_agree_bit_for_bit() {
+        // The crate-level face of the differential oracle: the full phase
+        // result (timing, heatmap, every counter) must be identical under
+        // both drivers. `tests/event_loop_diff.rs` widens this to whole
+        // simulated sequences.
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        for kind in [SchedulerKind::Libra, SchedulerKind::Scanline] {
+            event_loop::set_mode(Some(EventLoopMode::Scan));
+            let scan = run(&cfg, kind);
+            event_loop::set_mode(Some(EventLoopMode::Heap));
+            let heap = run(&cfg, kind);
+            event_loop::set_mode(None);
+            assert_eq!(scan, heap, "drivers diverged under {kind:?}");
+            assert!(scan.events > 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Simulation-throughput measurement: events/sec and ns/event per driver.
+//!
+//! The unit of work is the *micro-event* ([`FrameStats::micro_events`]): one
+//! geometry fetch/bin insertion or one raster event-loop decision. Both
+//! event-loop drivers process the identical event sequence (they are
+//! bit-identical by contract), so events/sec is a fair wall-clock comparison
+//! of the drivers themselves.
+//!
+//! Results are recorded — never asserted on — because wall-clock time depends
+//! on the machine. `scripts/ci.sh` writes the numbers to
+//! `BENCH_sim_throughput.json` so a human (or the bench harness) can watch the
+//! trend.
+//!
+//! [`FrameStats::micro_events`]: tbr_common::stats::FrameStats::micro_events
+
+use std::time::Instant;
+
+use tbr_common::config::GpuConfig;
+use tbr_common::stats::FrameStats;
+use tbr_workloads::BenchmarkProfile;
+
+use crate::event_loop::{self, EventLoopMode};
+use crate::gpu::simulate_sequence;
+use crate::SchedulerKind;
+
+/// One timed run of a workload slice under a pinned event-loop driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputRecord {
+    /// Which driver was pinned for the run.
+    pub mode: EventLoopMode,
+    /// Wall-clock duration of the slice, in nanoseconds.
+    pub wall_ns: u128,
+    /// Micro-events processed (summed over all frames of all workloads).
+    pub events: u64,
+    /// Simulated cycles (summed) — a determinism cross-check between runs.
+    pub cycles: u64,
+}
+
+impl ThroughputRecord {
+    /// Micro-events simulated per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Wall-clock nanoseconds spent per micro-event.
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        self.wall_ns as f64 / self.events as f64
+    }
+}
+
+/// A scan-vs-heap comparison over the same workload slice.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Workload abbreviations that made up the slice.
+    pub workloads: Vec<String>,
+    /// Frames simulated per workload.
+    pub frames: u32,
+    /// Raster units in the measured configuration.
+    pub raster_units: u32,
+    /// The legacy linear-scan driver.
+    pub scan: ThroughputRecord,
+    /// The indexed heap driver.
+    pub heap: ThroughputRecord,
+}
+
+impl ThroughputReport {
+    /// Heap-over-scan wall-clock speedup (>1 means the heap driver is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.heap.wall_ns == 0 {
+            return 0.0;
+        }
+        self.scan.wall_ns as f64 / self.heap.wall_ns as f64
+    }
+
+    /// Hand-written JSON for `BENCH_sim_throughput.json` (the workspace has no
+    /// serde; the schema is flat enough to emit directly).
+    pub fn to_json(&self) -> String {
+        fn record(r: &ThroughputRecord) -> String {
+            format!(
+                "{{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
+                 \"ns_per_event\": {:.2}, \"cycles\": {}}}",
+                r.wall_ns as f64 / 1e6,
+                r.events,
+                r.events_per_sec(),
+                r.ns_per_event(),
+                r.cycles,
+            )
+        }
+        let workloads =
+            self.workloads.iter().map(|w| format!("\"{w}\"")).collect::<Vec<_>>().join(", ");
+        format!(
+            "{{\n  \"bench\": \"sim_throughput\",\n  \"workloads\": [{}],\n  \
+             \"frames\": {},\n  \"raster_units\": {},\n  \"scan\": {},\n  \
+             \"heap\": {},\n  \"speedup_heap_over_scan\": {:.3}\n}}\n",
+            workloads,
+            self.frames,
+            self.raster_units,
+            record(&self.scan),
+            record(&self.heap),
+            self.speedup(),
+        )
+    }
+
+    /// One-paragraph human summary for the CLI.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "sim throughput — {} workloads x {} frames, {} RUs\n",
+            self.workloads.len(),
+            self.frames,
+            self.raster_units
+        ));
+        for r in [&self.scan, &self.heap] {
+            s.push_str(&format!(
+                "  {:>4}: {:>8.1} ms  {:>12.0} events/s  {:>7.1} ns/event\n",
+                match r.mode {
+                    EventLoopMode::Heap => "heap",
+                    EventLoopMode::Scan => "scan",
+                },
+                r.wall_ns as f64 / 1e6,
+                r.events_per_sec(),
+                r.ns_per_event(),
+            ));
+        }
+        s.push_str(&format!("  speedup (heap over scan): {:.2}x\n", self.speedup()));
+        s
+    }
+}
+
+/// Times one pinned-mode pass over `profiles`, restoring the previous mode
+/// override afterwards.
+pub fn measure_mode(
+    mode: EventLoopMode,
+    cfg: &GpuConfig,
+    scheduler: SchedulerKind,
+    profiles: &[BenchmarkProfile],
+    frames: u32,
+) -> ThroughputRecord {
+    let saved = event_loop::override_mode();
+    event_loop::set_mode(Some(mode));
+    let start = Instant::now();
+    let mut events = 0u64;
+    let mut cycles = 0u64;
+    for profile in profiles {
+        let seq = simulate_sequence(cfg, scheduler, profile, frames);
+        events += seq.frames.iter().map(|f| f.micro_events).sum::<u64>();
+        cycles += seq.frames.iter().map(FrameStats::total_cycles).sum::<u64>();
+    }
+    let wall_ns = start.elapsed().as_nanos();
+    event_loop::set_mode(saved);
+    ThroughputRecord { mode, wall_ns, events, cycles }
+}
+
+/// Runs the scan-vs-heap comparison over a workload slice. The scan pass runs
+/// first (warming the page cache and branch predictors in *its* favour, which
+/// only makes the reported heap speedup conservative).
+pub fn compare(
+    cfg: &GpuConfig,
+    scheduler: SchedulerKind,
+    profiles: &[BenchmarkProfile],
+    frames: u32,
+) -> ThroughputReport {
+    let scan = measure_mode(EventLoopMode::Scan, cfg, scheduler, profiles, frames);
+    let heap = measure_mode(EventLoopMode::Heap, cfg, scheduler, profiles, frames);
+    assert_eq!(
+        scan.cycles, heap.cycles,
+        "the two drivers must simulate identical timing (differential contract)"
+    );
+    assert_eq!(scan.events, heap.events, "the two drivers must process identical event counts");
+    ThroughputReport {
+        workloads: profiles.iter().map(|p| p.abbrev.to_string()).collect(),
+        frames,
+        raster_units: cfg.num_raster_units as u32,
+        scan,
+        heap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbr_common::config::ScreenConfig;
+    use tbr_workloads::suite;
+
+    #[test]
+    fn records_and_json_are_well_formed() {
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        let profiles = vec![suite().remove(0)];
+        let report = compare(&cfg, SchedulerKind::Libra, &profiles, 1);
+        assert!(report.scan.events > 0);
+        assert_eq!(report.scan.events, report.heap.events);
+        assert_eq!(report.scan.cycles, report.heap.cycles);
+        let json = report.to_json();
+        assert!(json.contains("\"sim_throughput\""));
+        assert!(json.contains("\"speedup_heap_over_scan\""));
+        assert!(report.render().contains("speedup"));
+    }
+}

@@ -10,21 +10,32 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=1
 
-echo "== [1/5] offline release build =="
+echo "== [1/7] offline release build =="
 cargo build --release --workspace
 
-echo "== [2/5] clippy (deny warnings) =="
+echo "== [2/7] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== [3/5] test suite =="
+echo "== [3/7] test suite =="
 cargo test -q
 
-echo "== [4/5] trace-export smoke (emit, then validate with the in-repo parser) =="
+echo "== [4/7] trace-export smoke (emit, then validate with the in-repo parser) =="
 cargo run --release --bin libra-sim -- run AAt --frames 1 \
     --trace-out target/ci_trace.json --report-json target/ci_report.json
 cargo run --release --bin libra-sim -- trace-check target/ci_trace.json
 
-echo "== [5/5] 2-thread campaign smoke (parallel == serial, bit-identical) =="
+echo "== [5/7] 2-thread campaign smoke (parallel == serial, bit-identical) =="
 cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 --verify
+
+echo "== [6/7] heap-vs-scan event-loop differential smoke (metrics bit-identical) =="
+cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop scan \
+    --report-json target/ci_eventloop_scan.json
+cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop heap \
+    --report-json target/ci_eventloop_heap.json
+cmp target/ci_eventloop_scan.json target/ci_eventloop_heap.json
+
+echo "== [7/7] sim-throughput record (scan vs heap wall-clock; record only, never asserted) =="
+cargo run --release --bin libra-sim -- throughput --frames 1 --rus 64 --cores 8 \
+    --out BENCH_sim_throughput.json
 
 echo "ci.sh: all gates passed"

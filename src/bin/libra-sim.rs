@@ -6,10 +6,12 @@
 //! libra-sim compare <ABBREV> [opts]       baseline vs PTR vs LIBRA
 //! libra-sim sweep-ru <ABBREV> [opts]      1..4 Raster Units
 //! libra-sim campaign [opts]               parallel sweep over the whole suite
+//! libra-sim throughput [opts]             scan-vs-heap events/sec benchmark
 //! libra-sim trace-check <FILE>            validate an emitted Chrome trace
 //!
 //! options: --frames N (default 6)   --fhd   --scheduler z|scanline|hilbert|static2|
 //!          static4|static8|static16|libra   --rus N   --cores N   --ideal-memory
+//!          --event-loop heap|scan (pin the raster event-loop driver)
 //!
 //! run options (additionally): --trace-out FILE (Perfetto/Chrome trace JSON)
 //!          --report-json FILE (full metrics-registry report)
@@ -29,7 +31,7 @@
 use std::process::ExitCode;
 
 use libra_repro::prelude::*;
-use tbr_sim::report;
+use tbr_sim::{event_loop, report, throughput};
 
 #[derive(Debug, Clone)]
 struct Opts {
@@ -45,6 +47,7 @@ struct Opts {
     profile: bool,
     trace_out: Option<String>,
     report_json: Option<String>,
+    out: Option<String>,
 }
 
 impl Default for Opts {
@@ -62,6 +65,7 @@ impl Default for Opts {
             profile: false,
             trace_out: None,
             report_json: None,
+            out: None,
         }
     }
 }
@@ -100,6 +104,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--profile" => o.profile = true,
             "--trace-out" => o.trace_out = Some(need("--trace-out")?.clone()),
             "--report-json" => o.report_json = Some(need("--report-json")?.clone()),
+            "--out" => o.out = Some(need("--out")?.clone()),
+            "--event-loop" => {
+                let name = need("--event-loop")?;
+                let mode = event_loop::parse(name)
+                    .ok_or_else(|| format!("unknown event loop `{name}` (heap|scan)"))?;
+                event_loop::set_mode(Some(mode));
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -263,6 +274,30 @@ fn cmd_sweep_ru(abbrev: &str, o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Serial scan-vs-heap wall-clock comparison over the whole suite: the recorded
+/// (never asserted) simulation-throughput benchmark. Writes the JSON record to
+/// `bench_results/sim_throughput.json` and to `--out` (default
+/// `BENCH_sim_throughput.json`).
+fn cmd_throughput(o: &Opts) -> Result<(), String> {
+    let cfg = config(o);
+    let profiles = suite();
+    println!(
+        "throughput: {} workloads x {} frames, {} RU x {} cores, scheduler {:?} (scan then heap)",
+        profiles.len(),
+        o.frames,
+        o.rus,
+        o.cores,
+        o.scheduler
+    );
+    let report = throughput::compare(&cfg, o.scheduler, &profiles, o.frames);
+    print!("{}", report.render());
+    let json = report.to_json();
+    write_file("bench_results/sim_throughput.json", &json, "throughput record")?;
+    let root = o.out.as_deref().unwrap_or("BENCH_sim_throughput.json");
+    write_file(root, &json, "throughput record")?;
+    Ok(())
+}
+
 /// Parallel sweep of the whole suite under one scheduler: the smallest useful
 /// campaign (one job per workload), reported in campaign order with wall-clock and
 /// per-job summary lines.
@@ -336,10 +371,10 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
 
 fn usage() {
     eprintln!(
-        "usage: libra-sim <suite|run|compare|sweep-ru|campaign|trace-check> [ABBREV|FILE] \
-         [--frames N] [--fhd] [--scheduler z|scanline|hilbert|staticN|libra] [--rus N] \
-         [--cores N] [--ideal-memory] [--threads N] [--seed S] [--verify] [--profile] \
-         [--trace-out FILE] [--report-json FILE]"
+        "usage: libra-sim <suite|run|compare|sweep-ru|campaign|throughput|trace-check> \
+         [ABBREV|FILE] [--frames N] [--fhd] [--scheduler z|scanline|hilbert|staticN|libra] \
+         [--rus N] [--cores N] [--ideal-memory] [--event-loop heap|scan] [--threads N] \
+         [--seed S] [--verify] [--profile] [--trace-out FILE] [--report-json FILE] [--out FILE]"
     );
 }
 
@@ -355,6 +390,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         "campaign" => parse_opts(&args[1..]).and_then(|o| cmd_campaign(&o)),
+        "throughput" => parse_opts(&args[1..]).and_then(|o| cmd_throughput(&o)),
         "trace-check" => {
             let Some(path) = args.get(1) else {
                 usage();

@@ -49,7 +49,8 @@ pub mod prelude {
     pub use tbr_common::trace::{self, Trace, Track};
     pub use tbr_energy::EnergyModel;
     pub use tbr_sim::{
-        simulate_frame, simulate_sequence, Campaign, CampaignProfile, CampaignResult, GpuSimulator,
+        event_loop, simulate_frame, simulate_sequence, Campaign, CampaignProfile, CampaignResult,
+        EventLoopMode, GpuSimulator,
     };
     pub use tbr_workloads::{suite, BenchmarkProfile, Category};
 }

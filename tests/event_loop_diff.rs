@@ -1,0 +1,121 @@
+//! Differential oracle for the indexed event-queue simulation core.
+//!
+//! The retired linear scan loop (`LIBRA_EVENT_LOOP=scan`) is kept as the
+//! executable specification of the raster phase's event selection; the indexed
+//! heap driver must reproduce it *bit for bit* — same cycles, same DRAM traffic,
+//! same heatmaps, same trace streams — across workloads from both suite halves
+//! and every scheduler variant. Any divergence here means the heap's
+//! `(ready_cycle, stable id)` tie-break no longer matches the scan's
+//! first-minimum selection and MUST be fixed in the heap driver, never papered
+//! over by regenerating goldens.
+//!
+//! Everything lives in one `#[test]` because the mode override is
+//! process-global: parallel test threads toggling it would race each other.
+//! (The modes are bit-identical, so a race could not corrupt results — but it
+//! could make a failure report blame the wrong mode.)
+
+use libra_repro::prelude::*;
+
+const FRAMES: u32 = 2;
+const WORKLOADS: [&str; 4] = ["AAt", "AnB", "CCS", "GrT"];
+
+fn kinds() -> [(&'static str, SchedulerKind); 5] {
+    [
+        ("Hilbert", SchedulerKind::Hilbert),
+        ("Libra", SchedulerKind::Libra),
+        ("Scanline", SchedulerKind::Scanline),
+        ("SingleZOrder", SchedulerKind::SingleZOrder),
+        ("StaticSupertile4", SchedulerKind::StaticSupertile(4)),
+    ]
+}
+
+fn run_with(
+    mode: EventLoopMode,
+    cfg: &GpuConfig,
+    kind: SchedulerKind,
+    p: &BenchmarkProfile,
+) -> SequenceStats {
+    event_loop::set_mode(Some(mode));
+    let s = simulate_sequence(cfg, kind, p, FRAMES);
+    event_loop::set_mode(None);
+    s
+}
+
+#[test]
+fn heap_and_scan_event_loops_are_bit_identical() {
+    let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+    let profiles: Vec<BenchmarkProfile> =
+        suite().into_iter().filter(|p| WORKLOADS.contains(&p.abbrev)).collect();
+    assert_eq!(profiles.len(), WORKLOADS.len(), "differential workloads must exist");
+
+    for p in &profiles {
+        for (label, kind) in kinds() {
+            let scan = run_with(EventLoopMode::Scan, &cfg, kind, p);
+            let heap = run_with(EventLoopMode::Heap, &cfg, kind, p);
+
+            // Targeted checks first, so a divergence names the counter that
+            // moved instead of dumping two whole SequenceStats.
+            assert_eq!(
+                scan.total_cycles(),
+                heap.total_cycles(),
+                "total cycles diverged for {}/{label}",
+                p.abbrev
+            );
+            assert_eq!(
+                scan.total_dram_accesses(),
+                heap.total_dram_accesses(),
+                "DRAM accesses diverged for {}/{label}",
+                p.abbrev
+            );
+            assert_eq!(scan.frames.len(), heap.frames.len());
+            for (i, (sf, hf)) in scan.frames.iter().zip(&heap.frames).enumerate() {
+                assert_eq!(
+                    sf.dram, hf.dram,
+                    "DramStats diverged for {}/{label} frame {i}",
+                    p.abbrev
+                );
+                assert_eq!(
+                    sf.heatmap, hf.heatmap,
+                    "tile heatmap diverged for {}/{label} frame {i}",
+                    p.abbrev
+                );
+                assert_eq!(
+                    sf.micro_events, hf.micro_events,
+                    "micro-event count diverged for {}/{label} frame {i}",
+                    p.abbrev
+                );
+            }
+            // Then the exhaustive check: every FrameStats field, bit for bit.
+            assert!(
+                scan == heap,
+                "scan and heap SequenceStats diverged for {}/{label} \
+                 (per-field checks passed; diff the remaining FrameStats fields)",
+                p.abbrev
+            );
+        }
+    }
+
+    // One traced configuration: the cycle-level event streams (spans and
+    // instants, in emission order) must match too, not just the aggregates.
+    let traced = |mode: EventLoopMode| -> Trace {
+        event_loop::set_mode(Some(mode));
+        trace::start();
+        let mut sim = GpuSimulator::new(cfg.clone(), SchedulerKind::Libra);
+        sim.render_sequence(&profiles[0], FRAMES);
+        let t = trace::finish().expect("trace was started");
+        event_loop::set_mode(None);
+        t
+    };
+    let scan_trace = traced(EventLoopMode::Scan);
+    let heap_trace = traced(EventLoopMode::Heap);
+    assert!(!scan_trace.is_empty(), "traced run produced no events");
+    assert_eq!(
+        scan_trace.len(),
+        heap_trace.len(),
+        "trace event counts diverged between scan and heap modes"
+    );
+    assert!(
+        scan_trace == heap_trace,
+        "trace event streams diverged between scan and heap modes"
+    );
+}

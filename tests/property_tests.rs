@@ -244,3 +244,107 @@ fn rasterized_coverage_matches_area() {
         Ok(())
     });
 }
+
+// ---- tbr_common::event_queue — the indexed next-event core ------------------
+//
+// The raster phase's heap driver leans on three promises: popped times are
+// monotone (simulated time never runs backwards), nothing is lost or
+// duplicated, and under lazy invalidation the queue agrees with a naive
+// first-minimum scan over the live set — the exact selection rule of the
+// retired scan loop it replaced.
+
+use tbr_common::event_queue::EventQueue;
+use tbr_common::Cycle;
+
+#[test]
+fn event_queue_pop_times_never_decrease() {
+    check_default("event_queue_pop_times_never_decrease", |g: &mut Gen| {
+        let mut q = EventQueue::new();
+        let n = g.usize(1, 200);
+        for _ in 0..n {
+            q.push(g.u64(0, 1 << 20), g.u32(0, 64));
+        }
+        let mut last = 0;
+        while let Some((t, _)) = q.pop() {
+            ensure!(t >= last, "time ran backwards: popped {t} after {last}");
+            last = t;
+        }
+        ensure_eq!(q.len(), 0);
+        Ok(())
+    });
+}
+
+#[test]
+fn event_queue_pops_each_push_exactly_once() {
+    check_default("event_queue_pops_each_push_exactly_once", |g: &mut Gen| {
+        let mut q = EventQueue::new();
+        let n = g.usize(1, 300);
+        let mut pushed: Vec<(Cycle, u32)> = Vec::with_capacity(n);
+        for i in 0..n {
+            // Deliberately collide times so the key tie-break is exercised.
+            let t = g.u64(0, 32);
+            q.push(t, i as u32);
+            pushed.push((t, i as u32));
+        }
+        let mut popped = Vec::with_capacity(n);
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        pushed.sort_unstable();
+        ensure_eq!(popped, pushed);
+        Ok(())
+    });
+}
+
+#[test]
+fn event_queue_matches_naive_scan_under_churn() {
+    check("event_queue_matches_naive_scan_under_churn", 64, |g: &mut Gen| {
+        // Model of the raster-phase driver: one pending time per key, re-pushes
+        // supersede (stale heap entries linger), cancels invalidate lazily. The
+        // queue must agree with a naive first-minimum scan over the live set at
+        // every pop.
+        let keys = g.usize(1, 24);
+        let mut q = EventQueue::with_capacity(keys);
+        let mut live: Vec<Option<Cycle>> = vec![None; keys];
+        let naive_min = |live: &[Option<Cycle>]| {
+            live.iter()
+                .enumerate()
+                .filter_map(|(k, t)| t.map(|t| (t, k as u32)))
+                .min()
+        };
+        let ops = g.usize(1, 400);
+        for _ in 0..ops {
+            match g.u32(0, 4) {
+                0 | 1 => {
+                    let k = g.usize(0, keys);
+                    let t = g.u64(0, 1 << 16);
+                    live[k] = Some(t);
+                    q.push(t, k as u32);
+                }
+                2 => {
+                    let k = g.usize(0, keys);
+                    live[k] = None;
+                }
+                _ => {
+                    let expect = naive_min(&live);
+                    let got = q.pop_valid(|t, k| live[k as usize] == Some(t));
+                    ensure_eq!(got, expect);
+                    if let Some((_, k)) = got {
+                        live[k as usize] = None;
+                    }
+                }
+            }
+        }
+        // Drain: the two views must stay in lock-step to the end.
+        loop {
+            let expect = naive_min(&live);
+            let got = q.pop_valid(|t, k| live[k as usize] == Some(t));
+            ensure_eq!(got, expect);
+            match got {
+                Some((_, k)) => live[k as usize] = None,
+                None => break,
+            }
+        }
+        Ok(())
+    });
+}
