@@ -68,7 +68,7 @@ impl Harness {
     }
 
     /// Runs one benchmark: calibrates an iteration count so a sample takes about
-    /// [`TARGET_SAMPLE`], then times `self.samples` samples of that many calls.
+    /// `TARGET_SAMPLE`, then times `self.samples` samples of that many calls.
     ///
     /// The closure's return value is passed through [`black_box`] so the optimiser
     /// cannot delete the measured work.

@@ -14,6 +14,8 @@
 //! * `LIBRA_FHD=1` — run at full 1920×1088 instead of the default 960×544
 //!   (see `DESIGN.md` §1 for the resolution substitution).
 
+#![warn(missing_docs)]
+
 pub mod harness;
 
 use std::fs;

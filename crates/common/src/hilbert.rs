@@ -1,6 +1,6 @@
 //! Hilbert-curve codec and grid traversal.
 //!
-//! The related work DTexL (Joseph et al., MICRO 2022 — cited as [35] in the LIBRA
+//! The related work DTexL (Joseph et al., MICRO 2022 — cited as \[35\] in the LIBRA
 //! paper) uses a *Hilbert* tile traversal for texture locality: unlike Morton order,
 //! consecutive Hilbert positions are always 4-neighbours, so it never takes the
 //! diagonal jumps the Z-curve takes between quadrants. This module provides the codec

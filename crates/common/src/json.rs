@@ -61,6 +61,51 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The number as an exact `u64`, if this is a non-negative integer small
+    /// enough (≤ 2⁵³) that its `f64` representation is lossless. Counters in the
+    /// checkpoint/metrics formats stay far below that bound; anything larger is
+    /// rejected rather than silently rounded.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n)
+                if n.is_finite() && *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 =>
+            {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The object's member map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` into `out` as JSON string *contents* (no surrounding quotes).
+/// Shared by the hand-rolled writers in [`crate::metrics`], [`crate::trace`] and
+/// the campaign checkpoint format.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
 }
 
 /// Parses a complete JSON document; trailing non-whitespace is an error.
@@ -361,6 +406,36 @@ mod tests {
         assert!(parse(&deep).is_err());
         let ok = "[".repeat(50) + "1" + &"]".repeat(50);
         assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn as_u64_accepts_exact_integers_only() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+        // 2^53 round-trips exactly; anything above is rejected, not rounded.
+        assert_eq!(parse("9007199254740992").unwrap().as_u64(), Some(1 << 53));
+        assert_eq!(parse("9007199254740994").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("\"7\"").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn bool_and_object_accessors() {
+        assert_eq!(parse("true").unwrap().as_bool(), Some(true));
+        assert_eq!(parse("1").unwrap().as_bool(), None);
+        let v = parse(r#"{"a":1}"#).unwrap();
+        assert_eq!(v.as_object().unwrap().len(), 1);
+        assert!(parse("[]").unwrap().as_object().is_none());
+    }
+
+    #[test]
+    fn escape_into_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let mut doc = String::from("\"");
+        escape_into(&mut doc, nasty);
+        doc.push('"');
+        assert_eq!(parse(&doc).unwrap(), Value::String(nasty.into()));
     }
 
     #[test]

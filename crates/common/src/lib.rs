@@ -37,7 +37,7 @@
 //! assert_eq!(cfg.total_cores(), 8);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod addr;
 pub mod config;

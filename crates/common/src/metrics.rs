@@ -21,6 +21,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::json::escape_into as json_escape_into;
+
 /// One metric's identity: name plus a label set (sorted for a canonical order).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MetricKey {
@@ -270,17 +272,6 @@ fn finite_json_number(v: f64) -> String {
         s
     } else {
         "0".to_string()
-    }
-}
-
-fn json_escape_into(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
     }
 }
 

@@ -2,6 +2,7 @@
 //! harness (and by LIBRA's own feedback loop).
 
 use crate::ids::{FrameId, TileId};
+use crate::json::{self, Value};
 use crate::metrics::MetricsRegistry;
 use crate::Cycle;
 
@@ -524,6 +525,245 @@ impl SequenceStats {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Exact JSON round-trip (campaign checkpoints).
+//
+// Every field of `SequenceStats` is an unsigned integer, so the JSON round-trip
+// is *bit-exact*: a job result reloaded from a campaign checkpoint compares
+// equal (`PartialEq`) to the in-memory result of running the job. Values are
+// read back through `json::Value::as_u64`, which rejects anything that would
+// not survive the `f64` number representation (> 2^53) instead of rounding.
+// ---------------------------------------------------------------------------
+
+/// Writes `items` as a JSON array of integers.
+fn u64_array_into(out: &mut String, items: impl Iterator<Item = u64>) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+/// Reads a JSON array of exact integers.
+fn u64_array(v: &Value, what: &str) -> Result<Vec<u64>, String> {
+    let arr = v.as_array().ok_or_else(|| format!("{what}: expected an array"))?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, e)| e.as_u64().ok_or_else(|| format!("{what}[{i}]: expected an exact integer")))
+        .collect()
+}
+
+/// Member lookup that names the missing field in its error.
+fn field<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("{what}: missing field `{key}`"))
+}
+
+/// Exact-integer member lookup.
+fn field_u64(v: &Value, key: &str, what: &str) -> Result<u64, String> {
+    field(v, key, what)?
+        .as_u64()
+        .ok_or_else(|| format!("{what}.{key}: expected an exact integer"))
+}
+
+impl CacheStats {
+    /// Writes this counter set as the compact array `[accesses,hits,misses,evictions]`.
+    pub fn to_json_into(&self, out: &mut String) {
+        u64_array_into(out, [self.accesses, self.hits, self.misses, self.evictions].into_iter());
+    }
+
+    /// Parses the array form written by [`CacheStats::to_json_into`].
+    pub fn from_value(v: &Value, what: &str) -> Result<Self, String> {
+        let a = u64_array(v, what)?;
+        if a.len() != 4 {
+            return Err(format!("{what}: expected 4 cache counters, got {}", a.len()));
+        }
+        Ok(Self { accesses: a[0], hits: a[1], misses: a[2], evictions: a[3] })
+    }
+}
+
+impl DramStats {
+    /// Writes these counters as a JSON object (interval histogram included).
+    pub fn to_json_into(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"reads\":{},\"writes\":{},\"row_hits\":{},\"row_misses\":{},\
+             \"latency_sum\":{},\"max_latency\":{},\"interval_width\":{},\"intervals\":",
+            self.reads,
+            self.writes,
+            self.row_hits,
+            self.row_misses,
+            self.latency_sum,
+            self.max_latency,
+            self.interval_width
+        ));
+        u64_array_into(out, self.intervals.iter().copied());
+        out.push('}');
+    }
+
+    /// Parses the object form written by [`DramStats::to_json_into`].
+    pub fn from_value(v: &Value, what: &str) -> Result<Self, String> {
+        Ok(Self {
+            reads: field_u64(v, "reads", what)?,
+            writes: field_u64(v, "writes", what)?,
+            row_hits: field_u64(v, "row_hits", what)?,
+            row_misses: field_u64(v, "row_misses", what)?,
+            latency_sum: field_u64(v, "latency_sum", what)?,
+            max_latency: field_u64(v, "max_latency", what)?,
+            interval_width: field_u64(v, "interval_width", what)?,
+            intervals: u64_array(field(v, "intervals", what)?, &format!("{what}.intervals"))?,
+        })
+    }
+}
+
+impl TileHeatmap {
+    /// Writes the heatmap as an array of per-tile 4-arrays
+    /// `[dram_accesses,instructions,fragments,warps]`.
+    pub fn to_json_into(&self, out: &mut String) {
+        out.push('[');
+        for (i, t) in self.tiles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            u64_array_into(out, [t.dram_accesses, t.instructions, t.fragments, t.warps].into_iter());
+        }
+        out.push(']');
+    }
+
+    /// Parses the array form written by [`TileHeatmap::to_json_into`].
+    pub fn from_value(v: &Value, what: &str) -> Result<Self, String> {
+        let arr = v.as_array().ok_or_else(|| format!("{what}: expected an array"))?;
+        let mut tiles = Vec::with_capacity(arr.len());
+        for (i, t) in arr.iter().enumerate() {
+            let a = u64_array(t, &format!("{what}[{i}]"))?;
+            if a.len() != 4 {
+                return Err(format!("{what}[{i}]: expected 4 tile tallies, got {}", a.len()));
+            }
+            tiles.push(TileTally {
+                dram_accesses: a[0],
+                instructions: a[1],
+                fragments: a[2],
+                warps: a[3],
+            });
+        }
+        Ok(Self { tiles })
+    }
+}
+
+impl FrameStats {
+    /// Writes this frame's full measurement set as a JSON object.
+    pub fn to_json_into(&self, out: &mut String) {
+        out.push_str(&format!("{{\"frame\":{},", self.frame.0));
+        out.push_str(&format!(
+            "\"geometry_cycles\":{},\"raster_cycles\":{},",
+            self.geometry_cycles, self.raster_cycles
+        ));
+        for (key, cache) in [
+            ("vertex_cache", &self.vertex_cache),
+            ("tile_cache", &self.tile_cache),
+            ("texture_cache", &self.texture_cache),
+            ("l2_cache", &self.l2_cache),
+        ] {
+            out.push_str(&format!("\"{key}\":"));
+            cache.to_json_into(out);
+            out.push(',');
+        }
+        out.push_str("\"dram\":");
+        self.dram.to_json_into(out);
+        out.push_str(",\"heatmap\":");
+        self.heatmap.to_json_into(out);
+        out.push_str(&format!(
+            ",\"vertices\":{},\"primitives\":{},\"fragments\":{},\"warps\":{},\
+             \"instructions\":{},\"texture_requests\":{},\"texture_latency_sum\":{},\
+             \"texture_fill_lines\":{},\"texture_unique_lines\":{},\"micro_events\":{}}}",
+            self.vertices,
+            self.primitives,
+            self.fragments,
+            self.warps,
+            self.instructions,
+            self.texture_requests,
+            self.texture_latency_sum,
+            self.texture_fill_lines,
+            self.texture_unique_lines,
+            self.micro_events
+        ));
+    }
+
+    /// Parses the object form written by [`FrameStats::to_json_into`].
+    pub fn from_value(v: &Value, what: &str) -> Result<Self, String> {
+        let frame = field_u64(v, "frame", what)?;
+        let frame = u32::try_from(frame).map_err(|_| format!("{what}.frame: out of range"))?;
+        Ok(Self {
+            frame: FrameId(frame),
+            geometry_cycles: field_u64(v, "geometry_cycles", what)?,
+            raster_cycles: field_u64(v, "raster_cycles", what)?,
+            vertex_cache: CacheStats::from_value(
+                field(v, "vertex_cache", what)?,
+                &format!("{what}.vertex_cache"),
+            )?,
+            tile_cache: CacheStats::from_value(
+                field(v, "tile_cache", what)?,
+                &format!("{what}.tile_cache"),
+            )?,
+            texture_cache: CacheStats::from_value(
+                field(v, "texture_cache", what)?,
+                &format!("{what}.texture_cache"),
+            )?,
+            l2_cache: CacheStats::from_value(field(v, "l2_cache", what)?, &format!("{what}.l2_cache"))?,
+            dram: DramStats::from_value(field(v, "dram", what)?, &format!("{what}.dram"))?,
+            heatmap: TileHeatmap::from_value(field(v, "heatmap", what)?, &format!("{what}.heatmap"))?,
+            vertices: field_u64(v, "vertices", what)?,
+            primitives: field_u64(v, "primitives", what)?,
+            fragments: field_u64(v, "fragments", what)?,
+            warps: field_u64(v, "warps", what)?,
+            instructions: field_u64(v, "instructions", what)?,
+            texture_requests: field_u64(v, "texture_requests", what)?,
+            texture_latency_sum: field_u64(v, "texture_latency_sum", what)?,
+            texture_fill_lines: field_u64(v, "texture_fill_lines", what)?,
+            texture_unique_lines: field_u64(v, "texture_unique_lines", what)?,
+            micro_events: field_u64(v, "micro_events", what)?,
+        })
+    }
+}
+
+impl SequenceStats {
+    /// Serialises the whole sequence as `{"frames":[...]}`. All fields are
+    /// unsigned integers, so [`SequenceStats::from_json`] reproduces a value that
+    /// compares equal bit-for-bit — the property campaign resume rests on.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.frames.len() * 512);
+        out.push_str("{\"frames\":[");
+        for (i, f) in self.frames.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            f.to_json_into(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a document written by [`SequenceStats::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        Self::from_value(&json::parse(text)?, "stats")
+    }
+
+    /// Parses an already-parsed [`Value`] (used when the stats object is embedded
+    /// in a larger document, e.g. a checkpoint record).
+    pub fn from_value(v: &Value, what: &str) -> Result<Self, String> {
+        let frames = field(v, "frames", what)?
+            .as_array()
+            .ok_or_else(|| format!("{what}.frames: expected an array"))?;
+        let frames = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FrameStats::from_value(f, &format!("{what}.frames[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { frames })
+    }
+}
+
 /// Fraction of execution time attributable to memory, measured the way the paper does
 /// for Fig 6a: run with a realistic memory system and again with an ideal (always-hit)
 /// one; the difference is memory time.
@@ -715,6 +955,59 @@ mod tests {
             frames: vec![FrameStats { raster_cycles: 100, ..FrameStats::default() }],
         };
         assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_stats_json_round_trip_is_exact() {
+        let mut heatmap = TileHeatmap::new(3);
+        heatmap.tiles[1] =
+            TileTally { dram_accesses: 11, instructions: 22, fragments: 33, warps: 44 };
+        let mut dram = DramStats::new(5000);
+        dram.reads = 123;
+        dram.writes = 45;
+        dram.row_hits = 100;
+        dram.row_misses = 68;
+        dram.latency_sum = 987_654;
+        dram.max_latency = 321;
+        dram.record_interval(4_999);
+        dram.record_interval(12_000);
+        let frame = FrameStats {
+            frame: FrameId(7),
+            geometry_cycles: 1_000,
+            raster_cycles: 9_000,
+            vertex_cache: CacheStats { accesses: 1, hits: 2, misses: 3, evictions: 4 },
+            tile_cache: CacheStats { accesses: 5, hits: 6, misses: 7, evictions: 8 },
+            texture_cache: CacheStats { accesses: 9, hits: 10, misses: 11, evictions: 12 },
+            l2_cache: CacheStats { accesses: 13, hits: 14, misses: 15, evictions: 16 },
+            dram,
+            heatmap,
+            vertices: 17,
+            primitives: 18,
+            fragments: 19,
+            warps: 20,
+            instructions: 21,
+            texture_requests: 22,
+            texture_latency_sum: 23,
+            texture_fill_lines: 24,
+            texture_unique_lines: 25,
+            micro_events: 26,
+        };
+        let seq = SequenceStats { frames: vec![frame.clone(), FrameStats::default(), frame] };
+        let round = SequenceStats::from_json(&seq.to_json()).expect("round trip");
+        assert_eq!(round, seq, "JSON round trip must be bit-exact");
+        // And the document itself is well-formed for the in-repo parser.
+        assert!(json::parse(&seq.to_json()).is_ok());
+    }
+
+    #[test]
+    fn sequence_stats_from_json_names_the_broken_field() {
+        let err = SequenceStats::from_json("{\"frames\":[{\"frame\":0}]}").unwrap_err();
+        assert!(err.contains("frames[0]"), "error should locate the frame: {err}");
+        assert!(err.contains("missing field"), "error should name the problem: {err}");
+        let err = SequenceStats::from_json("{}").unwrap_err();
+        assert!(err.contains("frames"), "error should name the field: {err}");
+        let err = SequenceStats::from_json("[1,2]").unwrap_err();
+        assert!(err.contains("frames"), "non-object documents are rejected: {err}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!
 //! The crate also defines the scene vocabulary ([`scene::DrawCall`], [`scene::Scene`],
 //! [`scene::FragmentShaderDesc`]) shared by the workload generators and the raster
-//! pipeline, and small dense [`vec`]/[`mat`] math types written from scratch (no
+//! pipeline, and small dense [`mod@vec`]/[`mat`] math types written from scratch (no
 //! external math crates, per the reproduction brief).
 
 #![warn(missing_docs)]

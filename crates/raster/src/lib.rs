@@ -15,7 +15,7 @@
 //!   the Frame Buffer in DRAM when a tile completes;
 //! * [`raster_unit`] — one Raster Unit: tile front-end (Parameter-Buffer fetch →
 //!   rasterise → Early-Z → warp assembly) plus its private shader cores;
-//! * [`reference`] — a purely functional renderer used as a golden model in tests and
+//! * [`mod@reference`] — a purely functional renderer used as a golden model in tests and
 //!   to dump PPM images in the examples.
 
 #![warn(missing_docs)]

@@ -306,7 +306,8 @@ impl RasterUnit {
     }
 }
 
-/// Public wrapper over [`gather_sample_lines`] for alternate pipeline organisations
+/// Public wrapper over the internal `gather_sample_lines` for alternate pipeline
+/// organisations
 /// (e.g. the IMR comparison mode in `tbr-sim`).
 pub fn gather_sample_lines_for(
     group: &[(Quad, u8)],

@@ -1,6 +1,6 @@
 //! The shader-core timing model.
 //!
-//! "The shader cores are designed to exploit [parallelism] by being highly
+//! "The shader cores are designed to exploit \[parallelism\] by being highly
 //! multithreaded to increase throughput and hide memory latency." (§I)
 //!
 //! Each core issues one instruction per cycle from its in-order issue port and sends

@@ -1,7 +1,7 @@
-//! Deterministic parallel simulation-campaign driver.
+//! Deterministic, fault-tolerant parallel simulation-campaign driver.
 //!
 //! Every figure of the paper is a sweep: workload × scheduler × GPU configuration,
-//! each point one independent [`simulate_sequence`](crate::simulate_sequence) run.
+//! each point one independent [`simulate_sequence`] run.
 //! The cycle-level simulator itself is strictly single-threaded, but the points
 //! share nothing, so campaign throughput scales with cores — the classic
 //! "parallelize across simulation instances, not within one" result from the
@@ -28,6 +28,31 @@
 //! empty, steals from the back of a victim's. Stealing only changes *who* runs a
 //! job, never *what* the job computes, so the guarantee above is unaffected.
 //!
+//! # Fault tolerance
+//!
+//! A long sweep must not lose 31 finished jobs to one bad one. Three layers
+//! (configured through [`RunOptions`], driven by [`Campaign::run_resilient`])
+//! keep a campaign alive and its partial results recoverable:
+//!
+//! * **Panic isolation.** Each job attempt runs under `catch_unwind` behind a
+//!   quiet panic hook, so a panicking job becomes a structured
+//!   [`CampaignResult::Failed`] — carrying the panic message — instead of
+//!   aborting the sweep. Survivors are unaffected: the failed attempt's
+//!   simulator state and partial trace are discarded wholesale.
+//! * **Watchdog budget.** With [`RunOptions::budget_cycles`] set, a job is run
+//!   frame-by-frame and aborted deterministically once its accumulated
+//!   simulated cycles exceed the budget, yielding
+//!   [`CampaignResult::TimedOut`]. Simulated cycles — not wall-clock — keep the
+//!   verdict bit-identical across hosts and thread counts.
+//! * **Checkpointing.** With a checkpoint file attached, every completed job is
+//!   appended atomically (see [`crate::checkpoint`]); `--resume` adopts the
+//!   recorded successes, re-runs failures, and — because seeds are
+//!   position-derived — finishes with results bit-identical to an
+//!   uninterrupted run.
+//!
+//! Failures can be injected on demand ([`crate::fault`], `LIBRA_FAULT`) to
+//! exercise every one of these paths in tests and CI.
+//!
 //! ```
 //! use tbr_common::config::{GpuConfig, ScreenConfig};
 //! use tbr_sim::campaign::Campaign;
@@ -44,8 +69,10 @@
 //! assert_eq!(parallel, serial); // bit-identical, in campaign order
 //! ```
 
+use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Mutex, Once};
 use std::time::Instant;
 
 use libra::scheduler::SchedulerKind;
@@ -53,9 +80,11 @@ use tbr_common::config::GpuConfig;
 use tbr_common::rng::splitmix64_mix;
 use tbr_common::stats::SequenceStats;
 use tbr_common::trace::{self, Trace};
-use tbr_workloads::BenchmarkProfile;
+use tbr_workloads::{BenchmarkProfile, SceneGenerator};
 
-use crate::gpu::simulate_sequence;
+use crate::checkpoint::{Checkpoint, CheckpointHeader, CheckpointWriter, RecordOutcome};
+use crate::fault::{FaultKind, FaultSpec};
+use crate::gpu::{simulate_sequence, GpuSimulator};
 
 /// The golden-gamma increment of SplitMix64 — spaces job indices far apart in the
 /// mixer's input domain so adjacent jobs get decorrelated seeds.
@@ -74,9 +103,10 @@ pub struct CampaignJob {
     pub frames: u32,
 }
 
-/// One finished point: the job's position, its effective seed, and its stats.
+/// One successfully completed point: the job's position, its effective seed, and
+/// its full statistics.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CampaignResult {
+pub struct JobSuccess {
     /// Index of the job in the campaign (results come back in this order).
     pub job: usize,
     /// Workload abbreviation (for reports).
@@ -87,6 +117,104 @@ pub struct CampaignResult {
     pub effective_seed: u64,
     /// Full per-frame statistics of the sequence.
     pub stats: SequenceStats,
+}
+
+/// The outcome of one campaign job: success, panic, or watchdog timeout.
+///
+/// Failures are *structured results*, not aborts — a sweep with one poisoned job
+/// still completes the other 31 and reports exactly what went wrong where.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignResult {
+    /// The job completed; carries its statistics.
+    Done(JobSuccess),
+    /// Every attempt of the job panicked; the sweep carried on without it.
+    Failed {
+        /// Index of the job in the campaign.
+        job: usize,
+        /// Workload abbreviation.
+        abbrev: &'static str,
+        /// Scheduler name.
+        scheduler: &'static str,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// Panic payload of the last attempt.
+        panic_msg: String,
+    },
+    /// Every attempt of the job exceeded the watchdog cycle budget.
+    TimedOut {
+        /// Index of the job in the campaign.
+        job: usize,
+        /// Workload abbreviation.
+        abbrev: &'static str,
+        /// Scheduler name.
+        scheduler: &'static str,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The budget in effect, in simulated cycles.
+        budget_cycles: u64,
+        /// Simulated cycles accumulated when the watchdog fired (last attempt).
+        spent_cycles: u64,
+    },
+}
+
+impl CampaignResult {
+    /// Index of the job in the campaign.
+    pub fn job(&self) -> usize {
+        match self {
+            Self::Done(s) => s.job,
+            Self::Failed { job, .. } | Self::TimedOut { job, .. } => *job,
+        }
+    }
+
+    /// Workload abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Self::Done(s) => s.abbrev,
+            Self::Failed { abbrev, .. } | Self::TimedOut { abbrev, .. } => abbrev,
+        }
+    }
+
+    /// Scheduler name.
+    pub fn scheduler(&self) -> &'static str {
+        match self {
+            Self::Done(s) => s.scheduler,
+            Self::Failed { scheduler, .. } | Self::TimedOut { scheduler, .. } => scheduler,
+        }
+    }
+
+    /// The success payload, if the job completed.
+    pub fn success(&self) -> Option<&JobSuccess> {
+        match self {
+            Self::Done(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The job's statistics, if it completed.
+    pub fn stats(&self) -> Option<&SequenceStats> {
+        self.success().map(|s| &s.stats)
+    }
+
+    /// Whether the job completed.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Self::Done(_))
+    }
+
+    /// A one-line human-readable failure description, or `None` for successes.
+    pub fn failure_line(&self) -> Option<String> {
+        match self {
+            Self::Done(_) => None,
+            Self::Failed { job, abbrev, scheduler, attempts, panic_msg } => Some(format!(
+                "job {job} ({abbrev}/{scheduler}) FAILED after {attempts} attempt(s): {panic_msg}"
+            )),
+            Self::TimedOut { job, abbrev, scheduler, attempts, budget_cycles, spent_cycles } => {
+                Some(format!(
+                    "job {job} ({abbrev}/{scheduler}) TIMED OUT after {attempts} attempt(s): \
+                     {spent_cycles} cycles > budget {budget_cycles}"
+                ))
+            }
+        }
+    }
 }
 
 /// Host-side wall-clock profile of one worker thread of a campaign run.
@@ -111,9 +239,9 @@ pub struct JobProfile {
     pub abbrev: &'static str,
     /// Scheduler name.
     pub scheduler: &'static str,
-    /// Worker that ran the job.
+    /// Worker that ran the job (0 for jobs adopted from a checkpoint).
     pub worker: usize,
-    /// Wall-clock seconds the job took.
+    /// Wall-clock seconds the job took (0 for jobs adopted from a checkpoint).
     pub secs: f64,
 }
 
@@ -168,6 +296,163 @@ impl CampaignProfile {
         }
         out
     }
+}
+
+/// Knobs of a resilient campaign run ([`Campaign::run_resilient`]).
+///
+/// The default is the behaviour of the plain drivers: one thread, no tracing,
+/// no budget, retry a failing job once, no fault injection, no checkpoint.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (clamped to `1..=pending jobs`).
+    pub threads: usize,
+    /// Collect one cycle-level trace per successful job.
+    pub traced: bool,
+    /// Watchdog: abort a job once its simulated cycles exceed this budget.
+    pub budget_cycles: Option<u64>,
+    /// Re-run a failed/timed-out job this many extra times before giving up.
+    /// The default 1 means "retry once, then fail".
+    pub retries: u32,
+    /// Deterministic fault injection (tests/CI); see [`crate::fault`].
+    pub fault: Option<FaultSpec>,
+    /// Write (truncating) a fresh checkpoint here as jobs complete.
+    pub checkpoint_to: Option<String>,
+    /// Adopt completed jobs from this checkpoint before running the rest.
+    /// If `checkpoint_to` is unset, new records are appended to this same file.
+    pub resume_from: Option<String>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            traced: false,
+            budget_cycles: None,
+            retries: 1,
+            fault: None,
+            checkpoint_to: None,
+            resume_from: None,
+        }
+    }
+}
+
+/// Everything a resilient campaign run produced.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// One result per job, in campaign order (successes and failures).
+    pub results: Vec<CampaignResult>,
+    /// Host-side wall-clock profile.
+    pub profile: CampaignProfile,
+    /// One labelled trace per *successful, freshly simulated* job, in campaign
+    /// order (adopted and failed jobs produce no trace).
+    pub traces: Vec<(String, Trace)>,
+    /// Jobs adopted as already-done from the resume checkpoint.
+    pub resumed_jobs: usize,
+    /// First checkpoint-append error, if any. Results are complete regardless —
+    /// a broken disk degrades the checkpoint, never the sweep.
+    pub checkpoint_error: Option<String>,
+}
+
+/// Success/failure counts of a campaign run, for the end-of-run report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Total jobs in the campaign.
+    pub total: usize,
+    /// Jobs that completed (including adopted ones).
+    pub done: usize,
+    /// Jobs that exhausted retries panicking.
+    pub failed: usize,
+    /// Jobs that exhausted retries over budget.
+    pub timed_out: usize,
+    /// Jobs adopted from the resume checkpoint.
+    pub resumed: usize,
+}
+
+impl CampaignSummary {
+    /// Renders the one-line summary, e.g.
+    /// `31/32 jobs succeeded (1 failed; 12 adopted from checkpoint)`.
+    pub fn render(&self) -> String {
+        let mut s = format!("{}/{} jobs succeeded", self.done, self.total);
+        let mut notes = Vec::new();
+        if self.failed > 0 {
+            notes.push(format!("{} failed", self.failed));
+        }
+        if self.timed_out > 0 {
+            notes.push(format!("{} timed out", self.timed_out));
+        }
+        if self.resumed > 0 {
+            notes.push(format!("{} adopted from checkpoint", self.resumed));
+        }
+        if !notes.is_empty() {
+            s.push_str(&format!(" ({})", notes.join("; ")));
+        }
+        s
+    }
+}
+
+impl CampaignRun {
+    /// Counts outcomes for the end-of-run report.
+    pub fn summary(&self) -> CampaignSummary {
+        let mut s = CampaignSummary {
+            total: self.results.len(),
+            done: 0,
+            failed: 0,
+            timed_out: 0,
+            resumed: self.resumed_jobs,
+        };
+        for r in &self.results {
+            match r {
+                CampaignResult::Done(_) => s.done += 1,
+                CampaignResult::Failed { .. } => s.failed += 1,
+                CampaignResult::TimedOut { .. } => s.timed_out += 1,
+            }
+        }
+        s
+    }
+
+    /// The failed/timed-out results, in campaign order.
+    pub fn failures(&self) -> impl Iterator<Item = &CampaignResult> {
+        self.results.iter().filter(|r| !r.is_success())
+    }
+}
+
+/// Runs `f` under `catch_unwind` with panic output suppressed *for this thread
+/// only*; a panic comes back as `Err(message)`.
+///
+/// The process-wide hook is installed once and delegates to the previous hook
+/// unless the current thread opted in, so panics elsewhere (other tests, real
+/// bugs outside job isolation) keep their normal backtrace output.
+fn quiet_catch_unwind<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    static HOOK: Once = Once::new();
+    thread_local! {
+        static SUPPRESS: Cell<bool> = const { Cell::new(false) };
+    }
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+    SUPPRESS.with(|s| s.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS.with(|s| s.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// Outcome of a single isolated attempt at one job.
+enum Attempt {
+    Done(SequenceStats),
+    TimedOut { spent: u64 },
 }
 
 /// A batch of independent simulation jobs with a campaign-level seed.
@@ -241,175 +526,435 @@ impl Campaign {
         }
     }
 
-    /// Runs job `index` to completion (the single shared code path of the serial
-    /// and parallel drivers — both orders therefore compute bit-identical stats).
-    fn run_job(&self, index: usize) -> CampaignResult {
-        let job = &self.jobs[index];
-        let mut profile = job.profile.clone();
-        let effective_seed = profile.seed ^ self.job_seed(index);
-        profile.seed = effective_seed;
-        let stats = simulate_sequence(&job.cfg, job.scheduler, &profile, job.frames);
-        CampaignResult {
-            job: index,
-            abbrev: job.profile.abbrev,
-            scheduler: job.scheduler.build().name(),
-            effective_seed,
-            stats,
-        }
+    /// The effective workload seed job `index` runs with.
+    pub fn effective_seed(&self, index: usize) -> u64 {
+        self.jobs[index].profile.seed ^ self.job_seed(index)
     }
 
-    /// Runs job `index` with an optional per-job trace collector installed on the
-    /// calling thread. Tracing is observation-only, so the returned stats are
-    /// bit-identical either way.
-    fn run_job_maybe_traced(&self, index: usize, traced: bool) -> (CampaignResult, Option<Trace>) {
-        if traced {
-            trace::start();
+    /// A position-insensitive digest of `(campaign seed, full job list)`:
+    /// configurations, schedulers, workload profiles and frame counts all feed
+    /// in. A checkpoint records it so `--resume` refuses to graft one
+    /// campaign's results onto a different sweep.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = splitmix64_mix(self.seed ^ 0xC0FF_EE00_D15E_A5E5);
+        for job in &self.jobs {
+            for b in format!("{job:?}").bytes() {
+                h = splitmix64_mix(h ^ u64::from(b));
+            }
         }
-        let r = self.run_job(index);
-        let t = if traced { trace::finish() } else { None };
-        (r, t)
+        h
     }
 
     fn trace_label(r: &CampaignResult) -> String {
-        format!("job{} {} {}", r.job, r.abbrev, r.scheduler)
+        format!("job{} {} {}", r.job(), r.abbrev(), r.scheduler())
     }
 
-    /// Runs every job on the calling thread, in campaign order.
-    pub fn run_serial(&self) -> Vec<CampaignResult> {
-        (0..self.jobs.len()).map(|i| self.run_job(i)).collect()
-    }
-
-    /// The full driver behind [`run`](Campaign::run), [`run_profiled`](Campaign::run_profiled)
-    /// and [`run_traced`](Campaign::run_traced): runs the campaign on `threads`
-    /// workers and returns, in campaign order, the results, the host-side profile,
-    /// and (when `traced`) one simulated-time trace per job. Timestamps in the
-    /// traces are simulated cycles, so they are identical for every thread count.
-    pub fn run_full(
+    /// One isolated attempt at job `index`: panic injection, then either the
+    /// plain full-sequence path (no budget — the exact code path of
+    /// [`simulate_sequence`]) or the frame-granular watchdog loop. Both paths
+    /// render frames through the same `render_frame`, so a generous budget
+    /// yields bit-identical stats to no budget at all.
+    fn run_attempt(
         &self,
-        threads: usize,
-        traced: bool,
-    ) -> (Vec<CampaignResult>, CampaignProfile, Vec<(String, Trace)>) {
-        let t0 = Instant::now();
-        let threads = threads.clamp(1, self.jobs.len().max(1));
+        index: usize,
+        profile: &BenchmarkProfile,
+        budget: Option<u64>,
+        inject_panic: bool,
+    ) -> Attempt {
+        let job = &self.jobs[index];
+        if inject_panic {
+            panic!(
+                "injected fault: panic in campaign job {index} ({}/{})",
+                job.profile.abbrev,
+                job.scheduler.build().name()
+            );
+        }
+        match budget {
+            None => Attempt::Done(simulate_sequence(&job.cfg, job.scheduler, profile, job.frames)),
+            Some(b) => {
+                let mut sim = GpuSimulator::new(job.cfg.clone(), job.scheduler);
+                let gen = SceneGenerator::new(profile, &job.cfg.screen);
+                let mut seq = SequenceStats::default();
+                for f in 0..job.frames {
+                    let scene = gen.scene(f);
+                    seq.frames.push(sim.render_frame(&scene));
+                    let spent = seq.total_cycles();
+                    if spent > b {
+                        return Attempt::TimedOut { spent };
+                    }
+                }
+                Attempt::Done(seq)
+            }
+        }
+    }
 
-        if threads <= 1 || self.jobs.len() <= 1 {
-            let mut results = Vec::with_capacity(self.jobs.len());
-            let mut traces = Vec::new();
-            let mut job_profiles = Vec::with_capacity(self.jobs.len());
+    /// Runs job `index` with isolation, watchdog, fault injection and retries.
+    /// Always returns a result — a panic or timeout becomes a structured
+    /// failure, never an abort. The trace (if requested) covers only the
+    /// successful attempt; failed attempts discard their partial traces.
+    fn run_job_resilient(&self, index: usize, opts: &RunOptions) -> (CampaignResult, Option<Trace>) {
+        let job = &self.jobs[index];
+        let abbrev = job.profile.abbrev;
+        let scheduler = job.scheduler.build().name();
+        let effective_seed = self.effective_seed(index);
+        let mut profile = job.profile.clone();
+        profile.seed = effective_seed;
+
+        let attempts = opts.retries.saturating_add(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            let fault = opts.fault.filter(|f| f.fires(index, attempt));
+            let inject_panic = matches!(fault, Some(FaultSpec { kind: FaultKind::Panic, .. }));
+            let budget = if matches!(fault, Some(FaultSpec { kind: FaultKind::Timeout, .. })) {
+                Some(0)
+            } else {
+                opts.budget_cycles
+            };
+            if opts.traced {
+                trace::start();
+            }
+            let outcome =
+                quiet_catch_unwind(|| self.run_attempt(index, &profile, budget, inject_panic));
+            match outcome {
+                Ok(Attempt::Done(stats)) => {
+                    let t = if opts.traced { trace::finish() } else { None };
+                    let s = JobSuccess { job: index, abbrev, scheduler, effective_seed, stats };
+                    return (CampaignResult::Done(s), t);
+                }
+                Ok(Attempt::TimedOut { spent }) => {
+                    if opts.traced {
+                        let _ = trace::finish(); // drop the partial trace
+                    }
+                    last = Some(CampaignResult::TimedOut {
+                        job: index,
+                        abbrev,
+                        scheduler,
+                        attempts: attempt + 1,
+                        budget_cycles: budget.unwrap_or(0),
+                        spent_cycles: spent,
+                    });
+                }
+                Err(panic_msg) => {
+                    if opts.traced {
+                        let _ = trace::finish(); // drop the partial trace
+                    }
+                    last = Some(CampaignResult::Failed {
+                        job: index,
+                        abbrev,
+                        scheduler,
+                        attempts: attempt + 1,
+                        panic_msg,
+                    });
+                }
+            }
+        }
+        (last.expect("at least one attempt was made"), None)
+    }
+
+    /// Validates a loaded checkpoint against this campaign and adopts its
+    /// recorded successes into `prefilled`. Failed/timed-out records are *not*
+    /// adopted — resuming re-runs them (that is the salvage path).
+    fn adopt_checkpoint(
+        &self,
+        ckpt: &Checkpoint,
+        path: &str,
+        prefilled: &mut [Option<CampaignResult>],
+    ) -> Result<usize, String> {
+        let n = self.jobs.len();
+        let h = &ckpt.header;
+        if h.jobs != n {
+            return Err(format!(
+                "checkpoint {path} is for a campaign of {} jobs, this campaign has {n}",
+                h.jobs
+            ));
+        }
+        if h.seed != self.seed {
+            return Err(format!(
+                "checkpoint {path} was written with campaign seed {:#x}, this campaign uses {:#x}",
+                h.seed, self.seed
+            ));
+        }
+        if h.fingerprint != self.fingerprint() {
+            return Err(format!(
+                "checkpoint {path} fingerprint {:#x} does not match this campaign's {:#x} — \
+                 it records a different sweep (jobs, configs, or schedulers changed)",
+                h.fingerprint,
+                self.fingerprint()
+            ));
+        }
+        // Later records for the same job supersede earlier ones (a resumed run
+        // appends corrections), so fold by job index in file order.
+        let mut latest: Vec<Option<&crate::checkpoint::Record>> = vec![None; n];
+        for rec in &ckpt.records {
+            let job = &self.jobs[rec.job];
+            let (want_a, want_s) = (job.profile.abbrev, job.scheduler.build().name());
+            if rec.abbrev != want_a || rec.scheduler != want_s {
+                return Err(format!(
+                    "checkpoint {path}: record for job {} names {}/{} but the campaign job is \
+                     {}/{}",
+                    rec.job, rec.abbrev, rec.scheduler, want_a, want_s
+                ));
+            }
+            latest[rec.job] = Some(rec);
+        }
+        let mut adopted = 0;
+        for (i, rec) in latest.iter().enumerate() {
+            let Some(rec) = rec else { continue };
+            if let RecordOutcome::Done { effective_seed, stats } = &rec.outcome {
+                let want = self.effective_seed(i);
+                if *effective_seed != want {
+                    return Err(format!(
+                        "checkpoint {path}: job {i} recorded effective seed {:#x}, expected {want:#x}",
+                        effective_seed
+                    ));
+                }
+                prefilled[i] = Some(CampaignResult::Done(JobSuccess {
+                    job: i,
+                    abbrev: self.jobs[i].profile.abbrev,
+                    scheduler: self.jobs[i].scheduler.build().name(),
+                    effective_seed: *effective_seed,
+                    stats: stats.clone(),
+                }));
+                adopted += 1;
+            }
+        }
+        Ok(adopted)
+    }
+
+    /// Opens the checkpoint writer implied by `opts`: a fresh (compacted) file
+    /// when `checkpoint_to` is set — re-emitting adopted records so the new file
+    /// stands alone — or append mode on the resume file, or none.
+    fn open_writer(
+        &self,
+        opts: &RunOptions,
+        prefilled: &[Option<CampaignResult>],
+    ) -> Result<Option<CheckpointWriter>, String> {
+        match (&opts.checkpoint_to, &opts.resume_from) {
+            (Some(path), _) => {
+                let header = CheckpointHeader {
+                    seed: self.seed,
+                    jobs: self.jobs.len(),
+                    fingerprint: self.fingerprint(),
+                };
+                let w = CheckpointWriter::create(path, header)?;
+                for r in prefilled.iter().flatten() {
+                    w.append(r)?;
+                }
+                Ok(Some(w))
+            }
+            (None, Some(path)) => Ok(Some(CheckpointWriter::append_to(path)?)),
+            (None, None) => Ok(None),
+        }
+    }
+
+    /// The resilient campaign driver: panic isolation, watchdog, retries,
+    /// checkpointing and resume, on `opts.threads` work-stealing workers.
+    ///
+    /// Returns `Err` only for *setup* problems the caller must resolve (an
+    /// invalid or mismatched resume checkpoint, an uncreatable checkpoint
+    /// file). Once jobs are running, nothing aborts the sweep: per-job
+    /// failures come back as structured [`CampaignResult`] variants and
+    /// checkpoint-append errors degrade into
+    /// [`CampaignRun::checkpoint_error`].
+    ///
+    /// Determinism: results are bit-identical for every thread count *and*
+    /// for every interrupted/resumed schedule, because job seeds are
+    /// position-derived and adopted stats round-trip exactly.
+    pub fn run_resilient(&self, opts: &RunOptions) -> Result<CampaignRun, String> {
+        let t0 = Instant::now();
+        let n = self.jobs.len();
+
+        let mut prefilled: Vec<Option<CampaignResult>> = (0..n).map(|_| None).collect();
+        let mut resumed_jobs = 0;
+        if let Some(path) = &opts.resume_from {
+            let ckpt = Checkpoint::load(path)?;
+            resumed_jobs = self.adopt_checkpoint(&ckpt, path, &mut prefilled)?;
+        }
+        let writer = self.open_writer(opts, &prefilled)?;
+
+        let pending: Vec<usize> = (0..n).filter(|&i| prefilled[i].is_none()).collect();
+        let threads = opts.threads.clamp(1, pending.len().max(1));
+
+        let mut job_profiles: Vec<Option<JobProfile>> = (0..n).map(|_| None).collect();
+        for (i, slot) in prefilled.iter().enumerate() {
+            if let Some(r) = slot {
+                job_profiles[i] = Some(JobProfile {
+                    job: i,
+                    abbrev: r.abbrev(),
+                    scheduler: r.scheduler(),
+                    worker: 0,
+                    secs: 0.0,
+                });
+            }
+        }
+
+        let ckpt_err: Mutex<Option<String>> = Mutex::new(None);
+        let note_ckpt = |res: Result<(), String>| {
+            if let Err(e) = res {
+                ckpt_err.lock().unwrap().get_or_insert(e);
+            }
+        };
+
+        let mut traces = Vec::new();
+        let workers;
+
+        if threads <= 1 || pending.len() <= 1 {
             let mut busy = 0.0;
-            for i in 0..self.jobs.len() {
+            for &i in &pending {
                 let jt = Instant::now();
-                let (r, t) = self.run_job_maybe_traced(i, traced);
+                let (r, t) = self.run_job_resilient(i, opts);
                 let secs = jt.elapsed().as_secs_f64();
                 busy += secs;
-                job_profiles.push(JobProfile {
+                if let Some(w) = &writer {
+                    note_ckpt(w.append(&r));
+                }
+                job_profiles[i] = Some(JobProfile {
                     job: i,
-                    abbrev: r.abbrev,
-                    scheduler: r.scheduler,
+                    abbrev: r.abbrev(),
+                    scheduler: r.scheduler(),
                     worker: 0,
                     secs,
                 });
                 if let Some(t) = t {
                     traces.push((Self::trace_label(&r), t));
                 }
-                results.push(r);
+                prefilled[i] = Some(r);
             }
-            let profile = CampaignProfile {
-                threads: 1,
-                wall_secs: t0.elapsed().as_secs_f64(),
-                workers: vec![WorkerProfile {
-                    worker: 0,
-                    jobs_run: self.jobs.len(),
-                    steals: 0,
-                    busy_secs: busy,
-                }],
-                jobs: job_profiles,
-            };
-            return (results, profile, traces);
-        }
+            workers = vec![WorkerProfile {
+                worker: 0,
+                jobs_run: pending.len(),
+                steals: 0,
+                busy_secs: busy,
+            }];
+        } else {
+            // Deal pending jobs round-robin into per-worker deques. Round-robin
+            // (rather than contiguous chunks) interleaves heavy and light
+            // workloads, so the initial split is already balanced and stealing
+            // is the exception.
+            let queues: Vec<Mutex<VecDeque<usize>>> =
+                (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+            for (k, &i) in pending.iter().enumerate() {
+                queues[k % threads].lock().unwrap().push_back(i);
+            }
 
-        // Deal jobs round-robin into per-worker deques. Round-robin (rather than
-        // contiguous chunks) interleaves heavy and light workloads, so the initial
-        // split is already balanced and stealing is the exception.
-        let queues: Vec<Mutex<VecDeque<usize>>> =
-            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (i, _) in self.jobs.iter().enumerate() {
-            queues[i % threads].lock().unwrap().push_back(i);
-        }
+            type Slot = (CampaignResult, Option<Trace>, JobProfile);
+            let slots: Vec<Mutex<Option<Slot>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            let worker_slots: Vec<Mutex<Option<WorkerProfile>>> =
+                (0..threads).map(|_| Mutex::new(None)).collect();
 
-        type Slot = (CampaignResult, Option<Trace>, JobProfile);
-        let slots: Vec<Mutex<Option<Slot>>> = self.jobs.iter().map(|_| Mutex::new(None)).collect();
-        let worker_slots: Vec<Mutex<Option<WorkerProfile>>> =
-            (0..threads).map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for me in 0..threads {
-                let queues = &queues;
-                let slots = &slots;
-                let worker_slots = &worker_slots;
-                scope.spawn(move || {
-                    let mut prof =
-                        WorkerProfile { worker: me, jobs_run: 0, steals: 0, busy_secs: 0.0 };
-                    loop {
-                        // Own queue first (front: preserves the dealt order)…
-                        let mut stolen = false;
-                        let job = queues[me].lock().unwrap().pop_front().or_else(|| {
-                            // …then steal from the back of the first non-empty
-                            // victim, scanning away from ourselves.
-                            (1..threads).find_map(|k| {
-                                let j = queues[(me + k) % threads].lock().unwrap().pop_back();
-                                stolen |= j.is_some();
-                                j
-                            })
-                        });
-                        match job {
-                            Some(i) => {
-                                if stolen {
-                                    prof.steals += 1;
+            std::thread::scope(|scope| {
+                for me in 0..threads {
+                    let queues = &queues;
+                    let slots = &slots;
+                    let worker_slots = &worker_slots;
+                    let writer = &writer;
+                    let note_ckpt = &note_ckpt;
+                    scope.spawn(move || {
+                        let mut prof =
+                            WorkerProfile { worker: me, jobs_run: 0, steals: 0, busy_secs: 0.0 };
+                        loop {
+                            // Own queue first (front: preserves the dealt order)…
+                            let mut stolen = false;
+                            let job = queues[me].lock().unwrap().pop_front().or_else(|| {
+                                // …then steal from the back of the first non-empty
+                                // victim, scanning away from ourselves.
+                                (1..threads).find_map(|k| {
+                                    let j = queues[(me + k) % threads].lock().unwrap().pop_back();
+                                    stolen |= j.is_some();
+                                    j
+                                })
+                            });
+                            match job {
+                                Some(i) => {
+                                    if stolen {
+                                        prof.steals += 1;
+                                    }
+                                    let jt = Instant::now();
+                                    let (r, t) = self.run_job_resilient(i, opts);
+                                    let secs = jt.elapsed().as_secs_f64();
+                                    prof.jobs_run += 1;
+                                    prof.busy_secs += secs;
+                                    if let Some(w) = writer {
+                                        note_ckpt(w.append(&r));
+                                    }
+                                    let jp = JobProfile {
+                                        job: i,
+                                        abbrev: r.abbrev(),
+                                        scheduler: r.scheduler(),
+                                        worker: me,
+                                        secs,
+                                    };
+                                    *slots[i].lock().unwrap() = Some((r, t, jp));
                                 }
-                                let jt = Instant::now();
-                                let (r, t) = self.run_job_maybe_traced(i, traced);
-                                let secs = jt.elapsed().as_secs_f64();
-                                prof.jobs_run += 1;
-                                prof.busy_secs += secs;
-                                let jp = JobProfile {
-                                    job: i,
-                                    abbrev: r.abbrev,
-                                    scheduler: r.scheduler,
-                                    worker: me,
-                                    secs,
-                                };
-                                *slots[i].lock().unwrap() = Some((r, t, jp));
+                                None => break,
                             }
-                            None => break,
                         }
-                    }
-                    *worker_slots[me].lock().unwrap() = Some(prof);
-                });
-            }
-        });
+                        *worker_slots[me].lock().unwrap() = Some(prof);
+                    });
+                }
+            });
 
-        let mut results = Vec::with_capacity(self.jobs.len());
-        let mut traces = Vec::new();
-        let mut job_profiles = Vec::with_capacity(self.jobs.len());
-        for s in slots {
-            let (r, t, jp) = s.into_inner().unwrap().expect("every job slot filled");
-            if let Some(t) = t {
-                traces.push((Self::trace_label(&r), t));
+            for (i, s) in slots.into_iter().enumerate() {
+                if let Some((r, t, jp)) = s.into_inner().unwrap() {
+                    if let Some(t) = t {
+                        traces.push((Self::trace_label(&r), t));
+                    }
+                    job_profiles[i] = Some(jp);
+                    prefilled[i] = Some(r);
+                }
             }
-            job_profiles.push(jp);
-            results.push(r);
+            workers = worker_slots
+                .into_iter()
+                .map(|w| w.into_inner().unwrap().expect("worker profile filled"))
+                .collect();
         }
+
+        let results: Vec<CampaignResult> = prefilled
+            .into_iter()
+            .map(|s| s.expect("every job was run or adopted"))
+            .collect();
         let profile = CampaignProfile {
             threads,
             wall_secs: t0.elapsed().as_secs_f64(),
-            workers: worker_slots
+            workers,
+            jobs: job_profiles
                 .into_iter()
-                .map(|w| w.into_inner().unwrap().expect("worker profile filled"))
+                .map(|j| j.expect("every job was profiled"))
                 .collect(),
-            jobs: job_profiles,
         };
-        (results, profile, traces)
+        Ok(CampaignRun {
+            results,
+            profile,
+            traces,
+            resumed_jobs,
+            checkpoint_error: ckpt_err.into_inner().unwrap(),
+        })
+    }
+
+    /// Runs every job on the calling thread, in campaign order.
+    pub fn run_serial(&self) -> Vec<CampaignResult> {
+        self.run_full(1, false).0
+    }
+
+    /// The driver behind [`run`](Campaign::run), [`run_profiled`](Campaign::run_profiled)
+    /// and [`run_traced`](Campaign::run_traced): runs the campaign on `threads`
+    /// workers and returns, in campaign order, the results, the host-side profile,
+    /// and (when `traced`) one simulated-time trace per job. Timestamps in the
+    /// traces are simulated cycles, so they are identical for every thread count.
+    ///
+    /// Faults requested via the `LIBRA_FAULT` environment variable are honoured
+    /// here, so any CLI path can be poisoned for testing.
+    pub fn run_full(
+        &self,
+        threads: usize,
+        traced: bool,
+    ) -> (Vec<CampaignResult>, CampaignProfile, Vec<(String, Trace)>) {
+        let opts =
+            RunOptions { threads, traced, fault: FaultSpec::from_env(), ..RunOptions::default() };
+        let run = self
+            .run_resilient(&opts)
+            .expect("a run without checkpoint files cannot fail setup");
+        (run.results, run.profile, run.traces)
     }
 
     /// Runs the campaign on `threads` worker threads (clamped to at least 1) and
@@ -446,9 +991,12 @@ impl Campaign {
         assert_eq!(par.len(), ser.len());
         for (p, s) in par.iter().zip(&ser) {
             assert_eq!(
-                p, s,
+                p,
+                s,
                 "parallel job {} ({} / {}) diverged from the serial run",
-                p.job, p.abbrev, p.scheduler
+                p.job(),
+                p.abbrev(),
+                p.scheduler()
             );
         }
         (par, par_secs, ser_secs)
@@ -485,7 +1033,7 @@ mod tests {
         let c = small_campaign(7, 6);
         let res = c.run(4);
         for (i, r) in res.iter().enumerate() {
-            assert_eq!(r.job, i);
+            assert_eq!(r.job(), i);
         }
     }
 
@@ -497,8 +1045,8 @@ mod tests {
         c.push(&cfg, SchedulerKind::Libra, p.clone(), 2);
         let res = c.run(2);
         let direct = simulate_sequence(&cfg, SchedulerKind::Libra, &p, 2);
-        assert_eq!(res[0].stats, direct, "seed 0 must not perturb the canonical suite");
-        assert_eq!(res[0].effective_seed, p.seed);
+        assert_eq!(res[0].stats(), Some(&direct), "seed 0 must not perturb the canonical suite");
+        assert_eq!(res[0].success().unwrap().effective_seed, p.seed);
     }
 
     #[test]
@@ -518,7 +1066,7 @@ mod tests {
         let c = small_campaign(1, 4);
         let (res, _, _) = c.run_verified(2);
         assert_eq!(res.len(), 4);
-        assert!(res.iter().all(|r| r.stats.total_cycles() > 0));
+        assert!(res.iter().all(|r| r.stats().unwrap().total_cycles() > 0));
     }
 
     #[test]
@@ -596,5 +1144,73 @@ mod tests {
         assert_eq!(c.len(), 6);
         assert_eq!(c.jobs()[0].profile.abbrev, profiles[0].abbrev);
         assert_eq!(c.jobs()[1].scheduler, SchedulerKind::Libra);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sweep_sensitive() {
+        let a = small_campaign(5, 3);
+        assert_eq!(a.fingerprint(), small_campaign(5, 3).fingerprint());
+        assert_ne!(a.fingerprint(), small_campaign(5, 4).fingerprint(), "job list feeds in");
+        assert_ne!(a.fingerprint(), small_campaign(6, 3).fingerprint(), "seed feeds in");
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_reported() {
+        let c = small_campaign(0, 3);
+        let opts = RunOptions {
+            retries: 0,
+            fault: Some(FaultSpec::parse("panic:1").unwrap()),
+            ..RunOptions::default()
+        };
+        let run = c.run_resilient(&opts).unwrap();
+        assert!(run.results[0].is_success() && run.results[2].is_success());
+        match &run.results[1] {
+            CampaignResult::Failed { attempts: 1, panic_msg, .. } => {
+                assert!(panic_msg.contains("injected fault"), "bad message {panic_msg:?}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(run.results[1].failure_line().unwrap().contains("FAILED"));
+        let s = run.summary();
+        assert_eq!((s.total, s.done, s.failed, s.timed_out), (3, 2, 1, 0));
+        assert!(s.render().starts_with("2/3 jobs succeeded"), "{}", s.render());
+    }
+
+    #[test]
+    fn transient_panic_is_healed_by_the_default_retry() {
+        let c = small_campaign(0, 3);
+        let opts = RunOptions {
+            fault: Some(FaultSpec::parse("panic-once:1").unwrap()),
+            ..RunOptions::default()
+        };
+        let run = c.run_resilient(&opts).unwrap();
+        let clean: Vec<_> = c.run_serial();
+        assert_eq!(run.results, clean, "a retried transient fault must leave no residue");
+    }
+
+    #[test]
+    fn timeout_injection_trips_the_watchdog() {
+        let c = small_campaign(0, 2);
+        let opts = RunOptions {
+            retries: 0,
+            fault: Some(FaultSpec::parse("timeout:0").unwrap()),
+            ..RunOptions::default()
+        };
+        let run = c.run_resilient(&opts).unwrap();
+        match &run.results[0] {
+            CampaignResult::TimedOut { budget_cycles: 0, spent_cycles, .. } => {
+                assert!(*spent_cycles > 0, "watchdog must report the cycles it measured");
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(run.results[1].is_success());
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let c = small_campaign(0, 2);
+        let opts = RunOptions { budget_cycles: Some(u64::MAX), ..RunOptions::default() };
+        let run = c.run_resilient(&opts).unwrap();
+        assert_eq!(run.results, c.run_serial(), "an unreached budget must be invisible");
     }
 }

@@ -1,0 +1,327 @@
+//! Versioned, append-only campaign checkpoints (crash salvage + resume).
+//!
+//! A multi-hour sweep that dies at job 31/32 should lose one job, not all of
+//! them. The campaign driver therefore appends one record to a checkpoint file
+//! as each job completes; `libra-sim campaign --resume <ckpt>` reloads the file,
+//! skips every job with a recorded success, re-runs failures, and produces
+//! results **bit-identical** to an uninterrupted run (job seeds are
+//! position-derived, and [`SequenceStats`] round-trips through JSON exactly —
+//! every field is an unsigned integer).
+//!
+//! # File format (`libra-campaign-ckpt-v1`)
+//!
+//! Line-oriented JSON (one complete document per line), written with the
+//! in-repo writer and validated on load by [`tbr_common::json`]:
+//!
+//! ```text
+//! {"schema":"libra-campaign-ckpt-v1","seed":"0x0","jobs":32,"fingerprint":"0x9a…"}
+//! {"job":0,"outcome":"done","abbrev":"AAt","scheduler":"libra","effective_seed":"0x11…","stats":{…}}
+//! {"job":3,"outcome":"failed","abbrev":"CCS","scheduler":"libra","attempts":2,"panic_msg":"…"}
+//! {"job":5,"outcome":"timeout","abbrev":"GrT","scheduler":"libra","attempts":1,"budget_cycles":1000,"spent_cycles":52341}
+//! ```
+//!
+//! * The **header** names the schema, the campaign seed, the job count and a
+//!   fingerprint of the full job list (configs, schedulers, workloads, frame
+//!   counts). Resuming against a campaign with a different fingerprint is
+//!   rejected — a checkpoint is only meaningful for the exact sweep that wrote
+//!   it.
+//! * **Records** carry the job's campaign-order index, so record order is
+//!   irrelevant on load (parallel workers append in completion order). For the
+//!   same job, later records supersede earlier ones: a resumed run that turns a
+//!   `failed` record into a `done` one simply appends.
+//! * 64-bit seeds and fingerprints are hex **strings** (JSON numbers are `f64`
+//!   and would corrupt values above 2⁵³); all counters are plain integers far
+//!   below that bound, checked on load by [`json::Value::as_u64`].
+//!
+//! # Atomic-append protocol
+//!
+//! Each record is serialised to one `\n`-terminated line and handed to the OS
+//! in a **single `write_all` on an append-mode handle**, then flushed. Workers
+//! serialise through a mutex, so lines never interleave; a crash between jobs
+//! loses nothing, and a crash cannot land between two half-written records.
+//! [`Checkpoint::load`] treats a file whose last byte is not `\n` as truncated
+//! mid-append and rejects it with instructions rather than guessing.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::sync::Mutex;
+
+use tbr_common::json::{self, Value};
+use tbr_common::stats::SequenceStats;
+
+use crate::campaign::CampaignResult;
+
+/// Schema identifier written to (and required of) every checkpoint header.
+pub const SCHEMA: &str = "libra-campaign-ckpt-v1";
+
+/// The identity block on a checkpoint's first line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Campaign seed of the run that wrote the file.
+    pub seed: u64,
+    /// Number of jobs in the campaign.
+    pub jobs: usize,
+    /// Fingerprint of the full job list (see `Campaign::fingerprint`).
+    pub fingerprint: u64,
+}
+
+/// Outcome payload of one checkpoint record, mirroring [`CampaignResult`] minus
+/// the `&'static str` names (which are re-bound from the campaign on adoption).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordOutcome {
+    /// The job completed; carries its effective seed and full statistics.
+    Done {
+        /// The perturbed workload seed the job ran with.
+        effective_seed: u64,
+        /// Full per-frame statistics (exact JSON round-trip).
+        stats: SequenceStats,
+    },
+    /// The job panicked on every attempt.
+    Failed {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// Panic payload of the last attempt.
+        panic_msg: String,
+    },
+    /// The job exceeded its watchdog cycle budget on every attempt.
+    TimedOut {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The budget in effect, in simulated cycles.
+        budget_cycles: u64,
+        /// Simulated cycles accumulated when the watchdog fired.
+        spent_cycles: u64,
+    },
+}
+
+/// One parsed checkpoint record (not yet validated against a campaign).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Campaign-order index of the job.
+    pub job: usize,
+    /// Workload abbreviation recorded at write time (cross-checked on adoption).
+    pub abbrev: String,
+    /// Scheduler name recorded at write time (cross-checked on adoption).
+    pub scheduler: String,
+    /// What happened to the job.
+    pub outcome: RecordOutcome,
+}
+
+/// A fully parsed checkpoint file: header plus records in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The identity line.
+    pub header: CheckpointHeader,
+    /// Records in file order (later records for a job supersede earlier ones).
+    pub records: Vec<Record>,
+}
+
+fn hex(v: u64) -> String {
+    format!("{v:#x}")
+}
+
+fn field<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("{what}: missing field `{key}`"))
+}
+
+fn field_str<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a str, String> {
+    field(v, key, what)?.as_str().ok_or_else(|| format!("{what}.{key}: expected a string"))
+}
+
+fn field_u64(v: &Value, key: &str, what: &str) -> Result<u64, String> {
+    field(v, key, what)?
+        .as_u64()
+        .ok_or_else(|| format!("{what}.{key}: expected an exact integer"))
+}
+
+/// Parses a `"0x…"` hex string back to the exact `u64` it encodes.
+fn field_hex(v: &Value, key: &str, what: &str) -> Result<u64, String> {
+    let s = field_str(v, key, what)?;
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("{what}.{key}: expected a 0x-prefixed hex string, got `{s}`"))?;
+    u64::from_str_radix(digits, 16).map_err(|_| format!("{what}.{key}: invalid hex value `{s}`"))
+}
+
+impl CheckpointHeader {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"schema\":\"{SCHEMA}\",\"seed\":\"{}\",\"jobs\":{},\"fingerprint\":\"{}\"}}",
+            hex(self.seed),
+            self.jobs,
+            hex(self.fingerprint)
+        )
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let schema = field_str(v, "schema", "header")?;
+        if schema != SCHEMA {
+            return Err(format!("header: schema `{schema}` is not `{SCHEMA}`"));
+        }
+        Ok(Self {
+            seed: field_hex(v, "seed", "header")?,
+            jobs: field_u64(v, "jobs", "header")? as usize,
+            fingerprint: field_hex(v, "fingerprint", "header")?,
+        })
+    }
+}
+
+/// Serialises one completed job as a single-line JSON record.
+pub fn record_json(r: &CampaignResult) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!("{{\"job\":{},\"outcome\":\"", r.job()));
+    match r {
+        CampaignResult::Done(s) => {
+            out.push_str("done\"");
+            push_names(&mut out, r);
+            out.push_str(&format!(",\"effective_seed\":\"{}\",\"stats\":", hex(s.effective_seed)));
+            out.push_str(&s.stats.to_json());
+        }
+        CampaignResult::Failed { attempts, panic_msg, .. } => {
+            out.push_str("failed\"");
+            push_names(&mut out, r);
+            out.push_str(&format!(",\"attempts\":{attempts},\"panic_msg\":\""));
+            json::escape_into(&mut out, panic_msg);
+            out.push('"');
+        }
+        CampaignResult::TimedOut { attempts, budget_cycles, spent_cycles, .. } => {
+            out.push_str("timeout\"");
+            push_names(&mut out, r);
+            out.push_str(&format!(
+                ",\"attempts\":{attempts},\"budget_cycles\":{budget_cycles},\
+                 \"spent_cycles\":{spent_cycles}"
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn push_names(out: &mut String, r: &CampaignResult) {
+    out.push_str(",\"abbrev\":\"");
+    json::escape_into(out, r.abbrev());
+    out.push_str("\",\"scheduler\":\"");
+    json::escape_into(out, r.scheduler());
+    out.push('"');
+}
+
+fn parse_record(v: &Value, what: &str) -> Result<Record, String> {
+    let job = field_u64(v, "job", what)? as usize;
+    let abbrev = field_str(v, "abbrev", what)?.to_string();
+    let scheduler = field_str(v, "scheduler", what)?.to_string();
+    let outcome = match field_str(v, "outcome", what)? {
+        "done" => RecordOutcome::Done {
+            effective_seed: field_hex(v, "effective_seed", what)?,
+            stats: SequenceStats::from_value(field(v, "stats", what)?, &format!("{what}.stats"))?,
+        },
+        "failed" => RecordOutcome::Failed {
+            attempts: field_u64(v, "attempts", what)? as u32,
+            panic_msg: field_str(v, "panic_msg", what)?.to_string(),
+        },
+        "timeout" => RecordOutcome::TimedOut {
+            attempts: field_u64(v, "attempts", what)? as u32,
+            budget_cycles: field_u64(v, "budget_cycles", what)?,
+            spent_cycles: field_u64(v, "spent_cycles", what)?,
+        },
+        other => return Err(format!("{what}: unknown outcome `{other}`")),
+    };
+    Ok(Record { job, abbrev, scheduler, outcome })
+}
+
+impl Checkpoint {
+    /// Loads and validates a checkpoint file.
+    ///
+    /// Rejects, with an error naming the line and problem: unreadable files,
+    /// empty files, files not ending in a newline (truncated mid-append),
+    /// malformed JSON, wrong schema, and records missing required fields.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading checkpoint {path}: {e}"))?;
+        if text.is_empty() {
+            return Err(format!("checkpoint {path} is empty (no header line)"));
+        }
+        if !text.ends_with('\n') {
+            return Err(format!(
+                "checkpoint {path} is truncated: the last line is incomplete (crash while \
+                 appending?) — delete the file to start over, or restore a complete copy"
+            ));
+        }
+        let mut lines = text.lines().enumerate();
+        let (_, header_line) = lines.next().expect("non-empty text has a first line");
+        let header = json::parse(header_line)
+            .map_err(|e| format!("checkpoint {path} line 1: {e}"))
+            .and_then(|v| CheckpointHeader::from_value(&v))
+            .map_err(|e| format!("checkpoint {path} line 1: {e}"))?;
+        let mut records = Vec::new();
+        for (i, line) in lines {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                return Err(format!("checkpoint {path} line {lineno}: blank line"));
+            }
+            let v = json::parse(line).map_err(|e| format!("checkpoint {path} line {lineno}: {e}"))?;
+            let rec = parse_record(&v, &format!("record at line {lineno}"))
+                .map_err(|e| format!("checkpoint {path}: {e}"))?;
+            if rec.job >= header.jobs {
+                return Err(format!(
+                    "checkpoint {path} line {lineno}: job index {} out of range (campaign has {} jobs)",
+                    rec.job, header.jobs
+                ));
+            }
+            records.push(rec);
+        }
+        Ok(Self { header, records })
+    }
+}
+
+/// Append-mode writer shared by campaign workers (line appends are serialised
+/// through an internal mutex; each line is one `write_all` + flush).
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: Mutex<File>,
+    path: String,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a fresh checkpoint at `path` and writes the header.
+    pub fn create(path: &str, header: CheckpointHeader) -> Result<Self, String> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            }
+        }
+        let mut file =
+            File::create(path).map_err(|e| format!("creating checkpoint {path}: {e}"))?;
+        let mut line = header.to_json();
+        line.push('\n');
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("writing checkpoint header to {path}: {e}"))?;
+        Ok(Self { file: Mutex::new(file), path: path.to_string() })
+    }
+
+    /// Reopens an existing (already validated) checkpoint for appending — the
+    /// resume path keeps extending the same file.
+    pub fn append_to(path: &str) -> Result<Self, String> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("opening checkpoint {path} for append: {e}"))?;
+        Ok(Self { file: Mutex::new(file), path: path.to_string() })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Appends one job record atomically (single write of a full line).
+    pub fn append(&self, r: &CampaignResult) -> Result<(), String> {
+        let mut line = record_json(r);
+        line.push('\n');
+        let mut file = self.file.lock().unwrap();
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("appending to checkpoint {}: {e}", self.path))
+    }
+}

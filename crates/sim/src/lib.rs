@@ -10,9 +10,11 @@
 //!   interleaving across RUs so shared L2/DRAM contention is causally ordered;
 //! * [`gpu`] — [`GpuSimulator`]: the frame loop with LIBRA's feedback path (profile
 //!   frame *n*, schedule frame *n + 1*);
-//! * [`campaign`] — the deterministic parallel campaign driver: independent
-//!   (workload × scheduler × config) sweep points fanned across `std::thread`
-//!   workers via a work-stealing queue, bit-identical to the serial order.
+//! * [`campaign`] — the deterministic, fault-tolerant parallel campaign driver:
+//!   independent (workload × scheduler × config) sweep points fanned across
+//!   `std::thread` workers via a work-stealing queue, bit-identical to the serial
+//!   order, with per-job panic isolation, a watchdog cycle budget, and
+//!   [`checkpoint`]-based crash salvage/resume (faults injectable via [`fault`]).
 //!
 //! The simulator is deterministic: the same configuration, scheduler and workload
 //! always produce identical cycle counts and statistics.
@@ -34,7 +36,9 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod event_loop;
+pub mod fault;
 pub mod geometry_phase;
 pub mod gpu;
 pub mod imr;
@@ -42,7 +46,12 @@ pub mod raster_phase;
 pub mod report;
 pub mod throughput;
 
-pub use campaign::{Campaign, CampaignJob, CampaignProfile, CampaignResult, JobProfile, WorkerProfile};
+pub use campaign::{
+    Campaign, CampaignJob, CampaignProfile, CampaignResult, CampaignRun, CampaignSummary,
+    JobProfile, JobSuccess, RunOptions, WorkerProfile,
+};
+pub use checkpoint::{Checkpoint, CheckpointWriter};
+pub use fault::{FaultKind, FaultSpec};
 pub use event_loop::EventLoopMode;
 pub use gpu::{simulate_frame, simulate_sequence, simulate_sequence_oracle, GpuSimulator};
 pub use imr::simulate_sequence_imr;

@@ -10,31 +10,53 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=1
 
-echo "== [1/7] offline release build =="
+echo "== [1/9] offline release build =="
 cargo build --release --workspace
 
-echo "== [2/7] clippy (deny warnings) =="
+echo "== [2/9] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== [3/7] test suite =="
+echo "== [3/9] rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== [4/9] test suite =="
 cargo test -q
 
-echo "== [4/7] trace-export smoke (emit, then validate with the in-repo parser) =="
+echo "== [5/9] trace-export smoke (emit, then validate with the in-repo parser) =="
 cargo run --release --bin libra-sim -- run AAt --frames 1 \
     --trace-out target/ci_trace.json --report-json target/ci_report.json
 cargo run --release --bin libra-sim -- trace-check target/ci_trace.json
 
-echo "== [5/7] 2-thread campaign smoke (parallel == serial, bit-identical) =="
+echo "== [6/9] 2-thread campaign smoke (parallel == serial, bit-identical) =="
 cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 --verify
 
-echo "== [6/7] heap-vs-scan event-loop differential smoke (metrics bit-identical) =="
+echo "== [7/9] heap-vs-scan event-loop differential smoke (metrics bit-identical) =="
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop scan \
     --report-json target/ci_eventloop_scan.json
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop heap \
     --report-json target/ci_eventloop_heap.json
 cmp target/ci_eventloop_scan.json target/ci_eventloop_heap.json
 
-echo "== [7/7] sim-throughput record (scan vs heap wall-clock; record only, never asserted) =="
+echo "== [8/9] kill-and-resume smoke (poison one job, resume, metrics bit-identical) =="
+# Reference: an uninterrupted sweep (no checkpoint so it cannot collide).
+cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 \
+    --no-checkpoint --report-json target/ci_campaign_ref.json
+# Poisoned: LIBRA_FAULT (the env form) panics job 5, --retries 0 makes the
+# failure stick, and the run exits non-zero by design — assert exactly that.
+rm -f target/ci_campaign.ckpt
+if LIBRA_FAULT=panic:5 cargo run --release --bin libra-sim -- campaign --frames 1 \
+    --threads 2 --retries 0 --checkpoint target/ci_campaign.ckpt \
+    --report-json target/ci_campaign_poisoned.json; then
+    echo "ERROR: poisoned campaign was expected to exit non-zero" >&2
+    exit 1
+fi
+# Resume: only the poisoned job re-runs; the final report must be bit-identical
+# to the uninterrupted reference.
+cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 \
+    --resume target/ci_campaign.ckpt --report-json target/ci_campaign_resumed.json
+cmp target/ci_campaign_ref.json target/ci_campaign_resumed.json
+
+echo "== [9/9] sim-throughput record (scan vs heap wall-clock; record only, never asserted) =="
 cargo run --release --bin libra-sim -- throughput --frames 1 --rus 64 --cores 8 \
     --out BENCH_sim_throughput.json
 

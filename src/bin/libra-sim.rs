@@ -20,10 +20,21 @@
 //!          --verify (re-run serially, assert bit-identical results)
 //!          --profile (write worker/job wall-clock CSVs to bench_results/)
 //!          --trace-out FILE (merged per-job traces, one Perfetto process each)
+//!          --report-json FILE (survivor metrics, `libra-metrics-v1`)
+//!          --checkpoint FILE | --no-checkpoint (default: auto path under
+//!          bench_results/)   --resume FILE (adopt completed jobs, re-run the rest)
+//!          --budget-cycles N (watchdog: abort a job past N simulated cycles)
+//!          --retries N (re-run failing jobs N more times; default 1)
+//!          --fault KIND:JOB (inject panic|panic-once|timeout|timeout-once)
 //! ```
 //!
 //! Traces carry *simulated* timestamps (1 GPU cycle = 1 µs on the Perfetto
 //! timeline), so trace output is bit-identical for every `--threads` value.
+//!
+//! A campaign with failed or timed-out jobs still writes every output for the
+//! survivors, prints a structured failure report, and exits non-zero. See
+//! `docs/OPERATIONS.md` for the full operational reference including a worked
+//! resume-after-crash walkthrough.
 //!
 //! Argument parsing is hand-rolled (the workspace intentionally carries no CLI
 //! dependency).
@@ -48,6 +59,12 @@ struct Opts {
     trace_out: Option<String>,
     report_json: Option<String>,
     out: Option<String>,
+    checkpoint: Option<String>,
+    no_checkpoint: bool,
+    resume: Option<String>,
+    budget_cycles: Option<u64>,
+    retries: u32,
+    fault: Option<String>,
 }
 
 impl Default for Opts {
@@ -66,6 +83,12 @@ impl Default for Opts {
             trace_out: None,
             report_json: None,
             out: None,
+            checkpoint: None,
+            no_checkpoint: false,
+            resume: None,
+            budget_cycles: None,
+            retries: 1,
+            fault: None,
         }
     }
 }
@@ -105,6 +128,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--trace-out" => o.trace_out = Some(need("--trace-out")?.clone()),
             "--report-json" => o.report_json = Some(need("--report-json")?.clone()),
             "--out" => o.out = Some(need("--out")?.clone()),
+            "--checkpoint" => o.checkpoint = Some(need("--checkpoint")?.clone()),
+            "--no-checkpoint" => o.no_checkpoint = true,
+            "--resume" => o.resume = Some(need("--resume")?.clone()),
+            "--budget-cycles" => {
+                o.budget_cycles =
+                    Some(need("--budget-cycles")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--retries" => o.retries = need("--retries")?.parse().map_err(|e| format!("{e}"))?,
+            "--fault" => o.fault = Some(need("--fault")?.clone()),
             "--event-loop" => {
                 let name = need("--event-loop")?;
                 let mode = event_loop::parse(name)
@@ -298,11 +330,41 @@ fn cmd_throughput(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Serialises the per-frame stats of every *successful* campaign job into one
+/// `libra-metrics-v1` document (labels: `job`, `bench`, `scheduler`, `frame`).
+/// Failed jobs contribute nothing, so a resumed run's report is byte-identical
+/// to an uninterrupted one once every job has succeeded.
+fn campaign_metrics_json(results: &[CampaignResult]) -> String {
+    let mut reg = MetricsRegistry::new();
+    for r in results {
+        if let Some(s) = r.success() {
+            let job = s.job.to_string();
+            for (f, fs) in s.stats.frames.iter().enumerate() {
+                let frame = f.to_string();
+                fs.publish(
+                    &mut reg,
+                    &[
+                        ("job", job.as_str()),
+                        ("bench", s.abbrev),
+                        ("scheduler", s.scheduler),
+                        ("frame", frame.as_str()),
+                    ],
+                );
+            }
+        }
+    }
+    reg.to_json()
+}
+
 /// Parallel sweep of the whole suite under one scheduler: the smallest useful
 /// campaign (one job per workload), reported in campaign order with wall-clock and
 /// per-job summary lines.
+///
+/// Fault-tolerant by default: jobs that panic or exceed `--budget-cycles` become
+/// structured failures (retried per `--retries`), completed jobs are appended to a
+/// checkpoint file, and `--resume` continues an interrupted sweep bit-identically.
 fn cmd_campaign(o: &Opts) -> Result<(), String> {
-    use tbr_sim::Campaign;
+    use tbr_sim::{Campaign, FaultSpec, RunOptions};
 
     let cfg = config(o);
     let threads = o.threads.max(1);
@@ -330,11 +392,53 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         );
         results
     } else {
-        let (results, profile, traces) = campaign.run_full(threads, o.trace_out.is_some());
+        let fault = match &o.fault {
+            Some(spec) => Some(FaultSpec::parse(spec)?),
+            None => FaultSpec::from_env(),
+        };
+        // Checkpoint by default so an interrupted sweep is always resumable;
+        // --resume without --checkpoint keeps appending to the resume file.
+        let checkpoint_to = if o.no_checkpoint || o.resume.is_some() {
+            o.checkpoint.clone()
+        } else {
+            o.checkpoint.clone().or_else(|| {
+                Some(format!(
+                    "bench_results/campaign_{}_seed{}_f{}.ckpt",
+                    o.scheduler.build().name(),
+                    o.seed,
+                    o.frames
+                ))
+            })
+        };
+        let opts = RunOptions {
+            threads,
+            traced: o.trace_out.is_some(),
+            budget_cycles: o.budget_cycles,
+            retries: o.retries,
+            fault,
+            checkpoint_to: checkpoint_to.clone(),
+            resume_from: o.resume.clone(),
+        };
+        let run = campaign.run_resilient(&opts)?;
+        if run.resumed_jobs > 0 {
+            println!(
+                "resume: adopted {} completed job(s) from {}, ran the remaining {}",
+                run.resumed_jobs,
+                o.resume.as_deref().unwrap_or("checkpoint"),
+                run.results.len() - run.resumed_jobs
+            );
+        }
+        if let Some(path) = checkpoint_to.as_deref().or(o.resume.as_deref()) {
+            println!("checkpoint: {path}");
+        }
+        if let Some(e) = &run.checkpoint_error {
+            eprintln!("warning: checkpoint writes degraded ({e}); results are complete anyway");
+        }
         if let Some(path) = &o.trace_out {
-            write_file(path, &tbr_common::trace::Trace::chrome_json_multi(&traces), "Chrome trace")?;
+            write_file(path, &tbr_common::trace::Trace::chrome_json_multi(&run.traces), "Chrome trace")?;
         }
         if o.profile {
+            let profile = &run.profile;
             write_file("bench_results/campaign_workers.csv", &profile.workers_csv(), "worker profile")?;
             write_file("bench_results/campaign_jobs.csv", &profile.jobs_csv(), "job profile")?;
             println!(
@@ -345,27 +449,46 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
                 profile.workers.iter().map(|w| w.steals).sum::<u64>()
             );
         }
-        results
+        run.results
     };
     let elapsed = start.elapsed().as_secs_f64();
 
     println!("{:<6} {:<10} {:>12} {:>12} {:>8}", "bench", "scheduler", "cycles/f", "dram", "texL1%");
     for r in &results {
-        println!(
-            "{:<6} {:<10} {:>12.0} {:>12} {:>7.1}%",
-            r.abbrev,
-            r.scheduler,
-            r.stats.avg_frame_cycles(),
-            r.stats.total_dram_accesses(),
-            r.stats.texture_hit_ratio() * 100.0
-        );
+        match r.stats() {
+            Some(stats) => println!(
+                "{:<6} {:<10} {:>12.0} {:>12} {:>7.1}%",
+                r.abbrev(),
+                r.scheduler(),
+                stats.avg_frame_cycles(),
+                stats.total_dram_accesses(),
+                stats.texture_hit_ratio() * 100.0
+            ),
+            None => println!("{:<6} {:<10} -- no result --", r.abbrev(), r.scheduler()),
+        }
     }
+    if let Some(path) = &o.report_json {
+        write_file(path, &campaign_metrics_json(&results), "campaign metrics report")?;
+    }
+
+    let done = results.iter().filter(|r| r.is_success()).count();
+    let failures: Vec<String> = results.iter().filter_map(|r| r.failure_line()).collect();
     println!(
-        "campaign done: {} jobs x {} frames in {:.2}s wall-clock",
+        "campaign done: {done}/{} jobs x {} frames in {elapsed:.2}s wall-clock",
         results.len(),
         o.frames,
-        elapsed
     );
+    if !failures.is_empty() {
+        for line in &failures {
+            eprintln!("  {line}");
+        }
+        return Err(format!(
+            "{} of {} jobs did not complete (survivor outputs were still written; \
+             re-run with --resume to retry the failures)",
+            failures.len(),
+            results.len()
+        ));
+    }
     Ok(())
 }
 
@@ -374,7 +497,9 @@ fn usage() {
         "usage: libra-sim <suite|run|compare|sweep-ru|campaign|throughput|trace-check> \
          [ABBREV|FILE] [--frames N] [--fhd] [--scheduler z|scanline|hilbert|staticN|libra] \
          [--rus N] [--cores N] [--ideal-memory] [--event-loop heap|scan] [--threads N] \
-         [--seed S] [--verify] [--profile] [--trace-out FILE] [--report-json FILE] [--out FILE]"
+         [--seed S] [--verify] [--profile] [--trace-out FILE] [--report-json FILE] [--out FILE] \
+         [--checkpoint FILE] [--no-checkpoint] [--resume FILE] [--budget-cycles N] \
+         [--retries N] [--fault KIND:JOB]  (see docs/OPERATIONS.md)"
     );
 }
 
@@ -384,13 +509,28 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
+    // CLI mistakes (bad flags, missing operands) get the usage text; runtime
+    // failures (a failed campaign job, an invalid trace file) get only the
+    // structured error — re-printing usage there would bury the report.
     let result = match cmd {
         "suite" => {
             cmd_suite();
             Ok(())
         }
-        "campaign" => parse_opts(&args[1..]).and_then(|o| cmd_campaign(&o)),
-        "throughput" => parse_opts(&args[1..]).and_then(|o| cmd_throughput(&o)),
+        "campaign" | "throughput" => match parse_opts(&args[1..]) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            Ok(o) => {
+                if cmd == "campaign" {
+                    cmd_campaign(&o)
+                } else {
+                    cmd_throughput(&o)
+                }
+            }
+        },
         "trace-check" => {
             let Some(path) = args.get(1) else {
                 usage();
@@ -403,19 +543,29 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::FAILURE;
             };
-            parse_opts(&args[2..]).and_then(|o| match cmd {
-                "run" => cmd_run(abbrev, &o),
-                "compare" => cmd_compare(abbrev, &o),
-                _ => cmd_sweep_ru(abbrev, &o),
-            })
+            match parse_opts(&args[2..]) {
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+                Ok(o) => match cmd {
+                    "run" => cmd_run(abbrev, &o),
+                    "compare" => cmd_compare(abbrev, &o),
+                    _ => cmd_sweep_ru(abbrev, &o),
+                },
+            }
         }
-        _ => Err(format!("unknown command `{cmd}`")),
+        _ => {
+            eprintln!("error: unknown command `{cmd}`");
+            usage();
+            return ExitCode::FAILURE;
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            usage();
             ExitCode::FAILURE
         }
     }

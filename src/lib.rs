@@ -26,6 +26,8 @@
 //! assert!(libra.total_cycles() > 0 && base.total_cycles() > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use libra;
 pub use tbr_common;
 pub use tbr_energy;
@@ -50,7 +52,8 @@ pub mod prelude {
     pub use tbr_energy::EnergyModel;
     pub use tbr_sim::{
         event_loop, simulate_frame, simulate_sequence, Campaign, CampaignProfile, CampaignResult,
-        EventLoopMode, GpuSimulator,
+        CampaignRun, CampaignSummary, EventLoopMode, FaultSpec, GpuSimulator, JobSuccess,
+        RunOptions,
     };
     pub use tbr_workloads::{suite, BenchmarkProfile, Category};
 }

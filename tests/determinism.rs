@@ -72,12 +72,13 @@ fn campaign_parallel_is_bit_identical_to_serial() {
         let parallel = campaign.run(threads);
         assert_eq!(parallel.len(), serial.len(), "{threads} threads lost jobs");
         for (p, s) in parallel.iter().zip(&serial) {
-            assert_eq!(p.job, s.job, "{threads} threads: result order diverged");
-            assert_eq!(p.effective_seed, s.effective_seed, "{threads} threads: seeds diverged");
+            assert_eq!(p.job(), s.job(), "{threads} threads: result order diverged");
+            let (ps, ss) = (p.success().expect("job done"), s.success().expect("job done"));
+            assert_eq!(ps.effective_seed, ss.effective_seed, "{threads} threads: seeds diverged");
             assert_sequences_identical(
-                &p.stats,
-                &s.stats,
-                &format!("{} threads, job {} ({}/{})", threads, p.job, p.abbrev, p.scheduler),
+                &ps.stats,
+                &ss.stats,
+                &format!("{} threads, job {} ({}/{})", threads, p.job(), p.abbrev(), p.scheduler()),
             );
         }
     }
@@ -95,7 +96,8 @@ fn campaign_seed_is_reproducible_but_resamples_layouts() {
 
     let c = Campaign::grid(8, &cfg, &schedulers, &profiles, 1).run(2);
     assert_ne!(
-        a[0].effective_seed, c[0].effective_seed,
+        a[0].success().unwrap().effective_seed,
+        c[0].success().unwrap().effective_seed,
         "different campaign seeds must resample the workload layout"
     );
 }
