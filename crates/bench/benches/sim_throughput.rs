@@ -1,6 +1,7 @@
 //! Simulator-throughput benchmark: the indexed event-queue core versus the
-//! retired linear-scan loop it replaced, measured as host wall-clock over the
-//! whole workload suite (`events/s` and `ns/event`).
+//! retired linear-scan loop it replaced, plus the intra-frame parallel driver
+//! at each `throughput::PAR_THREADS` worker count, measured as host wall-clock
+//! over the whole workload suite (`events/s` and `ns/event`).
 //!
 //! This measures the *simulator*, not the simulated GPU — the speedup is the
 //! binding constraint for scaling studies like Fig 18, where the scan's
@@ -10,9 +11,10 @@
 //! speedup shrinks to near-unity (see EXPERIMENTS.md "simulation throughput").
 //!
 //! Record-only: numbers are written to `bench_results/sim_throughput.json`, and
-//! the scan/heap equality of simulated cycles and event counts is asserted by
-//! `tbr_sim::throughput::compare` itself. Override the configuration with
-//! `LIBRA_FRAMES`, `LIBRA_TP_RUS`, `LIBRA_TP_CORES`.
+//! the scan/heap/par equality of simulated cycles and event counts is asserted
+//! by `tbr_sim::throughput::compare` itself (the parallel speedup is recorded,
+//! never asserted). Override the configuration with `LIBRA_FRAMES`,
+//! `LIBRA_TP_RUS`, `LIBRA_TP_CORES`.
 
 use libra_bench::banner;
 
@@ -21,13 +23,16 @@ use tbr_sim::throughput;
 use tbr_workloads::suite;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
     banner(
         "sim_throughput",
-        "host wall-clock of the heap event loop vs the scan oracle (record only)",
+        "host wall-clock of the heap and parallel event loops vs the scan oracle (record only)",
         "infrastructure — enables the Fig 18 scaling sweeps",
     );
     let frames = env_usize("LIBRA_FRAMES", 1) as u32;
@@ -41,7 +46,12 @@ fn main() {
         "{} workloads x {frames} frames, {rus} RU x {cores} cores (scan first, then heap)\n",
         profiles.len()
     );
-    let report = throughput::compare(&cfg, libra::scheduler::SchedulerKind::Libra, &profiles, frames);
+    let report = throughput::compare(
+        &cfg,
+        libra::scheduler::SchedulerKind::Libra,
+        &profiles,
+        frames,
+    );
     print!("{}", report.render());
 
     let _ = std::fs::create_dir_all("bench_results");

@@ -1,0 +1,180 @@
+//! Channel-partitioned DRAM event handling.
+//!
+//! The parallel raster driver shards its event core by Raster Unit; the memory
+//! side of every epoch is sharded the same way by *DRAM channel*. A
+//! [`ChannelQueues`] holds one deterministic sub-queue per channel and is used
+//! as the cross-shard exchange ledger: when the coordinator commits a shared
+//! event whose warp goes to sleep on a miss, the wake-up (the MSHR fill /
+//! DRAM response completion) is enqueued under the channel that serves the
+//! missed line, and the entries at or below the current epoch horizon are
+//! drained at each barrier. Because the sub-queues are [`EventQueue`]s, the
+//! merged drain order is the canonical `(ready_cycle, stable key)` order — the
+//! same order a single flat queue over all channels would produce.
+
+use tbr_common::event_queue::EventQueue;
+use tbr_common::Cycle;
+
+/// Per-DRAM-channel event queues with a canonical merged drain order.
+///
+/// Keys follow the same contract as [`EventQueue`]: stable identities (e.g.
+/// global Raster-Unit indices), globally unique so the merged `(time, key)`
+/// order is total.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelQueues<K> {
+    channels: Vec<EventQueue<K>>,
+    pushed: u64,
+    drained: u64,
+}
+
+impl<K: Copy + Ord> ChannelQueues<K> {
+    /// Empty queues for `channels` DRAM channels (at least one).
+    pub fn new(channels: usize) -> Self {
+        Self {
+            channels: (0..channels.max(1)).map(|_| EventQueue::new()).collect(),
+            pushed: 0,
+            drained: 0,
+        }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Entries currently queued across all channels.
+    pub fn len(&self) -> usize {
+        self.channels.iter().map(EventQueue::len).sum()
+    }
+
+    /// Whether every channel queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.channels.iter().all(EventQueue::is_empty)
+    }
+
+    /// Total events ever pushed (the cross-epoch exchange volume).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events ever drained at barriers.
+    pub fn total_drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Enqueues `key` at `time` on `channel`.
+    ///
+    /// # Panics
+    /// Panics if `channel` is out of range.
+    pub fn push(&mut self, channel: usize, time: Cycle, key: K) {
+        self.channels[channel].push(time, key);
+        self.pushed += 1;
+    }
+
+    /// The earliest entry across all channels (merged `(time, key)` minimum).
+    pub fn peek_min(&self) -> Option<(Cycle, K)> {
+        let mut best: Option<(Cycle, K)> = None;
+        for q in &self.channels {
+            if let Some(head) = q.peek() {
+                if best.is_none_or(|b| head < b) {
+                    best = Some(head);
+                }
+            }
+        }
+        best
+    }
+
+    /// Removes and returns the earliest entry across all channels — the same
+    /// entry a flat [`EventQueue`] over the union would pop next. Counts as a
+    /// drain (a barrier commit of one cross-shard event).
+    pub fn pop_min(&mut self) -> Option<(usize, Cycle, K)> {
+        let mut best: Option<(usize, (Cycle, K))> = None;
+        for (c, q) in self.channels.iter().enumerate() {
+            if let Some(head) = q.peek() {
+                if best.is_none_or(|(_, b)| head < b) {
+                    best = Some((c, head));
+                }
+            }
+        }
+        let (c, _) = best?;
+        let (t, k) = self.channels[c].pop().expect("peeked head exists");
+        self.drained += 1;
+        Some((c, t, k))
+    }
+
+    /// Drains every entry with `time <= horizon`, in merged canonical order,
+    /// calling `f(channel, time, key)` for each. Entries beyond the horizon
+    /// stay queued for a later epoch.
+    pub fn drain_until(&mut self, horizon: Cycle, mut f: impl FnMut(usize, Cycle, K)) {
+        loop {
+            let mut best: Option<(usize, (Cycle, K))> = None;
+            for (c, q) in self.channels.iter().enumerate() {
+                if let Some(head) = q.peek() {
+                    if head.0 <= horizon && best.is_none_or(|(_, b)| head < b) {
+                        best = Some((c, head));
+                    }
+                }
+            }
+            let Some((c, _)) = best else { break };
+            let (t, k) = self.channels[c].pop().expect("peeked head exists");
+            self.drained += 1;
+            f(c, t, k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_is_merged_canonical_order() {
+        let mut q = ChannelQueues::new(3);
+        // Same events flat-pushed for the oracle.
+        let mut flat = EventQueue::new();
+        for (c, t, k) in [
+            (0usize, 9u64, 1u32),
+            (1, 3, 2),
+            (2, 3, 0),
+            (0, 1, 5),
+            (1, 9, 4),
+        ] {
+            q.push(c, t, k);
+            flat.push(t, k);
+        }
+        let mut got = Vec::new();
+        q.drain_until(u64::MAX, |_, t, k| got.push((t, k)));
+        let mut want = Vec::new();
+        while let Some(e) = flat.pop() {
+            want.push(e);
+        }
+        assert_eq!(got, want);
+        assert_eq!(q.total_drained(), 5);
+    }
+
+    #[test]
+    fn drain_until_respects_the_horizon() {
+        let mut q = ChannelQueues::new(2);
+        q.push(0, 2, 0u32);
+        q.push(1, 5, 1);
+        q.push(0, 8, 2);
+        let mut got = Vec::new();
+        q.drain_until(5, |c, t, k| got.push((c, t, k)));
+        assert_eq!(
+            got,
+            vec![(0, 2, 0), (1, 5, 1)],
+            "t=8 must not cross the barrier"
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_min(), Some((8, 2)));
+        assert_eq!(q.total_pushed(), 3);
+        assert_eq!(q.total_drained(), 2);
+    }
+
+    #[test]
+    fn at_least_one_channel_always_exists() {
+        let q: ChannelQueues<u32> = ChannelQueues::new(0);
+        assert_eq!(q.num_channels(), 1);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_min(), None);
+    }
+}

@@ -105,6 +105,13 @@ impl DramModel {
         (channel, bank, row)
     }
 
+    /// The channel `addr` maps to — the partition key for channel-sharded event
+    /// handling (e.g. [`crate::channels::ChannelQueues`]).
+    #[inline]
+    pub fn channel_of(&self, addr: u64) -> usize {
+        self.map(addr).0
+    }
+
     /// Services one 64 B request arriving at `now`; returns the cycle at which the
     /// data transfer completes. Also records latency/interval statistics.
     pub fn request(&mut self, addr: u64, now: Cycle, is_write: bool) -> Cycle {
@@ -128,7 +135,10 @@ impl DramModel {
                         bank.next_refresh += self.cfg.refresh_interval;
                         self.stats_refreshes += 1;
                         trace::span(
-                            Track::DramBank { channel: channel as u8, bank: bank_in_chan as u8 },
+                            Track::DramBank {
+                                channel: channel as u8,
+                                bank: bank_in_chan as u8,
+                            },
                             "refresh",
                             refresh_start,
                             refresh_start + self.cfg.refresh_latency,
@@ -196,7 +206,10 @@ impl DramModel {
         // Observation only: the per-bank busy interval and the channel-bus burst.
         if trace::is_enabled() {
             trace::span_args(
-                Track::DramBank { channel: channel as u8, bank: bank_in_chan as u8 },
+                Track::DramBank {
+                    channel: channel as u8,
+                    bank: bank_in_chan as u8,
+                },
                 if row_hit { "row hit" } else { "row miss" },
                 start,
                 start + self.cfg.bank_occupancy.max(1),
@@ -206,7 +219,12 @@ impl DramModel {
                     ("latency", latency.to_string()),
                 ],
             );
-            trace::span(Track::DramBus(channel as u8), "burst", bus_start, completion);
+            trace::span(
+                Track::DramBus(channel as u8),
+                "burst",
+                bus_start,
+                completion,
+            );
         }
 
         completion
@@ -261,7 +279,9 @@ mod tests {
         // same-channel line is addr + 128, which is still within the 2 KB row.
         let t2 = d.request(0x80, t1, false);
         assert_eq!(d.stats().row_hits, 1);
-        assert!(t2 - t1 <= DramConfig::lpddr4().row_hit_latency + DramConfig::lpddr4().burst_cycles);
+        assert!(
+            t2 - t1 <= DramConfig::lpddr4().row_hit_latency + DramConfig::lpddr4().burst_cycles
+        );
     }
 
     #[test]
@@ -343,11 +363,9 @@ mod tests {
         let mut plain = model();
         let mut traced = model();
         let addrs: Vec<u64> = (0..32).map(|i| i * 64).collect();
-        let untraced: Vec<Cycle> =
-            addrs.iter().map(|&a| plain.request(a, 0, false)).collect();
+        let untraced: Vec<Cycle> = addrs.iter().map(|&a| plain.request(a, 0, false)).collect();
         trace::start();
-        let with_trace: Vec<Cycle> =
-            addrs.iter().map(|&a| traced.request(a, 0, false)).collect();
+        let with_trace: Vec<Cycle> = addrs.iter().map(|&a| traced.request(a, 0, false)).collect();
         let t = trace::finish().unwrap();
         assert_eq!(untraced, with_trace, "tracing must not perturb timing");
         let bank_spans = t
@@ -355,8 +373,11 @@ mod tests {
             .iter()
             .filter(|e| matches!(e.track, Track::DramBank { .. }))
             .count();
-        let bus_spans =
-            t.events.iter().filter(|e| matches!(e.track, Track::DramBus(_))).count();
+        let bus_spans = t
+            .events
+            .iter()
+            .filter(|e| matches!(e.track, Track::DramBus(_)))
+            .count();
         assert_eq!(bank_spans, addrs.len(), "one bank span per request");
         assert_eq!(bus_spans, addrs.len(), "one bus span per request");
     }
@@ -367,7 +388,11 @@ mod tests {
         d.request(0x0, 0, false);
         d.reset_state();
         d.request(0x0, 10_000, false);
-        assert_eq!(d.stats().row_misses, 2, "row must be re-activated after reset");
+        assert_eq!(
+            d.stats().row_misses,
+            2,
+            "row must be re-activated after reset"
+        );
     }
 }
 
@@ -433,14 +458,24 @@ mod policy_tests {
     #[test]
     fn refresh_catchup_matches_reference_loop() {
         // Reference: the literal per-refresh recurrence the traced path still runs.
-        fn reference(now: Cycle, mut nr: Cycle, mut nf: Cycle, i: Cycle, l: Cycle) -> RefreshCatchup {
+        fn reference(
+            now: Cycle,
+            mut nr: Cycle,
+            mut nf: Cycle,
+            i: Cycle,
+            l: Cycle,
+        ) -> RefreshCatchup {
             let mut refreshes = 0;
             while now >= nr {
                 nf = nr.max(nf) + l;
                 nr += i;
                 refreshes += 1;
             }
-            RefreshCatchup { next_free: nf, next_refresh: nr, refreshes }
+            RefreshCatchup {
+                next_free: nf,
+                next_refresh: nr,
+                refreshes,
+            }
         }
         let mut rng = tbr_common::rng::Xoshiro256pp::seed_from_u64(0x00D7_A311);
         for _ in 0..5000 {
@@ -466,11 +501,15 @@ mod policy_tests {
         let mut plain = DramModel::new(cfg, 5000);
         let mut traced = DramModel::new(cfg, 5000);
         let times: Vec<Cycle> = (0..40).map(|i| i * i * 37).collect();
-        let untraced: Vec<Cycle> =
-            times.iter().map(|&t| plain.request(t % 7 * 64, t, false)).collect();
+        let untraced: Vec<Cycle> = times
+            .iter()
+            .map(|&t| plain.request(t % 7 * 64, t, false))
+            .collect();
         trace::start();
-        let with_trace: Vec<Cycle> =
-            times.iter().map(|&t| traced.request(t % 7 * 64, t, false)).collect();
+        let with_trace: Vec<Cycle> = times
+            .iter()
+            .map(|&t| traced.request(t % 7 * 64, t, false))
+            .collect();
         let _ = trace::finish();
         assert_eq!(untraced, with_trace);
         assert_eq!(plain.refreshes(), traced.refreshes());
@@ -481,7 +520,10 @@ mod policy_tests {
         let mut a = DramModel::new(DramConfig::lpddr4(), 5000);
         let mut b = DramModel::new(DramConfig::lpddr4(), 5000);
         for i in 0..500u64 {
-            assert_eq!(a.request(i * 64, i * 13, false), b.request(i * 64, i * 13, false));
+            assert_eq!(
+                a.request(i * 64, i * 13, false),
+                b.request(i * 64, i * 13, false)
+            );
         }
         assert_eq!(a.refreshes(), b.refreshes());
     }

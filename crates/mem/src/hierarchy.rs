@@ -30,7 +30,10 @@ struct MshrFile {
 
 impl MshrFile {
     fn new(capacity: u64) -> Self {
-        Self { capacity, outstanding: EventQueue::new() }
+        Self {
+            capacity,
+            outstanding: EventQueue::new(),
+        }
     }
 
     /// Reserves an MSHR for a miss issued at `now`; returns the possibly-delayed
@@ -114,19 +117,31 @@ impl MemoryHierarchy {
         if matches!(kind, AccessKind::FramebufferWrite) {
             // Colour-buffer flush streams past the L2 straight to DRAM.
             let completion = self.dram.request(addr, now, true);
-            return L2Outcome { completion, l2_hit: false, dram_accesses: 1 };
+            return L2Outcome {
+                completion,
+                l2_hit: false,
+                dram_accesses: 1,
+            };
         }
 
         let start = now.max(self.l2_port_free);
         self.l2_port_free = start + self.l2.config().port_occupancy;
         let l2_done = start + self.l2.config().latency;
         if self.l2.access(addr).is_hit() {
-            L2Outcome { completion: l2_done, l2_hit: true, dram_accesses: 0 }
+            L2Outcome {
+                completion: l2_done,
+                l2_hit: true,
+                dram_accesses: 0,
+            }
         } else {
             let issue = self.l2_mshrs.acquire(l2_done);
             let completion = self.dram.request(addr, issue, kind.is_write());
             self.l2_mshrs.record_fill(completion);
-            L2Outcome { completion, l2_hit: false, dram_accesses: 1 }
+            L2Outcome {
+                completion,
+                l2_hit: false,
+                dram_accesses: 1,
+            }
         }
     }
 
@@ -140,6 +155,18 @@ impl MemoryHierarchy {
     #[inline]
     pub fn dram_stats(&self) -> &DramStats {
         self.dram.stats()
+    }
+
+    /// Number of DRAM channels behind the L2.
+    #[inline]
+    pub fn dram_channels(&self) -> usize {
+        self.dram.config().channels as usize
+    }
+
+    /// The DRAM channel `addr` maps to (line-interleaved, like the DRAM model).
+    #[inline]
+    pub fn dram_channel_of(&self, addr: u64) -> usize {
+        self.dram.channel_of(addr)
     }
 
     /// Ends a frame: returns `(l2, dram)` counters and resets them along with all
@@ -202,7 +229,11 @@ pub struct L1Cache {
 impl L1Cache {
     /// Builds an L1 from its geometry.
     pub fn new(cfg: CacheConfig) -> Self {
-        Self { cache: Cache::new(cfg), port_free: 0, mshrs: MshrFile::new(cfg.mshrs) }
+        Self {
+            cache: Cache::new(cfg),
+            port_free: 0,
+            mshrs: MshrFile::new(cfg.mshrs),
+        }
     }
 
     /// Performs an access arriving at `now`. On a miss the line is fetched through
@@ -215,22 +246,75 @@ impl L1Cache {
         kind: AccessKind,
         hier: &mut MemoryHierarchy,
     ) -> L1Outcome {
+        let ideal = hier.ideal;
+        self.access_inner(addr, now, kind, Some(hier), ideal)
+    }
+
+    /// Whether `addr`'s line is resident right now, without disturbing LRU state
+    /// or counters. When this holds (or in ideal mode), an access is guaranteed
+    /// to be served entirely by this L1 — the shared hierarchy is untouched —
+    /// which is what lets the parallel raster driver execute the access on a
+    /// worker thread via [`L1Cache::access_resident`].
+    #[inline]
+    pub fn is_resident(&self, addr: u64) -> bool {
+        self.cache.probe(addr)
+    }
+
+    /// Performs an access that the caller has proven local: `addr` is resident
+    /// ([`L1Cache::is_resident`]) or `ideal` is set. State updates (port
+    /// reservation, LRU, counters) are exactly those of [`L1Cache::access`] on
+    /// its hit/ideal path — the two share one implementation.
+    ///
+    /// # Panics
+    /// Panics if the access would actually miss (a misclassified event — a bug
+    /// in the caller's residency check, never a data-dependent condition).
+    pub fn access_resident(
+        &mut self,
+        addr: u64,
+        now: Cycle,
+        kind: AccessKind,
+        ideal: bool,
+    ) -> L1Outcome {
+        self.access_inner(addr, now, kind, None, ideal)
+    }
+
+    /// The one body behind [`L1Cache::access`] and [`L1Cache::access_resident`]:
+    /// `hier` is `None` exactly when the caller guarantees the hit/ideal path.
+    fn access_inner(
+        &mut self,
+        addr: u64,
+        now: Cycle,
+        kind: AccessKind,
+        hier: Option<&mut MemoryHierarchy>,
+        ideal: bool,
+    ) -> L1Outcome {
         let start = now.max(self.port_free);
         self.port_free = start + self.cache.config().port_occupancy;
         let l1_done = start + self.cache.config().latency;
 
-        if hier.ideal {
+        if ideal {
             // Count as a hit for bookkeeping; no state disturbance needed beyond LRU.
             let _ = self.cache.access(addr);
             // Force the counters toward all-hit semantics: re-classify the access.
             // (Simplest correct model: in ideal mode hit ratios are reported as 1.0
             // by construction downstream, so raw counters are not used.)
-            return L1Outcome { completion: l1_done, hit: true, dram_accesses: 0, filled_line: None };
+            return L1Outcome {
+                completion: l1_done,
+                hit: true,
+                dram_accesses: 0,
+                filled_line: None,
+            };
         }
 
         if self.cache.access(addr).is_hit() {
-            L1Outcome { completion: l1_done, hit: true, dram_accesses: 0, filled_line: None }
+            L1Outcome {
+                completion: l1_done,
+                hit: true,
+                dram_accesses: 0,
+                filled_line: None,
+            }
         } else {
+            let hier = hier.expect("access_resident called on a non-resident line");
             let line = self.cache.line_addr(addr);
             let issue = self.mshrs.acquire(l1_done);
             let down = hier.access(line, issue, kind);
@@ -284,10 +368,17 @@ mod tests {
         let a = l1.access(0x4000_0000, 0, AccessKind::TextureRead, &mut h);
         assert!(!a.hit);
         assert_eq!(a.dram_accesses, 1);
-        assert!(a.completion > 100, "cold miss must pay DRAM latency, got {}", a.completion);
+        assert!(
+            a.completion > 100,
+            "cold miss must pay DRAM latency, got {}",
+            a.completion
+        );
         let b = l1.access(0x4000_0000, a.completion, AccessKind::TextureRead, &mut h);
         assert!(b.hit);
-        assert_eq!(b.completion - a.completion, CacheConfig::texture_l1().latency);
+        assert_eq!(
+            b.completion - a.completion,
+            CacheConfig::texture_l1().latency
+        );
     }
 
     #[test]
@@ -301,7 +392,10 @@ mod tests {
         assert!(!b.hit);
         assert_eq!(b.dram_accesses, 0);
         assert_eq!(h.dram_stats().total_accesses(), 1);
-        assert!(b.completion - a.completion < 50, "L2 hit must be much cheaper than DRAM");
+        assert!(
+            b.completion - a.completion < 50,
+            "L2 hit must be much cheaper than DRAM"
+        );
     }
 
     #[test]
@@ -377,8 +471,13 @@ mod tests {
             reg.counter_value("cache_accesses", &[("scope", "test"), ("cache", "l2")]),
             Some(1)
         );
-        assert_eq!(reg.counter_value("dram_reads", &[("scope", "test")]), Some(1));
-        assert!(reg.get("dram_requests_per_interval", &[("scope", "test")]).is_some());
+        assert_eq!(
+            reg.counter_value("dram_reads", &[("scope", "test")]),
+            Some(1)
+        );
+        assert!(reg
+            .get("dram_requests_per_interval", &[("scope", "test")])
+            .is_some());
     }
 
     #[test]

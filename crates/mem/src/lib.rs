@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod channels;
 pub mod dram;
 pub mod hierarchy;
 

@@ -134,7 +134,9 @@ impl RasterUnit {
         let mut quads = std::mem::take(&mut self.scratch_quads);
         for (n, issue) in (0..prims.len()).zip(now..) {
             let entry_addr = param_entry_addr(tile, n as u64);
-            let rd = self.tile_l1.access(entry_addr, issue, AccessKind::ParamRead, hier);
+            let rd = self
+                .tile_l1
+                .access(entry_addr, issue, AccessKind::ParamRead, hier);
             out.param_reads += 1;
             out.dram_accesses += rd.dram_accesses as u64;
             read_done.push(rd.completion);
@@ -183,7 +185,8 @@ impl RasterUnit {
                         *color = shade_color(&prim.texture, u, v);
                     }
                 }
-                self.color.write_quad(&q, pass, colors, prim.blend, tx0, ty0);
+                self.color
+                    .write_quad(&q, pass, colors, prim.blend, tx0, ty0);
                 fe += self.costs.blend_cycles_per_quad;
                 surviving.push((q, shade_mask));
             }
@@ -225,7 +228,11 @@ impl RasterUnit {
     }
 
     /// Starts a warp on a specific core (the dispatcher has granted it a slot).
-    pub fn begin_warp_on(&self, core: usize, start: tbr_common::Cycle) -> crate::shader::WarpExecState {
+    pub fn begin_warp_on(
+        &self,
+        core: usize,
+        start: tbr_common::Cycle,
+    ) -> crate::shader::WarpExecState {
         self.cores[core].begin_warp(start)
     }
 
@@ -238,6 +245,47 @@ impl RasterUnit {
         hier: &mut MemoryHierarchy,
     ) -> bool {
         self.cores[core].step_warp(&warp.shader, &warp.sample_lines, state, hier)
+    }
+
+    /// Whether the warp's next step on `core` would be served entirely by that
+    /// core's L1 (see [`ShaderCore::step_is_resident`]) — the parallel driver's
+    /// test for executing the step on a worker thread.
+    pub fn warp_step_is_resident(
+        &self,
+        core: usize,
+        warp: &WarpWork,
+        state: &crate::shader::WarpExecState,
+        ideal: bool,
+    ) -> bool {
+        self.cores[core].step_is_resident(&warp.sample_lines, state, ideal)
+    }
+
+    /// Whether the warp's next step retires it (see [`ShaderCore::step_retires`]).
+    pub fn warp_step_retires(warp: &WarpWork, state: &crate::shader::WarpExecState) -> bool {
+        ShaderCore::step_retires(&warp.shader, &warp.sample_lines, state)
+    }
+
+    /// The first L1-missing line of the warp's next step on `core` (see
+    /// [`ShaderCore::step_first_miss`]).
+    pub fn warp_step_first_miss(
+        &self,
+        core: usize,
+        warp: &WarpWork,
+        state: &crate::shader::WarpExecState,
+    ) -> Option<u64> {
+        self.cores[core].step_first_miss(&warp.sample_lines, state)
+    }
+
+    /// [`RasterUnit::step_warp_on`] for a step proven resident via
+    /// [`RasterUnit::warp_step_is_resident`]: no shared hierarchy required.
+    pub fn step_warp_on_resident(
+        &mut self,
+        core: usize,
+        warp: &WarpWork,
+        state: &mut crate::shader::WarpExecState,
+        ideal: bool,
+    ) -> bool {
+        self.cores[core].step_warp_resident(&warp.shader, &warp.sample_lines, state, ideal)
     }
 
     /// Resident-warp capacity per core.
@@ -331,7 +379,8 @@ fn gather_sample_lines(
     tex_samples: u32,
     filter: FilterMode,
 ) -> SampleLines {
-    let mut out = SampleLines::with_capacity(tex_samples as usize * group.len() * 2, tex_samples as usize);
+    let mut out =
+        SampleLines::with_capacity(tex_samples as usize * group.len() * 2, tex_samples as usize);
     for s in 0..tex_samples {
         for (q, pass) in group {
             let mut quad_lines = [0u64; 16];
@@ -346,9 +395,11 @@ fn gather_sample_lines(
                 if pass & (1 << lane) != 0 {
                     let (u, v) = q.uv[lane];
                     match filter {
-                        FilterMode::Nearest => {
-                            push(texel_line_addr(texture, u, v, lod, s), &mut quad_lines, &mut n)
-                        }
+                        FilterMode::Nearest => push(
+                            texel_line_addr(texture, u, v, lod, s),
+                            &mut quad_lines,
+                            &mut n,
+                        ),
                         FilterMode::Bilinear => {
                             let mut bl = [0u64; 4];
                             let k = bilinear_line_addrs(texture, u, v, lod, s, &mut bl);
@@ -386,7 +437,13 @@ mod tests {
         let p = [(0.0f32, 0.0f32), (80.0, 0.0), (0.0, 80.0)];
         let mut v = [ScreenVertex::default(); 3];
         for i in 0..3 {
-            v[i] = ScreenVertex { x: p[i].0, y: p[i].1, z, u: p[i].0 / 80.0, v: p[i].1 / 80.0 };
+            v[i] = ScreenVertex {
+                x: p[i].0,
+                y: p[i].1,
+                z,
+                u: p[i].0 / 80.0,
+                v: p[i].1 / 80.0,
+            };
         }
         ScreenTriangle {
             v,
@@ -494,7 +551,11 @@ mod tests {
         }
         // Inter-quad reuse must exist: strictly fewer unique lines than requests
         // (that surplus is what the texture L1 converts into hits).
-        assert!(unique.len() < requests, "unique {} vs requests {requests}", unique.len());
+        assert!(
+            unique.len() < requests,
+            "unique {} vs requests {requests}",
+            unique.len()
+        );
     }
 
     #[test]
@@ -509,7 +570,10 @@ mod tests {
         }
         // All 8 cores should have seen ~32/8 = 4 warps worth of L1 traffic.
         let per_core: Vec<u64> = ru.cores.iter().map(|c| c.l1_stats().accesses).collect();
-        assert!(per_core.iter().all(|&a| a > 0), "all cores used: {per_core:?}");
+        assert!(
+            per_core.iter().all(|&a| a > 0),
+            "all cores used: {per_core:?}"
+        );
     }
 }
 
@@ -528,7 +592,13 @@ mod feature_tests {
         let p = [(0.0f32, 0.0f32), (80.0, 0.0), (0.0, 80.0)];
         let mut v = [ScreenVertex::default(); 3];
         for i in 0..3 {
-            v[i] = ScreenVertex { x: p[i].0, y: p[i].1, z, u: p[i].0 / 80.0, v: p[i].1 / 80.0 };
+            v[i] = ScreenVertex {
+                x: p[i].0,
+                y: p[i].1,
+                z,
+                u: p[i].0 / 80.0,
+                v: p[i].1 / 80.0,
+            };
         }
         ScreenTriangle {
             v,
@@ -550,13 +620,19 @@ mod feature_tests {
         let far_early = tri(0.9, 1, FragmentShaderDesc::simple());
         let out_early =
             ru.render_tile_front_end(TileId(0), &[&near, &far_early], &cfg.screen, 0, &mut h);
-        assert_eq!(out_early.fragments, 1024, "Early-Z kills the occluded primitive");
+        assert_eq!(
+            out_early.fragments, 1024,
+            "Early-Z kills the occluded primitive"
+        );
 
         let mut ru2 = RasterUnit::new(&cfg);
         let far_late = tri(0.9, 1, FragmentShaderDesc::simple().with_late_z());
         let out_late =
             ru2.render_tile_front_end(TileId(0), &[&near, &far_late], &cfg.screen, 0, &mut h);
-        assert_eq!(out_late.fragments, 2048, "Late-Z must shade the occluded fragments");
+        assert_eq!(
+            out_late.fragments, 2048,
+            "Late-Z must shade the occluded fragments"
+        );
         assert!(out_late.earlyz_killed < out_early.earlyz_killed);
         assert!(out_late.warps.len() > out_early.warps.len());
     }
@@ -591,16 +667,25 @@ mod feature_tests {
         let mut ru = RasterUnit::new(&cfg);
         let nearest = tri(0.5, 0, FragmentShaderDesc::simple());
         let out_n = ru.render_tile_front_end(TileId(0), &[&nearest], &cfg.screen, 0, &mut h);
-        let req_n: usize =
-            out_n.warps.iter().map(|w| w.sample_lines.total_lines()).sum();
+        let req_n: usize = out_n
+            .warps
+            .iter()
+            .map(|w| w.sample_lines.total_lines())
+            .sum();
 
         let mut ru2 = RasterUnit::new(&cfg);
         let bilinear = tri(0.5, 0, FragmentShaderDesc::simple().with_bilinear());
         let out_b = ru2.render_tile_front_end(TileId(0), &[&bilinear], &cfg.screen, 0, &mut h);
-        let req_b: usize =
-            out_b.warps.iter().map(|w| w.sample_lines.total_lines()).sum();
+        let req_b: usize = out_b
+            .warps
+            .iter()
+            .map(|w| w.sample_lines.total_lines())
+            .sum();
 
-        assert!(req_b > req_n, "bilinear {req_b} must exceed nearest {req_n}");
+        assert!(
+            req_b > req_n,
+            "bilinear {req_b} must exceed nearest {req_n}"
+        );
         assert!(req_b <= req_n * 4, "bilinear touches at most 4x the lines");
         // Functional output identical (same fragments shaded).
         assert_eq!(out_n.fragments, out_b.fragments);

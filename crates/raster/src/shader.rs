@@ -61,7 +61,10 @@ pub struct SampleLines {
 impl SampleLines {
     /// An empty list with room for `lines` total lines across `stages` stages.
     pub fn with_capacity(lines: usize, stages: usize) -> Self {
-        Self { lines: Vec::with_capacity(lines), ends: Vec::with_capacity(stages) }
+        Self {
+            lines: Vec::with_capacity(lines),
+            ends: Vec::with_capacity(stages),
+        }
     }
 
     /// Builds from the nested per-stage representation (test convenience).
@@ -164,7 +167,11 @@ impl ShaderCore {
     /// Panics if `max_warps` is zero.
     pub fn new(texture_l1: CacheConfig, max_warps: usize) -> Self {
         assert!(max_warps > 0, "a core needs at least one warp slot");
-        Self { l1: L1Cache::new(texture_l1), issue_free: 0, max_warps }
+        Self {
+            l1: L1Cache::new(texture_l1),
+            issue_free: 0,
+            max_warps,
+        }
     }
 
     /// Resident-warp capacity of this core.
@@ -178,7 +185,10 @@ impl ShaderCore {
             stage: 0,
             t: start,
             done: false,
-            outcome: WarpOutcome { start, ..WarpOutcome::default() },
+            outcome: WarpOutcome {
+                start,
+                ..WarpOutcome::default()
+            },
         }
     }
 
@@ -193,6 +203,91 @@ impl ShaderCore {
         sample_lines: &SampleLines,
         state: &mut WarpExecState,
         hier: &mut MemoryHierarchy,
+    ) -> bool {
+        let ideal = hier.ideal;
+        self.step_warp_inner(shader, sample_lines, state, Some(hier), ideal)
+    }
+
+    /// Whether the next [`ShaderCore::step_warp`] on `state` would be served
+    /// without touching the shared hierarchy: every line of the current stage is
+    /// resident in this core's L1 (or the stage is a pure-ALU tail, or memory is
+    /// ideal). Hits never evict, so residency of the whole stage up front exactly
+    /// predicts an all-hit stage. This is the parallel driver's locality test.
+    pub fn step_is_resident(
+        &self,
+        sample_lines: &SampleLines,
+        state: &WarpExecState,
+        ideal: bool,
+    ) -> bool {
+        ideal
+            || state.stage >= sample_lines.stages()
+            || sample_lines
+                .stage(state.stage)
+                .iter()
+                .all(|&l| self.l1.is_resident(l))
+    }
+
+    /// Whether the next step retires the warp (the last sample stage of a
+    /// tail-less shader, or the ALU tail itself).
+    pub fn step_retires(
+        shader: &FragmentShaderDesc,
+        sample_lines: &SampleLines,
+        state: &WarpExecState,
+    ) -> bool {
+        if state.stage < sample_lines.stages() {
+            state.stage + 1 >= sample_lines.stages() && shader.alu_tail == 0
+        } else {
+            true
+        }
+    }
+
+    /// The first line of the warp's current stage that is *not* resident in
+    /// this core's L1 (`None` for a resident or pure-ALU-tail step). The line
+    /// names the DRAM channel that will serve the blocking miss, which is how
+    /// the parallel driver files a non-resident step under a channel queue.
+    pub fn step_first_miss(
+        &self,
+        sample_lines: &SampleLines,
+        state: &WarpExecState,
+    ) -> Option<u64> {
+        if state.stage >= sample_lines.stages() {
+            return None;
+        }
+        sample_lines
+            .stage(state.stage)
+            .iter()
+            .copied()
+            .find(|&l| !self.l1.is_resident(l))
+    }
+
+    /// [`ShaderCore::step_warp`] for a step the caller has proven resident via
+    /// [`ShaderCore::step_is_resident`] — no shared hierarchy needed, so a
+    /// worker thread that owns only this core may execute it. Shares one body
+    /// with `step_warp`, so the timing and counters are identical by
+    /// construction.
+    ///
+    /// # Panics
+    /// Panics if a line actually misses (a misclassified step).
+    pub fn step_warp_resident(
+        &mut self,
+        shader: &FragmentShaderDesc,
+        sample_lines: &SampleLines,
+        state: &mut WarpExecState,
+        ideal: bool,
+    ) -> bool {
+        self.step_warp_inner(shader, sample_lines, state, None, ideal)
+    }
+
+    /// The one body behind [`ShaderCore::step_warp`] and
+    /// [`ShaderCore::step_warp_resident`]: `hier` is `None` exactly when the
+    /// caller guarantees every line of the stage hits.
+    fn step_warp_inner(
+        &mut self,
+        shader: &FragmentShaderDesc,
+        sample_lines: &SampleLines,
+        state: &mut WarpExecState,
+        mut hier: Option<&mut MemoryHierarchy>,
+        ideal: bool,
     ) -> bool {
         assert!(!state.done, "stepping a retired warp");
         if state.stage < sample_lines.stages() {
@@ -210,7 +305,12 @@ impl ShaderCore {
             state.outcome.instructions += 1;
             let mut ready = issue + 1;
             for &line in lines {
-                let o = self.l1.access(line, issue, AccessKind::TextureRead, hier);
+                let o = match hier.as_deref_mut() {
+                    Some(h) => self.l1.access(line, issue, AccessKind::TextureRead, h),
+                    None => self
+                        .l1
+                        .access_resident(line, issue, AccessKind::TextureRead, ideal),
+                };
                 state.outcome.tex_requests += 1;
                 state.outcome.tex_latency_sum += o.completion - issue;
                 state.outcome.dram_accesses += o.dram_accesses as u64;
@@ -307,7 +407,12 @@ mod tests {
     fn cold_texture_miss_reaches_dram() {
         let mut h = hier();
         let mut c = core();
-        let o = c.execute_warp(&shader(1, 0, 0), &SampleLines::from_nested(&[vec![0x4000_0000]]), 0, &mut h);
+        let o = c.execute_warp(
+            &shader(1, 0, 0),
+            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            0,
+            &mut h,
+        );
         assert!(o.completion > 100, "cold texture miss must reach DRAM");
         assert_eq!(o.dram_accesses, 1);
         assert_eq!(o.fills, vec![0x4000_0000]);
@@ -348,8 +453,18 @@ mod tests {
         let mut h = hier();
         let mut c = core();
         let s = shader(1, 0, 0);
-        let a = c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000]]), 0, &mut h);
-        let b = c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000]]), a.completion, &mut h);
+        let a = c.execute_warp(
+            &s,
+            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            0,
+            &mut h,
+        );
+        let b = c.execute_warp(
+            &s,
+            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            a.completion,
+            &mut h,
+        );
         assert_eq!(b.dram_accesses, 0);
         assert!(b.tex_latency_sum < a.tex_latency_sum);
         assert_eq!(c.l1_stats().hits, 1);
@@ -361,7 +476,12 @@ mod tests {
         let mut h = hier();
         let mut c = core();
         let s = shader(2, 3, 5);
-        let o = c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000], vec![0x4000_0040]]), 0, &mut h);
+        let o = c.execute_warp(
+            &s,
+            &SampleLines::from_nested(&[vec![0x4000_0000], vec![0x4000_0040]]),
+            0,
+            &mut h,
+        );
         // 2 * (3 + 1) + 5 = 13 SIMD instructions.
         assert_eq!(o.instructions, 13);
         assert_eq!(o.tex_requests, 2);
@@ -400,15 +520,101 @@ mod tests {
         let mut h = hier();
         let mut c = core();
         let s = shader(1, 0, 0);
-        c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000]]), 0, &mut h);
+        c.execute_warp(
+            &s,
+            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            0,
+            &mut h,
+        );
         let stats = c.end_frame();
         assert_eq!(stats.accesses, 1);
-        let o = c.execute_warp(&s, &SampleLines::from_nested(&[vec![0x4000_0000]]), 0, &mut h);
+        let o = c.execute_warp(
+            &s,
+            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            0,
+            &mut h,
+        );
         assert_eq!(o.dram_accesses, 0, "L1 contents must survive end_frame");
     }
 
     #[test]
     fn max_warps_is_advertised() {
         assert_eq!(core().max_warps(), 16);
+    }
+
+    #[test]
+    fn resident_step_matches_shared_step_bit_for_bit() {
+        // Warm a line on two identical cores, then step one warp through the
+        // shared path and its twin through the resident-only path: timing,
+        // counters and retirement must be identical.
+        let mut h = hier();
+        let s = shader(1, 2, 3);
+        let lines = SampleLines::from_nested(&[vec![0x4000_0000u64]]);
+        let mut c_shared = core();
+        let warm = c_shared.execute_warp(&s, &lines, 0, &mut h);
+        let mut c_resident = c_shared.clone();
+
+        let mut a = c_shared.begin_warp(warm.completion);
+        let mut b = c_resident.begin_warp(warm.completion);
+        assert!(c_resident.step_is_resident(&lines, &b, false));
+        loop {
+            let da = c_shared.step_warp(&s, &lines, &mut a, &mut h);
+            let db = c_resident.step_warp_resident(&s, &lines, &mut b, false);
+            assert_eq!(da, db);
+            assert_eq!(a, b, "shared and resident step paths diverged");
+            if da {
+                break;
+            }
+        }
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(c_shared.l1_stats(), c_resident.l1_stats());
+    }
+
+    #[test]
+    fn step_is_resident_is_false_for_cold_lines_and_true_for_ideal() {
+        let c = core();
+        let lines = SampleLines::from_nested(&[vec![0x4000_0000u64]]);
+        let st = c.begin_warp(0);
+        assert!(
+            !c.step_is_resident(&lines, &st, false),
+            "cold line cannot be resident"
+        );
+        assert!(
+            c.step_is_resident(&lines, &st, true),
+            "ideal memory is always local"
+        );
+    }
+
+    #[test]
+    fn step_retires_predicts_the_actual_retirement() {
+        let mut h = hier();
+        h.ideal = true;
+        let mut c = core();
+        for (samples, tail) in [(0u32, 1u32), (1, 0), (2, 3)] {
+            let s = shader(samples, 1, tail);
+            let nested: Vec<Vec<u64>> = (0..samples as u64)
+                .map(|i| vec![0x4000_0000 + i * 64])
+                .collect();
+            let lines = SampleLines::from_nested(&nested);
+            let mut st = c.begin_warp(0);
+            loop {
+                let predicted = ShaderCore::step_retires(&s, &lines, &st);
+                let actual = c.step_warp(&s, &lines, &mut st, &mut h);
+                assert_eq!(predicted, actual, "samples={samples} tail={tail}");
+                if actual {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn resident_step_on_cold_line_panics() {
+        let mut c = core();
+        let s = shader(1, 0, 0);
+        let lines = SampleLines::from_nested(&[vec![0x7000_0000u64]]);
+        let mut st = c.begin_warp(0);
+        let _ = c.step_warp_resident(&s, &lines, &mut st, false);
     }
 }

@@ -19,18 +19,22 @@
 //! new warps wait for a retirement — why low-workload tiles cannot fill wide cores
 //! (the Fig 4 effect).
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
 
 use tbr_common::fasthash::U64Set;
 
 use libra::scheduler::FramePlan;
 use tbr_common::config::GpuConfig;
-use tbr_common::event_queue::EventQueue;
+use tbr_common::event_queue::{EventQueue, ShardedEventQueue};
 use tbr_common::ids::{RasterUnitId, TileId};
 use tbr_common::stats::TileHeatmap;
 use tbr_common::trace::{self, Track};
 use tbr_common::Cycle;
 use tbr_geom::pipeline::ScreenTriangle;
+use tbr_mem::channels::ChannelQueues;
 use tbr_mem::hierarchy::MemoryHierarchy;
 use tbr_raster::raster_unit::{RasterUnit, WarpWork};
 use tbr_raster::shader::WarpExecState;
@@ -176,10 +180,84 @@ enum Effect {
     Other,
 }
 
+/// Which branch of [`PhaseCtx::process`] fires for an RU's next micro-event.
+///
+/// Selection reads only the RU's own state, and there is exactly one selector
+/// ([`select_branch`]) shared by the serial execution path, the parallel
+/// workers' local drains, and the parallel coordinator's event classifier —
+/// so what a worker *predicts* an event will do can never diverge from what
+/// [`PhaseCtx::process`] actually does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Branch {
+    /// Step the earliest in-flight warp.
+    Step,
+    /// Admit the pending warp at the queue head into a core slot.
+    Admit,
+    /// Promote the parked front-end-complete tile into the fragment stage.
+    Promote,
+    /// Run the front-end of the next tile / refill / steal / mark finished.
+    FrontEnd,
+}
+
+/// The branch-priority spec every driver reproduces: step the earliest
+/// in-flight warp when it ties-or-beats every other candidate; else admit a
+/// pending warp when its start does not overtake that warp; else promote a
+/// parked tile; else run the front-end. `step` is the earliest in-flight warp
+/// as `(vector position, ready time)` — lowest position among ties.
+fn select_branch(st: &RuState, step: Option<(usize, Cycle)>, max_warps: usize) -> Branch {
+    let other_min = {
+        let mut t: Option<Cycle> = None;
+        let mut consider = |c: Cycle| t = Some(t.map_or(c, |x: Cycle| x.min(c)));
+        if let Some(w) = st.pending.front() {
+            if st.has_free_slot(max_warps) {
+                consider(w.arrival.max(st.frag_gate).max(st.slot_gate));
+            }
+        }
+        if let Some(r) = &st.fe_ready {
+            if st.fragment_stage_idle() {
+                consider(st.frag_gate.max(r.fe_done));
+            }
+        }
+        if st.fe_ready.is_none() && !(st.no_more_groups && st.tiles.is_empty()) {
+            consider(st.fe_time);
+        }
+        t
+    };
+    if let Some((_, t)) = step {
+        if other_min.is_none_or(|o| t <= o) {
+            return Branch::Step;
+        }
+    }
+    if let Some(w) = st.pending.front() {
+        if st.has_free_slot(max_warps) {
+            let start = w.arrival.max(st.frag_gate).max(st.slot_gate);
+            if step.is_none_or(|(_, t)| start <= t) {
+                return Branch::Admit;
+            }
+        }
+    }
+    if st.fragment_stage_idle() && st.fe_ready.is_some() {
+        return Branch::Promote;
+    }
+    Branch::FrontEnd
+}
+
+/// The earliest in-flight warp as `(vector position, ready time)`, lowest
+/// position among ties — the `step_idx` contract of [`PhaseCtx::process`]
+/// (scan and par compute it with this linear pass; heap answers it from the
+/// RU's warp queue, whose `(ready, position)` key order agrees).
+fn earliest_step(st: &RuState) -> Option<(usize, Cycle)> {
+    st.inflight
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, f)| f.exec.ready_at())
+        .map(|(k, f)| (k, f.exec.ready_at()))
+}
+
 /// Everything one frame's raster phase threads through its event loop. The
 /// branch semantics live in [`PhaseCtx::process`]; the *order* in which events
-/// are selected lives in the drivers ([`drive_scan`] / [`drive_heap`]), which
-/// must agree bit-identically.
+/// are selected lives in the drivers ([`drive_scan`] / [`drive_heap`] /
+/// [`drive_par`]), which must agree bit-identically.
 struct PhaseCtx<'a> {
     cfg: &'a GpuConfig,
     max_warps: usize,
@@ -206,34 +284,27 @@ impl<'a> PhaseCtx<'a> {
     /// else promote a parked tile; else run the front-end / steal / finish.
     fn process(&mut self, i: usize, step_idx: Option<(usize, Cycle)>) -> Effect {
         let Self {
-            cfg, max_warps, rus, hier, plan, prims, bins, states, out, unique, frame_end,
+            cfg,
+            max_warps,
+            rus,
+            hier,
+            plan,
+            prims,
+            bins,
+            states,
+            out,
+            unique,
+            frame_end,
             prim_scratch,
         } = self;
         let max_warps = *max_warps;
         let st = &mut states[i];
 
-        // 1) Step the earliest in-flight warp if it is the earliest event.
-        let other_min = {
-            let mut t: Option<Cycle> = None;
-            let mut consider = |c: Cycle| t = Some(t.map_or(c, |x: Cycle| x.min(c)));
-            if let Some(w) = st.pending.front() {
-                if st.has_free_slot(max_warps) {
-                    consider(w.arrival.max(st.frag_gate).max(st.slot_gate));
-                }
-            }
-            if let Some(r) = &st.fe_ready {
-                if st.fragment_stage_idle() {
-                    consider(st.frag_gate.max(r.fe_done));
-                }
-            }
-            if st.fe_ready.is_none() && !(st.no_more_groups && st.tiles.is_empty()) {
-                consider(st.fe_time);
-            }
-            t
-        };
-
-        if let Some((idx, t)) = step_idx {
-            if other_min.is_none_or(|o| t <= o) {
+        let branch = select_branch(st, step_idx, max_warps);
+        match branch {
+            // 1) Step the earliest in-flight warp: it is the earliest event.
+            Branch::Step => {
+                let (idx, _) = step_idx.expect("Step branch implies a step candidate");
                 let done = {
                     let InFlight { warp, exec, core } = &mut st.inflight[idx];
                     rus[i].step_warp_on(*core, warp, exec, hier)
@@ -292,32 +363,37 @@ impl<'a> PhaseCtx<'a> {
                     out.ru_finish[i] = out.ru_finish[i].max(last_write).max(flush_start);
                     *frame_end = (*frame_end).max(last_write).max(flush_start);
                 }
-                return Effect::Retired { idx };
+                Effect::Retired { idx }
             }
-        }
 
-        // 2) Admit a pending warp into a core slot.
-        if let Some(w) = st.pending.front() {
-            if st.has_free_slot(max_warps) {
+            // 2) Admit a pending warp into a core slot.
+            Branch::Admit => {
+                let w = st
+                    .pending
+                    .pop_front()
+                    .expect("Admit branch implies a pending warp");
                 let start = w.arrival.max(st.frag_gate).max(st.slot_gate);
-                if step_idx.is_none_or(|(_, t)| start <= t) {
-                    let w = st.pending.pop_front().expect("checked non-empty");
-                    let core = (0..st.core_load.len())
-                        .filter(|&c| st.core_load[c] < max_warps)
-                        .min_by_key(|&c| st.core_load[c])
-                        .expect("free slot checked");
-                    st.slot_gate = 0;
-                    let exec = rus[i].begin_warp_on(core, start);
-                    st.core_load[core] += 1;
-                    st.inflight.push(InFlight { warp: w, exec, core });
-                    return Effect::Admitted;
-                }
+                let core = (0..st.core_load.len())
+                    .filter(|&c| st.core_load[c] < max_warps)
+                    .min_by_key(|&c| st.core_load[c])
+                    .expect("Admit branch implies a free slot");
+                st.slot_gate = 0;
+                let exec = rus[i].begin_warp_on(core, start);
+                st.core_load[core] += 1;
+                st.inflight.push(InFlight {
+                    warp: w,
+                    exec,
+                    core,
+                });
+                Effect::Admitted
             }
-        }
 
-        // 3) Promote a parked tile into the (idle) fragment stage.
-        if st.fragment_stage_idle() {
-            if let Some(r) = st.fe_ready.take() {
+            // 3) Promote a parked tile into the (idle) fragment stage.
+            Branch::Promote => {
+                let r = st
+                    .fe_ready
+                    .take()
+                    .expect("Promote branch implies a parked tile");
                 let start = st.frag_gate.max(r.fe_done);
                 // The front-end unit is free for the next tile from this moment.
                 st.fe_time = st.fe_time.max(start);
@@ -345,89 +421,100 @@ impl<'a> PhaseCtx<'a> {
                     st.frag_start = start;
                     st.tile_last = start;
                 }
-                return Effect::Other;
+                Effect::Other
             }
-        }
 
-        // 4) Run the front-end of the next tile.
-        if st.fe_ready.is_none() {
-            if st.tiles.is_empty() && !st.no_more_groups {
-                match plan.next_group(RasterUnitId(i as u8)) {
-                    Some(group) => st.tiles.extend(group),
-                    None => {
-                        // The plan is exhausted. The Tile Fetcher is work-conserving:
-                        // tiles are independent (only primitives *within* a tile must
-                        // stay on one RU), so an idle RU takes the tail of the busiest
-                        // RU's queued tiles instead of idling out the frame.
-                        let victim = (0..states.len())
-                            .filter(|&j| j != i)
-                            .max_by_key(|&j| states[j].tiles.len());
-                        let stolen = match victim {
-                            Some(j) if states[j].tiles.len() >= 2 => {
-                                let keep = states[j].tiles.len() / 2 + 1;
-                                states[j].tiles.split_off(keep)
+            // 4) Run the front-end of the next tile.
+            Branch::FrontEnd => {
+                debug_assert!(st.fe_ready.is_none(), "FrontEnd branch with a parked tile");
+                if st.tiles.is_empty() && !st.no_more_groups {
+                    match plan.next_group(RasterUnitId(i as u8)) {
+                        Some(group) => st.tiles.extend(group),
+                        None => {
+                            // The plan is exhausted. The Tile Fetcher is work-conserving:
+                            // tiles are independent (only primitives *within* a tile must
+                            // stay on one RU), so an idle RU takes the tail of the busiest
+                            // RU's queued tiles instead of idling out the frame.
+                            let victim = (0..states.len())
+                                .filter(|&j| j != i)
+                                .max_by_key(|&j| states[j].tiles.len());
+                            let stolen = match victim {
+                                Some(j) if states[j].tiles.len() >= 2 => {
+                                    let keep = states[j].tiles.len() / 2 + 1;
+                                    states[j].tiles.split_off(keep)
+                                }
+                                _ => VecDeque::new(),
+                            };
+                            let st = &mut states[i];
+                            if !stolen.is_empty() && trace::is_enabled() {
+                                trace::instant_args(
+                                    Track::Scheduler,
+                                    "tile steal",
+                                    st.fe_time,
+                                    vec![
+                                        ("thief", i.to_string()),
+                                        (
+                                            "victim",
+                                            victim.expect("stolen implies victim").to_string(),
+                                        ),
+                                        ("tiles", stolen.len().to_string()),
+                                    ],
+                                );
                             }
-                            _ => VecDeque::new(),
-                        };
-                        let st = &mut states[i];
-                        if !stolen.is_empty() && trace::is_enabled() {
-                            trace::instant_args(
-                                Track::Scheduler,
-                                "tile steal",
-                                st.fe_time,
-                                vec![
-                                    ("thief", i.to_string()),
-                                    ("victim", victim.expect("stolen implies victim").to_string()),
-                                    ("tiles", stolen.len().to_string()),
-                                ],
-                            );
+                            if stolen.is_empty() {
+                                st.no_more_groups = true;
+                                let finish = st.fe_time.max(st.frag_gate).max(st.last_flush_done);
+                                out.ru_finish[i] = out.ru_finish[i].max(finish);
+                                *frame_end = (*frame_end).max(finish);
+                            } else {
+                                st.tiles = stolen;
+                            }
+                            return Effect::Other;
                         }
-                        if stolen.is_empty() {
-                            st.no_more_groups = true;
-                            let finish = st.fe_time.max(st.frag_gate).max(st.last_flush_done);
-                            out.ru_finish[i] = out.ru_finish[i].max(finish);
-                            *frame_end = (*frame_end).max(finish);
-                        } else {
-                            st.tiles = stolen;
-                        }
-                        return Effect::Other;
                     }
                 }
-            }
-            if let Some(tile) = st.tiles.pop_front() {
-                let list = bins.list(tile);
-                prim_scratch.clear();
-                prim_scratch.extend(list.iter().map(|&idx| &prims[idx as usize]));
-                let fe_start = st.fe_time;
-                let fe =
-                    rus[i].render_tile_front_end(tile, prim_scratch, &cfg.screen, st.fe_time, hier);
-                out.fe_cycles += fe.fe_done - st.fe_time;
-                if trace::is_enabled() {
-                    trace::span_args(
-                        Track::RuFrontEnd(i as u8),
-                        format!("tile {}", tile.0),
-                        fe_start,
-                        fe.fe_done,
-                        vec![
-                            ("prims", prim_scratch.len().to_string()),
-                            ("fragments", fe.fragments.to_string()),
-                        ],
+                if let Some(tile) = st.tiles.pop_front() {
+                    let list = bins.list(tile);
+                    prim_scratch.clear();
+                    prim_scratch.extend(list.iter().map(|&idx| &prims[idx as usize]));
+                    let fe_start = st.fe_time;
+                    let fe = rus[i].render_tile_front_end(
+                        tile,
+                        prim_scratch,
+                        &cfg.screen,
+                        st.fe_time,
+                        hier,
                     );
+                    out.fe_cycles += fe.fe_done - st.fe_time;
+                    if trace::is_enabled() {
+                        trace::span_args(
+                            Track::RuFrontEnd(i as u8),
+                            format!("tile {}", tile.0),
+                            fe_start,
+                            fe.fe_done,
+                            vec![
+                                ("prims", prim_scratch.len().to_string()),
+                                ("fragments", fe.fragments.to_string()),
+                            ],
+                        );
+                    }
+                    out.fragments += fe.fragments;
+                    out.earlyz_killed += fe.earlyz_killed;
+                    {
+                        let tally = out.heatmap.tally_mut(tile);
+                        tally.dram_accesses += fe.dram_accesses;
+                        tally.fragments += fe.fragments;
+                    }
+                    st.fe_time = fe.fe_done;
+                    st.fe_ready = Some(FeReady {
+                        tile,
+                        fe_done: fe.fe_done,
+                        warps: fe.warps.into(),
+                    });
                 }
-                out.fragments += fe.fragments;
-                out.earlyz_killed += fe.earlyz_killed;
-                {
-                    let tally = out.heatmap.tally_mut(tile);
-                    tally.dram_accesses += fe.dram_accesses;
-                    tally.fragments += fe.fragments;
-                }
-                st.fe_time = fe.fe_done;
-                st.fe_ready =
-                    Some(FeReady { tile, fe_done: fe.fe_done, warps: fe.warps.into() });
+                Effect::Other
             }
-            return Effect::Other;
         }
-        unreachable!("event selection offered no processable event");
     }
 }
 
@@ -448,12 +535,7 @@ fn drive_scan(ctx: &mut PhaseCtx) {
         let Some((i, _event_time)) = best else {
             break; // all RUs done
         };
-        let step_idx = ctx.states[i]
-            .inflight
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, f)| f.exec.ready_at())
-            .map(|(k, f)| (k, f.exec.ready_at()));
+        let step_idx = earliest_step(&ctx.states[i]);
         ctx.out.events += 1;
         ctx.process(i, step_idx);
     }
@@ -462,11 +544,7 @@ fn drive_scan(ctx: &mut PhaseCtx) {
 /// `next_time` with the in-flight minimum answered by the RU's warp queue
 /// instead of a linear pass (must stay semantically identical to
 /// [`RuState::next_time`]).
-fn next_time_indexed(
-    st: &RuState,
-    max_warps: usize,
-    warps: &mut EventQueue<u32>,
-) -> Option<Cycle> {
+fn next_time_indexed(st: &RuState, max_warps: usize, warps: &mut EventQueue<u32>) -> Option<Cycle> {
     if st.finished() {
         return None;
     }
@@ -524,8 +602,7 @@ fn drive_heap(ctx: &mut PhaseCtx) {
             let st = &ctx.states[i];
             warp_queues[i]
                 .peek_valid(|t, k| {
-                    (k as usize) < st.inflight.len()
-                        && st.inflight[k as usize].exec.ready_at() == t
+                    (k as usize) < st.inflight.len() && st.inflight[k as usize].exec.ready_at() == t
                 })
                 .map(|(t, k)| (k as usize, t))
         };
@@ -559,6 +636,554 @@ fn drive_heap(ctx: &mut PhaseCtx) {
         if let Some(t) = cached[i] {
             ru_queue.push(t, i as u32);
         }
+    }
+}
+
+/// How RU `i`'s next micro-event relates to shared simulation state — the
+/// partitioning decision at the heart of [`drive_par`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// No next event: the RU has finished the frame.
+    Done,
+    /// The event reads and writes only the RU's own state (plus its private
+    /// per-core L1s): a warp step whose stage lines are all L1-resident and
+    /// whose retirement would not complete the tile, a warp admission, or the
+    /// promotion of a non-empty tile. Safe to run on a worker thread.
+    Local,
+    /// The event touches shared state — the L2/DRAM hierarchy, the frame
+    /// plan, other RUs' tile queues (stealing), or the trace stream — and must
+    /// be committed serially by the coordinator in canonical `(time, RU)`
+    /// order. `channel` names the DRAM channel serving the blocking miss for a
+    /// non-resident step; `None` for every other shared event.
+    Shared { time: Cycle, channel: Option<usize> },
+}
+
+/// Classifies RU `i`'s next micro-event. Branch selection goes through the
+/// same [`select_branch`] that [`PhaseCtx::process`] executes, so the
+/// classification cannot disagree with what processing the event would do.
+fn classify(st: &RuState, ru: &RasterUnit, hier: &MemoryHierarchy, max_warps: usize) -> Class {
+    let Some(time) = st.next_time(max_warps) else {
+        return Class::Done;
+    };
+    let step = earliest_step(st);
+    match select_branch(st, step, max_warps) {
+        Branch::Step => {
+            let (idx, _) = step.expect("Step branch implies a step candidate");
+            let f = &st.inflight[idx];
+            let resident = ru.warp_step_is_resident(f.core, &f.warp, &f.exec, hier.ideal);
+            let retires = RasterUnit::warp_step_retires(&f.warp, &f.exec);
+            let would_flush = retires && st.pending.is_empty() && st.inflight.len() == 1;
+            if resident && !would_flush {
+                Class::Local
+            } else {
+                let channel = ru
+                    .warp_step_first_miss(f.core, &f.warp, &f.exec)
+                    .map(|line| hier.dram_channel_of(line));
+                Class::Shared { time, channel }
+            }
+        }
+        Branch::Admit => Class::Local,
+        Branch::Promote => {
+            let parked = st
+                .fe_ready
+                .as_ref()
+                .expect("Promote branch implies a parked tile");
+            if parked.warps.is_empty() {
+                // An empty tile's promotion immediately flushes the Colour
+                // Buffer through the shared hierarchy.
+                Class::Shared {
+                    time,
+                    channel: None,
+                }
+            } else {
+                Class::Local
+            }
+        }
+        Branch::FrontEnd => Class::Shared {
+            time,
+            channel: None,
+        },
+    }
+}
+
+/// Per-thread accumulation for Local events: the same frame-wide counters
+/// [`PhaseCtx::process`] writes, kept private to one thread during an epoch
+/// and merged commutatively at the end of the phase (sums, element-wise
+/// heatmap adds, set union) — so the merged totals are independent of how the
+/// Local RUs were distributed over threads.
+struct ParScratch {
+    out: RasterPhaseResult,
+    fills: U64Set,
+}
+
+impl ParScratch {
+    fn new(num_tiles: usize) -> Self {
+        Self {
+            out: RasterPhaseResult {
+                heatmap: TileHeatmap::new(num_tiles),
+                ..RasterPhaseResult::default()
+            },
+            fills: U64Set::default(),
+        }
+    }
+}
+
+/// Folds one thread's scratch into the shared phase result.
+fn absorb_scratch(ctx: &mut PhaseCtx, s: ParScratch) {
+    let o = s.out;
+    ctx.out.warps += o.warps;
+    ctx.out.instructions += o.instructions;
+    ctx.out.tex_requests += o.tex_requests;
+    ctx.out.tex_latency_sum += o.tex_latency_sum;
+    ctx.out.fill_lines += o.fill_lines;
+    ctx.out.events += o.events;
+    for (dst, src) in ctx.out.heatmap.tiles.iter_mut().zip(o.heatmap.tiles) {
+        dst.dram_accesses += src.dram_accesses;
+        dst.instructions += src.instructions;
+        dst.fragments += src.fragments;
+        dst.warps += src.warps;
+    }
+    ctx.unique.extend(s.fills);
+}
+
+/// Runs RU `i`'s maximal run of Local events, stopping at the first Shared
+/// event (left parked for the coordinator) or when the RU has nothing left.
+/// Exactly the Local arms of [`PhaseCtx::process`] — same [`select_branch`],
+/// same bookkeeping — with the frame-wide counters written to `scratch`
+/// instead of the shared result, and the resident-step fast path
+/// ([`RasterUnit::step_warp_on_resident`]) in place of the hierarchy step.
+fn drain_local(
+    ru: &mut RasterUnit,
+    st: &mut RuState,
+    scratch: &mut ParScratch,
+    gate: &mut Cycle,
+    max_warps: usize,
+    ideal: bool,
+) {
+    loop {
+        let Some(nt) = st.next_time(max_warps) else {
+            return; // finished
+        };
+        let step = earliest_step(st);
+        let branch = select_branch(st, step, max_warps);
+        match branch {
+            Branch::Step => {
+                let (idx, _) = step.expect("Step branch implies a step candidate");
+                let (resident, retires) = {
+                    let f = &st.inflight[idx];
+                    (
+                        ru.warp_step_is_resident(f.core, &f.warp, &f.exec, ideal),
+                        RasterUnit::warp_step_retires(&f.warp, &f.exec),
+                    )
+                };
+                let would_flush = retires && st.pending.is_empty() && st.inflight.len() == 1;
+                if !resident || would_flush {
+                    return; // Shared: park for the coordinator
+                }
+                *gate = (*gate).max(nt);
+                scratch.out.events += 1;
+                let done = {
+                    let InFlight { warp, exec, core } = &mut st.inflight[idx];
+                    ru.step_warp_on_resident(*core, warp, exec, ideal)
+                };
+                debug_assert_eq!(done, retires, "step_retires mispredicted a step");
+                if !done {
+                    continue;
+                }
+                let was_full = !st.has_free_slot(max_warps);
+                let f = st.inflight.swap_remove(idx);
+                let o = f.exec.outcome;
+                scratch.out.warps += 1;
+                scratch.out.instructions += o.instructions;
+                scratch.out.tex_requests += o.tex_requests;
+                scratch.out.tex_latency_sum += o.tex_latency_sum;
+                scratch.out.fill_lines += o.fills.len() as u64;
+                scratch.fills.extend(o.fills.iter().copied());
+                let tally = scratch.out.heatmap.tally_mut(f.warp.tile);
+                tally.instructions += o.instructions;
+                tally.dram_accesses += o.dram_accesses;
+                tally.warps += 1;
+                st.core_load[f.core] -= 1;
+                if was_full {
+                    st.slot_gate = st.slot_gate.max(o.completion);
+                }
+                st.tile_last = st.tile_last.max(o.completion);
+                debug_assert!(
+                    !(st.pending.is_empty() && st.inflight.is_empty()),
+                    "a Local retirement completed the tile (flush is Shared)"
+                );
+            }
+            Branch::Admit => {
+                *gate = (*gate).max(nt);
+                scratch.out.events += 1;
+                let w = st
+                    .pending
+                    .pop_front()
+                    .expect("Admit branch implies a pending warp");
+                let start = w.arrival.max(st.frag_gate).max(st.slot_gate);
+                let core = (0..st.core_load.len())
+                    .filter(|&c| st.core_load[c] < max_warps)
+                    .min_by_key(|&c| st.core_load[c])
+                    .expect("Admit branch implies a free slot");
+                st.slot_gate = 0;
+                let exec = ru.begin_warp_on(core, start);
+                st.core_load[core] += 1;
+                st.inflight.push(InFlight {
+                    warp: w,
+                    exec,
+                    core,
+                });
+            }
+            Branch::Promote => {
+                let parked = st
+                    .fe_ready
+                    .as_ref()
+                    .expect("Promote branch implies a parked tile");
+                if parked.warps.is_empty() {
+                    return; // empty tile: the promotion flushes — Shared
+                }
+                *gate = (*gate).max(nt);
+                scratch.out.events += 1;
+                let r = st.fe_ready.take().expect("checked above");
+                let start = st.frag_gate.max(r.fe_done);
+                st.fe_time = st.fe_time.max(start);
+                st.cur_tile = Some(r.tile);
+                st.pending = r.warps;
+                st.frag_start = start;
+                st.tile_last = start;
+            }
+            Branch::FrontEnd => return, // always Shared
+        }
+    }
+}
+
+/// [`drain_local`] through the context (the coordinator's inline path).
+fn drain_local_inline(ctx: &mut PhaseCtx, i: usize, scratch: &mut ParScratch, gate: &mut Cycle) {
+    let ideal = ctx.hier.ideal;
+    let max_warps = ctx.max_warps;
+    let PhaseCtx { rus, states, .. } = ctx;
+    drain_local(&mut rus[i], &mut states[i], scratch, gate, max_warps, ideal);
+}
+
+/// Classifies RU `i`'s next event and parks it: Local RUs go on the epoch's
+/// drain list; Shared events are filed under the DRAM channel serving the
+/// blocking miss (channel ledger) or under the RU's own shard (RU ledger),
+/// keyed `(gate ⊔ raw time, RU index)` — the serial drivers' pop order (see
+/// [`drive_par`] for why the gate, the running maximum of the RU's pop keys,
+/// is the correct merge key for back-dated events).
+fn park(
+    ctx: &PhaseCtx,
+    i: usize,
+    gate: Cycle,
+    chan: &mut ChannelQueues<u32>,
+    ru_parked: &mut ShardedEventQueue<u32>,
+    locals: &mut Vec<usize>,
+) {
+    match classify(&ctx.states[i], &ctx.rus[i], ctx.hier, ctx.max_warps) {
+        Class::Done => {}
+        Class::Local => locals.push(i),
+        Class::Shared {
+            time,
+            channel: Some(c),
+        } => chan.push(c, gate.max(time), i as u32),
+        Class::Shared {
+            time,
+            channel: None,
+        } => ru_parked.push(i, gate.max(time), i as u32),
+    }
+}
+
+/// Epoch drain strategy for [`par_commit_loop`]: advance every RU in the given
+/// index list (all classified Local) to its Shared frontier, folding results
+/// into the context and raising each RU's gate as it goes.
+type EpochDrain<'c> = dyn FnMut(&mut PhaseCtx, &mut [Cycle], &[usize]) + 'c;
+
+/// The coordinator's commit loop, shared by the single-threaded and threaded
+/// configurations of [`drive_par`] (only the epoch `drain` strategy differs).
+///
+/// Invariant: every unfinished RU is in exactly one place — the `locals` drain
+/// list, the channel ledger, or the RU ledger. Each iteration first drains all
+/// Local runs (they commute — see [`drive_par`]), re-parking each drained RU
+/// at its Shared frontier, then commits the single earliest parked Shared
+/// event across both ledgers in `(gate ⊔ time, RU)` order — exactly the
+/// serial drivers' pop order over Shared events (see [`drive_par`]).
+fn par_commit_loop(
+    ctx: &mut PhaseCtx,
+    gates: &mut [Cycle],
+    chan: &mut ChannelQueues<u32>,
+    ru_parked: &mut ShardedEventQueue<u32>,
+    locals: &mut Vec<usize>,
+    drain: &mut EpochDrain<'_>,
+) {
+    loop {
+        while !locals.is_empty() {
+            drain(ctx, gates, locals);
+            let drained = std::mem::take(locals);
+            for i in drained {
+                park(ctx, i, gates[i], chan, ru_parked, locals);
+            }
+            debug_assert!(locals.is_empty(), "drain_local left an RU Local");
+        }
+        // Commit the earliest Shared event across both ledgers. The key's RU
+        // index is globally unique — an RU has one live entry in one ledger —
+        // so the `(gate, raw, RU)` comparison is a total order.
+        let next = {
+            let a = chan.peek_min();
+            let b = ru_parked.horizon(|_, _| true);
+            match (a, b) {
+                (None, None) => None,
+                (Some(_), None) => chan.pop_min(),
+                (None, Some(_)) => ru_parked.pop_min_valid(|_, _| true),
+                (Some(x), Some(y)) => {
+                    if x < y {
+                        chan.pop_min()
+                    } else {
+                        ru_parked.pop_min_valid(|_, _| true)
+                    }
+                }
+            }
+        };
+        let Some((_, g, iu)) = next else {
+            break; // no Local work, no parked Shared events: all RUs done
+        };
+        let i = iu as usize;
+        gates[i] = g; // g = gate.max(raw) from park — the serial pop key
+        let step_idx = earliest_step(&ctx.states[i]);
+        ctx.out.events += 1;
+        ctx.process(i, step_idx);
+        park(ctx, i, gates[i], chan, ru_parked, locals);
+    }
+}
+
+/// A raw handle to one RU's mutable simulation state, parceled out to exactly
+/// one thread for one epoch.
+struct RuPtr {
+    ru: *mut RasterUnit,
+    st: *mut RuState,
+    gate: *mut Cycle,
+}
+
+// Safety: an `RuPtr` is dereferenced only by the thread whose epoch chunk it
+// was placed in (see [`Exchange`]), so moving it across threads is sound.
+unsafe impl Send for RuPtr {}
+
+/// The epoch assignment table shared between the coordinator and its workers.
+///
+/// Slot `w` holds the chunk of Local RUs thread `w` drains this epoch (slot 0
+/// is the coordinator's own chunk).
+///
+/// # Safety protocol
+/// All access is phased by the two [`Barrier`]s in [`drive_par`]:
+/// * between an end barrier and the next start barrier the workers are parked,
+///   and the coordinator has exclusive access to the table and to every RU;
+/// * between a start barrier and the matching end barrier each thread reads
+///   only its own slot and dereferences only the [`RuPtr`]s in it — the slots
+///   partition the epoch's Local RUs, so no RU is reachable from two threads.
+///
+/// The barriers establish the happens-before edges that make the handoff of
+/// the table contents (and of the RU state behind the pointers) data-race
+/// free.
+struct Exchange {
+    assign: UnsafeCell<Vec<Vec<RuPtr>>>,
+}
+
+// Safety: see the protocol above — the barrier discipline rules out
+// concurrent conflicting access through the cell.
+unsafe impl Sync for Exchange {}
+
+impl Exchange {
+    fn new(slots: usize) -> Self {
+        Self {
+            assign: UnsafeCell::new((0..slots).map(|_| Vec::new()).collect()),
+        }
+    }
+}
+
+/// The intra-frame parallel driver (`LIBRA_EVENT_LOOP=par`): the event core
+/// sharded by Raster Unit (plus a DRAM-channel ledger for memory-blocked
+/// events), advanced in epochs and merged bit-identically to [`drive_heap`].
+///
+/// **Why the result is bit-identical to the serial drivers.** Every micro-
+/// event is classified ([`classify`]) as Local or Shared via the same branch
+/// selector the executor uses. Local events read and write only their RU's
+/// private state, so runs of Local events on *different* RUs commute: running
+/// them concurrently (or in any serial order) yields the same per-RU state
+/// and the same commutatively-merged counters. Within one RU, events always
+/// run in the serial order ([`drain_local`] is a strictly sequential loop that
+/// parks at the first Shared event).
+///
+/// Shared events are committed one at a time by the coordinator in
+/// `(gate, RU index)` order, where an RU's *gate* is the running maximum of
+/// its pop keys (each event's `next_time` at selection) and a parked event's
+/// gate is `gate ⊔ its own raw time`. The gate — not the raw time — is the
+/// serial merge key because per-RU pop keys are **not monotone**: a tile
+/// promotion or a freed warp slot can expose *back-dated* work (an event whose
+/// `next_time` is earlier than the event that revealed it). The serial drivers
+/// merge on each RU's *current head*, so back-dated events stay hidden behind
+/// the later-keyed event that drags them — RU `i`'s head sits at the drag key
+/// `k` until every other RU's head reaches `k`, and only then does the
+/// back-dated run pop. Merging parked events by `(gate, RU)` reproduces this
+/// exactly: an inductive reachability argument shows two parked heads can
+/// disagree between raw-key order and gate order only in states the serial
+/// merge can never reach (for RU `i`'s gate to exceed RU `j`'s, `j`'s head
+/// must already have passed `i`'s gate-opening key), and on gate ties the
+/// RU-index tie-break matches the serial drivers' — the gate-opening events
+/// tie at the same raw key, and each RU's dragged run pops immediately after
+/// its own opener. Committing one RU's event never changes another RU's next
+/// event (the invariant [`drive_heap`] already relies on), so the Shared
+/// commit sequence equals the serial drivers' Shared subsequence. Since all
+/// contention-carrying state (L2/DRAM, frame plan, trace stream, steal
+/// targets) is touched only by Shared events, in the same order with the same
+/// inputs, every counter, timestamp, and trace record matches the serial loop
+/// bit-for-bit — the epoch *horizon* (the earliest parked Shared gate) only
+/// bounds when threads synchronise, never what they compute.
+///
+/// Threading: `threads <= 1` runs everything inline with zero spawns.
+/// Otherwise one [`std::thread::scope`] hosts `threads - 1` persistent
+/// workers; each epoch with two or more Local RUs round-robins them over the
+/// thread slots through the [`Exchange`] table between a start and an end
+/// [`Barrier`], and the coordinator (always the main thread — trace emission
+/// stays thread-invariant) drains slot 0. Traces are only ever written from
+/// Shared commits on the coordinator, so trace streams are identical at every
+/// thread count.
+fn drive_par(ctx: &mut PhaseCtx, threads: usize) {
+    let n = ctx.states.len();
+    let slots = threads.max(1).min(n.max(1));
+    let num_tiles = ctx.cfg.screen.num_tiles();
+
+    let mut chan: ChannelQueues<u32> = ChannelQueues::new(ctx.hier.dram_channels());
+    let mut ru_parked: ShardedEventQueue<u32> = ShardedEventQueue::new(n.max(1));
+    let mut locals: Vec<usize> = Vec::new();
+    let mut gates: Vec<Cycle> = vec![0; n];
+    for i in 0..n {
+        park(ctx, i, 0, &mut chan, &mut ru_parked, &mut locals);
+    }
+
+    if slots <= 1 {
+        let mut scratch = ParScratch::new(num_tiles);
+        par_commit_loop(
+            ctx,
+            &mut gates,
+            &mut chan,
+            &mut ru_parked,
+            &mut locals,
+            &mut |ctx, gates, ls| {
+                for &i in ls {
+                    drain_local_inline(ctx, i, &mut scratch, &mut gates[i]);
+                }
+            },
+        );
+        absorb_scratch(ctx, scratch);
+        return;
+    }
+
+    let done = AtomicBool::new(false);
+    let start = Barrier::new(slots);
+    let end = Barrier::new(slots);
+    let exchange = Exchange::new(slots);
+    let ideal = ctx.hier.ideal;
+    let max_warps = ctx.max_warps;
+    let mut coord_scratch = ParScratch::new(num_tiles);
+
+    let worker_scratches: Vec<ParScratch> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..slots)
+            .map(|w| {
+                let (exchange, start, end, done) = (&exchange, &start, &end, &done);
+                let mut scratch = ParScratch::new(num_tiles);
+                s.spawn(move || {
+                    loop {
+                        start.wait();
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Safety: between the start and end barriers slot `w`
+                        // is exclusively this worker's ([`Exchange`] protocol).
+                        unsafe {
+                            let assign: &Vec<Vec<RuPtr>> = &*exchange.assign.get();
+                            for p in &assign[w] {
+                                drain_local(
+                                    &mut *p.ru,
+                                    &mut *p.st,
+                                    &mut scratch,
+                                    &mut *p.gate,
+                                    max_warps,
+                                    ideal,
+                                );
+                            }
+                        }
+                        end.wait();
+                    }
+                    scratch
+                })
+            })
+            .collect();
+
+        par_commit_loop(
+            ctx,
+            &mut gates,
+            &mut chan,
+            &mut ru_parked,
+            &mut locals,
+            &mut |ctx, gates, ls| {
+                if ls.len() < 2 {
+                    for &i in ls {
+                        drain_local_inline(ctx, i, &mut coord_scratch, &mut gates[i]);
+                    }
+                    return;
+                }
+                // Parallel epoch: round-robin the Local RUs over the slots,
+                // then release the workers. The pointers are taken fresh from
+                // the context each epoch and die at the end barrier.
+                let rp = ctx.rus.as_mut_ptr();
+                let sp = ctx.states.as_mut_ptr();
+                let gp = gates.as_mut_ptr();
+                // Safety: the workers are parked at the start barrier, so the
+                // coordinator owns the table; each RU lands in exactly one
+                // slot.
+                unsafe {
+                    let assign = &mut *exchange.assign.get();
+                    for v in assign.iter_mut() {
+                        v.clear();
+                    }
+                    for (k, &i) in ls.iter().enumerate() {
+                        assign[k % slots].push(RuPtr {
+                            ru: rp.add(i),
+                            st: sp.add(i),
+                            gate: gp.add(i),
+                        });
+                    }
+                }
+                start.wait();
+                // Safety: slot 0 is the coordinator's exclusive chunk this
+                // epoch.
+                unsafe {
+                    let assign: &Vec<Vec<RuPtr>> = &*exchange.assign.get();
+                    for p in &assign[0] {
+                        drain_local(
+                            &mut *p.ru,
+                            &mut *p.st,
+                            &mut coord_scratch,
+                            &mut *p.gate,
+                            max_warps,
+                            ideal,
+                        );
+                    }
+                }
+                end.wait();
+            },
+        );
+
+        done.store(true, Ordering::Release);
+        start.wait();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel raster worker panicked"))
+            .collect()
+    });
+
+    absorb_scratch(ctx, coord_scratch);
+    for s in worker_scratches {
+        absorb_scratch(ctx, s);
     }
 }
 
@@ -614,6 +1239,7 @@ pub fn run_raster_phase(
     match event_loop::mode() {
         EventLoopMode::Heap => drive_heap(&mut ctx),
         EventLoopMode::Scan => drive_scan(&mut ctx),
+        EventLoopMode::Par => drive_par(&mut ctx, event_loop::sim_threads()),
     }
 
     let mut out = ctx.out;
@@ -638,25 +1264,34 @@ mod tests {
         let bins = bin_triangles(&tris, &cfg.screen);
         let mut hier = MemoryHierarchy::new(cfg.l2_cache, cfg.dram, cfg.dram_interval_cycles);
         hier.ideal = cfg.ideal_memory;
-        let mut rus: Vec<RasterUnit> =
-            (0..cfg.num_raster_units).map(|_| RasterUnit::new(cfg)).collect();
+        let mut rus: Vec<RasterUnit> = (0..cfg.num_raster_units)
+            .map(|_| RasterUnit::new(cfg))
+            .collect();
         let mut sched = kind.build();
         let mut plan = sched.plan_frame(&cfg.screen, None);
         run_raster_phase(cfg, &mut rus, &mut hier, &mut plan, &tris, &bins)
     }
 
     #[test]
-    fn scan_and_heap_drivers_agree_bit_for_bit() {
+    fn scan_heap_and_par_drivers_agree_bit_for_bit() {
         // The crate-level face of the differential oracle: the full phase
         // result (timing, heatmap, every counter) must be identical under
-        // both drivers. `tests/event_loop_diff.rs` widens this to whole
-        // simulated sequences.
+        // all three drivers, and under `par` at every thread count.
+        // `tests/event_loop_diff.rs` and `tests/parallel_core_diff.rs` widen
+        // this to whole simulated sequences.
         let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
         for kind in [SchedulerKind::Libra, SchedulerKind::Scanline] {
             event_loop::set_mode(Some(EventLoopMode::Scan));
             let scan = run(&cfg, kind);
             event_loop::set_mode(Some(EventLoopMode::Heap));
             let heap = run(&cfg, kind);
+            event_loop::set_mode(Some(EventLoopMode::Par));
+            for threads in [1usize, 2, 4] {
+                event_loop::set_sim_threads(Some(threads));
+                let par = run(&cfg, kind);
+                assert_eq!(heap, par, "par@{threads} diverged under {kind:?}");
+            }
+            event_loop::set_sim_threads(None);
             event_loop::set_mode(None);
             assert_eq!(scan, heap, "drivers diverged under {kind:?}");
             assert!(scan.events > 0);
@@ -672,7 +1307,10 @@ mod tests {
         assert!(r.warps > 0);
         // Every tile flushes 64 FB lines, so every tile has DRAM attribution.
         for (i, t) in r.heatmap.tiles.iter().enumerate() {
-            assert!(t.dram_accesses >= 32, "tile {i} missing flush writes: {t:?}");
+            assert!(
+                t.dram_accesses >= 32,
+                "tile {i} missing flush writes: {t:?}"
+            );
         }
     }
 
@@ -680,7 +1318,10 @@ mod tests {
     fn two_rus_are_faster_than_one_with_same_total_cores() {
         let screen = ScreenConfig::tiny();
         let single = run(&GpuConfig::baseline(screen), SchedulerKind::SingleZOrder);
-        let dual = run(&GpuConfig::libra(screen, 2), SchedulerKind::InterleavedZOrder);
+        let dual = run(
+            &GpuConfig::libra(screen, 2),
+            SchedulerKind::InterleavedZOrder,
+        );
         // Same functional work:
         assert_eq!(single.fragments, dual.fragments);
         // PTR parallelises the per-tile pipeline; on this heavily memory-bound
@@ -698,8 +1339,10 @@ mod tests {
     fn ideal_memory_is_faster_and_dram_free() {
         let screen = ScreenConfig::tiny();
         let real = run(&GpuConfig::baseline(screen), SchedulerKind::SingleZOrder);
-        let ideal =
-            run(&GpuConfig::baseline(screen).with_ideal_memory(), SchedulerKind::SingleZOrder);
+        let ideal = run(
+            &GpuConfig::baseline(screen).with_ideal_memory(),
+            SchedulerKind::SingleZOrder,
+        );
         assert!(ideal.raster_cycles < real.raster_cycles);
         assert_eq!(ideal.fill_lines, 0);
     }

@@ -54,7 +54,10 @@ impl ThroughputRecord {
     }
 }
 
-/// A scan-vs-heap comparison over the same workload slice.
+/// The worker counts [`compare`] records the parallel driver at.
+pub const PAR_THREADS: &[usize] = &[1, 2, 4];
+
+/// A scan-vs-heap-vs-par comparison over the same workload slice.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
     /// Workload abbreviations that made up the slice.
@@ -67,6 +70,10 @@ pub struct ThroughputReport {
     pub scan: ThroughputRecord,
     /// The indexed heap driver.
     pub heap: ThroughputRecord,
+    /// The intra-frame parallel driver at each recorded worker count, as
+    /// `(threads, record)`. Record-only: the parallel speedup depends on the
+    /// host and is never asserted on.
+    pub par: Vec<(usize, ThroughputRecord)>,
 }
 
 impl ThroughputReport {
@@ -76,6 +83,15 @@ impl ThroughputReport {
             return 0.0;
         }
         self.scan.wall_ns as f64 / self.heap.wall_ns as f64
+    }
+
+    /// Par-over-heap wall-clock speedup at the highest recorded worker count
+    /// (>1 means the parallel driver beat the serial heap). Record-only.
+    pub fn par_speedup(&self) -> f64 {
+        match self.par.last() {
+            Some((_, r)) if r.wall_ns > 0 => self.heap.wall_ns as f64 / r.wall_ns as f64,
+            _ => 0.0,
+        }
     }
 
     /// Hand-written JSON for `BENCH_sim_throughput.json` (the workspace has no
@@ -92,18 +108,32 @@ impl ThroughputReport {
                 r.cycles,
             )
         }
-        let workloads =
-            self.workloads.iter().map(|w| format!("\"{w}\"")).collect::<Vec<_>>().join(", ");
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|w| format!("\"{w}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let par = self
+            .par
+            .iter()
+            .map(|(threads, r)| format!("{{\"threads\": {}, \"record\": {}}}", threads, record(r)))
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\n  \"bench\": \"sim_throughput\",\n  \"workloads\": [{}],\n  \
              \"frames\": {},\n  \"raster_units\": {},\n  \"scan\": {},\n  \
-             \"heap\": {},\n  \"speedup_heap_over_scan\": {:.3}\n}}\n",
+             \"heap\": {},\n  \"par\": [{}],\n  \
+             \"speedup_heap_over_scan\": {:.3},\n  \
+             \"speedup_par_over_heap\": {:.3}\n}}\n",
             workloads,
             self.frames,
             self.raster_units,
             record(&self.scan),
             record(&self.heap),
+            par,
             self.speedup(),
+            self.par_speedup(),
         )
     }
 
@@ -116,19 +146,32 @@ impl ThroughputReport {
             self.frames,
             self.raster_units
         ));
-        for r in [&self.scan, &self.heap] {
+        let mut line = |label: String, r: &ThroughputRecord| {
             s.push_str(&format!(
-                "  {:>4}: {:>8.1} ms  {:>12.0} events/s  {:>7.1} ns/event\n",
-                match r.mode {
-                    EventLoopMode::Heap => "heap",
-                    EventLoopMode::Scan => "scan",
-                },
+                "  {:>6}: {:>8.1} ms  {:>12.0} events/s  {:>7.1} ns/event\n",
+                label,
                 r.wall_ns as f64 / 1e6,
                 r.events_per_sec(),
                 r.ns_per_event(),
             ));
+        };
+        line("scan".to_string(), &self.scan);
+        line("heap".to_string(), &self.heap);
+        for (threads, r) in &self.par {
+            debug_assert_eq!(r.mode, EventLoopMode::Par);
+            line(format!("par@{threads}"), r);
         }
-        s.push_str(&format!("  speedup (heap over scan): {:.2}x\n", self.speedup()));
+        s.push_str(&format!(
+            "  speedup (heap over scan): {:.2}x\n",
+            self.speedup()
+        ));
+        if !self.par.is_empty() {
+            s.push_str(&format!(
+                "  speedup (par@{} over heap): {:.2}x (record only)\n",
+                self.par.last().map_or(0, |(t, _)| *t),
+                self.par_speedup()
+            ));
+        }
         s
     }
 }
@@ -154,12 +197,37 @@ pub fn measure_mode(
     }
     let wall_ns = start.elapsed().as_nanos();
     event_loop::set_mode(saved);
-    ThroughputRecord { mode, wall_ns, events, cycles }
+    ThroughputRecord {
+        mode,
+        wall_ns,
+        events,
+        cycles,
+    }
 }
 
-/// Runs the scan-vs-heap comparison over a workload slice. The scan pass runs
-/// first (warming the page cache and branch predictors in *its* favour, which
-/// only makes the reported heap speedup conservative).
+/// [`measure_mode`] with the parallel driver pinned to `threads` workers,
+/// restoring the previous thread override afterwards.
+pub fn measure_par(
+    threads: usize,
+    cfg: &GpuConfig,
+    scheduler: SchedulerKind,
+    profiles: &[BenchmarkProfile],
+    frames: u32,
+) -> ThroughputRecord {
+    let saved = event_loop::sim_threads_override();
+    event_loop::set_sim_threads(Some(threads));
+    let record = measure_mode(EventLoopMode::Par, cfg, scheduler, profiles, frames);
+    event_loop::set_sim_threads(saved);
+    record
+}
+
+/// Runs the scan-vs-heap-vs-par comparison over a workload slice. The scan
+/// pass runs first (warming the page cache and branch predictors in *its*
+/// favour, which only makes the reported heap speedup conservative); the
+/// parallel driver is then measured at each of [`PAR_THREADS`]. Simulated
+/// cycles and event counts are asserted identical across every run — that is
+/// the differential contract, not a performance assertion; wall-clock numbers
+/// are only ever recorded.
 pub fn compare(
     cfg: &GpuConfig,
     scheduler: SchedulerKind,
@@ -172,13 +240,32 @@ pub fn compare(
         scan.cycles, heap.cycles,
         "the two drivers must simulate identical timing (differential contract)"
     );
-    assert_eq!(scan.events, heap.events, "the two drivers must process identical event counts");
+    assert_eq!(
+        scan.events, heap.events,
+        "the two drivers must process identical event counts"
+    );
+    let par = PAR_THREADS
+        .iter()
+        .map(|&threads| {
+            let r = measure_par(threads, cfg, scheduler, profiles, frames);
+            assert_eq!(
+                heap.cycles, r.cycles,
+                "par@{threads} must simulate identical timing (differential contract)"
+            );
+            assert_eq!(
+                heap.events, r.events,
+                "par@{threads} must process identical event counts"
+            );
+            (threads, r)
+        })
+        .collect();
     ThroughputReport {
         workloads: profiles.iter().map(|p| p.abbrev.to_string()).collect(),
         frames,
         raster_units: cfg.num_raster_units as u32,
         scan,
         heap,
+        par,
     }
 }
 
@@ -196,9 +283,17 @@ mod tests {
         assert!(report.scan.events > 0);
         assert_eq!(report.scan.events, report.heap.events);
         assert_eq!(report.scan.cycles, report.heap.cycles);
+        assert_eq!(report.par.len(), PAR_THREADS.len());
+        for (threads, r) in &report.par {
+            assert_eq!(r.events, report.heap.events, "par@{threads} event count");
+            assert_eq!(r.cycles, report.heap.cycles, "par@{threads} cycles");
+        }
         let json = report.to_json();
         assert!(json.contains("\"sim_throughput\""));
         assert!(json.contains("\"speedup_heap_over_scan\""));
+        assert!(json.contains("\"speedup_par_over_heap\""));
+        assert!(json.contains("\"threads\": 4"));
         assert!(report.render().contains("speedup"));
+        assert!(report.render().contains("par@4"));
     }
 }

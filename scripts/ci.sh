@@ -10,34 +10,39 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=1
 
-echo "== [1/9] offline release build =="
+echo "== [1/10] offline release build =="
 cargo build --release --workspace
 
-echo "== [2/9] clippy (deny warnings) =="
+echo "== [2/10] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== [3/9] rustdoc (deny warnings) =="
+echo "== [3/10] rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-echo "== [4/9] test suite =="
+echo "== [4/10] test suite =="
 cargo test -q
 
-echo "== [5/9] trace-export smoke (emit, then validate with the in-repo parser) =="
+echo "== [5/10] trace-export smoke (emit, then validate with the in-repo parser) =="
 cargo run --release --bin libra-sim -- run AAt --frames 1 \
     --trace-out target/ci_trace.json --report-json target/ci_report.json
 cargo run --release --bin libra-sim -- trace-check target/ci_trace.json
 
-echo "== [6/9] 2-thread campaign smoke (parallel == serial, bit-identical) =="
+echo "== [6/10] 2-thread campaign smoke (parallel == serial, bit-identical) =="
 cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 --verify
 
-echo "== [7/9] heap-vs-scan event-loop differential smoke (metrics bit-identical) =="
+echo "== [7/10] heap-vs-scan event-loop differential smoke (metrics bit-identical) =="
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop scan \
     --report-json target/ci_eventloop_scan.json
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop heap \
     --report-json target/ci_eventloop_heap.json
 cmp target/ci_eventloop_scan.json target/ci_eventloop_heap.json
 
-echo "== [8/9] kill-and-resume smoke (poison one job, resume, metrics bit-identical) =="
+echo "== [8/10] par-vs-heap event-loop differential smoke (2 worker threads, metrics bit-identical) =="
+cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop par --sim-threads 2 \
+    --report-json target/ci_eventloop_par.json
+cmp target/ci_eventloop_heap.json target/ci_eventloop_par.json
+
+echo "== [9/10] kill-and-resume smoke (poison one job, resume, metrics bit-identical) =="
 # Reference: an uninterrupted sweep (no checkpoint so it cannot collide).
 cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 \
     --no-checkpoint --report-json target/ci_campaign_ref.json
@@ -56,7 +61,7 @@ cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 \
     --resume target/ci_campaign.ckpt --report-json target/ci_campaign_resumed.json
 cmp target/ci_campaign_ref.json target/ci_campaign_resumed.json
 
-echo "== [9/9] sim-throughput record (scan vs heap wall-clock; record only, never asserted) =="
+echo "== [10/10] sim-throughput record (scan vs heap vs par wall-clock; record only, never asserted) =="
 cargo run --release --bin libra-sim -- throughput --frames 1 --rus 64 --cores 8 \
     --out BENCH_sim_throughput.json
 

@@ -6,12 +6,15 @@
 //! libra-sim compare <ABBREV> [opts]       baseline vs PTR vs LIBRA
 //! libra-sim sweep-ru <ABBREV> [opts]      1..4 Raster Units
 //! libra-sim campaign [opts]               parallel sweep over the whole suite
-//! libra-sim throughput [opts]             scan-vs-heap events/sec benchmark
+//! libra-sim throughput [opts]             scan-vs-heap-vs-par events/sec benchmark
 //! libra-sim trace-check <FILE>            validate an emitted Chrome trace
 //!
 //! options: --frames N (default 6)   --fhd   --scheduler z|scanline|hilbert|static2|
 //!          static4|static8|static16|libra   --rus N   --cores N   --ideal-memory
-//!          --event-loop heap|scan (pin the raster event-loop driver)
+//!          --event-loop heap|scan|par (pin the raster event-loop driver)
+//!          --sim-threads N (worker threads for `--event-loop par`; also
+//!          settable via LIBRA_SIM_THREADS — the results are bit-identical at
+//!          every thread count)
 //!
 //! run options (additionally): --trace-out FILE (Perfetto/Chrome trace JSON)
 //!          --report-json FILE (full metrics-registry report)
@@ -132,16 +135,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--no-checkpoint" => o.no_checkpoint = true,
             "--resume" => o.resume = Some(need("--resume")?.clone()),
             "--budget-cycles" => {
-                o.budget_cycles =
-                    Some(need("--budget-cycles")?.parse().map_err(|e| format!("{e}"))?)
+                o.budget_cycles = Some(
+                    need("--budget-cycles")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
             }
             "--retries" => o.retries = need("--retries")?.parse().map_err(|e| format!("{e}"))?,
             "--fault" => o.fault = Some(need("--fault")?.clone()),
             "--event-loop" => {
                 let name = need("--event-loop")?;
                 let mode = event_loop::parse(name)
-                    .ok_or_else(|| format!("unknown event loop `{name}` (heap|scan)"))?;
+                    .ok_or_else(|| format!("unknown event loop `{name}` (heap|scan|par)"))?;
                 event_loop::set_mode(Some(mode));
+            }
+            "--sim-threads" => {
+                let n: usize = need("--sim-threads")?.parse().map_err(|e| format!("{e}"))?;
+                if n == 0 {
+                    return Err("--sim-threads needs a value >= 1".into());
+                }
+                event_loop::set_sim_threads(Some(n));
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -172,14 +185,21 @@ fn find(abbrev: &str) -> Result<BenchmarkProfile, String> {
 }
 
 fn cmd_suite() {
-    println!("{:<6} {:<24} {:<5} {:<8} {:>8}", "abbr", "name", "cat", "class", "tris≈");
+    println!(
+        "{:<6} {:<24} {:<5} {:<8} {:>8}",
+        "abbr", "name", "cat", "class", "tris≈"
+    );
     for p in suite() {
         println!(
             "{:<6} {:<24} {:<5} {:<8} {:>8}",
             p.abbrev,
             p.name,
             p.category.label(),
-            if p.memory_intensive { "memory" } else { "compute" },
+            if p.memory_intensive {
+                "memory"
+            } else {
+                "compute"
+            },
             p.approx_triangles()
         );
     }
@@ -214,7 +234,11 @@ fn cmd_run(abbrev: &str, o: &Opts) -> Result<(), String> {
 
     println!(
         "{}",
-        report::sequence_summary(&format!("{} ({} RU x {} cores)", p.abbrev, o.rus, o.cores), &s, &cfg)
+        report::sequence_summary(
+            &format!("{} ({} RU x {} cores)", p.abbrev, o.rus, o.cores),
+            &s,
+            &cfg
+        )
     );
     for f in &s.frames {
         println!("  {}", report::frame_line(f));
@@ -283,9 +307,15 @@ fn cmd_compare(abbrev: &str, o: &Opts) -> Result<(), String> {
     let base = simulate_sequence(&base_cfg, SchedulerKind::SingleZOrder, &p, o.frames);
     let ptr = simulate_sequence(&dual_cfg, SchedulerKind::InterleavedZOrder, &p, o.frames);
     let libra = simulate_sequence(&dual_cfg, SchedulerKind::Libra, &p, o.frames);
-    print!("{}", report::sequence_summary("baseline 1RUx8", &base, &base_cfg));
+    print!(
+        "{}",
+        report::sequence_summary("baseline 1RUx8", &base, &base_cfg)
+    );
     print!("{}", report::sequence_summary("PTR 2RUx4", &ptr, &dual_cfg));
-    print!("{}", report::sequence_summary("LIBRA 2RUx4", &libra, &dual_cfg));
+    print!(
+        "{}",
+        report::sequence_summary("LIBRA 2RUx4", &libra, &dual_cfg)
+    );
     println!("{}", report::compare("baseline", &base, "PTR  ", &ptr));
     println!("{}", report::compare("baseline", &base, "LIBRA", &libra));
     Ok(())
@@ -301,20 +331,26 @@ fn cmd_sweep_ru(abbrev: &str, o: &Opts) -> Result<(), String> {
         if n == 1 {
             base_cycles = s.avg_frame_cycles();
         }
-        println!("{:<4} {:>12.0} {:>8.3}x", n, s.avg_frame_cycles(), base_cycles / s.avg_frame_cycles());
+        println!(
+            "{:<4} {:>12.0} {:>8.3}x",
+            n,
+            s.avg_frame_cycles(),
+            base_cycles / s.avg_frame_cycles()
+        );
     }
     Ok(())
 }
 
-/// Serial scan-vs-heap wall-clock comparison over the whole suite: the recorded
-/// (never asserted) simulation-throughput benchmark. Writes the JSON record to
-/// `bench_results/sim_throughput.json` and to `--out` (default
-/// `BENCH_sim_throughput.json`).
+/// Scan-vs-heap-vs-par wall-clock comparison over the whole suite: the
+/// recorded (never asserted) simulation-throughput benchmark; the parallel
+/// driver is timed at each of [`throughput::PAR_THREADS`] worker counts.
+/// Writes the JSON record to `bench_results/sim_throughput.json` and to
+/// `--out` (default `BENCH_sim_throughput.json`).
 fn cmd_throughput(o: &Opts) -> Result<(), String> {
     let cfg = config(o);
     let profiles = suite();
     println!(
-        "throughput: {} workloads x {} frames, {} RU x {} cores, scheduler {:?} (scan then heap)",
+        "throughput: {} workloads x {} frames, {} RU x {} cores, scheduler {:?} (scan, heap, par)",
         profiles.len(),
         o.frames,
         o.rus,
@@ -324,7 +360,11 @@ fn cmd_throughput(o: &Opts) -> Result<(), String> {
     let report = throughput::compare(&cfg, o.scheduler, &profiles, o.frames);
     print!("{}", report.render());
     let json = report.to_json();
-    write_file("bench_results/sim_throughput.json", &json, "throughput record")?;
+    write_file(
+        "bench_results/sim_throughput.json",
+        &json,
+        "throughput record",
+    )?;
     let root = o.out.as_deref().unwrap_or("BENCH_sim_throughput.json");
     write_file(root, &json, "throughput record")?;
     Ok(())
@@ -435,12 +475,24 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
             eprintln!("warning: checkpoint writes degraded ({e}); results are complete anyway");
         }
         if let Some(path) = &o.trace_out {
-            write_file(path, &tbr_common::trace::Trace::chrome_json_multi(&run.traces), "Chrome trace")?;
+            write_file(
+                path,
+                &tbr_common::trace::Trace::chrome_json_multi(&run.traces),
+                "Chrome trace",
+            )?;
         }
         if o.profile {
             let profile = &run.profile;
-            write_file("bench_results/campaign_workers.csv", &profile.workers_csv(), "worker profile")?;
-            write_file("bench_results/campaign_jobs.csv", &profile.jobs_csv(), "job profile")?;
+            write_file(
+                "bench_results/campaign_workers.csv",
+                &profile.workers_csv(),
+                "worker profile",
+            )?;
+            write_file(
+                "bench_results/campaign_jobs.csv",
+                &profile.jobs_csv(),
+                "job profile",
+            )?;
             println!(
                 "profile: {} threads, {:.2}s wall, {:.1}% mean worker utilization, {} steals",
                 profile.threads,
@@ -453,7 +505,10 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
     };
     let elapsed = start.elapsed().as_secs_f64();
 
-    println!("{:<6} {:<10} {:>12} {:>12} {:>8}", "bench", "scheduler", "cycles/f", "dram", "texL1%");
+    println!(
+        "{:<6} {:<10} {:>12} {:>12} {:>8}",
+        "bench", "scheduler", "cycles/f", "dram", "texL1%"
+    );
     for r in &results {
         match r.stats() {
             Some(stats) => println!(
@@ -468,7 +523,11 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         }
     }
     if let Some(path) = &o.report_json {
-        write_file(path, &campaign_metrics_json(&results), "campaign metrics report")?;
+        write_file(
+            path,
+            &campaign_metrics_json(&results),
+            "campaign metrics report",
+        )?;
     }
 
     let done = results.iter().filter(|r| r.is_success()).count();
@@ -496,7 +555,8 @@ fn usage() {
     eprintln!(
         "usage: libra-sim <suite|run|compare|sweep-ru|campaign|throughput|trace-check> \
          [ABBREV|FILE] [--frames N] [--fhd] [--scheduler z|scanline|hilbert|staticN|libra] \
-         [--rus N] [--cores N] [--ideal-memory] [--event-loop heap|scan] [--threads N] \
+         [--rus N] [--cores N] [--ideal-memory] [--event-loop heap|scan|par] \
+         [--sim-threads N] [--threads N] \
          [--seed S] [--verify] [--profile] [--trace-out FILE] [--report-json FILE] [--out FILE] \
          [--checkpoint FILE] [--no-checkpoint] [--resume FILE] [--budget-cycles N] \
          [--retries N] [--fault KIND:JOB]  (see docs/OPERATIONS.md)"

@@ -34,7 +34,16 @@ const GOLDENS: &[GoldenRow] = &[
     ("AAt", "Libra", 207800, 29265, 211828, 303585, 1, 1),
     ("AAt", "Scanline", 210682, 30159, 210968, 303585, 0, 0),
     ("AAt", "SingleZOrder", 208141, 29864, 211716, 303585, 0, 0),
-    ("AAt", "StaticSupertile4", 209899, 29988, 213025, 303585, 0, 0),
+    (
+        "AAt",
+        "StaticSupertile4",
+        209899,
+        29988,
+        213025,
+        303585,
+        0,
+        0,
+    ),
     ("AnB", "Hilbert", 51064, 5824, 46861, 53770, 0, 0),
     ("AnB", "Libra", 51650, 5840, 46618, 53770, 0, 0),
     ("AnB", "Scanline", 51697, 5871, 46758, 53770, 0, 0),
@@ -44,7 +53,16 @@ const GOLDENS: &[GoldenRow] = &[
     ("CCS", "Libra", 420898, 78190, 332199, 512077, 1, 1),
     ("CCS", "Scanline", 427548, 80489, 332169, 512077, 0, 0),
     ("CCS", "SingleZOrder", 417348, 79147, 331999, 512077, 0, 0),
-    ("CCS", "StaticSupertile4", 434262, 80313, 332624, 512077, 0, 0),
+    (
+        "CCS",
+        "StaticSupertile4",
+        434262,
+        80313,
+        332624,
+        512077,
+        0,
+        0,
+    ),
     ("GDL", "Hilbert", 80075, 6656, 57220, 68378, 0, 0),
     ("GDL", "Libra", 78747, 6722, 57673, 68378, 0, 0),
     ("GDL", "Scanline", 81029, 6773, 57493, 68378, 0, 0),
@@ -54,12 +72,30 @@ const GOLDENS: &[GoldenRow] = &[
     ("GrT", "Libra", 545379, 98247, 485397, 721166, 1, 1),
     ("GrT", "Scanline", 556243, 101795, 485490, 721166, 0, 0),
     ("GrT", "SingleZOrder", 546284, 100435, 485673, 721166, 0, 0),
-    ("GrT", "StaticSupertile4", 557281, 102296, 485877, 721166, 0, 0),
+    (
+        "GrT",
+        "StaticSupertile4",
+        557281,
+        102296,
+        485877,
+        721166,
+        0,
+        0,
+    ),
     ("SuS", "Hilbert", 274930, 41373, 292202, 417395, 0, 0),
     ("SuS", "Libra", 273679, 40877, 293320, 417395, 1, 1),
     ("SuS", "Scanline", 285090, 42328, 292220, 417395, 0, 0),
     ("SuS", "SingleZOrder", 275170, 41662, 292984, 417395, 0, 0),
-    ("SuS", "StaticSupertile4", 277310, 41932, 293278, 417395, 0, 0),
+    (
+        "SuS",
+        "StaticSupertile4",
+        277310,
+        41932,
+        293278,
+        417395,
+        0,
+        0,
+    ),
 ];
 
 const FRAMES: u32 = 2;
@@ -76,14 +112,37 @@ fn kinds() -> [(&'static str, SchedulerKind); 5] {
 }
 
 fn workloads() -> Vec<BenchmarkProfile> {
-    let mut v: Vec<BenchmarkProfile> =
-        suite().into_iter().filter(|p| WORKLOAD_ABBREVS.contains(&p.abbrev)).collect();
+    let mut v: Vec<BenchmarkProfile> = suite()
+        .into_iter()
+        .filter(|p| WORKLOAD_ABBREVS.contains(&p.abbrev))
+        .collect();
     v.sort_by(|a, b| a.abbrev.cmp(b.abbrev));
     v
 }
 
 /// Runs one (workload, scheduler) cell and returns the full golden tuple tail:
 /// (cycles, dram, tex hits, tex accesses, order switches, supertile resizes).
+///
+/// `mode` pins the raster event-loop driver for the run (`None` uses the
+/// default). Every driver must hit the *same* goldens — the table pins the
+/// perf model, not the event-core implementation.
+fn measure_with(
+    p: &BenchmarkProfile,
+    kind: SchedulerKind,
+    mode: Option<(EventLoopMode, usize)>,
+) -> (u64, u64, u64, u64, u64, u64) {
+    if let Some((m, threads)) = mode {
+        event_loop::set_mode(Some(m));
+        event_loop::set_sim_threads(Some(threads));
+    }
+    let out = measure(p, kind);
+    if mode.is_some() {
+        event_loop::set_sim_threads(None);
+        event_loop::set_mode(None);
+    }
+    out
+}
+
 fn measure(p: &BenchmarkProfile, kind: SchedulerKind) -> (u64, u64, u64, u64, u64, u64) {
     let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
     let mut sim = GpuSimulator::new(cfg, kind);
@@ -92,8 +151,7 @@ fn measure(p: &BenchmarkProfile, kind: SchedulerKind) -> (u64, u64, u64, u64, u6
         let label = frame.to_string();
         sim.metrics()
             .gauge_value(name, &[("frame", &label)])
-            .unwrap_or_else(|| panic!("missing {name} gauge for frame {frame}"))
-            as u64
+            .unwrap_or_else(|| panic!("missing {name} gauge for frame {frame}")) as u64
     };
     let mut order_switches = 0;
     let mut supertile_resizes = 0;
@@ -118,8 +176,16 @@ fn measure(p: &BenchmarkProfile, kind: SchedulerKind) -> (u64, u64, u64, u64, u6
 #[test]
 fn golden_snapshots_hold_per_scheduler() {
     let profiles = workloads();
-    assert_eq!(profiles.len(), 6, "golden workloads must exist in the suite");
-    assert_eq!(GOLDENS.len(), profiles.len() * kinds().len(), "one golden row per cell");
+    assert_eq!(
+        profiles.len(),
+        6,
+        "golden workloads must exist in the suite"
+    );
+    assert_eq!(
+        GOLDENS.len(),
+        profiles.len() * kinds().len(),
+        "one golden row per cell"
+    );
     let mut drifted = Vec::new();
     for p in &profiles {
         for (label, kind) in kinds() {
@@ -134,8 +200,19 @@ fn golden_snapshots_hold_per_scheduler() {
                     "{}/{label}: cycles {} (golden {}), dram {} (golden {}), \
                      tex-L1 {}/{} (golden {}/{}), order switches {} (golden {}), \
                      supertile resizes {} (golden {})",
-                    p.abbrev, cycles, golden.2, dram, golden.3, hits, accesses, golden.4,
-                    golden.5, switches, golden.6, resizes, golden.7
+                    p.abbrev,
+                    cycles,
+                    golden.2,
+                    dram,
+                    golden.3,
+                    hits,
+                    accesses,
+                    golden.4,
+                    golden.5,
+                    switches,
+                    golden.6,
+                    resizes,
+                    golden.7
                 ));
             }
         }
@@ -144,6 +221,39 @@ fn golden_snapshots_hold_per_scheduler() {
         drifted.is_empty(),
         "perf model drifted from the pinned goldens — if intentional, regenerate the \
          table with `cargo test print_current_goldens -- --ignored --nocapture`:\n{}",
+        drifted.join("\n")
+    );
+}
+
+/// The six pinned workloads again, under the intra-frame parallel event core
+/// (`--event-loop par --sim-threads 4`): the parallel driver must reproduce
+/// the exact serial goldens — cycles, DRAM traffic, cache counters, and the
+/// LIBRA feedback loop's decisions — at a worker count that actually spawns
+/// threads. A drift *here* with `golden_snapshots_hold_per_scheduler` green
+/// means the parallel driver broke bit-identity; fix the driver, never the
+/// table.
+#[test]
+fn golden_snapshots_hold_under_the_parallel_core() {
+    let profiles = workloads();
+    let mut drifted = Vec::new();
+    for p in &profiles {
+        for (label, kind) in kinds() {
+            let measured = measure_with(p, kind, Some((EventLoopMode::Par, 4)));
+            let golden = GOLDENS
+                .iter()
+                .find(|g| g.0 == p.abbrev && g.1 == label)
+                .unwrap_or_else(|| panic!("no golden row for {}/{label}", p.abbrev));
+            if measured != (golden.2, golden.3, golden.4, golden.5, golden.6, golden.7) {
+                drifted.push(format!(
+                    "{}/{label}: par@4 measured {:?}",
+                    p.abbrev, measured
+                ));
+            }
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "the parallel event core drifted from the pinned serial goldens:\n{}",
         drifted.join("\n")
     );
 }
@@ -171,12 +281,20 @@ fn golden_hit_ratios_are_derived_consistently() {
     // derivation too so the ratio-reporting path can't silently change meaning.
     for g in GOLDENS {
         let expect = g.4 as f64 / g.5 as f64;
-        assert!((0.0..1.0).contains(&expect), "{}/{} ratio {expect} implausible", g.0, g.1);
+        assert!(
+            (0.0..1.0).contains(&expect),
+            "{}/{} ratio {expect} implausible",
+            g.0,
+            g.1
+        );
     }
     let p = &workloads()[0];
     let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
     let s = simulate_sequence(&cfg, SchedulerKind::Libra, p, FRAMES);
-    let golden = GOLDENS.iter().find(|g| g.0 == p.abbrev && g.1 == "Libra").unwrap();
+    let golden = GOLDENS
+        .iter()
+        .find(|g| g.0 == p.abbrev && g.1 == "Libra")
+        .unwrap();
     assert!(
         (s.texture_hit_ratio() - golden.4 as f64 / golden.5 as f64).abs() < 1e-9,
         "texture_hit_ratio() no longer equals hits/accesses"

@@ -8,7 +8,7 @@
 
 use libra_repro::prelude::*;
 use tbr_common::json;
-use tbr_common::trace::{self, EventKind, Track, Trace};
+use tbr_common::trace::{self, EventKind, Trace, Track};
 
 const FRAMES: u32 = 2;
 
@@ -17,7 +17,10 @@ fn cfg() -> GpuConfig {
 }
 
 fn profile(abbrev: &str) -> BenchmarkProfile {
-    suite().into_iter().find(|p| p.abbrev == abbrev).expect("workload in suite")
+    suite()
+        .into_iter()
+        .find(|p| p.abbrev == abbrev)
+        .expect("workload in suite")
 }
 
 /// Renders `FRAMES` frames of `abbrev` on the dual-RU tiny LIBRA config with the
@@ -43,7 +46,10 @@ fn tracing_is_observation_only() {
     let untraced = simulate_sequence(&cfg(), SchedulerKind::Libra, &p, FRAMES);
     let (traced, t) = run_traced("AAt", SchedulerKind::Libra);
     assert!(!t.is_empty());
-    assert_eq!(traced, untraced, "enabling the tracer changed simulation results");
+    assert_eq!(
+        traced, untraced,
+        "enabling the tracer changed simulation results"
+    );
 }
 
 #[test]
@@ -56,7 +62,10 @@ fn every_tile_gets_front_end_and_flush_spans() {
     let frag = count_spans(&t, |tr, _| matches!(tr, Track::RuFragment(_)));
     assert_eq!(fe, expected, "one front-end span per tile per frame");
     assert_eq!(flush, expected, "every tile (even an empty one) flushes");
-    assert!(frag <= expected, "fragment spans only for tiles with fragments");
+    assert!(
+        frag <= expected,
+        "fragment spans only for tiles with fragments"
+    );
     assert!(frag > 0, "a real workload shades fragments");
 }
 
@@ -66,7 +75,14 @@ fn phase_spans_cover_both_frames() {
     let frames = stats.frames.len();
     // Per frame: geometry + raster plus the four geometry sub-phases.
     assert_eq!(t.on_track(Track::Phases).count(), 6 * frames);
-    for name in ["geometry", "raster", "vertex fetch", "vertex shade", "assembly", "binning"] {
+    for name in [
+        "geometry",
+        "raster",
+        "vertex fetch",
+        "vertex shade",
+        "assembly",
+        "binning",
+    ] {
         assert_eq!(
             count_spans(&t, |tr, n| *tr == Track::Phases && n == name),
             frames,
@@ -85,38 +101,63 @@ fn phase_spans_cover_both_frames() {
         })
         .max()
         .unwrap();
-    assert_eq!(max_end, total, "trace timeline must end at the sequence cycle count");
+    assert_eq!(
+        max_end, total,
+        "trace timeline must end at the sequence cycle count"
+    );
 }
 
 #[test]
 fn dram_tracks_account_for_every_access() {
     let (stats, t) = run_traced("GrT", SchedulerKind::Libra);
     let accesses: u64 = stats.frames.iter().map(|f| f.dram.total_accesses()).sum();
-    let bank_reqs =
-        count_spans(&t, |tr, n| matches!(tr, Track::DramBank { .. }) && n != "refresh");
+    let bank_reqs = count_spans(&t, |tr, n| {
+        matches!(tr, Track::DramBank { .. }) && n != "refresh"
+    });
     let bursts = count_spans(&t, |tr, _| matches!(tr, Track::DramBus(_)));
     assert_eq!(bank_reqs as u64, accesses, "one bank span per DRAM access");
     assert_eq!(bursts as u64, accesses, "one bus burst per DRAM access");
-    let refreshes = count_spans(&t, |tr, n| matches!(tr, Track::DramBank { .. }) && n == "refresh");
-    assert!(refreshes > 0, "refresh intervals must appear on bank tracks");
+    let refreshes = count_spans(&t, |tr, n| {
+        matches!(tr, Track::DramBank { .. }) && n == "refresh"
+    });
+    assert!(
+        refreshes > 0,
+        "refresh intervals must appear on bank tracks"
+    );
 }
 
 #[test]
 fn scheduler_track_records_plans_and_libra_feedback() {
     let (stats, t) = run_traced("GrT", SchedulerKind::Libra);
-    let plans = t.on_track(Track::Scheduler).filter(|e| e.name == "plan").count();
+    let plans = t
+        .on_track(Track::Scheduler)
+        .filter(|e| e.name == "plan")
+        .count();
     assert_eq!(plans, stats.frames.len(), "one plan instant per frame");
-    let feedback = t.on_track(Track::Scheduler).filter(|e| e.name == "libra feedback").count();
-    assert_eq!(feedback, stats.frames.len() - 1, "feedback instants from frame 1 on");
+    let feedback = t
+        .on_track(Track::Scheduler)
+        .filter(|e| e.name == "libra feedback")
+        .count();
+    assert_eq!(
+        feedback,
+        stats.frames.len() - 1,
+        "feedback instants from frame 1 on"
+    );
 }
 
 #[test]
 fn chrome_json_is_valid_and_carries_all_tracks() {
     let (_, t) = run_traced("AAt", SchedulerKind::Libra);
     let doc = json::parse(&t.chrome_json()).expect("trace JSON must parse");
-    let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
     assert_eq!(
-        events.iter().filter(|e| e.get("ph").and_then(|v| v.as_str()) != Some("M")).count(),
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) != Some("M"))
+            .count(),
         t.events.len(),
         "every recorded event must serialize"
     );
@@ -126,8 +167,17 @@ fn chrome_json_is_valid_and_carries_all_tracks() {
         .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("thread_name"))
         .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_owned))
         .collect();
-    for expected in ["phases", "scheduler", "RU0 front-end", "RU1 fragment", "DRAM ch0 bus"] {
-        assert!(names.iter().any(|n| n == expected), "missing track label {expected:?}");
+    for expected in [
+        "phases",
+        "scheduler",
+        "RU0 front-end",
+        "RU1 fragment",
+        "DRAM ch0 bus",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing track label {expected:?}"
+        );
     }
 }
 
@@ -138,27 +188,44 @@ fn metrics_report_round_trips_through_json() {
     let reg = sim.metrics();
     assert!(!reg.is_empty());
     let doc = json::parse(&reg.to_json()).expect("metrics JSON must parse");
-    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("libra-metrics-v1"));
-    let metrics = doc.get("metrics").and_then(|v| v.as_array()).expect("metrics array");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("libra-metrics-v1")
+    );
+    let metrics = doc
+        .get("metrics")
+        .and_then(|v| v.as_array())
+        .expect("metrics array");
     assert_eq!(metrics.len(), reg.len());
     // Spot-check published values against the stats they came from.
     let labels = &[("frame", "0")][..];
-    let reads = reg.counter_value("dram_reads", labels).expect("dram_reads{frame=0} published");
-    let writes = reg.counter_value("dram_writes", labels).expect("dram_writes{frame=0} published");
+    let reads = reg
+        .counter_value("dram_reads", labels)
+        .expect("dram_reads{frame=0} published");
+    let writes = reg
+        .counter_value("dram_writes", labels)
+        .expect("dram_writes{frame=0} published");
     assert_eq!(reads + writes, stats.frames[0].dram.total_accesses());
 }
 
 #[test]
 fn campaign_traces_merge_identically_for_any_thread_count() {
     let mut c = Campaign::new(0);
-    for p in suite().into_iter().filter(|p| p.abbrev == "AAt" || p.abbrev == "GrT") {
+    for p in suite()
+        .into_iter()
+        .filter(|p| p.abbrev == "AAt" || p.abbrev == "GrT")
+    {
         c.push(&cfg(), SchedulerKind::Libra, p, 1);
     }
     let (r1, t1) = c.run_traced(1);
     let (r3, t3) = c.run_traced(3);
     assert_eq!(r1, r3);
     let j1 = Trace::chrome_json_multi(&t1);
-    assert_eq!(j1, Trace::chrome_json_multi(&t3), "merged trace must not depend on threads");
+    assert_eq!(
+        j1,
+        Trace::chrome_json_multi(&t3),
+        "merged trace must not depend on threads"
+    );
     json::parse(&j1).expect("merged campaign trace must parse");
 }
 
@@ -172,7 +239,10 @@ fn trace_counts(t: &Trace) -> (usize, usize, usize, usize, usize) {
     (
         t.events.len(),
         t.on_track(Track::Phases).count(),
-        t.events.iter().filter(|e| matches!(e.track, Track::RuFrontEnd(_))).count(),
+        t.events
+            .iter()
+            .filter(|e| matches!(e.track, Track::RuFrontEnd(_)))
+            .count(),
         t.events
             .iter()
             .filter(|e| matches!(e.track, Track::DramBank { .. }) && e.name != "refresh")
@@ -193,11 +263,39 @@ fn trace_goldens_hold() {
     );
 }
 
+/// The parallel event core must hit the *same* pinned trace goldens as the
+/// serial drivers, and the full event stream — every track ID, name, and
+/// timestamp, in emission order — must be invariant under `--sim-threads`:
+/// traces are only ever emitted from Shared commits on the coordinator thread.
+#[test]
+fn trace_goldens_hold_under_the_parallel_core_at_any_thread_count() {
+    let (_, serial) = run_traced("AAt", SchedulerKind::Libra);
+    event_loop::set_mode(Some(EventLoopMode::Par));
+    for threads in [1usize, 2, 4] {
+        event_loop::set_sim_threads(Some(threads));
+        let (_, t) = run_traced("AAt", SchedulerKind::Libra);
+        assert_eq!(
+            trace_counts(&t),
+            TRACE_GOLDENS,
+            "par@{threads} trace shape diverged from the pinned goldens"
+        );
+        assert!(
+            t == serial,
+            "par@{threads} trace stream diverged from the serial stream \
+             (track IDs must not depend on --sim-threads)"
+        );
+    }
+    event_loop::set_sim_threads(None);
+    event_loop::set_mode(None);
+}
+
 /// Regenerates `TRACE_GOLDENS` in source form.
 #[test]
 #[ignore = "generator, not a check"]
 fn print_current_trace_goldens() {
     let (_, t) = run_traced("AAt", SchedulerKind::Libra);
     let (a, b, c, d, e) = trace_counts(&t);
-    println!("const TRACE_GOLDENS: (usize, usize, usize, usize, usize) = ({a}, {b}, {c}, {d}, {e});");
+    println!(
+        "const TRACE_GOLDENS: (usize, usize, usize, usize, usize) = ({a}, {b}, {c}, {d}, {e});"
+    );
 }

@@ -1,0 +1,164 @@
+//! Three-way differential conformance suite for the intra-frame parallel
+//! event core (`LIBRA_EVENT_LOOP=par`).
+//!
+//! The linear scan loop is the executable specification, the indexed heap
+//! driver is the production serial core, and the epoch-barrier parallel driver
+//! must reproduce both *bit for bit* — same cycles, same DRAM traffic, same
+//! heatmaps, same micro-event counts, same trace streams — at every worker
+//! count, across workloads from both suite halves and every scheduler variant.
+//! Any divergence means the parallel driver's `(gate, RU)` commit order no
+//! longer matches the serial head-merge and MUST be fixed in the parallel
+//! driver, never papered over by regenerating goldens.
+//!
+//! Everything lives in one `#[test]` because the mode and thread-count
+//! overrides are process-global: parallel test threads toggling them would
+//! race each other.
+
+use libra_repro::prelude::*;
+
+const FRAMES: u32 = 2;
+const WORKLOADS: [&str; 4] = ["AAt", "AnB", "CCS", "GrT"];
+const PAR_THREADS: [usize; 3] = [1, 2, 4];
+
+fn kinds() -> [(&'static str, SchedulerKind); 5] {
+    [
+        ("Hilbert", SchedulerKind::Hilbert),
+        ("Libra", SchedulerKind::Libra),
+        ("Scanline", SchedulerKind::Scanline),
+        ("SingleZOrder", SchedulerKind::SingleZOrder),
+        ("StaticSupertile4", SchedulerKind::StaticSupertile(4)),
+    ]
+}
+
+fn run_serial(
+    mode: EventLoopMode,
+    cfg: &GpuConfig,
+    kind: SchedulerKind,
+    p: &BenchmarkProfile,
+) -> SequenceStats {
+    event_loop::set_mode(Some(mode));
+    let s = simulate_sequence(cfg, kind, p, FRAMES);
+    event_loop::set_mode(None);
+    s
+}
+
+fn run_par(
+    threads: usize,
+    cfg: &GpuConfig,
+    kind: SchedulerKind,
+    p: &BenchmarkProfile,
+) -> SequenceStats {
+    event_loop::set_mode(Some(EventLoopMode::Par));
+    event_loop::set_sim_threads(Some(threads));
+    let s = simulate_sequence(cfg, kind, p, FRAMES);
+    event_loop::set_sim_threads(None);
+    event_loop::set_mode(None);
+    s
+}
+
+#[test]
+fn parallel_core_is_bit_identical_to_both_serial_drivers() {
+    let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+    let profiles: Vec<BenchmarkProfile> = suite()
+        .into_iter()
+        .filter(|p| WORKLOADS.contains(&p.abbrev))
+        .collect();
+    assert_eq!(
+        profiles.len(),
+        WORKLOADS.len(),
+        "differential workloads must exist"
+    );
+
+    for p in &profiles {
+        for (label, kind) in kinds() {
+            let scan = run_serial(EventLoopMode::Scan, &cfg, kind, p);
+            let heap = run_serial(EventLoopMode::Heap, &cfg, kind, p);
+            assert!(
+                scan == heap,
+                "scan and heap diverged for {}/{label} — fix the serial core \
+                 before blaming the parallel driver",
+                p.abbrev
+            );
+
+            for threads in PAR_THREADS {
+                let par = run_par(threads, &cfg, kind, p);
+
+                // Targeted checks first, so a divergence names the counter
+                // that moved instead of dumping two whole SequenceStats.
+                assert_eq!(
+                    heap.total_cycles(),
+                    par.total_cycles(),
+                    "total cycles diverged for {}/{label} at par@{threads}",
+                    p.abbrev
+                );
+                assert_eq!(
+                    heap.total_dram_accesses(),
+                    par.total_dram_accesses(),
+                    "DRAM accesses diverged for {}/{label} at par@{threads}",
+                    p.abbrev
+                );
+                assert_eq!(heap.frames.len(), par.frames.len());
+                for (i, (hf, pf)) in heap.frames.iter().zip(&par.frames).enumerate() {
+                    assert_eq!(
+                        hf.dram, pf.dram,
+                        "DramStats diverged for {}/{label} frame {i} at par@{threads}",
+                        p.abbrev
+                    );
+                    assert_eq!(
+                        hf.heatmap, pf.heatmap,
+                        "tile heatmap diverged for {}/{label} frame {i} at par@{threads}",
+                        p.abbrev
+                    );
+                    assert_eq!(
+                        hf.micro_events, pf.micro_events,
+                        "micro-event count diverged for {}/{label} frame {i} at par@{threads}",
+                        p.abbrev
+                    );
+                }
+                // Then the exhaustive check: every FrameStats field, bit for
+                // bit, against both serial drivers.
+                assert!(
+                    heap == par,
+                    "heap and par@{threads} SequenceStats diverged for {}/{label} \
+                     (per-field checks passed; diff the remaining FrameStats fields)",
+                    p.abbrev
+                );
+                assert!(
+                    scan == par,
+                    "scan and par@{threads} SequenceStats diverged for {}/{label}",
+                    p.abbrev
+                );
+            }
+        }
+    }
+
+    // One traced configuration: the cycle-level event streams (spans and
+    // instants, in emission order) must match the serial stream at every
+    // worker count — trace emission happens only on the coordinator thread,
+    // so track IDs and event order are invariant under --sim-threads.
+    let traced = |mode: EventLoopMode, threads: Option<usize>| -> Trace {
+        event_loop::set_mode(Some(mode));
+        event_loop::set_sim_threads(threads);
+        trace::start();
+        let mut sim = GpuSimulator::new(cfg.clone(), SchedulerKind::Libra);
+        sim.render_sequence(&profiles[0], FRAMES);
+        let t = trace::finish().expect("trace was started");
+        event_loop::set_sim_threads(None);
+        event_loop::set_mode(None);
+        t
+    };
+    let heap_trace = traced(EventLoopMode::Heap, None);
+    assert!(!heap_trace.is_empty(), "traced run produced no events");
+    for threads in PAR_THREADS {
+        let par_trace = traced(EventLoopMode::Par, Some(threads));
+        assert_eq!(
+            heap_trace.len(),
+            par_trace.len(),
+            "trace event counts diverged between heap and par@{threads}"
+        );
+        assert!(
+            heap_trace == par_trace,
+            "trace event streams diverged between heap and par@{threads}"
+        );
+    }
+}
