@@ -1,0 +1,595 @@
+//! Append-only bench history and baseline regression tracking.
+//!
+//! Wall-clock throughput numbers are never asserted on in tests (they depend
+//! on the host), but they are still worth *watching*: a 2x slowdown of the
+//! heap driver is a bug even if no differential contract catches it. This
+//! module gives the trend a durable home:
+//!
+//! * every `libra-sim throughput` run appends one [`HistoryRecord`] line to
+//!   `bench_results/history/sim_throughput.jsonl` (override with
+//!   `LIBRA_BENCH_HISTORY`), stamped with host core count, git revision and
+//!   UTC so later readers can tell apples from oranges;
+//! * `libra-sim bench-compare` diffs the latest record against a committed
+//!   baseline with a tolerance band, classifying each metric as OK /
+//!   IMPROVED / REGRESSED / SKIPPED. The comparison is **report-only** in CI
+//!   (exit code 0) unless `--strict` is passed — wall-clock on shared runners
+//!   is too noisy to gate merges on.
+//!
+//! Ratio metrics (heap-over-scan, par-over-heap speedups) are compared across
+//! any pair of hosts: both sides of the ratio moved through the same machine.
+//! Absolute events/sec metrics are skipped when the recorded core counts
+//! differ — comparing a laptop to a CI runner tells you about the hosts, not
+//! the code.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use tbr_common::json::{self, Value};
+use tbr_sim::throughput::ThroughputReport;
+
+/// Default append-only history file for the throughput bench.
+pub const DEFAULT_HISTORY: &str = "bench_results/history/sim_throughput.jsonl";
+
+/// Default committed baseline the compare mode diffs against.
+pub const DEFAULT_BASELINE: &str = "bench_results/baseline/sim_throughput.json";
+
+/// Schema tag stamped on every history line.
+pub const HISTORY_SCHEMA: &str = "libra-bench-history-v1";
+
+/// The history path, honouring the `LIBRA_BENCH_HISTORY` override.
+pub fn history_path() -> String {
+    std::env::var("LIBRA_BENCH_HISTORY").unwrap_or_else(|_| DEFAULT_HISTORY.to_string())
+}
+
+/// One appended throughput measurement: the durable subset of a
+/// [`ThroughputReport`] plus the host stamp that makes it interpretable later.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// ISO-8601 UTC timestamp of the measurement.
+    pub utc: String,
+    /// Abbreviated git revision the workspace was at (or `unknown`).
+    pub git_rev: String,
+    /// Host logical core count — absolute throughput is only comparable
+    /// between records with equal `cores`.
+    pub cores: u64,
+    /// Number of workloads in the measured slice.
+    pub workloads: u64,
+    /// Frames simulated per workload.
+    pub frames: u64,
+    /// Raster units in the measured configuration.
+    pub raster_units: u64,
+    /// Micro-events processed per driver pass (identical across drivers by
+    /// the differential contract).
+    pub events: u64,
+    /// Linear-scan driver throughput, events/sec.
+    pub scan_events_per_sec: f64,
+    /// Indexed-heap driver throughput, events/sec.
+    pub heap_events_per_sec: f64,
+    /// Parallel-driver throughput at each recorded worker count, as
+    /// `(threads, events_per_sec)`.
+    pub par: Vec<(u64, f64)>,
+    /// Heap-over-scan wall-clock speedup.
+    pub speedup_heap_over_scan: f64,
+    /// Par-over-heap wall-clock speedup at the highest worker count.
+    pub speedup_par_over_heap: f64,
+}
+
+impl HistoryRecord {
+    /// Distils a [`ThroughputReport`] into its durable history form.
+    pub fn from_report(report: &ThroughputReport) -> Self {
+        Self {
+            utc: report.host.utc.clone(),
+            git_rev: report.host.git_rev.clone(),
+            cores: report.host.cores as u64,
+            workloads: report.workloads.len() as u64,
+            frames: report.frames as u64,
+            raster_units: report.raster_units as u64,
+            events: report.heap.events,
+            scan_events_per_sec: report.scan.events_per_sec(),
+            heap_events_per_sec: report.heap.events_per_sec(),
+            par: report
+                .par
+                .iter()
+                .map(|(t, r)| (*t as u64, r.events_per_sec()))
+                .collect(),
+            speedup_heap_over_scan: report.speedup(),
+            speedup_par_over_heap: report.par_speedup(),
+        }
+    }
+
+    /// Serialises to one newline-free JSON line (JSONL-friendly).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"schema\": \"{HISTORY_SCHEMA}\", \"bench\": \"sim_throughput\", \"utc\": \""
+        ));
+        json::escape_into(&mut s, &self.utc);
+        s.push_str("\", \"git_rev\": \"");
+        json::escape_into(&mut s, &self.git_rev);
+        s.push_str(&format!(
+            "\", \"cores\": {}, \"workloads\": {}, \"frames\": {}, \"raster_units\": {}, \
+             \"events\": {}, \"scan_events_per_sec\": {:.1}, \"heap_events_per_sec\": {:.1}, ",
+            self.cores, self.workloads, self.frames, self.raster_units, self.events,
+            self.scan_events_per_sec, self.heap_events_per_sec,
+        ));
+        let par = self
+            .par
+            .iter()
+            .map(|(t, e)| format!("{{\"threads\": {t}, \"events_per_sec\": {e:.1}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "\"par\": [{par}], \"speedup_heap_over_scan\": {:.3}, \
+             \"speedup_par_over_heap\": {:.3}}}",
+            self.speedup_heap_over_scan, self.speedup_par_over_heap,
+        ));
+        s
+    }
+
+    /// Parses one history line written by [`Self::to_json_line`].
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        let doc = json::parse(line).map_err(|e| format!("invalid history line: {e}"))?;
+        let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != HISTORY_SCHEMA {
+            return Err(format!(
+                "unexpected history schema `{schema}` (want `{HISTORY_SCHEMA}`)"
+            ));
+        }
+        let str_of = |k: &str| -> Result<String, String> {
+            doc.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("history line missing string `{k}`"))
+        };
+        let num = |k: &str| -> Result<f64, String> {
+            doc.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("history line missing number `{k}`"))
+        };
+        let par = doc
+            .get("par")
+            .and_then(Value::as_array)
+            .ok_or("history line missing `par` array")?
+            .iter()
+            .map(|p| {
+                let t = p.get("threads").and_then(Value::as_u64);
+                let e = p.get("events_per_sec").and_then(Value::as_f64);
+                match (t, e) {
+                    (Some(t), Some(e)) => Ok((t, e)),
+                    _ => Err("malformed `par` entry".to_string()),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            utc: str_of("utc")?,
+            git_rev: str_of("git_rev")?,
+            cores: num("cores")? as u64,
+            workloads: num("workloads")? as u64,
+            frames: num("frames")? as u64,
+            raster_units: num("raster_units")? as u64,
+            events: num("events")? as u64,
+            scan_events_per_sec: num("scan_events_per_sec")?,
+            heap_events_per_sec: num("heap_events_per_sec")?,
+            par,
+            speedup_heap_over_scan: num("speedup_heap_over_scan")?,
+            speedup_par_over_heap: num("speedup_par_over_heap")?,
+        })
+    }
+
+    /// Parses a full `BENCH_sim_throughput.json` document (the schema
+    /// [`ThroughputReport::to_json`] writes) — the committed-baseline format.
+    pub fn parse_bench_report(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| format!("invalid baseline JSON: {e}"))?;
+        if doc.get("bench").and_then(Value::as_str) != Some("sim_throughput") {
+            return Err("baseline is not a sim_throughput record".into());
+        }
+        let host = doc.get("host");
+        let host_str = |k: &str| {
+            host.and_then(|h| h.get(k))
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string()
+        };
+        let num = |k: &str| -> Result<f64, String> {
+            doc.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("baseline missing number `{k}`"))
+        };
+        let rec = |k: &str, field: &str| -> Result<f64, String> {
+            doc.get(k)
+                .and_then(|r| r.get(field))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("baseline missing `{k}.{field}`"))
+        };
+        let par = doc
+            .get("par")
+            .and_then(Value::as_array)
+            .ok_or("baseline missing `par` array")?
+            .iter()
+            .map(|p| {
+                let t = p.get("threads").and_then(Value::as_u64);
+                let e = p
+                    .get("record")
+                    .and_then(|r| r.get("events_per_sec"))
+                    .and_then(Value::as_f64);
+                match (t, e) {
+                    (Some(t), Some(e)) => Ok((t, e)),
+                    _ => Err("malformed baseline `par` entry".to_string()),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            utc: host_str("utc"),
+            git_rev: host_str("git_rev"),
+            cores: host
+                .and_then(|h| h.get("cores"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            workloads: doc
+                .get("workloads")
+                .and_then(Value::as_array)
+                .map_or(0, |w| w.len() as u64),
+            frames: num("frames")? as u64,
+            raster_units: num("raster_units")? as u64,
+            events: rec("heap", "events")? as u64,
+            scan_events_per_sec: rec("scan", "events_per_sec")?,
+            heap_events_per_sec: rec("heap", "events_per_sec")?,
+            par,
+            speedup_heap_over_scan: num("speedup_heap_over_scan")?,
+            speedup_par_over_heap: num("speedup_par_over_heap")?,
+        })
+    }
+}
+
+/// Appends one record to the history file at `path`, creating parent
+/// directories as needed.
+pub fn append(path: &str, record: &HistoryRecord) -> Result<(), String> {
+    if let Some(dir) = Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("opening {path}: {e}"))?;
+    writeln!(f, "{}", record.to_json_line()).map_err(|e| format!("appending to {path}: {e}"))
+}
+
+/// Loads every parseable record from a history file (blank lines skipped;
+/// a malformed line is an error — history files are machine-written).
+pub fn load(path: &str) -> Result<Vec<HistoryRecord>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(HistoryRecord::parse_line)
+        .collect()
+}
+
+/// Loads the most recent record from a history file, if any.
+pub fn load_last(path: &str) -> Result<Option<HistoryRecord>, String> {
+    Ok(load(path)?.pop())
+}
+
+/// Loads a baseline: tries the committed `BENCH_sim_throughput.json` schema
+/// first, then falls back to a single history line.
+pub fn load_baseline(path: &str) -> Result<HistoryRecord, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    HistoryRecord::parse_bench_report(&text)
+        .or_else(|report_err| {
+            text.lines()
+                .find(|l| !l.trim().is_empty())
+                .ok_or_else(|| report_err.clone())
+                .and_then(HistoryRecord::parse_line)
+                .map_err(|line_err| format!("{path}: {report_err}; as history line: {line_err}"))
+        })
+}
+
+/// The verdict on one compared metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareStatus {
+    /// Within the tolerance band of the baseline.
+    Ok,
+    /// Better than the baseline by more than the tolerance.
+    Improved,
+    /// Worse than the baseline by more than the tolerance.
+    Regressed,
+    /// Not comparable (e.g. host core counts differ for an absolute metric).
+    Skipped,
+}
+
+impl CompareStatus {
+    /// Fixed-width label for the report table.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompareStatus::Ok => "OK",
+            CompareStatus::Improved => "IMPROVED",
+            CompareStatus::Regressed => "REGRESSED",
+            CompareStatus::Skipped => "SKIPPED",
+        }
+    }
+}
+
+/// One compared metric (higher is better for every metric tracked here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed percentage change relative to the baseline.
+    pub delta_pct: f64,
+    /// The verdict.
+    pub status: CompareStatus,
+    /// Human-readable qualifier (why a row was skipped, etc.).
+    pub note: String,
+}
+
+/// The full baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Tolerance band, in percent, inside which a change is `OK`.
+    pub tolerance_pct: f64,
+    /// One row per metric.
+    pub rows: Vec<CompareRow>,
+    /// Baseline host stamp, for the report header.
+    pub baseline_stamp: String,
+    /// Current host stamp, for the report header.
+    pub current_stamp: String,
+}
+
+impl CompareReport {
+    /// True if any metric regressed beyond the tolerance band.
+    pub fn any_regressed(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.status == CompareStatus::Regressed)
+    }
+
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "bench-compare: tolerance ±{:.1}%\n  baseline: {}\n  current:  {}\n",
+            self.tolerance_pct, self.baseline_stamp, self.current_stamp
+        );
+        s.push_str(&format!(
+            "  {:<26} {:>14} {:>14} {:>9}  {:<9} {}\n",
+            "metric", "baseline", "current", "delta", "status", "note"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "  {:<26} {:>14.3} {:>14.3} {:>+8.1}%  {:<9} {}\n",
+                r.metric, r.baseline, r.current, r.delta_pct, r.status.label(), r.note
+            ));
+        }
+        let regressed = self
+            .rows
+            .iter()
+            .filter(|r| r.status == CompareStatus::Regressed)
+            .count();
+        if regressed > 0 {
+            s.push_str(&format!(
+                "  {regressed} metric(s) REGRESSED beyond the tolerance band\n"
+            ));
+        } else {
+            s.push_str("  no regressions beyond the tolerance band\n");
+        }
+        s
+    }
+}
+
+fn classify(baseline: f64, current: f64, tolerance_pct: f64) -> (f64, CompareStatus) {
+    if baseline <= 0.0 {
+        return (0.0, CompareStatus::Skipped);
+    }
+    let delta_pct = (current - baseline) / baseline * 100.0;
+    let status = if delta_pct < -tolerance_pct {
+        CompareStatus::Regressed
+    } else if delta_pct > tolerance_pct {
+        CompareStatus::Improved
+    } else {
+        CompareStatus::Ok
+    };
+    (delta_pct, status)
+}
+
+/// Compares `current` against `baseline` with a ±`tolerance_pct` band.
+///
+/// Speedup ratios are always compared (host-independent to first order);
+/// absolute events/sec rows are skipped when the recorded core counts differ.
+pub fn compare(
+    baseline: &HistoryRecord,
+    current: &HistoryRecord,
+    tolerance_pct: f64,
+) -> CompareReport {
+    let mut rows = Vec::new();
+    let mut ratio = |metric: &str, b: f64, c: f64| {
+        let (delta_pct, status) = classify(b, c, tolerance_pct);
+        rows.push(CompareRow {
+            metric: metric.to_string(),
+            baseline: b,
+            current: c,
+            delta_pct,
+            status,
+            note: String::new(),
+        });
+    };
+    ratio(
+        "speedup_heap_over_scan",
+        baseline.speedup_heap_over_scan,
+        current.speedup_heap_over_scan,
+    );
+    ratio(
+        "speedup_par_over_heap",
+        baseline.speedup_par_over_heap,
+        current.speedup_par_over_heap,
+    );
+
+    let same_host = baseline.cores == current.cores && baseline.cores > 0;
+    let mut absolute = |metric: String, b: f64, c: f64| {
+        let (delta_pct, status, note) = if same_host {
+            let (d, s) = classify(b, c, tolerance_pct);
+            (d, s, String::new())
+        } else {
+            (
+                0.0,
+                CompareStatus::Skipped,
+                format!(
+                    "host cores differ ({} vs {})",
+                    baseline.cores, current.cores
+                ),
+            )
+        };
+        rows.push(CompareRow { metric, baseline: b, current: c, delta_pct, status, note });
+    };
+    absolute(
+        "scan_events_per_sec".into(),
+        baseline.scan_events_per_sec,
+        current.scan_events_per_sec,
+    );
+    absolute(
+        "heap_events_per_sec".into(),
+        baseline.heap_events_per_sec,
+        current.heap_events_per_sec,
+    );
+    for (threads, cur) in &current.par {
+        if let Some((_, base)) = baseline.par.iter().find(|(t, _)| t == threads) {
+            absolute(format!("par@{threads}_events_per_sec"), *base, *cur);
+        }
+    }
+
+    CompareReport {
+        tolerance_pct,
+        rows,
+        baseline_stamp: format!(
+            "{} cores, rev {}, {}",
+            baseline.cores, baseline.git_rev, baseline.utc
+        ),
+        current_stamp: format!(
+            "{} cores, rev {}, {}",
+            current.cores, current.git_rev, current.utc
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cores: u64, heap_eps: f64, speedup: f64) -> HistoryRecord {
+        HistoryRecord {
+            utc: "2026-08-08T00:00:00Z".into(),
+            git_rev: "abc123def456".into(),
+            cores,
+            workloads: 32,
+            frames: 1,
+            raster_units: 64,
+            events: 3_413_209,
+            scan_events_per_sec: heap_eps / speedup,
+            heap_events_per_sec: heap_eps,
+            par: vec![(1, heap_eps * 0.9), (2, heap_eps * 1.05), (4, heap_eps)],
+            speedup_heap_over_scan: speedup,
+            speedup_par_over_heap: 1.0,
+        }
+    }
+
+    #[test]
+    fn history_line_round_trips() {
+        let r = record(8, 880_000.0, 2.4);
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains(HISTORY_SCHEMA));
+        let back = HistoryRecord::parse_line(&line).unwrap();
+        assert_eq!(back.cores, 8);
+        assert_eq!(back.git_rev, "abc123def456");
+        assert_eq!(back.events, 3_413_209);
+        assert_eq!(back.par.len(), 3);
+        assert!((back.speedup_heap_over_scan - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn append_and_load_last_return_the_newest_record() {
+        let dir = std::env::temp_dir().join(format!("libra_hist_{}", std::process::id()));
+        let path = dir.join("h.jsonl");
+        let path = path.to_str().unwrap();
+        let _ = fs::remove_file(path);
+        append(path, &record(8, 100.0, 2.0)).unwrap();
+        append(path, &record(8, 200.0, 2.5)).unwrap();
+        let all = load(path).unwrap();
+        assert_eq!(all.len(), 2);
+        let last = load_last(path).unwrap().unwrap();
+        assert!((last.heap_events_per_sec - 200.0).abs() < 1e-9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_classifies_with_tolerance_band() {
+        let base = record(8, 1000.0, 2.0);
+        let mut cur = record(8, 1000.0, 2.0);
+        cur.speedup_heap_over_scan = 1.0; // -50%: regression
+        cur.heap_events_per_sec = 1300.0; // +30%: improvement
+        cur.scan_events_per_sec = 475.0; // -5% of the derived 500.0: within ±25%
+        let report = compare(&base, &cur, 25.0);
+        let status = |m: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.metric == m)
+                .map(|r| r.status)
+                .unwrap()
+        };
+        assert_eq!(status("speedup_heap_over_scan"), CompareStatus::Regressed);
+        assert_eq!(status("heap_events_per_sec"), CompareStatus::Improved);
+        assert_eq!(status("scan_events_per_sec"), CompareStatus::Ok);
+        assert!(report.any_regressed());
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn compare_skips_absolute_metrics_across_hosts() {
+        let base = record(64, 1000.0, 2.0);
+        let cur = record(8, 10.0, 2.0); // 100x slower, but on a different host
+        let report = compare(&base, &cur, 25.0);
+        assert!(!report.any_regressed());
+        let heap = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "heap_events_per_sec")
+            .unwrap();
+        assert_eq!(heap.status, CompareStatus::Skipped);
+        assert!(heap.note.contains("host cores differ"));
+        // Ratios are still compared.
+        let speedup = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "speedup_heap_over_scan")
+            .unwrap();
+        assert_eq!(speedup.status, CompareStatus::Ok);
+    }
+
+    #[test]
+    fn bench_report_schema_parses_as_baseline() {
+        let text = r#"{
+  "bench": "sim_throughput",
+  "workloads": ["AAt", "CCS"],
+  "frames": 1,
+  "raster_units": 64,
+  "host": {"cores": 8, "git_rev": "abc123def456", "utc": "2026-08-08T00:00:00Z"},
+  "scan": {"wall_ms": 100.0, "events": 1000, "events_per_sec": 10000.0, "ns_per_event": 100.0, "cycles": 5},
+  "heap": {"wall_ms": 50.0, "events": 1000, "events_per_sec": 20000.0, "ns_per_event": 50.0, "cycles": 5},
+  "par": [{"threads": 2, "record": {"wall_ms": 40.0, "events": 1000, "events_per_sec": 25000.0, "ns_per_event": 40.0, "cycles": 5}}],
+  "speedup_heap_over_scan": 2.000,
+  "speedup_par_over_heap": 1.250
+}"#;
+        let r = HistoryRecord::parse_bench_report(text).unwrap();
+        assert_eq!(r.cores, 8);
+        assert_eq!(r.workloads, 2);
+        assert_eq!(r.events, 1000);
+        assert_eq!(r.par, vec![(2, 25000.0)]);
+        assert!((r.speedup_heap_over_scan - 2.0).abs() < 1e-9);
+    }
+}

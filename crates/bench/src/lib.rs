@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod history;
 
 use std::fs;
 use std::path::PathBuf;

@@ -176,6 +176,12 @@ impl<K: Copy + Ord> EventQueue<K> {
 #[derive(Debug, Clone, Default)]
 pub struct ShardedEventQueue<K> {
     shards: Vec<EventQueue<K>>,
+    /// Lifetime push count — exchange-volume telemetry for `hostprof`, same
+    /// contract as `ChannelQueues::total_pushed` in `tbr-mem`.
+    pushed: u64,
+    /// Lifetime count of entries handed back by the popping APIs (stale
+    /// entries discarded by lazy invalidation are not "drained").
+    drained: u64,
 }
 
 impl<K: Copy + Ord> ShardedEventQueue<K> {
@@ -183,13 +189,17 @@ impl<K: Copy + Ord> ShardedEventQueue<K> {
     pub fn new(num_shards: usize) -> Self {
         Self {
             shards: (0..num_shards).map(|_| EventQueue::new()).collect(),
+            pushed: 0,
+            drained: 0,
         }
     }
 
     /// Reassembles a queue from detached sub-queues (the barrier direction of
-    /// [`ShardedEventQueue::into_shards`]).
+    /// [`ShardedEventQueue::into_shards`]). The lifetime counters restart at
+    /// zero — a detach/re-attach cycle hands ownership to workers, whose local
+    /// activity is accounted on their side.
     pub fn from_shards(shards: Vec<EventQueue<K>>) -> Self {
-        Self { shards }
+        Self { shards, pushed: 0, drained: 0 }
     }
 
     /// Detaches the sub-queues so each can be moved to a worker.
@@ -225,7 +235,20 @@ impl<K: Copy + Ord> ShardedEventQueue<K> {
     /// # Panics
     /// Panics if `shard` is out of range.
     pub fn push(&mut self, shard: usize, time: Cycle, key: K) {
+        self.pushed += 1;
         self.shards[shard].push(time, key);
+    }
+
+    /// Lifetime number of entries pushed through [`ShardedEventQueue::push`]
+    /// (direct `shard_mut` pushes are not counted).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Lifetime number of valid entries returned by
+    /// [`ShardedEventQueue::pop_min_valid`] / [`ShardedEventQueue::pop_shard_until`].
+    pub fn total_drained(&self) -> u64 {
+        self.drained
     }
 
     /// The valid head of one shard (stale entries are discarded on the way).
@@ -268,6 +291,7 @@ impl<K: Copy + Ord> ShardedEventQueue<K> {
         }
         let (s, _) = best?;
         let (t, k) = self.shards[s].pop().expect("peeked head exists");
+        self.drained += 1;
         Some((s, t, k))
     }
 
@@ -286,6 +310,7 @@ impl<K: Copy + Ord> ShardedEventQueue<K> {
                 break;
             }
             self.shards[shard].pop();
+            self.drained += 1;
             f(t, k);
         }
     }
@@ -416,6 +441,23 @@ mod tests {
         );
         assert_eq!(q.shard_mut(0).peek(), Some((7, 4)));
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn sharded_counters_track_pushes_and_valid_drains() {
+        let mut q = ShardedEventQueue::new(2);
+        assert_eq!((q.total_pushed(), q.total_drained()), (0, 0));
+        q.push(0, 1, 1u32);
+        q.push(0, 2, 9); // will be invalidated, never drained
+        q.push(1, 3, 2);
+        assert_eq!(q.total_pushed(), 3);
+        assert_eq!(q.pop_min_valid(|_, k| k < 5), Some((0, 1, 1)));
+        let mut seen = Vec::new();
+        q.pop_shard_until(1, 10, |_, k| k < 5, |t, k| seen.push((t, k)));
+        q.pop_shard_until(0, 10, |_, k| k < 5, |t, k| seen.push((t, k)));
+        assert_eq!(seen, vec![(3, 2)]);
+        assert_eq!(q.total_drained(), 2, "stale entries are not drained");
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -1,0 +1,898 @@
+//! Host wall-clock profiler for the intra-frame parallel event core.
+//!
+//! The [`trace`](crate::trace) module and the metrics registry measure
+//! *simulated cycles* — deterministic, host-independent, bit-identical at any
+//! thread count. The parallel driver's losses live on the other clock: barrier
+//! waits, coordinator serialization and shard imbalance cost *host
+//! nanoseconds* and leave no mark on any simulated counter. This module is the
+//! host-time twin of the tracer: a thread-local, runtime-gated collector the
+//! parallel raster driver publishes one [`PhaseProfile`] into per raster
+//! phase, recording per-worker epoch timelines (busy/wait spans, Local-run
+//! lengths), coordinator commit/barrier time, per-RU shard occupancy and the
+//! Local-vs-Shared classification split.
+//!
+//! # Zero overhead when disabled
+//!
+//! Exactly the [`trace`](crate::trace) design: a thread-local flag checked by
+//! [`is_enabled`], a collector installed by [`start`] and drained by
+//! [`finish`]. Instrumentation sites guard every `Instant::now()` call and
+//! every span allocation behind one branch on the flag (hoisted to a bool per
+//! phase in the hot loops), so the disabled path costs a single thread-local
+//! load per phase — never per event. Profiling is observation only: it reads
+//! the host clock and private counters, never simulated state, so enabling it
+//! cannot change any simulated statistic, golden snapshot or trace byte (the
+//! observability tests pin this).
+//!
+//! ```
+//! use tbr_common::hostprof::{self, PhaseProfile};
+//!
+//! assert!(!hostprof::is_enabled());
+//! hostprof::start();
+//! assert!(hostprof::is_enabled());
+//! hostprof::record_phase(PhaseProfile::new("raster", 2, 4));
+//! let p = hostprof::finish().expect("collector was installed");
+//! assert_eq!(p.phases.len(), 1);
+//! assert!(!hostprof::is_enabled());
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::path::Path;
+use std::time::Instant;
+
+use crate::json::escape_into as json_escape_into;
+use crate::metrics::MetricValue;
+use crate::trace::{EventKind, TraceEvent, Track};
+
+/// Spans kept per lane before coalescing into counters only (memory guard for
+/// long campaigns; dropped spans are still counted in `dropped_spans`).
+pub const MAX_LANE_SPANS: usize = 2048;
+
+/// Buckets of the Local-run-length histogram (width 1, last bucket overflow).
+pub const RUN_LENGTH_BUCKETS: usize = 65;
+
+/// One host-time interval on a worker or coordinator lane, in nanoseconds
+/// since the profile origin ([`start`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostSpan {
+    /// Static span label ("epoch" for a drain interval).
+    pub name: &'static str,
+    /// Start, ns since the profile origin.
+    pub start_ns: u64,
+    /// End, ns since the profile origin.
+    pub end_ns: u64,
+}
+
+/// The host-time timeline of one thread of the parallel driver across one
+/// raster phase: the coordinator's own drain lane, or one worker's lane.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerLane {
+    /// Thread slot (0 = coordinator, workers from 1).
+    pub worker: usize,
+    /// Parallel epochs this lane drained a chunk in.
+    pub epochs: u64,
+    /// Nanoseconds spent draining Local runs.
+    pub busy_ns: u64,
+    /// Nanoseconds parked at the epoch start barrier (workers only).
+    pub wait_ns: u64,
+    /// Local micro-events this lane processed over the whole phase.
+    pub local_events: u64,
+    /// Per-epoch busy spans (capped at [`MAX_LANE_SPANS`]).
+    pub spans: Vec<HostSpan>,
+    /// Spans beyond the cap, counted instead of stored.
+    pub dropped_spans: u64,
+}
+
+impl WorkerLane {
+    /// A fresh lane for thread slot `worker`.
+    pub fn new(worker: usize) -> Self {
+        Self {
+            worker,
+            ..Self::default()
+        }
+    }
+
+    /// Records one busy span, coalescing into `dropped_spans` past the cap.
+    pub fn push_span(&mut self, name: &'static str, start_ns: u64, end_ns: u64) {
+        if self.spans.len() < MAX_LANE_SPANS {
+            self.spans.push(HostSpan {
+                name,
+                start_ns,
+                end_ns,
+            });
+        } else {
+            self.dropped_spans += 1;
+        }
+    }
+}
+
+/// The host-time record of one raster phase under the parallel driver.
+///
+/// The coordinator-lane intervals (`commit_ns`, `coord_drain_ns`,
+/// `barrier_ns`) are *disjoint* sub-intervals of `wall_ns` measured on the
+/// same monotonic clock, so their fractions are each in `[0, 1]` and sum to
+/// at most 1 — the invariant the attribution report builds on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseProfile {
+    /// Phase label ("raster"; the collector numbers repeats on rendering).
+    pub label: String,
+    /// Thread slots the phase ran with (1 = fully inline).
+    pub threads: usize,
+    /// Phase start, ns since the profile origin.
+    pub start_ns: u64,
+    /// Phase wall-clock, ns.
+    pub wall_ns: u64,
+    /// Coordinator ns inside serial Shared commits (`PhaseCtx::process`).
+    pub commit_ns: u64,
+    /// Coordinator ns draining its own Local chunks (parallelizable work).
+    pub coord_drain_ns: u64,
+    /// Coordinator ns waiting at epoch barriers for its workers.
+    pub barrier_ns: u64,
+    /// Epoch-drain invocations (serial and parallel).
+    pub epochs: u64,
+    /// Epochs with two or more Local RUs (fanned over the thread slots).
+    pub parallel_epochs: u64,
+    /// Micro-events classified Local and run on worker/coordinator lanes.
+    pub local_events: u64,
+    /// Micro-events classified Shared and committed serially.
+    pub shared_commits: u64,
+    /// Shared commits merged from the DRAM-channel ledger.
+    pub chan_commits: u64,
+    /// Shared commits merged from the RU-shard ledger.
+    pub ru_ledger_commits: u64,
+    /// Events ever pushed into the channel ledger (exchange volume).
+    pub chan_pushed: u64,
+    /// Events ever drained from the channel ledger.
+    pub chan_drained: u64,
+    /// Events ever pushed into the RU-shard ledger.
+    pub ru_pushed: u64,
+    /// Events ever drained from the RU-shard ledger.
+    pub ru_drained: u64,
+    /// Micro-events processed per RU shard (Local + Shared) — the occupancy
+    /// distribution behind the imbalance statistic.
+    pub ru_events: Vec<u64>,
+    /// Histogram of Local-run lengths: width-1 buckets, last bucket counting
+    /// runs of [`RUN_LENGTH_BUCKETS`]` - 1` events or more.
+    pub run_lengths: Vec<u64>,
+    /// Worker lanes (empty when the phase ran inline).
+    pub workers: Vec<WorkerLane>,
+    /// The coordinator's own drain lane.
+    pub coord: WorkerLane,
+}
+
+impl PhaseProfile {
+    /// An empty profile shell for `label` under `threads` slots and
+    /// `raster_units` shards.
+    pub fn new(label: &str, threads: usize, raster_units: usize) -> Self {
+        Self {
+            label: label.to_string(),
+            threads,
+            ru_events: vec![0; raster_units],
+            run_lengths: vec![0; RUN_LENGTH_BUCKETS],
+            ..Self::default()
+        }
+    }
+
+    fn frac(&self, ns: u64) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        (ns as f64 / self.wall_ns as f64).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of the phase wall spent in serial Shared commits.
+    pub fn serial_fraction(&self) -> f64 {
+        self.frac(self.commit_ns)
+    }
+
+    /// Fraction of the phase wall the coordinator spent on parallelizable
+    /// Local drains.
+    pub fn parallel_fraction(&self) -> f64 {
+        self.frac(self.coord_drain_ns)
+    }
+
+    /// Fraction of the phase wall the coordinator spent at epoch barriers.
+    pub fn barrier_fraction(&self) -> f64 {
+        self.frac(self.barrier_ns)
+    }
+
+    /// The unattributed remainder (classification, parking, ledger merges).
+    pub fn other_fraction(&self) -> f64 {
+        (1.0 - self.serial_fraction() - self.parallel_fraction() - self.barrier_fraction())
+            .clamp(0.0, 1.0)
+    }
+
+    /// Max-over-mean per-RU event occupancy (1.0 = perfectly balanced shards;
+    /// 0.0 when no events were recorded).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.ru_events.iter().sum();
+        if total == 0 || self.ru_events.is_empty() {
+            return 0.0;
+        }
+        let mean = total as f64 / self.ru_events.len() as f64;
+        let max = *self.ru_events.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+}
+
+/// A finished host-time recording: one [`PhaseProfile`] per raster phase run
+/// while the collector was installed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostProfile {
+    /// Phases in execution order.
+    pub phases: Vec<PhaseProfile>,
+}
+
+/// Phase totals summed over a [`HostProfile`] (and mergeable across jobs —
+/// the campaign driver aggregates one of these over its whole sweep).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostTotals {
+    /// Phases aggregated.
+    pub phases: u64,
+    /// Summed phase wall-clock, ns.
+    pub wall_ns: u64,
+    /// Summed serial Shared-commit ns.
+    pub commit_ns: u64,
+    /// Summed coordinator Local-drain ns.
+    pub coord_drain_ns: u64,
+    /// Summed coordinator barrier-wait ns.
+    pub barrier_ns: u64,
+    /// Summed worker busy ns (all worker lanes).
+    pub worker_busy_ns: u64,
+    /// Summed worker start-barrier wait ns.
+    pub worker_wait_ns: u64,
+    /// Summed epochs.
+    pub epochs: u64,
+    /// Summed parallel (fanned-out) epochs.
+    pub parallel_epochs: u64,
+    /// Summed Local events.
+    pub local_events: u64,
+    /// Summed Shared commits.
+    pub shared_commits: u64,
+    /// Summed channel-ledger pushes.
+    pub chan_pushed: u64,
+    /// Summed RU-ledger pushes.
+    pub ru_pushed: u64,
+    /// Merged Local-run-length histogram (width-1 buckets).
+    pub run_lengths: Vec<u64>,
+}
+
+impl HostTotals {
+    /// Folds another totals record into this one (all sums).
+    pub fn merge(&mut self, other: &HostTotals) {
+        self.phases += other.phases;
+        self.wall_ns += other.wall_ns;
+        self.commit_ns += other.commit_ns;
+        self.coord_drain_ns += other.coord_drain_ns;
+        self.barrier_ns += other.barrier_ns;
+        self.worker_busy_ns += other.worker_busy_ns;
+        self.worker_wait_ns += other.worker_wait_ns;
+        self.epochs += other.epochs;
+        self.parallel_epochs += other.parallel_epochs;
+        self.local_events += other.local_events;
+        self.shared_commits += other.shared_commits;
+        self.chan_pushed += other.chan_pushed;
+        self.ru_pushed += other.ru_pushed;
+        if self.run_lengths.len() < other.run_lengths.len() {
+            self.run_lengths.resize(other.run_lengths.len(), 0);
+        }
+        for (dst, src) in self.run_lengths.iter_mut().zip(&other.run_lengths) {
+            *dst += src;
+        }
+    }
+
+    fn frac(&self, ns: u64) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        (ns as f64 / self.wall_ns as f64).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of summed phase wall spent in serial Shared commits.
+    pub fn serial_fraction(&self) -> f64 {
+        self.frac(self.commit_ns)
+    }
+
+    /// Fraction spent on coordinator-lane parallelizable drains.
+    pub fn parallel_fraction(&self) -> f64 {
+        self.frac(self.coord_drain_ns)
+    }
+
+    /// Fraction spent waiting at epoch barriers.
+    pub fn barrier_fraction(&self) -> f64 {
+        self.frac(self.barrier_ns)
+    }
+
+    /// The unattributed remainder, clamped to `[0, 1]`.
+    pub fn other_fraction(&self) -> f64 {
+        (1.0 - self.serial_fraction() - self.parallel_fraction() - self.barrier_fraction())
+            .clamp(0.0, 1.0)
+    }
+
+    /// Share of micro-events classified Local (0 when nothing was recorded).
+    pub fn local_share(&self) -> f64 {
+        let total = self.local_events + self.shared_commits;
+        if total == 0 {
+            return 0.0;
+        }
+        self.local_events as f64 / total as f64
+    }
+
+    /// The merged Local-run-length distribution as a metrics histogram
+    /// (width 1), for the percentile accessors.
+    pub fn run_length_histogram(&self) -> MetricValue {
+        MetricValue::Histogram {
+            width: 1,
+            buckets: self.run_lengths.clone(),
+        }
+    }
+
+    /// Hand-written JSON object (no trailing newline), schema-free — embedded
+    /// by the campaign hostprof report.
+    pub fn to_json(&self) -> String {
+        let hist = self
+            .run_lengths
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"phases\": {}, \"wall_ns\": {}, \"commit_ns\": {}, \"coord_drain_ns\": {}, \
+             \"barrier_ns\": {}, \"worker_busy_ns\": {}, \"worker_wait_ns\": {}, \
+             \"epochs\": {}, \"parallel_epochs\": {}, \"local_events\": {}, \
+             \"shared_commits\": {}, \"chan_pushed\": {}, \"ru_pushed\": {}, \
+             \"serial_fraction\": {:.6}, \"parallel_fraction\": {:.6}, \
+             \"barrier_fraction\": {:.6}, \"other_fraction\": {:.6}, \
+             \"local_share\": {:.6}, \"run_lengths\": [{}]}}",
+            self.phases,
+            self.wall_ns,
+            self.commit_ns,
+            self.coord_drain_ns,
+            self.barrier_ns,
+            self.worker_busy_ns,
+            self.worker_wait_ns,
+            self.epochs,
+            self.parallel_epochs,
+            self.local_events,
+            self.shared_commits,
+            self.chan_pushed,
+            self.ru_pushed,
+            self.serial_fraction(),
+            self.parallel_fraction(),
+            self.barrier_fraction(),
+            self.other_fraction(),
+            self.local_share(),
+            hist,
+        )
+    }
+
+    /// One-paragraph human summary.
+    pub fn render(&self) -> String {
+        if self.phases == 0 {
+            return "hostprof: no parallel-core phases recorded \
+                    (requires the `par` event-loop driver)\n"
+                .to_string();
+        }
+        let h = self.run_length_histogram();
+        let p = |q: f64| h.quantile(q).unwrap_or(0.0);
+        format!(
+            "hostprof: {} phase(s), {:.2} ms wall — serial {:.1}% | parallel {:.1}% | \
+             barrier {:.1}% | other {:.1}%\n  {} epochs ({} parallel), local share {:.1}% \
+             ({} local / {} shared), run-length p50/p95/p99 = {:.0}/{:.0}/{:.0}\n",
+            self.phases,
+            self.wall_ns as f64 / 1e6,
+            self.serial_fraction() * 100.0,
+            self.parallel_fraction() * 100.0,
+            self.barrier_fraction() * 100.0,
+            self.other_fraction() * 100.0,
+            self.epochs,
+            self.parallel_epochs,
+            self.local_share() * 100.0,
+            self.local_events,
+            self.shared_commits,
+            p(0.50),
+            p(0.95),
+            p(0.99),
+        )
+    }
+}
+
+impl HostProfile {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Sums every phase (and its lanes) into one [`HostTotals`].
+    pub fn totals(&self) -> HostTotals {
+        let mut t = HostTotals {
+            run_lengths: vec![0; RUN_LENGTH_BUCKETS],
+            ..HostTotals::default()
+        };
+        for p in &self.phases {
+            t.phases += 1;
+            t.wall_ns += p.wall_ns;
+            t.commit_ns += p.commit_ns;
+            t.coord_drain_ns += p.coord_drain_ns;
+            t.barrier_ns += p.barrier_ns;
+            t.epochs += p.epochs;
+            t.parallel_epochs += p.parallel_epochs;
+            t.local_events += p.local_events;
+            t.shared_commits += p.shared_commits;
+            t.chan_pushed += p.chan_pushed;
+            t.ru_pushed += p.ru_pushed;
+            for w in &p.workers {
+                t.worker_busy_ns += w.busy_ns;
+                t.worker_wait_ns += w.wait_ns;
+            }
+            if t.run_lengths.len() < p.run_lengths.len() {
+                t.run_lengths.resize(p.run_lengths.len(), 0);
+            }
+            for (dst, src) in t.run_lengths.iter_mut().zip(&p.run_lengths) {
+                *dst += src;
+            }
+        }
+        t
+    }
+
+    /// Per-RU event occupancy summed over all phases.
+    pub fn ru_occupancy(&self) -> Vec<u64> {
+        let n = self.phases.iter().map(|p| p.ru_events.len()).max().unwrap_or(0);
+        let mut occ = vec![0u64; n];
+        for p in &self.phases {
+            for (dst, src) in occ.iter_mut().zip(&p.ru_events) {
+                *dst += src;
+            }
+        }
+        occ
+    }
+
+    /// The host-clock lanes as Chrome trace events (microsecond timestamps on
+    /// the [`Track::HostCoordinator`] / [`Track::HostWorker`] rows), appended
+    /// to a simulated-cycle trace as separate host-time tracks.
+    pub fn chrome_events(&self) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        let us = |ns: u64| ns / 1_000;
+        for (k, p) in self.phases.iter().enumerate() {
+            events.push(TraceEvent {
+                track: Track::HostCoordinator,
+                name: format!("{} #{k} ({} threads)", p.label, p.threads),
+                kind: EventKind::Span {
+                    dur: us(p.wall_ns),
+                },
+                ts: us(p.start_ns),
+                args: vec![
+                    ("commit_ns", p.commit_ns.to_string()),
+                    ("barrier_ns", p.barrier_ns.to_string()),
+                    ("epochs", p.epochs.to_string()),
+                    ("shared_commits", p.shared_commits.to_string()),
+                ],
+            });
+            let mut lane = |track: Track, w: &WorkerLane| {
+                for s in &w.spans {
+                    events.push(TraceEvent {
+                        track,
+                        name: s.name.to_string(),
+                        kind: EventKind::Span {
+                            dur: us(s.end_ns.saturating_sub(s.start_ns)),
+                        },
+                        ts: us(s.start_ns),
+                        args: Vec::new(),
+                    });
+                }
+            };
+            lane(Track::HostCoordinator, &p.coord);
+            for w in &p.workers {
+                lane(Track::HostWorker(w.worker.min(255) as u8), w);
+            }
+        }
+        events
+    }
+
+    /// Hand-written JSON: `{"schema":"libra-hostprof-v1","phases":[...],
+    /// "totals":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\": \"libra-hostprof-v1\", \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let ru = p
+                .ru_events
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"label\": \"{}\", \"threads\": {}, \"wall_ns\": {}, \"commit_ns\": {}, \
+                 \"coord_drain_ns\": {}, \"barrier_ns\": {}, \"epochs\": {}, \
+                 \"parallel_epochs\": {}, \"local_events\": {}, \"shared_commits\": {}, \
+                 \"chan_commits\": {}, \"ru_ledger_commits\": {}, \"imbalance\": {:.4}, \
+                 \"ru_events\": [{}]}}",
+                {
+                    let mut l = String::new();
+                    json_escape_into(&mut l, &p.label);
+                    l
+                },
+                p.threads,
+                p.wall_ns,
+                p.commit_ns,
+                p.coord_drain_ns,
+                p.barrier_ns,
+                p.epochs,
+                p.parallel_epochs,
+                p.local_events,
+                p.shared_commits,
+                p.chan_commits,
+                p.ru_ledger_commits,
+                p.imbalance(),
+                ru,
+            ));
+        }
+        out.push_str("], \"totals\": ");
+        out.push_str(&self.totals().to_json());
+        out.push_str("}\n");
+        out
+    }
+
+    /// Multi-line human table (one row per phase plus the totals paragraph).
+    pub fn render(&self) -> String {
+        let t = self.totals();
+        if self.phases.is_empty() {
+            return t.render();
+        }
+        let mut s = String::from(
+            "hostprof — host-time decomposition of the parallel event core\n  \
+             phase        thr   wall_ms  commit%  drain%  barr%  other%    epochs  par-ep  imbal\n",
+        );
+        for (k, p) in self.phases.iter().enumerate() {
+            s.push_str(&format!(
+                "  {:<10} {:>4} {:>9.3} {:>8.1} {:>7.1} {:>6.1} {:>7.1} {:>9} {:>7} {:>6.2}\n",
+                format!("{} #{k}", p.label),
+                p.threads,
+                p.wall_ns as f64 / 1e6,
+                p.serial_fraction() * 100.0,
+                p.parallel_fraction() * 100.0,
+                p.barrier_fraction() * 100.0,
+                p.other_fraction() * 100.0,
+                p.epochs,
+                p.parallel_epochs,
+                p.imbalance(),
+            ));
+        }
+        s.push_str(&t.render());
+        s
+    }
+}
+
+#[derive(Debug)]
+struct Collector {
+    origin: Instant,
+    phases: Vec<PhaseProfile>,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Installs a fresh collector on the current thread; the profile origin (the
+/// zero of every recorded timestamp) is *now*.
+pub fn start() {
+    COLLECTOR.with(|c| {
+        *c.borrow_mut() = Some(Collector {
+            origin: Instant::now(),
+            phases: Vec::new(),
+        })
+    });
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Whether a collector is installed on the current thread. Instrumentation
+/// sites hoist this into a per-phase bool so the disabled hot path costs one
+/// branch per phase.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Whether the `LIBRA_HOSTPROF` environment toggle requests profiling
+/// (`1`, `true` or `on`, case-insensitive).
+pub fn env_enabled() -> bool {
+    std::env::var("LIBRA_HOSTPROF").is_ok_and(|v| {
+        let v = v.trim();
+        v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+    })
+}
+
+/// The collector's origin instant (for sharing with worker threads so all
+/// lanes use one time base). `None` when disabled.
+pub fn origin() -> Option<Instant> {
+    if !is_enabled() {
+        return None;
+    }
+    COLLECTOR.with(|c| c.borrow().as_ref().map(|col| col.origin))
+}
+
+/// Appends one phase profile to the current thread's collector (no-op when
+/// disabled).
+pub fn record_phase(phase: PhaseProfile) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.phases.push(phase);
+        }
+    });
+}
+
+/// Uninstalls the collector and returns the recorded profile (`None` if
+/// [`start`] was never called on this thread).
+pub fn finish() -> Option<HostProfile> {
+    ENABLED.with(|e| e.set(false));
+    COLLECTOR.with(|c| c.borrow_mut().take()).map(|c| HostProfile { phases: c.phases })
+}
+
+// ---------------------------------------------------------------------------
+// Host metadata stamp
+// ---------------------------------------------------------------------------
+
+/// Host metadata stamped onto bench records so wall-clock numbers are
+/// interpretable later: core count, git revision and a UTC timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostMeta {
+    /// `std::thread::available_parallelism()` at capture time.
+    pub cores: usize,
+    /// Short git revision (`LIBRA_GIT_REV` override, else read from `.git`,
+    /// else `"unknown"`).
+    pub git_rev: String,
+    /// ISO-8601 UTC timestamp (`LIBRA_BENCH_UTC` override — the harness passes
+    /// it in — else derived from the system clock).
+    pub utc: String,
+}
+
+impl HostMeta {
+    /// Captures the current host's metadata.
+    pub fn capture() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let git_rev = std::env::var("LIBRA_GIT_REV")
+            .ok()
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(git_rev_from_disk);
+        let utc = std::env::var("LIBRA_BENCH_UTC")
+            .ok()
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(utc_now);
+        Self {
+            cores,
+            git_rev,
+            utc,
+        }
+    }
+
+    /// The `{"cores": .., "git_rev": "..", "utc": ".."}` JSON object.
+    pub fn json_object(&self) -> String {
+        let mut rev = String::new();
+        json_escape_into(&mut rev, &self.git_rev);
+        let mut utc = String::new();
+        json_escape_into(&mut utc, &self.utc);
+        format!(
+            "{{\"cores\": {}, \"git_rev\": \"{rev}\", \"utc\": \"{utc}\"}}",
+            self.cores
+        )
+    }
+}
+
+fn short_rev(h: &str) -> String {
+    h.chars().take(12).collect()
+}
+
+fn read_git_head(git: &Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(r) = head.strip_prefix("ref: ") else {
+        return Some(short_rev(head)); // detached HEAD: the hash itself
+    };
+    if let Ok(h) = std::fs::read_to_string(git.join(r)) {
+        return Some(short_rev(h.trim()));
+    }
+    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+    for line in packed.lines() {
+        if let Some((hash, name)) = line.split_once(' ') {
+            if name.trim() == r {
+                return Some(short_rev(hash.trim()));
+            }
+        }
+    }
+    None
+}
+
+/// Walks up from the working directory looking for a `.git` directory and
+/// resolves HEAD by hand (the workspace has no git dependency).
+fn git_rev_from_disk() -> String {
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        let git = d.join(".git");
+        if git.is_dir() {
+            return read_git_head(&git).unwrap_or_else(|| "unknown".into());
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    "unknown".into()
+}
+
+/// `days` since 1970-01-01 to civil `(year, month, day)` — the standard
+/// era-based algorithm, valid far beyond any plausible clock reading.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Formats seconds-since-epoch as `YYYY-MM-DDThh:mm:ssZ`.
+pub fn format_utc(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        rem / 3_600,
+        (rem % 3_600) / 60,
+        rem % 60
+    )
+}
+
+fn utc_now() -> String {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| format_utc(d.as_secs()))
+        .unwrap_or_else(|_| "unknown".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        assert!(!is_enabled());
+        record_phase(PhaseProfile::new("raster", 1, 2));
+        assert!(finish().is_none());
+        assert!(origin().is_none());
+    }
+
+    #[test]
+    fn start_record_finish_round_trip() {
+        start();
+        assert!(origin().is_some());
+        let mut p = PhaseProfile::new("raster", 2, 4);
+        p.wall_ns = 1_000;
+        p.commit_ns = 400;
+        p.coord_drain_ns = 300;
+        p.barrier_ns = 100;
+        record_phase(p);
+        let prof = finish().expect("collector installed");
+        assert!(!is_enabled());
+        assert_eq!(prof.phases.len(), 1);
+        let t = prof.totals();
+        assert_eq!(t.phases, 1);
+        assert!((t.serial_fraction() - 0.4).abs() < 1e-12);
+        assert!((t.parallel_fraction() - 0.3).abs() < 1e-12);
+        assert!((t.barrier_fraction() - 0.1).abs() < 1e-12);
+        assert!((t.other_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_are_bounded_even_for_inconsistent_inputs() {
+        // Timer pathologies (a sub-interval over-measuring the wall) must not
+        // escape [0, 1].
+        let mut p = PhaseProfile::new("raster", 1, 1);
+        p.wall_ns = 100;
+        p.commit_ns = 250;
+        assert_eq!(p.serial_fraction(), 1.0);
+        assert_eq!(p.other_fraction(), 0.0);
+        let empty = PhaseProfile::new("raster", 1, 1);
+        assert_eq!(empty.serial_fraction(), 0.0);
+        assert_eq!(empty.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn lane_spans_cap_and_count_drops() {
+        let mut lane = WorkerLane::new(1);
+        for i in 0..(MAX_LANE_SPANS as u64 + 10) {
+            lane.push_span("epoch", i, i + 1);
+        }
+        assert_eq!(lane.spans.len(), MAX_LANE_SPANS);
+        assert_eq!(lane.dropped_spans, 10);
+    }
+
+    #[test]
+    fn totals_merge_is_additive() {
+        let mut a = HostTotals {
+            phases: 1,
+            wall_ns: 100,
+            commit_ns: 10,
+            run_lengths: vec![1, 2],
+            ..HostTotals::default()
+        };
+        let b = HostTotals {
+            phases: 2,
+            wall_ns: 300,
+            commit_ns: 30,
+            run_lengths: vec![0, 1, 5],
+            ..HostTotals::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.phases, 3);
+        assert_eq!(a.wall_ns, 400);
+        assert_eq!(a.commit_ns, 40);
+        assert_eq!(a.run_lengths, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn chrome_events_land_on_host_tracks_in_microseconds() {
+        let mut p = PhaseProfile::new("raster", 2, 2);
+        p.start_ns = 5_000;
+        p.wall_ns = 20_000;
+        p.coord.push_span("epoch", 6_000, 9_000);
+        let mut w = WorkerLane::new(1);
+        w.push_span("epoch", 7_000, 8_000);
+        p.workers.push(w);
+        let prof = HostProfile { phases: vec![p] };
+        let events = prof.chrome_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].track, Track::HostCoordinator);
+        assert_eq!(events[0].ts, 5); // 5 000 ns = 5 µs
+        assert_eq!(events[0].kind, EventKind::Span { dur: 20 });
+        assert_eq!(events[2].track, Track::HostWorker(1));
+        assert_eq!(events[2].ts, 7);
+    }
+
+    #[test]
+    fn json_parses_and_carries_the_schema() {
+        let mut p = PhaseProfile::new("raster", 2, 2);
+        p.wall_ns = 1_000;
+        p.ru_events = vec![3, 9];
+        let prof = HostProfile { phases: vec![p] };
+        let doc = crate::json::parse(&prof.to_json()).expect("hostprof JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("libra-hostprof-v1")
+        );
+        let phases = doc.get("phases").and_then(|v| v.as_array()).expect("phases");
+        assert_eq!(phases.len(), 1);
+        assert_eq!(
+            phases[0].get("imbalance").and_then(|v| v.as_f64()),
+            Some(1.5)
+        );
+        assert!(doc.get("totals").is_some());
+        assert!(prof.render().contains("hostprof"));
+    }
+
+    #[test]
+    fn format_utc_matches_known_dates() {
+        assert_eq!(format_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(format_utc(86_400), "1970-01-02T00:00:00Z");
+        // 2026-08-08T00:00:00Z
+        assert_eq!(format_utc(1_786_147_200), "2026-08-08T00:00:00Z");
+        assert_eq!(format_utc(951_827_696), "2000-02-29T12:34:56Z");
+    }
+
+    #[test]
+    fn host_meta_json_is_well_formed() {
+        let m = HostMeta {
+            cores: 8,
+            git_rev: "abc123".into(),
+            utc: "2026-08-08T00:00:00Z".into(),
+        };
+        let doc = crate::json::parse(&m.json_object()).expect("host meta parses");
+        assert_eq!(doc.get("cores").and_then(|v| v.as_f64()), Some(8.0));
+        assert_eq!(doc.get("git_rev").and_then(|v| v.as_str()), Some("abc123"));
+    }
+}

@@ -24,6 +24,9 @@
 //!   GPU model, memory hierarchy and scheduler publish into; JSON/CSV output.
 //! * [`json`] — a minimal validating JSON parser backing the trace-export smoke
 //!   checks (no serde anywhere in the workspace).
+//! * [`hostprof`] — the host wall-clock twin of [`trace`]: a runtime-gated
+//!   profiler the parallel event-loop driver publishes per-phase epoch/stall
+//!   telemetry into (barrier waits, commit serialization, shard imbalance).
 //!
 //! Nothing in here performs simulation; it is pure data and arithmetic, which keeps
 //! the dependency DAG of the workspace acyclic.
@@ -45,6 +48,7 @@ pub mod error;
 pub mod event_queue;
 pub mod fasthash;
 pub mod hilbert;
+pub mod hostprof;
 pub mod ids;
 pub mod json;
 pub mod metrics;

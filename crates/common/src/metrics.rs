@@ -73,6 +73,52 @@ impl MetricValue {
             MetricValue::Histogram { .. } => "histogram",
         }
     }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) of a histogram, linearly
+    /// interpolated inside its fixed-width bucket: bucket `b` is read as the
+    /// half-open value range `[b·width, (b+1)·width)`. Returns `None` for
+    /// non-histogram values and for empty histograms (all buckets zero), so a
+    /// missing distribution is distinguishable from a zero-valued one.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let MetricValue::Histogram { width, buckets } = self else {
+            return None;
+        };
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let width = (*width).max(1) as f64;
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (b, &count) in buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let next = cum + count;
+            if next as f64 >= rank {
+                let into = ((rank - cum as f64) / count as f64).clamp(0.0, 1.0);
+                return Some((b as f64 + into) * width);
+            }
+            cum = next;
+        }
+        // Unreachable for consistent inputs (rank ≤ total); cover it anyway.
+        Some(buckets.len() as f64 * width)
+    }
+
+    /// The median ([`Self::quantile`] at 0.50).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile ([`Self::quantile`] at 0.95).
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile ([`Self::quantile`] at 0.99).
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
 }
 
 /// An ordered collection of labelled metrics.
@@ -341,6 +387,43 @@ mod tests {
         let c = r.to_csv();
         assert!(c.contains("reads,\"frame=0\",counter,7"));
         assert!(c.contains("intervals,\"\",histogram,w5000:3;0;1"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 10 samples spread as [4, 4, 2] over width-5 buckets.
+        let h = MetricValue::Histogram { width: 5, buckets: vec![4, 4, 2] };
+        // p50 → rank 5, one sample into the second bucket: (1 + 1/4) * 5.
+        assert_eq!(h.p50(), Some(6.25));
+        // p95 → rank 9.5, 1.5 samples into the third bucket: (2 + 1.5/2) * 5.
+        assert_eq!(h.p95(), Some(13.75));
+        assert_eq!(h.p99(), Some(14.75));
+        // Extremes stay within the populated value range.
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(15.0));
+        // Out-of-range q clamps instead of extrapolating.
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+    }
+
+    #[test]
+    fn quantiles_skip_leading_empty_buckets() {
+        let h = MetricValue::Histogram { width: 2, buckets: vec![0, 0, 10] };
+        assert_eq!(h.quantile(0.0), Some(4.0));
+        assert_eq!(h.p50(), Some(5.0));
+        // A degenerate zero width is treated as width 1.
+        let d = MetricValue::Histogram { width: 0, buckets: vec![0, 10] };
+        assert_eq!(d.p50(), Some(1.5));
+    }
+
+    #[test]
+    fn quantiles_are_none_for_empty_or_non_histograms() {
+        assert_eq!(MetricValue::Counter(7).p50(), None);
+        assert_eq!(MetricValue::Gauge(1.0).p95(), None);
+        let empty = MetricValue::Histogram { width: 10, buckets: vec![0, 0] };
+        assert_eq!(empty.p99(), None);
+        let none = MetricValue::Histogram { width: 10, buckets: Vec::new() };
+        assert_eq!(none.quantile(0.5), None);
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub enum Track {
     },
     /// Data-bus occupancy of one DRAM channel (the bandwidth ceiling).
     DramBus(u8),
+    /// Host wall-clock lane of the parallel event core's coordinator thread.
+    /// Timestamps are **host microseconds** from [`crate::hostprof`], not
+    /// simulated cycles — the tid range keeps the rows grouped at the bottom.
+    HostCoordinator,
+    /// Host wall-clock lane of parallel worker `w` (host microseconds).
+    HostWorker(u8),
 }
 
 impl Track {
@@ -77,6 +83,8 @@ impl Track {
             Track::RuFlush(i) => 18 + 4 * i as u64,
             Track::DramBus(c) => 512 + c as u64,
             Track::DramBank { channel, bank } => 1024 + 64 * channel as u64 + bank as u64,
+            Track::HostCoordinator => 8192,
+            Track::HostWorker(w) => 8193 + w as u64,
         }
     }
 
@@ -90,6 +98,8 @@ impl Track {
             Track::RuFlush(i) => format!("RU{i} flush"),
             Track::DramBus(c) => format!("DRAM ch{c} bus"),
             Track::DramBank { channel, bank } => format!("DRAM ch{channel} bank{bank}"),
+            Track::HostCoordinator => "host coordinator".into(),
+            Track::HostWorker(w) => format!("host worker {w}"),
         }
     }
 }
@@ -438,6 +448,9 @@ mod tests {
             Track::DramBus(1),
             Track::DramBank { channel: 0, bank: 0 },
             Track::DramBank { channel: 1, bank: 7 },
+            Track::HostCoordinator,
+            Track::HostWorker(0),
+            Track::HostWorker(3),
         ];
         let tids: std::collections::HashSet<u64> = tracks.iter().map(|t| t.tid()).collect();
         assert_eq!(tids.len(), tracks.len());

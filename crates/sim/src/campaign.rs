@@ -79,6 +79,7 @@ use libra::scheduler::SchedulerKind;
 use tbr_common::config::GpuConfig;
 use tbr_common::rng::splitmix64_mix;
 use tbr_common::stats::SequenceStats;
+use tbr_common::hostprof::{self, HostTotals};
 use tbr_common::trace::{self, Trace};
 use tbr_workloads::{BenchmarkProfile, SceneGenerator};
 
@@ -258,6 +259,11 @@ pub struct CampaignProfile {
     pub workers: Vec<WorkerProfile>,
     /// One entry per job, in campaign order.
     pub jobs: Vec<JobProfile>,
+    /// Aggregated parallel-event-core host telemetry, merged over every job
+    /// that ran with [`RunOptions::hostprof`] set (`None` otherwise). Only the
+    /// `par` event-loop driver records phases, so under the serial drivers
+    /// this is `Some` with zero phases.
+    pub host: Option<HostTotals>,
 }
 
 impl CampaignProfile {
@@ -320,6 +326,9 @@ pub struct RunOptions {
     /// Adopt completed jobs from this checkpoint before running the rest.
     /// If `checkpoint_to` is unset, new records are appended to this same file.
     pub resume_from: Option<String>,
+    /// Collect host-time parallel-core telemetry ([`tbr_common::hostprof`])
+    /// per job and aggregate it into [`CampaignProfile::host`].
+    pub hostprof: bool,
 }
 
 impl Default for RunOptions {
@@ -332,6 +341,7 @@ impl Default for RunOptions {
             fault: None,
             checkpoint_to: None,
             resume_from: None,
+            hostprof: false,
         }
     }
 }
@@ -590,9 +600,14 @@ impl Campaign {
 
     /// Runs job `index` with isolation, watchdog, fault injection and retries.
     /// Always returns a result — a panic or timeout becomes a structured
-    /// failure, never an abort. The trace (if requested) covers only the
-    /// successful attempt; failed attempts discard their partial traces.
-    fn run_job_resilient(&self, index: usize, opts: &RunOptions) -> (CampaignResult, Option<Trace>) {
+    /// failure, never an abort. The trace and host-telemetry totals (each if
+    /// requested) cover only the successful attempt; failed attempts discard
+    /// their partial collections.
+    fn run_job_resilient(
+        &self,
+        index: usize,
+        opts: &RunOptions,
+    ) -> (CampaignResult, Option<Trace>, Option<HostTotals>) {
         let job = &self.jobs[index];
         let abbrev = job.profile.abbrev;
         let scheduler = job.scheduler.build().name();
@@ -613,17 +628,28 @@ impl Campaign {
             if opts.traced {
                 trace::start();
             }
+            if opts.hostprof {
+                hostprof::start();
+            }
             let outcome =
                 quiet_catch_unwind(|| self.run_attempt(index, &profile, budget, inject_panic));
             match outcome {
                 Ok(Attempt::Done(stats)) => {
                     let t = if opts.traced { trace::finish() } else { None };
+                    let hp = if opts.hostprof {
+                        hostprof::finish().map(|p| p.totals())
+                    } else {
+                        None
+                    };
                     let s = JobSuccess { job: index, abbrev, scheduler, effective_seed, stats };
-                    return (CampaignResult::Done(s), t);
+                    return (CampaignResult::Done(s), t, hp);
                 }
                 Ok(Attempt::TimedOut { spent }) => {
                     if opts.traced {
                         let _ = trace::finish(); // drop the partial trace
+                    }
+                    if opts.hostprof {
+                        let _ = hostprof::finish(); // drop the partial profile
                     }
                     last = Some(CampaignResult::TimedOut {
                         job: index,
@@ -638,6 +664,9 @@ impl Campaign {
                     if opts.traced {
                         let _ = trace::finish(); // drop the partial trace
                     }
+                    if opts.hostprof {
+                        let _ = hostprof::finish(); // drop the partial profile
+                    }
                     last = Some(CampaignResult::Failed {
                         job: index,
                         abbrev,
@@ -648,7 +677,7 @@ impl Campaign {
                 }
             }
         }
-        (last.expect("at least one attempt was made"), None)
+        (last.expect("at least one attempt was made"), None, None)
     }
 
     /// Validates a loaded checkpoint against this campaign and adopts its
@@ -796,15 +825,19 @@ impl Campaign {
         };
 
         let mut traces = Vec::new();
+        let host_totals: Mutex<HostTotals> = Mutex::new(HostTotals::default());
         let workers;
 
         if threads <= 1 || pending.len() <= 1 {
             let mut busy = 0.0;
             for &i in &pending {
                 let jt = Instant::now();
-                let (r, t) = self.run_job_resilient(i, opts);
+                let (r, t, hp) = self.run_job_resilient(i, opts);
                 let secs = jt.elapsed().as_secs_f64();
                 busy += secs;
+                if let Some(hp) = hp {
+                    host_totals.lock().unwrap().merge(&hp);
+                }
                 if let Some(w) = &writer {
                     note_ckpt(w.append(&r));
                 }
@@ -849,6 +882,7 @@ impl Campaign {
                     let worker_slots = &worker_slots;
                     let writer = &writer;
                     let note_ckpt = &note_ckpt;
+                    let host_totals = &host_totals;
                     scope.spawn(move || {
                         let mut prof =
                             WorkerProfile { worker: me, jobs_run: 0, steals: 0, busy_secs: 0.0 };
@@ -870,8 +904,11 @@ impl Campaign {
                                         prof.steals += 1;
                                     }
                                     let jt = Instant::now();
-                                    let (r, t) = self.run_job_resilient(i, opts);
+                                    let (r, t, hp) = self.run_job_resilient(i, opts);
                                     let secs = jt.elapsed().as_secs_f64();
+                                    if let Some(hp) = hp {
+                                        host_totals.lock().unwrap().merge(&hp);
+                                    }
                                     prof.jobs_run += 1;
                                     prof.busy_secs += secs;
                                     if let Some(w) = writer {
@@ -921,6 +958,9 @@ impl Campaign {
                 .into_iter()
                 .map(|j| j.expect("every job was profiled"))
                 .collect(),
+            host: opts
+                .hostprof
+                .then(|| host_totals.into_inner().unwrap()),
         };
         Ok(CampaignRun {
             results,

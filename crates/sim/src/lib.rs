@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod campaign;
 pub mod checkpoint;
 pub mod event_loop;

@@ -23,8 +23,10 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
+use std::time::Instant;
 
 use tbr_common::fasthash::U64Set;
+use tbr_common::hostprof::{self, PhaseProfile, WorkerLane, RUN_LENGTH_BUCKETS};
 
 use libra::scheduler::FramePlan;
 use tbr_common::config::GpuConfig;
@@ -714,17 +716,33 @@ fn classify(st: &RuState, ru: &RasterUnit, hier: &MemoryHierarchy, max_warps: us
 struct ParScratch {
     out: RasterPhaseResult,
     fills: U64Set,
+    /// Local events drained per RU (hostprof occupancy telemetry). Plain
+    /// integer adds per *run*, so it stays on even when profiling is off.
+    ru_events: Vec<u64>,
+    /// Local-run-length histogram: width-1 buckets, last bucket overflow.
+    run_lengths: Vec<u64>,
 }
 
 impl ParScratch {
-    fn new(num_tiles: usize) -> Self {
+    fn new(num_tiles: usize, num_rus: usize) -> Self {
         Self {
             out: RasterPhaseResult {
                 heatmap: TileHeatmap::new(num_tiles),
                 ..RasterPhaseResult::default()
             },
             fills: U64Set::default(),
+            ru_events: vec![0; num_rus],
+            run_lengths: vec![0; RUN_LENGTH_BUCKETS],
         }
+    }
+
+    /// Accounts one completed Local run of `events` micro-events on RU `idx`.
+    fn note_run(&mut self, idx: usize, events: u64) {
+        if events == 0 {
+            return;
+        }
+        self.ru_events[idx] += events;
+        self.run_lengths[(events as usize).min(RUN_LENGTH_BUCKETS - 1)] += 1;
     }
 }
 
@@ -757,13 +775,12 @@ fn drain_local(
     st: &mut RuState,
     scratch: &mut ParScratch,
     gate: &mut Cycle,
+    idx: usize,
     max_warps: usize,
     ideal: bool,
 ) {
-    loop {
-        let Some(nt) = st.next_time(max_warps) else {
-            return; // finished
-        };
+    let run_start = scratch.out.events;
+    while let Some(nt) = st.next_time(max_warps) {
         let step = earliest_step(st);
         let branch = select_branch(st, step, max_warps);
         match branch {
@@ -778,7 +795,7 @@ fn drain_local(
                 };
                 let would_flush = retires && st.pending.is_empty() && st.inflight.len() == 1;
                 if !resident || would_flush {
-                    return; // Shared: park for the coordinator
+                    break; // Shared: park for the coordinator
                 }
                 *gate = (*gate).max(nt);
                 scratch.out.events += 1;
@@ -840,7 +857,7 @@ fn drain_local(
                     .as_ref()
                     .expect("Promote branch implies a parked tile");
                 if parked.warps.is_empty() {
-                    return; // empty tile: the promotion flushes — Shared
+                    break; // empty tile: the promotion flushes — Shared
                 }
                 *gate = (*gate).max(nt);
                 scratch.out.events += 1;
@@ -852,9 +869,10 @@ fn drain_local(
                 st.frag_start = start;
                 st.tile_last = start;
             }
-            Branch::FrontEnd => return, // always Shared
+            Branch::FrontEnd => break, // always Shared
         }
     }
+    scratch.note_run(idx, scratch.out.events - run_start);
 }
 
 /// [`drain_local`] through the context (the coordinator's inline path).
@@ -862,7 +880,7 @@ fn drain_local_inline(ctx: &mut PhaseCtx, i: usize, scratch: &mut ParScratch, ga
     let ideal = ctx.hier.ideal;
     let max_warps = ctx.max_warps;
     let PhaseCtx { rus, states, .. } = ctx;
-    drain_local(&mut rus[i], &mut states[i], scratch, gate, max_warps, ideal);
+    drain_local(&mut rus[i], &mut states[i], scratch, gate, i, max_warps, ideal);
 }
 
 /// Classifies RU `i`'s next event and parks it: Local RUs go on the epoch's
@@ -893,10 +911,69 @@ fn park(
     }
 }
 
+/// Host-time accumulator for one [`drive_par`] phase, feeding
+/// [`tbr_common::hostprof`]. Plain counters (epoch/commit tallies, per-RU
+/// Shared counts) stay on unconditionally — integer adds per epoch or per
+/// commit, invisible next to the work they count. Everything touching the host
+/// clock (`Instant::now`) or allocating spans is gated on `on`, which is read
+/// once per phase from [`hostprof::is_enabled`], so the disabled path adds a
+/// single branch per timed block and no clock reads at all.
+struct ParProf {
+    on: bool,
+    origin: Instant,
+    commit_ns: u64,
+    coord_drain_ns: u64,
+    barrier_ns: u64,
+    epochs: u64,
+    parallel_epochs: u64,
+    chan_commits: u64,
+    ru_ledger_commits: u64,
+    /// Shared commits per RU (summed with the scratches' Local counts into
+    /// the occupancy histogram).
+    ru_shared: Vec<u64>,
+    /// The coordinator's own drain lane (spans recorded per parallel epoch).
+    coord: WorkerLane,
+}
+
+impl ParProf {
+    fn new(num_rus: usize) -> Self {
+        let on = hostprof::is_enabled();
+        Self {
+            on,
+            // Share the collector's origin so worker lanes, coordinator lane
+            // and phase offsets all sit on one time base across phases.
+            origin: hostprof::origin().unwrap_or_else(Instant::now),
+            commit_ns: 0,
+            coord_drain_ns: 0,
+            barrier_ns: 0,
+            epochs: 0,
+            parallel_epochs: 0,
+            chan_commits: 0,
+            ru_ledger_commits: 0,
+            ru_shared: vec![0; num_rus],
+            coord: WorkerLane::new(0),
+        }
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Nanoseconds since `origin` — the worker threads' clock (they hold a copy of
+/// the coordinator's origin instant, not the thread-local collector).
+#[inline]
+fn ns_since(origin: Instant) -> u64 {
+    origin.elapsed().as_nanos() as u64
+}
+
 /// Epoch drain strategy for [`par_commit_loop`]: advance every RU in the given
 /// index list (all classified Local) to its Shared frontier, folding results
-/// into the context and raising each RU's gate as it goes.
-type EpochDrain<'c> = dyn FnMut(&mut PhaseCtx, &mut [Cycle], &[usize]) + 'c;
+/// into the context and raising each RU's gate as it goes. The [`ParProf`] is
+/// threaded through so the strategy can time itself without capturing the
+/// profiler (which the loop also borrows).
+type EpochDrain<'c> = dyn FnMut(&mut PhaseCtx, &mut [Cycle], &[usize], &mut ParProf) + 'c;
 
 /// The coordinator's commit loop, shared by the single-threaded and threaded
 /// configurations of [`drive_par`] (only the epoch `drain` strategy differs).
@@ -913,32 +990,35 @@ fn par_commit_loop(
     chan: &mut ChannelQueues<u32>,
     ru_parked: &mut ShardedEventQueue<u32>,
     locals: &mut Vec<usize>,
+    prof: &mut ParProf,
     drain: &mut EpochDrain<'_>,
 ) {
     loop {
         while !locals.is_empty() {
-            drain(ctx, gates, locals);
+            prof.epochs += 1;
+            drain(ctx, gates, locals, prof);
             let drained = std::mem::take(locals);
             for i in drained {
                 park(ctx, i, gates[i], chan, ru_parked, locals);
             }
             debug_assert!(locals.is_empty(), "drain_local left an RU Local");
         }
+        let t0 = if prof.on { prof.now_ns() } else { 0 };
         // Commit the earliest Shared event across both ledgers. The key's RU
         // index is globally unique — an RU has one live entry in one ledger —
         // so the `(gate, raw, RU)` comparison is a total order.
-        let next = {
+        let (next, from_chan) = {
             let a = chan.peek_min();
             let b = ru_parked.horizon(|_, _| true);
             match (a, b) {
-                (None, None) => None,
-                (Some(_), None) => chan.pop_min(),
-                (None, Some(_)) => ru_parked.pop_min_valid(|_, _| true),
+                (None, None) => (None, false),
+                (Some(_), None) => (chan.pop_min(), true),
+                (None, Some(_)) => (ru_parked.pop_min_valid(|_, _| true), false),
                 (Some(x), Some(y)) => {
                     if x < y {
-                        chan.pop_min()
+                        (chan.pop_min(), true)
                     } else {
-                        ru_parked.pop_min_valid(|_, _| true)
+                        (ru_parked.pop_min_valid(|_, _| true), false)
                     }
                 }
             }
@@ -952,6 +1032,15 @@ fn par_commit_loop(
         ctx.out.events += 1;
         ctx.process(i, step_idx);
         park(ctx, i, gates[i], chan, ru_parked, locals);
+        if from_chan {
+            prof.chan_commits += 1;
+        } else {
+            prof.ru_ledger_commits += 1;
+        }
+        prof.ru_shared[i] += 1;
+        if prof.on {
+            prof.commit_ns += prof.now_ns() - t0;
+        }
     }
 }
 
@@ -961,6 +1050,8 @@ struct RuPtr {
     ru: *mut RasterUnit,
     st: *mut RuState,
     gate: *mut Cycle,
+    /// Global RU index, for the per-RU occupancy telemetry.
+    idx: usize,
 }
 
 // Safety: an `RuPtr` is dereferenced only by the thread whose epoch chunk it
@@ -1050,6 +1141,8 @@ fn drive_par(ctx: &mut PhaseCtx, threads: usize) {
     let n = ctx.states.len();
     let slots = threads.max(1).min(n.max(1));
     let num_tiles = ctx.cfg.screen.num_tiles();
+    let mut prof = ParProf::new(n);
+    let phase_start_ns = if prof.on { prof.now_ns() } else { 0 };
 
     let mut chan: ChannelQueues<u32> = ChannelQueues::new(ctx.hier.dram_channels());
     let mut ru_parked: ShardedEventQueue<u32> = ShardedEventQueue::new(n.max(1));
@@ -1060,19 +1153,27 @@ fn drive_par(ctx: &mut PhaseCtx, threads: usize) {
     }
 
     if slots <= 1 {
-        let mut scratch = ParScratch::new(num_tiles);
+        let mut scratch = ParScratch::new(num_tiles, n);
         par_commit_loop(
             ctx,
             &mut gates,
             &mut chan,
             &mut ru_parked,
             &mut locals,
-            &mut |ctx, gates, ls| {
+            &mut prof,
+            &mut |ctx, gates, ls, prof| {
+                let t0 = if prof.on { prof.now_ns() } else { 0 };
                 for &i in ls {
                     drain_local_inline(ctx, i, &mut scratch, &mut gates[i]);
                 }
+                if prof.on {
+                    prof.coord_drain_ns += prof.now_ns() - t0;
+                }
             },
         );
+        if prof.on {
+            record_par_phase(prof, phase_start_ns, slots, &chan, &ru_parked, &[&scratch], Vec::new());
+        }
         absorb_scratch(ctx, scratch);
         return;
     }
@@ -1083,19 +1184,30 @@ fn drive_par(ctx: &mut PhaseCtx, threads: usize) {
     let exchange = Exchange::new(slots);
     let ideal = ctx.hier.ideal;
     let max_warps = ctx.max_warps;
-    let mut coord_scratch = ParScratch::new(num_tiles);
+    let prof_on = prof.on;
+    let origin = prof.origin;
+    let mut coord_scratch = ParScratch::new(num_tiles, n);
 
-    let worker_scratches: Vec<ParScratch> = std::thread::scope(|s| {
+    let worker_results: Vec<(ParScratch, WorkerLane)> = std::thread::scope(|s| {
         let handles: Vec<_> = (1..slots)
             .map(|w| {
                 let (exchange, start, end, done) = (&exchange, &start, &end, &done);
-                let mut scratch = ParScratch::new(num_tiles);
+                let mut scratch = ParScratch::new(num_tiles, n);
                 s.spawn(move || {
+                    let mut lane = WorkerLane::new(w);
                     loop {
+                        let park0 = if prof_on { ns_since(origin) } else { 0 };
                         start.wait();
                         if done.load(Ordering::Acquire) {
                             break;
                         }
+                        let t1 = if prof_on {
+                            let t = ns_since(origin);
+                            lane.wait_ns += t - park0;
+                            t
+                        } else {
+                            0
+                        };
                         // Safety: between the start and end barriers slot `w`
                         // is exclusively this worker's ([`Exchange`] protocol).
                         unsafe {
@@ -1106,14 +1218,22 @@ fn drive_par(ctx: &mut PhaseCtx, threads: usize) {
                                     &mut *p.st,
                                     &mut scratch,
                                     &mut *p.gate,
+                                    p.idx,
                                     max_warps,
                                     ideal,
                                 );
                             }
                         }
+                        if prof_on {
+                            let t2 = ns_since(origin);
+                            lane.busy_ns += t2 - t1;
+                            lane.epochs += 1;
+                            lane.push_span("epoch", t1, t2);
+                        }
                         end.wait();
                     }
-                    scratch
+                    lane.local_events = scratch.out.events;
+                    (scratch, lane)
                 })
             })
             .collect();
@@ -1124,13 +1244,19 @@ fn drive_par(ctx: &mut PhaseCtx, threads: usize) {
             &mut chan,
             &mut ru_parked,
             &mut locals,
-            &mut |ctx, gates, ls| {
+            &mut prof,
+            &mut |ctx, gates, ls, prof| {
                 if ls.len() < 2 {
+                    let t0 = if prof.on { prof.now_ns() } else { 0 };
                     for &i in ls {
                         drain_local_inline(ctx, i, &mut coord_scratch, &mut gates[i]);
                     }
+                    if prof.on {
+                        prof.coord_drain_ns += prof.now_ns() - t0;
+                    }
                     return;
                 }
+                prof.parallel_epochs += 1;
                 // Parallel epoch: round-robin the Local RUs over the slots,
                 // then release the workers. The pointers are taken fresh from
                 // the context each epoch and die at the end barrier.
@@ -1150,10 +1276,13 @@ fn drive_par(ctx: &mut PhaseCtx, threads: usize) {
                             ru: rp.add(i),
                             st: sp.add(i),
                             gate: gp.add(i),
+                            idx: i,
                         });
                     }
                 }
+                let tb0 = if prof.on { prof.now_ns() } else { 0 };
                 start.wait();
+                let td0 = if prof.on { prof.now_ns() } else { 0 };
                 // Safety: slot 0 is the coordinator's exclusive chunk this
                 // epoch.
                 unsafe {
@@ -1164,12 +1293,21 @@ fn drive_par(ctx: &mut PhaseCtx, threads: usize) {
                             &mut *p.st,
                             &mut coord_scratch,
                             &mut *p.gate,
+                            p.idx,
                             max_warps,
                             ideal,
                         );
                     }
                 }
+                let td1 = if prof.on { prof.now_ns() } else { 0 };
                 end.wait();
+                if prof.on {
+                    let tb1 = prof.now_ns();
+                    prof.coord_drain_ns += td1 - td0;
+                    prof.barrier_ns += (td0 - tb0) + (tb1 - td1);
+                    prof.coord.epochs += 1;
+                    prof.coord.push_span("epoch", td0, td1);
+                }
             },
         );
 
@@ -1181,10 +1319,66 @@ fn drive_par(ctx: &mut PhaseCtx, threads: usize) {
             .collect()
     });
 
+    if prof.on {
+        let scratches: Vec<&ParScratch> = std::iter::once(&coord_scratch)
+            .chain(worker_results.iter().map(|(s, _)| s))
+            .collect();
+        let lanes: Vec<WorkerLane> = worker_results.iter().map(|(_, l)| l.clone()).collect();
+        record_par_phase(prof, phase_start_ns, slots, &chan, &ru_parked, &scratches, lanes);
+    }
+
     absorb_scratch(ctx, coord_scratch);
-    for s in worker_scratches {
+    for (s, _) in worker_results {
         absorb_scratch(ctx, s);
     }
+}
+
+/// Assembles the phase's [`PhaseProfile`] from the commit-loop profiler, the
+/// ledgers' lifetime counters and every thread's scratch (coordinator first),
+/// and publishes it to the thread-local [`hostprof`] collector. Only called
+/// when profiling is enabled; pure observation — nothing here feeds back into
+/// simulated state.
+fn record_par_phase(
+    prof: ParProf,
+    phase_start_ns: u64,
+    slots: usize,
+    chan: &ChannelQueues<u32>,
+    ru_parked: &ShardedEventQueue<u32>,
+    scratches: &[&ParScratch],
+    workers: Vec<WorkerLane>,
+) {
+    let wall_ns = prof.now_ns().saturating_sub(phase_start_ns);
+    let mut p = PhaseProfile::new("raster", slots, prof.ru_shared.len());
+    p.start_ns = phase_start_ns;
+    p.wall_ns = wall_ns;
+    p.commit_ns = prof.commit_ns;
+    p.coord_drain_ns = prof.coord_drain_ns;
+    p.barrier_ns = prof.barrier_ns;
+    p.epochs = prof.epochs;
+    p.parallel_epochs = prof.parallel_epochs;
+    p.chan_commits = prof.chan_commits;
+    p.ru_ledger_commits = prof.ru_ledger_commits;
+    p.shared_commits = prof.chan_commits + prof.ru_ledger_commits;
+    p.chan_pushed = chan.total_pushed();
+    p.chan_drained = chan.total_drained();
+    p.ru_pushed = ru_parked.total_pushed();
+    p.ru_drained = ru_parked.total_drained();
+    for (dst, src) in p.ru_events.iter_mut().zip(&prof.ru_shared) {
+        *dst += src;
+    }
+    for s in scratches {
+        p.local_events += s.out.events;
+        for (dst, src) in p.ru_events.iter_mut().zip(&s.ru_events) {
+            *dst += src;
+        }
+        for (dst, src) in p.run_lengths.iter_mut().zip(&s.run_lengths) {
+            *dst += src;
+        }
+    }
+    p.coord = prof.coord;
+    p.coord.local_events = scratches.first().map_or(0, |s| s.out.events);
+    p.workers = workers;
+    hostprof::record_phase(p);
 }
 
 /// Runs the raster phase from cycle 0 until every tile in `plan` has been rendered

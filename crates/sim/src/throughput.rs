@@ -16,6 +16,7 @@
 use std::time::Instant;
 
 use tbr_common::config::GpuConfig;
+use tbr_common::hostprof::HostMeta;
 use tbr_common::stats::FrameStats;
 use tbr_workloads::BenchmarkProfile;
 
@@ -74,6 +75,9 @@ pub struct ThroughputReport {
     /// `(threads, record)`. Record-only: the parallel speedup depends on the
     /// host and is never asserted on.
     pub par: Vec<(usize, ThroughputRecord)>,
+    /// Host metadata (core count, git rev, UTC) stamped at measurement time —
+    /// what makes single-core-container numbers interpretable later.
+    pub host: HostMeta,
 }
 
 impl ThroughputReport {
@@ -122,13 +126,14 @@ impl ThroughputReport {
             .join(", ");
         format!(
             "{{\n  \"bench\": \"sim_throughput\",\n  \"workloads\": [{}],\n  \
-             \"frames\": {},\n  \"raster_units\": {},\n  \"scan\": {},\n  \
+             \"frames\": {},\n  \"raster_units\": {},\n  \"host\": {},\n  \"scan\": {},\n  \
              \"heap\": {},\n  \"par\": [{}],\n  \
              \"speedup_heap_over_scan\": {:.3},\n  \
              \"speedup_par_over_heap\": {:.3}\n}}\n",
             workloads,
             self.frames,
             self.raster_units,
+            self.host.json_object(),
             record(&self.scan),
             record(&self.heap),
             par,
@@ -141,10 +146,12 @@ impl ThroughputReport {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "sim throughput — {} workloads x {} frames, {} RUs\n",
+            "sim throughput — {} workloads x {} frames, {} RUs (host: {} cores, rev {})\n",
             self.workloads.len(),
             self.frames,
-            self.raster_units
+            self.raster_units,
+            self.host.cores,
+            self.host.git_rev,
         ));
         let mut line = |label: String, r: &ThroughputRecord| {
             s.push_str(&format!(
@@ -266,6 +273,7 @@ pub fn compare(
         scan,
         heap,
         par,
+        host: HostMeta::capture(),
     }
 }
 
@@ -290,6 +298,10 @@ mod tests {
         }
         let json = report.to_json();
         assert!(json.contains("\"sim_throughput\""));
+        assert!(json.contains("\"host\""));
+        assert!(json.contains("\"cores\""));
+        assert!(json.contains("\"git_rev\""));
+        assert!(report.host.cores >= 1);
         assert!(json.contains("\"speedup_heap_over_scan\""));
         assert!(json.contains("\"speedup_par_over_heap\""));
         assert!(json.contains("\"threads\": 4"));

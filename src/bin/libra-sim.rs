@@ -7,6 +7,7 @@
 //! libra-sim sweep-ru <ABBREV> [opts]      1..4 Raster Units
 //! libra-sim campaign [opts]               parallel sweep over the whole suite
 //! libra-sim throughput [opts]             scan-vs-heap-vs-par events/sec benchmark
+//! libra-sim bench-compare [opts]          diff latest history vs committed baseline
 //! libra-sim trace-check <FILE>            validate an emitted Chrome trace
 //!
 //! options: --frames N (default 6)   --fhd   --scheduler z|scanline|hilbert|static2|
@@ -16,12 +17,14 @@
 //!          settable via LIBRA_SIM_THREADS — the results are bit-identical at
 //!          every thread count)
 //!
-//! run options (additionally): --trace-out FILE (Perfetto/Chrome trace JSON)
+//! run options (additionally): --trace-out FILE (Perfetto/Chrome trace JSON;
+//!          with LIBRA_HOSTPROF=1 the trace gains host-time lanes)
 //!          --report-json FILE (full metrics-registry report)
 //!
 //! campaign options (additionally): --threads N (default: all cores)   --seed S
 //!          --verify (re-run serially, assert bit-identical results)
-//!          --profile (write worker/job wall-clock CSVs to bench_results/)
+//!          --profile (write worker/job wall-clock CSVs to bench_results/, plus
+//!          aggregated host telemetry to bench_results/campaign_hostprof.json)
 //!          --trace-out FILE (merged per-job traces, one Perfetto process each)
 //!          --report-json FILE (survivor metrics, `libra-metrics-v1`)
 //!          --checkpoint FILE | --no-checkpoint (default: auto path under
@@ -29,10 +32,28 @@
 //!          --budget-cycles N (watchdog: abort a job past N simulated cycles)
 //!          --retries N (re-run failing jobs N more times; default 1)
 //!          --fault KIND:JOB (inject panic|panic-once|timeout|timeout-once)
+//!
+//! throughput options (additionally): --out FILE (JSON record; default
+//!          BENCH_sim_throughput.json)   --sim-threads N / LIBRA_SIM_THREADS
+//!          (pin par-driver workers for ad-hoc runs; the recorded par sweep
+//!          always measures its fixed thread ladder)   --explain (profile the
+//!          par driver and decompose the speedup: serial/barrier/imbalance
+//!          fractions, Amdahl predicted vs measured; writes
+//!          bench_results/sim_throughput_attribution.json)
+//!          --history FILE (append-only JSONL history; default
+//!          bench_results/history/sim_throughput.jsonl, env LIBRA_BENCH_HISTORY)
+//!
+//! bench-compare options: --baseline FILE (default
+//!          bench_results/baseline/sim_throughput.json)   --history FILE
+//!          --tolerance PCT (default 25)   --strict (exit non-zero on
+//!          regression; default is report-only)
 //! ```
 //!
 //! Traces carry *simulated* timestamps (1 GPU cycle = 1 µs on the Perfetto
 //! timeline), so trace output is bit-identical for every `--threads` value.
+//! Host-time observability is opt-in: `LIBRA_HOSTPROF=1` (or `--explain`)
+//! enables wall-clock telemetry of the parallel event core — observation-only,
+//! simulated results are bit-identical with it on or off.
 //!
 //! A campaign with failed or timed-out jobs still writes every output for the
 //! survivors, prints a structured failure report, and exits non-zero. See
@@ -68,6 +89,11 @@ struct Opts {
     budget_cycles: Option<u64>,
     retries: u32,
     fault: Option<String>,
+    explain: bool,
+    history: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+    strict: bool,
 }
 
 impl Default for Opts {
@@ -92,6 +118,11 @@ impl Default for Opts {
             budget_cycles: None,
             retries: 1,
             fault: None,
+            explain: false,
+            history: None,
+            baseline: None,
+            tolerance: 25.0,
+            strict: false,
         }
     }
 }
@@ -143,6 +174,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--retries" => o.retries = need("--retries")?.parse().map_err(|e| format!("{e}"))?,
             "--fault" => o.fault = Some(need("--fault")?.clone()),
+            "--explain" => o.explain = true,
+            "--history" => o.history = Some(need("--history")?.clone()),
+            "--baseline" => o.baseline = Some(need("--baseline")?.clone()),
+            "--tolerance" => {
+                o.tolerance = need("--tolerance")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--strict" => o.strict = true,
             "--event-loop" => {
                 let name = need("--event-loop")?;
                 let mode = event_loop::parse(name)
@@ -217,20 +255,24 @@ fn write_file(path: &str, contents: &str, what: &str) -> Result<(), String> {
 }
 
 fn cmd_run(abbrev: &str, o: &Opts) -> Result<(), String> {
-    use tbr_common::trace;
+    use tbr_common::{hostprof, trace};
 
     let p = find(abbrev)?;
     let cfg = config(o);
 
-    // The simulator publishes into its metrics registry unconditionally; the trace
-    // collector is installed only on request (it is observation-only either way —
-    // stats are bit-identical with tracing on or off).
+    // The simulator publishes into its metrics registry unconditionally; the
+    // trace and host-profile collectors are installed only on request (they are
+    // observation-only either way — stats are bit-identical with them on or off).
     let mut sim = GpuSimulator::new(cfg.clone(), o.scheduler);
     if o.trace_out.is_some() {
         trace::start();
     }
+    if hostprof::env_enabled() {
+        hostprof::start();
+    }
     let s = sim.render_sequence(&p, o.frames);
     let trace = trace::finish();
+    let host = hostprof::finish();
 
     println!(
         "{}",
@@ -243,9 +285,17 @@ fn cmd_run(abbrev: &str, o: &Opts) -> Result<(), String> {
     for f in &s.frames {
         println!("  {}", report::frame_line(f));
     }
+    if let Some(host) = &host {
+        print!("{}", host.render());
+    }
 
     if let Some(path) = &o.trace_out {
-        let trace = trace.expect("collector was installed above");
+        let mut trace = trace.expect("collector was installed above");
+        if let Some(host) = &host {
+            // Host lanes ride along as extra tracks; timestamps are host
+            // microseconds, the simulated tracks stay cycle-denominated.
+            trace.events.extend(host.chrome_events());
+        }
         write_file(path, &trace.chrome_json(), "Chrome trace")?;
     }
     if let Some(path) = &o.report_json {
@@ -345,8 +395,13 @@ fn cmd_sweep_ru(abbrev: &str, o: &Opts) -> Result<(), String> {
 /// recorded (never asserted) simulation-throughput benchmark; the parallel
 /// driver is timed at each of [`throughput::PAR_THREADS`] worker counts.
 /// Writes the JSON record to `bench_results/sim_throughput.json` and to
-/// `--out` (default `BENCH_sim_throughput.json`).
+/// `--out` (default `BENCH_sim_throughput.json`), and appends one history
+/// line to the bench-history file. With `--explain`, additionally profiles
+/// the parallel driver and prints/writes the speedup attribution.
 fn cmd_throughput(o: &Opts) -> Result<(), String> {
+    use libra_bench::history;
+    use tbr_sim::attribution;
+
     let cfg = config(o);
     let profiles = suite();
     println!(
@@ -357,8 +412,21 @@ fn cmd_throughput(o: &Opts) -> Result<(), String> {
         o.cores,
         o.scheduler
     );
-    let report = throughput::compare(&cfg, o.scheduler, &profiles, o.frames);
-    print!("{}", report.render());
+    let report = if o.explain {
+        let (report, attr) = attribution::explain(&cfg, o.scheduler, &profiles, o.frames);
+        print!("{}", report.render());
+        print!("{}", attr.render());
+        write_file(
+            "bench_results/sim_throughput_attribution.json",
+            &attr.to_json(),
+            "speedup attribution",
+        )?;
+        report
+    } else {
+        let report = throughput::compare(&cfg, o.scheduler, &profiles, o.frames);
+        print!("{}", report.render());
+        report
+    };
     let json = report.to_json();
     write_file(
         "bench_results/sim_throughput.json",
@@ -367,6 +435,34 @@ fn cmd_throughput(o: &Opts) -> Result<(), String> {
     )?;
     let root = o.out.as_deref().unwrap_or("BENCH_sim_throughput.json");
     write_file(root, &json, "throughput record")?;
+    let hist = o.history.clone().unwrap_or_else(history::history_path);
+    history::append(&hist, &history::HistoryRecord::from_report(&report))?;
+    println!("history appended to {hist}");
+    Ok(())
+}
+
+/// Diffs the most recent bench-history record against the committed baseline
+/// with a tolerance band. Report-only by default (wall-clock on shared runners
+/// is too noisy to gate on); `--strict` turns a regression into a failure.
+fn cmd_bench_compare(o: &Opts) -> Result<(), String> {
+    use libra_bench::history;
+
+    let baseline_path = o
+        .baseline
+        .clone()
+        .unwrap_or_else(|| history::DEFAULT_BASELINE.to_string());
+    let hist = o.history.clone().unwrap_or_else(history::history_path);
+    let baseline = history::load_baseline(&baseline_path)?;
+    let current = history::load_last(&hist)?
+        .ok_or_else(|| format!("{hist}: no history records (run `libra-sim throughput` first)"))?;
+    let report = history::compare(&baseline, &current, o.tolerance);
+    print!("{}", report.render());
+    if report.any_regressed() {
+        if o.strict {
+            return Err("bench-compare: regression beyond tolerance (--strict)".into());
+        }
+        println!("bench-compare: report-only (pass --strict to fail on regression)");
+    }
     Ok(())
 }
 
@@ -458,6 +554,7 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
             fault,
             checkpoint_to: checkpoint_to.clone(),
             resume_from: o.resume.clone(),
+            hostprof: o.profile || tbr_common::hostprof::env_enabled(),
         };
         let run = campaign.run_resilient(&opts)?;
         if run.resumed_jobs > 0 {
@@ -500,6 +597,14 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
                 profile.utilization() * 100.0,
                 profile.workers.iter().map(|w| w.steals).sum::<u64>()
             );
+            if let Some(host) = &profile.host {
+                write_file(
+                    "bench_results/campaign_hostprof.json",
+                    &host.to_json(),
+                    "host telemetry",
+                )?;
+                print!("{}", host.render());
+            }
         }
         run.results
     };
@@ -553,13 +658,17 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
 
 fn usage() {
     eprintln!(
-        "usage: libra-sim <suite|run|compare|sweep-ru|campaign|throughput|trace-check> \
+        "usage: libra-sim <suite|run|compare|sweep-ru|campaign|throughput|bench-compare|\
+         trace-check> \
          [ABBREV|FILE] [--frames N] [--fhd] [--scheduler z|scanline|hilbert|staticN|libra] \
          [--rus N] [--cores N] [--ideal-memory] [--event-loop heap|scan|par] \
          [--sim-threads N] [--threads N] \
          [--seed S] [--verify] [--profile] [--trace-out FILE] [--report-json FILE] [--out FILE] \
          [--checkpoint FILE] [--no-checkpoint] [--resume FILE] [--budget-cycles N] \
-         [--retries N] [--fault KIND:JOB]  (see docs/OPERATIONS.md)"
+         [--retries N] [--fault KIND:JOB] \
+         [--explain] [--history FILE] [--baseline FILE] [--tolerance PCT] [--strict]\n\
+         env: LIBRA_SIM_THREADS (par-driver workers), LIBRA_HOSTPROF=1 (host-time \
+         telemetry), LIBRA_BENCH_HISTORY (history file)  (see docs/OPERATIONS.md)"
     );
 }
 
@@ -577,19 +686,17 @@ fn main() -> ExitCode {
             cmd_suite();
             Ok(())
         }
-        "campaign" | "throughput" => match parse_opts(&args[1..]) {
+        "campaign" | "throughput" | "bench-compare" => match parse_opts(&args[1..]) {
             Err(e) => {
                 eprintln!("error: {e}");
                 usage();
                 return ExitCode::FAILURE;
             }
-            Ok(o) => {
-                if cmd == "campaign" {
-                    cmd_campaign(&o)
-                } else {
-                    cmd_throughput(&o)
-                }
-            }
+            Ok(o) => match cmd {
+                "campaign" => cmd_campaign(&o),
+                "throughput" => cmd_throughput(&o),
+                _ => cmd_bench_compare(&o),
+            },
         },
         "trace-check" => {
             let Some(path) = args.get(1) else {

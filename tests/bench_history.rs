@@ -1,0 +1,62 @@
+//! End-to-end tests of the bench-history regression tracker: a real
+//! [`ThroughputReport`] flows through the history JSONL and the baseline
+//! comparison, and the committed baseline stays parseable.
+//!
+//! Wall-clock *values* are never asserted on — only the plumbing: schema
+//! round-trips, host stamping, and the tolerance-band classification.
+//!
+//! [`ThroughputReport`]: tbr_sim::throughput::ThroughputReport
+
+use libra_bench::history::{self, CompareStatus, HistoryRecord};
+use libra_repro::prelude::*;
+use tbr_sim::throughput;
+
+#[test]
+fn throughput_report_round_trips_through_history_and_compares_clean() {
+    let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+    let profiles = vec![suite().remove(0)];
+    let report = throughput::compare(&cfg, SchedulerKind::Libra, &profiles, 1);
+
+    let rec = HistoryRecord::from_report(&report);
+    assert!(rec.cores >= 1, "history record must carry the host core count");
+    assert!(!rec.git_rev.is_empty(), "history record must carry a git rev");
+    assert_eq!(rec.events, report.heap.events);
+    assert_eq!(rec.par.len(), throughput::PAR_THREADS.len());
+
+    let dir = std::env::temp_dir().join(format!("libra_hist_it_{}", std::process::id()));
+    let path = dir.join("sim_throughput.jsonl");
+    let path = path.to_str().unwrap();
+    let _ = std::fs::remove_file(path);
+    history::append(path, &rec).unwrap();
+    let loaded = history::load_last(path).unwrap().expect("one record");
+    assert_eq!(loaded, HistoryRecord::parse_line(&rec.to_json_line()).unwrap());
+
+    // A record compared against itself is OK on every metric.
+    let cmp = history::compare(&loaded, &loaded, 25.0);
+    assert!(!cmp.any_regressed());
+    assert!(cmp.rows.iter().all(|r| r.status == CompareStatus::Ok));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn committed_baseline_parses_and_self_compares_clean() {
+    let baseline = history::load_baseline(history::DEFAULT_BASELINE)
+        .expect("committed baseline must stay parseable");
+    assert!(baseline.workloads > 0);
+    assert!(baseline.heap_events_per_sec > 0.0);
+    assert!(!baseline.par.is_empty());
+    let cmp = history::compare(&baseline, &baseline, 25.0);
+    assert!(!cmp.any_regressed());
+    assert!(cmp.render().contains("no regressions"));
+}
+
+#[test]
+fn bench_report_json_written_by_the_report_parses_as_baseline() {
+    let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+    let profiles = vec![suite().remove(0)];
+    let report = throughput::compare(&cfg, SchedulerKind::Libra, &profiles, 1);
+    let rec = HistoryRecord::parse_bench_report(&report.to_json())
+        .expect("ThroughputReport::to_json must parse as a baseline");
+    assert_eq!(rec.cores, report.host.cores as u64);
+    assert_eq!(rec.events, report.heap.events);
+}

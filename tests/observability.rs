@@ -7,6 +7,7 @@
 //! only; the first test proves stats are bit-identical with the collector on.
 
 use libra_repro::prelude::*;
+use tbr_common::hostprof;
 use tbr_common::json;
 use tbr_common::trace::{self, EventKind, Trace, Track};
 
@@ -287,6 +288,99 @@ fn trace_goldens_hold_under_the_parallel_core_at_any_thread_count() {
     }
     event_loop::set_sim_threads(None);
     event_loop::set_mode(None);
+}
+
+/// The host-time profiler must be observation-only, exactly like the tracer:
+/// stats and the full metrics-registry JSON are bit-identical with the
+/// collector installed or not, at every parallel-core thread count.
+#[test]
+fn hostprof_is_observation_only_at_any_thread_count() {
+    let p = profile("AAt");
+    event_loop::set_mode(Some(EventLoopMode::Par));
+    for threads in [1usize, 2, 4] {
+        event_loop::set_sim_threads(Some(threads));
+
+        let mut plain = GpuSimulator::new(cfg(), SchedulerKind::Libra);
+        let unprofiled = plain.render_sequence(&p, FRAMES);
+        let plain_json = plain.metrics().to_json();
+
+        let mut sim = GpuSimulator::new(cfg(), SchedulerKind::Libra);
+        hostprof::start();
+        let profiled = sim.render_sequence(&p, FRAMES);
+        let hp = hostprof::finish().expect("collector was installed");
+
+        assert_eq!(
+            profiled, unprofiled,
+            "par@{threads}: enabling hostprof changed simulation results"
+        );
+        assert_eq!(
+            sim.metrics().to_json(),
+            plain_json,
+            "par@{threads}: enabling hostprof changed the metrics report"
+        );
+        assert!(
+            !hp.is_empty(),
+            "par@{threads}: the parallel core must record raster phases"
+        );
+        let totals = hp.totals();
+        assert_eq!(
+            totals.phases,
+            FRAMES as u64,
+            "one raster phase per frame under the par driver"
+        );
+        assert!(totals.epochs > 0, "par@{threads}: no epochs recorded");
+        assert!(
+            totals.local_events + totals.shared_commits > 0,
+            "par@{threads}: no events attributed"
+        );
+        json::parse(&hp.to_json()).expect("hostprof JSON must parse");
+    }
+    event_loop::set_sim_threads(None);
+    event_loop::set_mode(None);
+}
+
+/// Schema and invariants of the speedup attribution: every fraction lies in
+/// [0, 1] and the serial/parallel/barrier/other decomposition of a phase sums
+/// to at most one (they are disjoint subintervals of the phase wall).
+#[test]
+fn attribution_fractions_are_consistent_in_json() {
+    use tbr_sim::attribution;
+
+    let profiles = vec![profile("AAt")];
+    let (_, attr) = attribution::explain(&cfg(), SchedulerKind::Libra, &profiles, 1);
+    let doc = json::parse(&attr.to_json()).expect("attribution JSON must parse");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("libra-attribution-v1")
+    );
+    let rows = doc
+        .get("rows")
+        .and_then(|v| v.as_array())
+        .expect("rows array");
+    assert!(!rows.is_empty());
+    for row in rows {
+        let frac = |k: &str| {
+            row.get(k)
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("row missing `{k}`"))
+        };
+        let parts = [
+            "serial_fraction",
+            "parallel_fraction",
+            "barrier_fraction",
+            "other_fraction",
+        ];
+        for k in parts {
+            let f = frac(k);
+            assert!((0.0..=1.0).contains(&f), "{k} = {f} out of [0, 1]");
+        }
+        // Each fraction is serialised with 6 decimals, so the exact in-memory
+        // sum-≤-1 invariant can overshoot by up to 4 half-ulps of 1e-6 here.
+        let sum: f64 = parts.iter().map(|k| frac(k)).sum();
+        assert!(sum <= 1.0 + 4e-6, "fractions sum to {sum} > 1");
+        assert!(frac("predicted_speedup") >= 1.0);
+        assert!(row.get("threads").and_then(|v| v.as_u64()).unwrap() >= 1);
+    }
 }
 
 /// Regenerates `TRACE_GOLDENS` in source form.
