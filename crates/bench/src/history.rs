@@ -19,7 +19,10 @@
 //! any pair of hosts: both sides of the ratio moved through the same machine.
 //! Absolute events/sec metrics are skipped when the recorded core counts
 //! differ — comparing a laptop to a CI runner tells you about the hosts, not
-//! the code.
+//! the code. The par-over-heap ratio carries one extra precondition: it is
+//! only meaningful when the host had at least as many cores as the widest
+//! par-ladder rung (otherwise the "parallel" workers time-sliced each other),
+//! so the row is SKIPPED when either record fails that check.
 
 use std::fs;
 use std::io::Write as _;
@@ -125,6 +128,18 @@ impl HistoryRecord {
             self.speedup_heap_over_scan, self.speedup_par_over_heap,
         ));
         s
+    }
+
+    /// Whether this record's par-over-heap speedup measured real parallelism:
+    /// true only when the host had at least as many cores as the widest
+    /// recorded par rung (mirrors
+    /// [`ThroughputReport::par_speedup_meaningful`]). Derived from the stamped
+    /// core count, so it works for old history lines and baselines alike.
+    pub fn par_speedup_meaningful(&self) -> bool {
+        match self.par.last() {
+            Some((threads, _)) => self.cores >= *threads,
+            None => false,
+        }
     }
 
     /// Parses one history line written by [`Self::to_json_line`].
@@ -423,11 +438,30 @@ pub fn compare(
         baseline.speedup_heap_over_scan,
         current.speedup_heap_over_scan,
     );
-    ratio(
-        "speedup_par_over_heap",
-        baseline.speedup_par_over_heap,
-        current.speedup_par_over_heap,
-    );
+    // Par-over-heap is a ratio, but it only means anything on hosts that could
+    // genuinely run the widest rung in parallel; a 1-core container recording
+    // "0.87x" is scheduler noise, not a regression.
+    if baseline.par_speedup_meaningful() && current.par_speedup_meaningful() {
+        ratio(
+            "speedup_par_over_heap",
+            baseline.speedup_par_over_heap,
+            current.speedup_par_over_heap,
+        );
+    } else {
+        let undersized = if current.par_speedup_meaningful() { baseline } else { current };
+        rows.push(CompareRow {
+            metric: "speedup_par_over_heap".to_string(),
+            baseline: baseline.speedup_par_over_heap,
+            current: current.speedup_par_over_heap,
+            delta_pct: 0.0,
+            status: CompareStatus::Skipped,
+            note: format!(
+                "par speedup not meaningful (host cores {} < {} threads)",
+                undersized.cores,
+                undersized.par.last().map_or(0, |(t, _)| *t),
+            ),
+        });
+    }
 
     let same_host = baseline.cores == current.cores && baseline.cores > 0;
     let mut absolute = |metric: String, b: f64, c: f64| {
@@ -569,6 +603,39 @@ mod tests {
             .find(|r| r.metric == "speedup_heap_over_scan")
             .unwrap();
         assert_eq!(speedup.status, CompareStatus::Ok);
+    }
+
+    #[test]
+    fn par_speedup_row_is_skipped_on_undersized_hosts() {
+        // A 1-core container "measuring" par@4 records time-slicing noise;
+        // neither direction of comparison may call that a regression.
+        let base = record(8, 1000.0, 2.0);
+        let mut cur = record(1, 1000.0, 2.0);
+        cur.speedup_par_over_heap = 0.869; // the misleading figure from a 1-core run
+        for (b, c) in [(&base, &cur), (&cur, &base)] {
+            let report = compare(b, c, 25.0);
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.metric == "speedup_par_over_heap")
+                .unwrap();
+            assert_eq!(row.status, CompareStatus::Skipped);
+            assert!(
+                row.note.contains("not meaningful") && row.note.contains("1 < 4"),
+                "note should name the undersized host: {}",
+                row.note
+            );
+            assert!(!report.any_regressed());
+        }
+
+        // Both hosts wide enough: the ratio is compared as before.
+        let report = compare(&base, &record(8, 1000.0, 2.0), 25.0);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "speedup_par_over_heap")
+            .unwrap();
+        assert_eq!(row.status, CompareStatus::Ok);
     }
 
     #[test]

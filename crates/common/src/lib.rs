@@ -24,6 +24,11 @@
 //!   GPU model, memory hierarchy and scheduler publish into; JSON/CSV output.
 //! * [`json`] — a minimal validating JSON parser backing the trace-export smoke
 //!   checks (no serde anywhere in the workspace).
+//! * [`arena`] — per-frame bump arenas ([`arena::Arena`]/[`arena::Span`]): the
+//!   raster phase's scratch allocations become index spans into one backing
+//!   vector, reset wholesale between frames.
+//! * [`binio`] — endian-pinned (little-endian) binary encode/decode helpers
+//!   behind the `libra-ckpt-bin-v1` and `libra-metrics-bin-v1` sidecars.
 //! * [`hostprof`] — the host wall-clock twin of [`trace`]: a runtime-gated
 //!   profiler the parallel event-loop driver publishes per-phase epoch/stall
 //!   telemetry into (barrier waits, commit serialization, shard imbalance).
@@ -43,6 +48,8 @@
 #![deny(missing_docs)]
 
 pub mod addr;
+pub mod arena;
+pub mod binio;
 pub mod config;
 pub mod error;
 pub mod event_queue;

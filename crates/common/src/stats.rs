@@ -1,6 +1,7 @@
 //! Measurement containers filled by the simulator and consumed by the experiment
 //! harness (and by LIBRA's own feedback loop).
 
+use crate::binio::{ByteReader, ByteWriter};
 use crate::ids::{FrameId, TileId};
 use crate::json::{self, Value};
 use crate::metrics::MetricsRegistry;
@@ -764,6 +765,182 @@ impl SequenceStats {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Exact binary round-trip (binary campaign checkpoints, `libra-ckpt-bin-v1`).
+//
+// Every field is an unsigned integer, encoded little-endian via `binio`, so
+// the binary form round-trips bit-exactly and is byte-identical across hosts.
+// The layout mirrors the JSON field order; there is no per-struct framing —
+// the enclosing sidecar (checkpoint record frame) provides length and version.
+// ---------------------------------------------------------------------------
+
+impl CacheStats {
+    /// Appends the 4 counters as little-endian `u64`s.
+    pub fn to_binary_into(&self, w: &mut ByteWriter) {
+        w.u64(self.accesses);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.evictions);
+    }
+
+    /// Reads the form written by [`CacheStats::to_binary_into`].
+    pub fn from_reader(r: &mut ByteReader<'_>, what: &str) -> Result<Self, String> {
+        Ok(Self {
+            accesses: r.u64(&format!("{what}.accesses"))?,
+            hits: r.u64(&format!("{what}.hits"))?,
+            misses: r.u64(&format!("{what}.misses"))?,
+            evictions: r.u64(&format!("{what}.evictions"))?,
+        })
+    }
+}
+
+impl DramStats {
+    /// Appends these counters (interval histogram included), little-endian.
+    pub fn to_binary_into(&self, w: &mut ByteWriter) {
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.row_hits);
+        w.u64(self.row_misses);
+        w.u64(self.latency_sum);
+        w.u64(self.max_latency);
+        w.u64(self.interval_width);
+        w.u64_slice(&self.intervals);
+    }
+
+    /// Reads the form written by [`DramStats::to_binary_into`].
+    pub fn from_reader(r: &mut ByteReader<'_>, what: &str) -> Result<Self, String> {
+        Ok(Self {
+            reads: r.u64(&format!("{what}.reads"))?,
+            writes: r.u64(&format!("{what}.writes"))?,
+            row_hits: r.u64(&format!("{what}.row_hits"))?,
+            row_misses: r.u64(&format!("{what}.row_misses"))?,
+            latency_sum: r.u64(&format!("{what}.latency_sum"))?,
+            max_latency: r.u64(&format!("{what}.max_latency"))?,
+            interval_width: r.u64(&format!("{what}.interval_width"))?,
+            intervals: r.u64_vec(&format!("{what}.intervals"))?,
+        })
+    }
+}
+
+impl TileHeatmap {
+    /// Appends the heatmap as `u32` tile count + 4 `u64` tallies per tile.
+    pub fn to_binary_into(&self, w: &mut ByteWriter) {
+        assert!(self.tiles.len() <= u32::MAX as usize, "heatmap too large");
+        w.u32(self.tiles.len() as u32);
+        for t in &self.tiles {
+            w.u64(t.dram_accesses);
+            w.u64(t.instructions);
+            w.u64(t.fragments);
+            w.u64(t.warps);
+        }
+    }
+
+    /// Reads the form written by [`TileHeatmap::to_binary_into`].
+    pub fn from_reader(r: &mut ByteReader<'_>, what: &str) -> Result<Self, String> {
+        let n = r.u32(&format!("{what}.len"))? as usize;
+        // Guard against a corrupt count before allocating (4 u64s per tile).
+        if r.remaining() < n.saturating_mul(32) {
+            return Err(format!(
+                "truncated: {what} claims {n} tiles but only {} bytes remain",
+                r.remaining()
+            ));
+        }
+        let mut tiles = Vec::with_capacity(n);
+        for i in 0..n {
+            let what = format!("{what}[{i}]");
+            tiles.push(TileTally {
+                dram_accesses: r.u64(&what)?,
+                instructions: r.u64(&what)?,
+                fragments: r.u64(&what)?,
+                warps: r.u64(&what)?,
+            });
+        }
+        Ok(Self { tiles })
+    }
+}
+
+impl FrameStats {
+    /// Appends this frame's full measurement set, little-endian.
+    pub fn to_binary_into(&self, w: &mut ByteWriter) {
+        w.u32(self.frame.0);
+        w.u64(self.geometry_cycles);
+        w.u64(self.raster_cycles);
+        self.vertex_cache.to_binary_into(w);
+        self.tile_cache.to_binary_into(w);
+        self.texture_cache.to_binary_into(w);
+        self.l2_cache.to_binary_into(w);
+        self.dram.to_binary_into(w);
+        self.heatmap.to_binary_into(w);
+        w.u64(self.vertices);
+        w.u64(self.primitives);
+        w.u64(self.fragments);
+        w.u64(self.warps);
+        w.u64(self.instructions);
+        w.u64(self.texture_requests);
+        w.u64(self.texture_latency_sum);
+        w.u64(self.texture_fill_lines);
+        w.u64(self.texture_unique_lines);
+        w.u64(self.micro_events);
+    }
+
+    /// Reads the form written by [`FrameStats::to_binary_into`].
+    pub fn from_reader(r: &mut ByteReader<'_>, what: &str) -> Result<Self, String> {
+        Ok(Self {
+            frame: FrameId(r.u32(&format!("{what}.frame"))?),
+            geometry_cycles: r.u64(&format!("{what}.geometry_cycles"))?,
+            raster_cycles: r.u64(&format!("{what}.raster_cycles"))?,
+            vertex_cache: CacheStats::from_reader(r, &format!("{what}.vertex_cache"))?,
+            tile_cache: CacheStats::from_reader(r, &format!("{what}.tile_cache"))?,
+            texture_cache: CacheStats::from_reader(r, &format!("{what}.texture_cache"))?,
+            l2_cache: CacheStats::from_reader(r, &format!("{what}.l2_cache"))?,
+            dram: DramStats::from_reader(r, &format!("{what}.dram"))?,
+            heatmap: TileHeatmap::from_reader(r, &format!("{what}.heatmap"))?,
+            vertices: r.u64(&format!("{what}.vertices"))?,
+            primitives: r.u64(&format!("{what}.primitives"))?,
+            fragments: r.u64(&format!("{what}.fragments"))?,
+            warps: r.u64(&format!("{what}.warps"))?,
+            instructions: r.u64(&format!("{what}.instructions"))?,
+            texture_requests: r.u64(&format!("{what}.texture_requests"))?,
+            texture_latency_sum: r.u64(&format!("{what}.texture_latency_sum"))?,
+            texture_fill_lines: r.u64(&format!("{what}.texture_fill_lines"))?,
+            texture_unique_lines: r.u64(&format!("{what}.texture_unique_lines"))?,
+            micro_events: r.u64(&format!("{what}.micro_events"))?,
+        })
+    }
+}
+
+impl SequenceStats {
+    /// Appends the whole sequence as `u32` frame count + frames. The round trip
+    /// through [`SequenceStats::from_reader`] is bit-exact, and the bytes are
+    /// identical on every host (everything is little-endian integers) — the
+    /// property binary checkpoint resume rests on.
+    pub fn to_binary_into(&self, w: &mut ByteWriter) {
+        assert!(self.frames.len() <= u32::MAX as usize, "sequence too long");
+        w.u32(self.frames.len() as u32);
+        for f in &self.frames {
+            f.to_binary_into(w);
+        }
+    }
+
+    /// Reads the form written by [`SequenceStats::to_binary_into`].
+    pub fn from_reader(r: &mut ByteReader<'_>, what: &str) -> Result<Self, String> {
+        let n = r.u32(&format!("{what}.len"))? as usize;
+        // A frame encodes to well over 64 bytes; a cheap lower bound guards the
+        // allocation against a corrupt count.
+        if r.remaining() < n.saturating_mul(64) {
+            return Err(format!(
+                "truncated: {what} claims {n} frames but only {} bytes remain",
+                r.remaining()
+            ));
+        }
+        let mut frames = Vec::with_capacity(n);
+        for i in 0..n {
+            frames.push(FrameStats::from_reader(r, &format!("{what}.frames[{i}]"))?);
+        }
+        Ok(Self { frames })
+    }
+}
+
 /// Fraction of execution time attributable to memory, measured the way the paper does
 /// for Fig 6a: run with a realistic memory system and again with an ideal (always-hit)
 /// one; the difference is memory time.
@@ -997,6 +1174,42 @@ mod tests {
         assert_eq!(round, seq, "JSON round trip must be bit-exact");
         // And the document itself is well-formed for the in-repo parser.
         assert!(json::parse(&seq.to_json()).is_ok());
+    }
+
+    #[test]
+    fn sequence_stats_binary_round_trip_is_bit_exact() {
+        let mut heatmap = TileHeatmap::new(2);
+        heatmap.tiles[0] =
+            TileTally { dram_accesses: 1, instructions: 2, fragments: 3, warps: 4 };
+        let mut dram = DramStats::new(5000);
+        dram.reads = 9;
+        dram.record_interval(4_999);
+        dram.record_interval(12_000);
+        let frame = FrameStats {
+            frame: FrameId(3),
+            geometry_cycles: 10,
+            raster_cycles: 90,
+            l2_cache: CacheStats { accesses: 13, hits: 14, misses: 15, evictions: 16 },
+            dram,
+            heatmap,
+            micro_events: 77,
+            ..FrameStats::default()
+        };
+        let seq = SequenceStats { frames: vec![frame, FrameStats::default()] };
+        let mut w = ByteWriter::new();
+        seq.to_binary_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let round = SequenceStats::from_reader(&mut r, "stats").expect("round trip");
+        assert_eq!(round, seq, "binary round trip must be bit-exact");
+        assert!(r.is_empty(), "decoder must consume exactly the encoded bytes");
+        // Truncation degrades into a located error, never a panic.
+        let err = SequenceStats::from_reader(
+            &mut ByteReader::new(&bytes[..bytes.len() - 1]),
+            "stats",
+        )
+        .unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
     }
 
     #[test]

@@ -27,9 +27,11 @@ pub mod clip;
 pub mod mat;
 pub mod pipeline;
 pub mod scene;
+pub mod stream;
 pub mod vec;
 
 pub use mat::Mat4;
-pub use pipeline::{process_scene, GeomCounts, ScreenTriangle, ScreenVertex};
+pub use pipeline::{process_scene, process_scene_stream, GeomCounts, ScreenTriangle, ScreenVertex};
 pub use scene::{DrawCall, FragmentShaderDesc, Scene, Vertex};
+pub use stream::{DrawState, TriangleStream};
 pub use vec::{Vec2, Vec3, Vec4};

@@ -48,23 +48,36 @@ impl ScreenTriangle {
     /// Axis-aligned screen bounding box `(x0, y0, x1, y1)`, exclusive max, clamped to
     /// the screen.
     pub fn bounding_box(&self, screen: &ScreenConfig) -> (u32, u32, u32, u32) {
-        let xs = self.v.map(|v| v.x);
-        let ys = self.v.map(|v| v.y);
-        let fmin = |a: [f32; 3]| a.iter().copied().fold(f32::INFINITY, f32::min);
-        let fmax = |a: [f32; 3]| a.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let x0 = fmin(xs).floor().max(0.0) as u32;
-        let y0 = fmin(ys).floor().max(0.0) as u32;
-        let x1 = (fmax(xs).ceil() as u32).min(screen.width);
-        let y1 = (fmax(ys).ceil() as u32).min(screen.height);
-        (x0, y0, x1.max(x0), y1.max(y0))
+        bbox_from_lanes(self.v.map(|v| v.x), self.v.map(|v| v.y), screen)
     }
 
     /// Twice the signed area in pixels² (positive for counter-clockwise winding in a
     /// Y-down screen).
     pub fn double_area(&self) -> f32 {
-        let [a, b, c] = self.v;
-        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+        double_area_from_lanes(self.v.map(|v| v.x), self.v.map(|v| v.y))
     }
+}
+
+/// Axis-aligned screen bounding box from x/y lane arrays — the one body behind
+/// [`ScreenTriangle::bounding_box`] and the SoA
+/// [`crate::stream::TriangleStream::bounding_box`], so the two layouts cannot
+/// diverge bit-wise.
+#[inline]
+pub fn bbox_from_lanes(xs: [f32; 3], ys: [f32; 3], screen: &ScreenConfig) -> (u32, u32, u32, u32) {
+    let fmin = |a: [f32; 3]| a.iter().copied().fold(f32::INFINITY, f32::min);
+    let fmax = |a: [f32; 3]| a.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let x0 = fmin(xs).floor().max(0.0) as u32;
+    let y0 = fmin(ys).floor().max(0.0) as u32;
+    let x1 = (fmax(xs).ceil() as u32).min(screen.width);
+    let y1 = (fmax(ys).ceil() as u32).min(screen.height);
+    (x0, y0, x1.max(x0), y1.max(y0))
+}
+
+/// Twice the signed triangle area from x/y lane arrays (shared by the AoS and
+/// SoA representations, same arithmetic order).
+#[inline]
+pub fn double_area_from_lanes(xs: [f32; 3], ys: [f32; 3]) -> f32 {
+    (xs[1] - xs[0]) * (ys[2] - ys[0]) - (ys[1] - ys[0]) * (xs[2] - xs[0])
 }
 
 /// Counters produced while processing a scene, consumed by the timing model.
@@ -87,10 +100,22 @@ pub struct GeomCounts {
 /// Minimum |2·area| (pixels²) below which a triangle is discarded as degenerate.
 const MIN_DOUBLE_AREA: f32 = 1.0e-3;
 
-/// Runs the whole geometry pipeline over a scene, producing the screen-space
-/// primitives that feed the Tiling Engine, in program order.
+/// Runs the whole geometry pipeline over a scene, producing AoS screen-space
+/// primitives in program order (reference/export path; the simulator's hot
+/// path is [`process_scene_stream`], which this delegates to).
 pub fn process_scene(scene: &Scene, screen: &ScreenConfig) -> (Vec<ScreenTriangle>, GeomCounts) {
-    let mut out = Vec::new();
+    let (stream, counts) = process_scene_stream(scene, screen);
+    (stream.to_triangles(), counts)
+}
+
+/// Runs the whole geometry pipeline over a scene, producing the SoA
+/// [`TriangleStream`](crate::stream::TriangleStream) that feeds the Tiling
+/// Engine, in program order.
+pub fn process_scene_stream(
+    scene: &Scene,
+    screen: &ScreenConfig,
+) -> (crate::stream::TriangleStream, GeomCounts) {
+    let mut out = crate::stream::TriangleStream::new();
     let mut counts = GeomCounts::default();
     let mut seq = 0u32;
 
@@ -135,7 +160,7 @@ pub fn process_scene(scene: &Scene, screen: &ScreenConfig) -> (Vec<ScreenTriangl
                     continue;
                 }
                 counts.prims_out += 1;
-                out.push(st);
+                out.push(&st);
                 seq += 1;
             }
         }
@@ -249,9 +274,10 @@ mod tests {
         };
         let (tris, _) = process_scene(&scene, &screen);
         let seqs: Vec<u32> = tris.iter().map(|t| t.seq).collect();
-        let mut sorted = seqs.clone();
-        sorted.sort_unstable();
-        assert_eq!(seqs, sorted, "output must be in program order");
+        assert!(
+            seqs.windows(2).all(|w| w[0] <= w[1]),
+            "output must be in program order: {seqs:?}"
+        );
         assert_eq!(seqs.len(), 4);
     }
 

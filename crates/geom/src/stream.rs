@@ -1,0 +1,246 @@
+//! Structure-of-arrays triangle stream with draw-state interning — the
+//! data-oriented form of the geometry→binning→raster hand-off.
+//!
+//! The AoS [`ScreenTriangle`] is 96 bytes of which the binning loop reads only
+//! the 24 bytes of x/y lanes, and the raster front-end reads vertices and a
+//! handful of interned state fields. [`TriangleStream`] splits the stream into
+//! per-attribute lanes (three `f32` per triangle per lane) and replaces the
+//! per-triangle draw-call state (texture, shader, blend) with a `u32` index
+//! into a small interned [`DrawState`] table, so each inner loop touches only
+//! the lanes it actually reads and the cache sees dense, homogeneous data.
+//!
+//! The stream is *exactly* equivalent to a `Vec<ScreenTriangle>`: lanes are
+//! bit-copied `f32`s, [`TriangleStream::get`] reassembles the original struct,
+//! and [`TriangleStream::from_triangles`]/[`TriangleStream::to_triangles`]
+//! round-trip losslessly (pinned by the `data_layout_diff` suite).
+
+use crate::pipeline::{bbox_from_lanes, double_area_from_lanes, ScreenTriangle, ScreenVertex};
+use crate::scene::{BlendMode, FragmentShaderDesc, TextureDesc};
+use std::collections::HashMap;
+use tbr_common::config::ScreenConfig;
+use tbr_common::ids::DrawCallId;
+
+/// The per-draw-call state shared by every triangle of a draw, interned once
+/// per distinct combination instead of carried inline per triangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DrawState {
+    /// Originating draw call.
+    pub draw: DrawCallId,
+    /// Bound texture.
+    pub texture: TextureDesc,
+    /// Fragment shader profile.
+    pub shader: FragmentShaderDesc,
+    /// Blend state.
+    pub blend: BlendMode,
+}
+
+/// A frame's screen-space triangles in structure-of-arrays form, in program
+/// order. Lane `k` of triangle `i` lives at flat index `3 * i + k`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriangleStream {
+    /// Screen X per vertex (3 per triangle).
+    pub xs: Vec<f32>,
+    /// Screen Y per vertex (3 per triangle).
+    pub ys: Vec<f32>,
+    /// Depth per vertex (3 per triangle).
+    pub zs: Vec<f32>,
+    /// Texture U per vertex (3 per triangle).
+    pub us: Vec<f32>,
+    /// Texture V per vertex (3 per triangle).
+    pub vs: Vec<f32>,
+    /// Interned draw-state index per triangle (into [`TriangleStream::states`]).
+    pub state: Vec<u32>,
+    /// Program-order sequence number per triangle.
+    pub seq: Vec<u32>,
+    /// The interned draw-state table, in first-appearance order.
+    pub states: Vec<DrawState>,
+    /// Intern map from state to its table index (always derivable from
+    /// `states`; kept so pushes intern in O(1)).
+    intern: HashMap<DrawState, u32>,
+}
+
+impl TriangleStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triangles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the stream holds no triangles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Interns a draw state, returning its stable table index.
+    pub fn intern_state(&mut self, s: DrawState) -> u32 {
+        if let Some(&i) = self.intern.get(&s) {
+            return i;
+        }
+        let i = self.states.len() as u32;
+        self.states.push(s);
+        self.intern.insert(s, i);
+        i
+    }
+
+    /// Appends one triangle, dissolving it into lanes.
+    pub fn push(&mut self, tri: &ScreenTriangle) {
+        let state = self.intern_state(DrawState {
+            draw: tri.draw,
+            texture: tri.texture,
+            shader: tri.shader,
+            blend: tri.blend,
+        });
+        for v in &tri.v {
+            self.xs.push(v.x);
+            self.ys.push(v.y);
+            self.zs.push(v.z);
+            self.us.push(v.u);
+            self.vs.push(v.v);
+        }
+        self.state.push(state);
+        self.seq.push(tri.seq);
+    }
+
+    /// The interned draw state of triangle `i`.
+    #[inline]
+    pub fn state_of(&self, i: usize) -> &DrawState {
+        &self.states[self.state[i] as usize]
+    }
+
+    /// The x lanes of triangle `i`.
+    #[inline]
+    pub fn xs_of(&self, i: usize) -> [f32; 3] {
+        let b = 3 * i;
+        [self.xs[b], self.xs[b + 1], self.xs[b + 2]]
+    }
+
+    /// The y lanes of triangle `i`.
+    #[inline]
+    pub fn ys_of(&self, i: usize) -> [f32; 3] {
+        let b = 3 * i;
+        [self.ys[b], self.ys[b + 1], self.ys[b + 2]]
+    }
+
+    /// The three vertices of triangle `i`, reassembled.
+    #[inline]
+    pub fn vertices(&self, i: usize) -> [ScreenVertex; 3] {
+        let b = 3 * i;
+        let mut v = [ScreenVertex::default(); 3];
+        for (k, out) in v.iter_mut().enumerate() {
+            *out = ScreenVertex {
+                x: self.xs[b + k],
+                y: self.ys[b + k],
+                z: self.zs[b + k],
+                u: self.us[b + k],
+                v: self.vs[b + k],
+            };
+        }
+        v
+    }
+
+    /// Reassembles triangle `i` as the AoS struct (reference/export path).
+    pub fn get(&self, i: usize) -> ScreenTriangle {
+        let s = self.state_of(i);
+        ScreenTriangle {
+            v: self.vertices(i),
+            draw: s.draw,
+            texture: s.texture,
+            shader: s.shader,
+            blend: s.blend,
+            seq: self.seq[i],
+        }
+    }
+
+    /// Axis-aligned screen bounding box of triangle `i` — same arithmetic as
+    /// [`ScreenTriangle::bounding_box`] (both go through [`bbox_from_lanes`]).
+    #[inline]
+    pub fn bounding_box(&self, i: usize, screen: &ScreenConfig) -> (u32, u32, u32, u32) {
+        bbox_from_lanes(self.xs_of(i), self.ys_of(i), screen)
+    }
+
+    /// Twice the signed area of triangle `i` — same arithmetic as
+    /// [`ScreenTriangle::double_area`].
+    #[inline]
+    pub fn double_area(&self, i: usize) -> f32 {
+        double_area_from_lanes(self.xs_of(i), self.ys_of(i))
+    }
+
+    /// Builds a stream from AoS triangles (reference path; program order kept).
+    pub fn from_triangles(tris: &[ScreenTriangle]) -> Self {
+        let mut s = Self::new();
+        s.xs.reserve(tris.len() * 3);
+        s.ys.reserve(tris.len() * 3);
+        s.zs.reserve(tris.len() * 3);
+        s.us.reserve(tris.len() * 3);
+        s.vs.reserve(tris.len() * 3);
+        s.state.reserve(tris.len());
+        s.seq.reserve(tris.len());
+        for t in tris {
+            s.push(t);
+        }
+        s
+    }
+
+    /// Expands the stream back to AoS triangles (reference/export path).
+    pub fn to_triangles(&self) -> Vec<ScreenTriangle> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbr_common::ids::TextureId;
+
+    fn tri(x: f32, seq: u32, draw: u32) -> ScreenTriangle {
+        ScreenTriangle {
+            v: [
+                ScreenVertex { x, y: 1.0, z: 0.25, u: 0.0, v: 0.0 },
+                ScreenVertex { x: x + 8.0, y: 1.0, z: 0.5, u: 1.0, v: 0.0 },
+                ScreenVertex { x, y: 9.0, z: 0.75, u: 0.0, v: 1.0 },
+            ],
+            draw: DrawCallId(draw),
+            texture: TextureDesc::new(TextureId(draw), 64),
+            shader: FragmentShaderDesc::simple(),
+            blend: BlendMode::Opaque,
+            seq,
+        }
+    }
+
+    #[test]
+    fn round_trips_triangles_exactly() {
+        let tris = vec![tri(0.0, 0, 0), tri(4.0, 1, 1), tri(8.0, 2, 0)];
+        let s = TriangleStream::from_triangles(&tris);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_triangles(), tris);
+        for (i, t) in tris.iter().enumerate() {
+            assert_eq!(s.get(i), *t);
+        }
+    }
+
+    #[test]
+    fn draw_state_is_interned_once_per_distinct_state() {
+        let tris = vec![tri(0.0, 0, 0), tri(4.0, 1, 1), tri(8.0, 2, 0), tri(12.0, 3, 1)];
+        let s = TriangleStream::from_triangles(&tris);
+        assert_eq!(s.states.len(), 2, "two distinct draw states");
+        assert_eq!(s.state, vec![0, 1, 0, 1]);
+        assert_eq!(s.state_of(2).draw, DrawCallId(0));
+    }
+
+    #[test]
+    fn geometry_queries_match_the_aos_struct() {
+        let screen = ScreenConfig::tiny();
+        let tris = vec![tri(0.0, 0, 0), tri(100.0, 1, 1)];
+        let s = TriangleStream::from_triangles(&tris);
+        for (i, t) in tris.iter().enumerate() {
+            assert_eq!(s.bounding_box(i, &screen), t.bounding_box(&screen));
+            assert_eq!(s.double_area(i).to_bits(), t.double_area().to_bits());
+        }
+    }
+}

@@ -59,11 +59,29 @@ impl ColorBuffer {
         tile_x0: u32,
         tile_y0: u32,
     ) {
+        self.write_lanes(quad.x, quad.y, surviving, colors, blend, tile_x0, tile_y0)
+    }
+
+    /// Lane-based body of [`ColorBuffer::write_quad`]: the SoA raster loop calls
+    /// this directly with the `x`/`y` lanes of a [`crate::quad::QuadStream`]
+    /// entry, skipping the depth and texcoord lanes entirely.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_lanes(
+        &mut self,
+        x: u32,
+        y: u32,
+        surviving: u8,
+        colors: [u32; 4],
+        blend: BlendMode,
+        tile_x0: u32,
+        tile_y0: u32,
+    ) {
         for (lane, &color) in colors.iter().enumerate() {
             if surviving & (1 << lane) == 0 {
                 continue;
             }
-            let (px, py) = quad.lane_pixel(lane);
+            let px = x + (lane as u32 & 1);
+            let py = y + (lane as u32 >> 1);
             let lx = px - tile_x0;
             let ly = py - tile_y0;
             debug_assert!(lx < self.size && ly < self.size, "quad outside tile");

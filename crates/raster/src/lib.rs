@@ -29,7 +29,7 @@ pub mod shader;
 pub mod texture;
 pub mod zbuffer;
 
-pub use quad::Quad;
+pub use quad::{Quad, QuadStream};
 pub use raster_unit::{RasterUnit, TileFrontEndOutcome, WarpWork};
-pub use shader::{ShaderCore, WarpOutcome};
+pub use shader::{SampleLines, SampleLinesRef, ShaderCore, WarpOutcome};
 pub use zbuffer::ZBuffer;

@@ -7,27 +7,40 @@
 //! FIFO, tile cache, Z-Buffer, Colour Buffer and shader cores; only the L2 and DRAM
 //! are shared.
 //!
+//! Data layout: the front-end consumes the frame's primitives as a SoA
+//! [`TriangleStream`] plus the tile's index list, rasterises into a SoA
+//! [`QuadStream`], and parks each warp's texture line lists in two per-frame
+//! bump arenas ([`Arena`]) owned by the RU — a [`WarpWork`] carries only
+//! [`Span`]s, so warp assembly allocates nothing in steady state. The arenas
+//! are reset wholesale in [`RasterUnit::end_frame`], when no warp is in flight.
+//!
 //! Time-ordering contract: the caller (the event-driven simulator) interleaves
 //! front-end and warp execution across Raster Units in global time order, so the
 //! shared-memory reservations stay causal.
 
 use crate::color_buffer::ColorBuffer;
-use crate::quad::Quad;
-use crate::rasterizer::{rasterize_in_rect_into, TriangleSetup};
+use crate::quad::{Quad, QuadStream};
+use crate::rasterizer::{rasterize_setup_in_rect_into, TriangleSetup};
 use crate::reference::shade_color;
-use crate::shader::{SampleLines, ShaderCore, WarpOutcome};
-use crate::texture::{bilinear_line_addrs, select_mip, texel_line_addr};
+use crate::shader::{SampleLines, SampleLinesRef, ShaderCore, WarpOutcome};
+use crate::texture::{select_mip, MipAddresser};
 use crate::zbuffer::ZBuffer;
 use tbr_common::addr::{param_entry_addr, AccessKind};
+use tbr_common::arena::{Arena, Span};
 use tbr_common::config::{GpuConfig, PipelineCosts, ScreenConfig};
 use tbr_common::ids::TileId;
 use tbr_common::stats::CacheStats;
 use tbr_common::Cycle;
-use tbr_geom::pipeline::ScreenTriangle;
 use tbr_geom::scene::{BlendMode, FilterMode, FragmentShaderDesc, TextureDesc};
+use tbr_geom::stream::TriangleStream;
 use tbr_mem::hierarchy::{L1Cache, MemoryHierarchy};
 
 /// A warp of fragments ready for a shader core.
+///
+/// The texture line lists live in the owning Raster Unit's per-frame arenas;
+/// this struct carries only their [`Span`]s (resolve with
+/// [`RasterUnit::sample_lines_ref`]). Spans are valid until the RU's
+/// [`RasterUnit::end_frame`] / [`RasterUnit::cold_reset`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct WarpWork {
     /// Cycle at which the front-end finished assembling this warp.
@@ -38,8 +51,10 @@ pub struct WarpWork {
     pub shader: FragmentShaderDesc,
     /// Covered fragments in the warp (≤ 32).
     pub fragments: u32,
-    /// Distinct texture cache lines per sample instruction.
-    pub sample_lines: SampleLines,
+    /// Flattened texture line addresses, in the RU's line arena.
+    pub lines: Span,
+    /// Per-stage end offsets (relative to `lines`), in the RU's ends arena.
+    pub ends: Span,
 }
 
 /// Everything the tile front-end produced.
@@ -73,13 +88,17 @@ pub struct RasterUnit {
     costs: PipelineCosts,
     quads_per_warp: usize,
     next_core: usize,
+    // Per-frame bump arenas holding every warp's texture line lists; reset
+    // wholesale in end_frame()/cold_reset(), when no warp is in flight.
+    lines: Arena<u64>,
+    ends: Arena<u32>,
     // Scratch buffers reused across tiles so the per-event path stays
     // allocation-free once warmed up. Purely capacity caches: no state crosses
     // from one use to the next (each user clears before filling).
     scratch_read_done: Vec<Cycle>,
-    scratch_surviving: Vec<(Quad, u8)>,
+    scratch_surviving: Vec<(u32, u8)>,
     scratch_flush: Vec<u64>,
-    scratch_quads: Vec<Quad>,
+    scratch_quads: QuadStream,
 }
 
 impl RasterUnit {
@@ -95,10 +114,12 @@ impl RasterUnit {
             costs: cfg.costs,
             quads_per_warp: cfg.quads_per_warp() as usize,
             next_core: 0,
+            lines: Arena::new(),
+            ends: Arena::new(),
             scratch_read_done: Vec::new(),
             scratch_surviving: Vec::new(),
             scratch_flush: Vec::new(),
-            scratch_quads: Vec::new(),
+            scratch_quads: QuadStream::new(),
         }
     }
 
@@ -107,14 +128,26 @@ impl RasterUnit {
         self.cores.len()
     }
 
-    /// Runs the tile front-end over `prims` (the tile's Parameter-Buffer list, in
-    /// program order), starting at cycle `now`. Returns the assembled warps and
-    /// front-end statistics. Shading and blending results are written to the on-chip
-    /// Colour Buffer functionally; their *timing* is the warps' to determine.
+    /// Resolves a warp's texture line lists from this RU's arenas.
+    ///
+    /// # Panics
+    /// Panics if the warp's spans are stale (produced before the last
+    /// [`RasterUnit::end_frame`]) or belong to a different RU.
+    #[inline]
+    pub fn sample_lines_ref(&self, warp: &WarpWork) -> SampleLinesRef<'_> {
+        SampleLinesRef { lines: self.lines.get(warp.lines), ends: self.ends.get(warp.ends) }
+    }
+
+    /// Runs the tile front-end over the tile's Parameter-Buffer `list` (indices
+    /// into `tris`, in program order), starting at cycle `now`. Returns the
+    /// assembled warps and front-end statistics. Shading and blending results are
+    /// written to the on-chip Colour Buffer functionally; their *timing* is the
+    /// warps' to determine.
     pub fn render_tile_front_end(
         &mut self,
         tile: TileId,
-        prims: &[&ScreenTriangle],
+        tris: &TriangleStream,
+        list: &[u32],
         screen: &ScreenConfig,
         now: Cycle,
         hier: &mut MemoryHierarchy,
@@ -132,7 +165,7 @@ impl RasterUnit {
         read_done.clear();
         let mut surviving = std::mem::take(&mut self.scratch_surviving);
         let mut quads = std::mem::take(&mut self.scratch_quads);
-        for (n, issue) in (0..prims.len()).zip(now..) {
+        for (n, issue) in (0..list.len()).zip(now..) {
             let entry_addr = param_entry_addr(tile, n as u64);
             let rd = self
                 .tile_l1
@@ -142,13 +175,20 @@ impl RasterUnit {
             read_done.push(rd.completion);
         }
 
-        for (n, prim) in prims.iter().enumerate() {
+        for (n, &pidx) in list.iter().enumerate() {
+            let pidx = pidx as usize;
             // The primitive can only be rasterised once its FIFO entry arrived.
             fe = fe.max(read_done[n]);
             fe += self.costs.raster_setup_cycles;
             out.primitives += 1;
 
-            rasterize_in_rect_into(prim, tx0, ty0, tx1, ty1, &mut quads);
+            // One TriangleSetup per (primitive × tile), shared by rasterisation
+            // and mip selection.
+            let Some(setup) = TriangleSetup::from_vertices(tris.vertices(pidx)) else {
+                quads.clear();
+                continue;
+            };
+            rasterize_setup_in_rect_into(&setup, tx0, ty0, tx1, ty1, &mut quads);
             if quads.is_empty() {
                 continue;
             }
@@ -156,20 +196,28 @@ impl RasterUnit {
                 + quads.len() as Cycle * self.costs.earlyz_cycles_per_quad;
             out.quads += quads.len() as u64;
 
-            let lod = TriangleSetup::new(prim)
-                .map(|s| select_mip(&prim.texture, s.uv_derivative))
-                .unwrap_or(0);
-            let depth_write = prim.blend == BlendMode::Opaque;
+            let state = tris.state_of(pidx);
+            let lod = select_mip(&state.texture, setup.uv_derivative);
+            let depth_write = state.blend == BlendMode::Opaque;
             // Depth-modifying shaders disable Early-Z: every covered fragment is
             // shaded and the visibility test happens after shading (Late-Z, §II-A).
-            let late_z = prim.shader.late_z;
+            let late_z = state.shader.late_z;
 
             surviving.clear();
-            for &q in &quads {
-                let pass = self.zbuffer.test_quad(&q, tx0, ty0, depth_write);
-                let covered = q.coverage() as u64;
+            for qi in 0..quads.len() {
+                let mask = quads.mask[qi];
+                let pass = self.zbuffer.test_lanes(
+                    quads.x[qi],
+                    quads.y[qi],
+                    mask,
+                    &quads.z[qi],
+                    tx0,
+                    ty0,
+                    depth_write,
+                );
+                let covered = quads.coverage(qi) as u64;
                 let passed = pass.count_ones() as u64;
-                let shade_mask = if late_z { q.mask } else { pass };
+                let shade_mask = if late_z { mask } else { pass };
                 if !late_z {
                     out.earlyz_killed += covered - passed;
                 }
@@ -181,33 +229,38 @@ impl RasterUnit {
                 let mut colors = [0u32; 4];
                 for (lane, color) in colors.iter_mut().enumerate() {
                     if pass & (1 << lane) != 0 {
-                        let (u, v) = q.uv[lane];
-                        *color = shade_color(&prim.texture, u, v);
+                        let (u, v) = quads.uv[qi][lane];
+                        *color = shade_color(&state.texture, u, v);
                     }
                 }
                 self.color
-                    .write_quad(&q, pass, colors, prim.blend, tx0, ty0);
+                    .write_lanes(quads.x[qi], quads.y[qi], pass, colors, state.blend, tx0, ty0);
                 fe += self.costs.blend_cycles_per_quad;
-                surviving.push((q, shade_mask));
+                surviving.push((qi as u32, shade_mask));
             }
 
-            // Assemble surviving quads into warps of `quads_per_warp`.
+            // Assemble surviving quads into warps of `quads_per_warp`; each warp's
+            // line lists land in the RU's per-frame arenas.
             for group in surviving.chunks(self.quads_per_warp) {
                 let fragments: u32 = group.iter().map(|(_, m)| m.count_ones()).sum();
                 out.fragments += fragments as u64;
-                let sample_lines = gather_sample_lines(
+                let (lspan, espan) = gather_sample_lines_arena(
+                    &mut self.lines,
+                    &mut self.ends,
                     group,
-                    &prim.texture,
+                    &quads,
+                    &state.texture,
                     lod,
-                    prim.shader.tex_samples,
-                    prim.shader.filter,
+                    state.shader.tex_samples,
+                    state.shader.filter,
                 );
                 out.warps.push(WarpWork {
                     arrival: fe,
                     tile,
-                    shader: prim.shader,
+                    shader: state.shader,
                     fragments,
-                    sample_lines,
+                    lines: lspan,
+                    ends: espan,
                 });
             }
         }
@@ -224,7 +277,8 @@ impl RasterUnit {
     pub fn execute_warp(&mut self, warp: &WarpWork, hier: &mut MemoryHierarchy) -> WarpOutcome {
         let idx = self.next_core;
         self.next_core = (self.next_core + 1) % self.cores.len();
-        self.cores[idx].execute_warp(&warp.shader, &warp.sample_lines, warp.arrival, hier)
+        let sl = SampleLinesRef { lines: self.lines.get(warp.lines), ends: self.ends.get(warp.ends) };
+        self.cores[idx].execute_warp(&warp.shader, sl, warp.arrival, hier)
     }
 
     /// Starts a warp on a specific core (the dispatcher has granted it a slot).
@@ -244,7 +298,8 @@ impl RasterUnit {
         state: &mut crate::shader::WarpExecState,
         hier: &mut MemoryHierarchy,
     ) -> bool {
-        self.cores[core].step_warp(&warp.shader, &warp.sample_lines, state, hier)
+        let sl = SampleLinesRef { lines: self.lines.get(warp.lines), ends: self.ends.get(warp.ends) };
+        self.cores[core].step_warp(&warp.shader, sl, state, hier)
     }
 
     /// Whether the warp's next step on `core` would be served entirely by that
@@ -257,12 +312,12 @@ impl RasterUnit {
         state: &crate::shader::WarpExecState,
         ideal: bool,
     ) -> bool {
-        self.cores[core].step_is_resident(&warp.sample_lines, state, ideal)
+        self.cores[core].step_is_resident(self.sample_lines_ref(warp), state, ideal)
     }
 
     /// Whether the warp's next step retires it (see [`ShaderCore::step_retires`]).
-    pub fn warp_step_retires(warp: &WarpWork, state: &crate::shader::WarpExecState) -> bool {
-        ShaderCore::step_retires(&warp.shader, &warp.sample_lines, state)
+    pub fn warp_step_retires(&self, warp: &WarpWork, state: &crate::shader::WarpExecState) -> bool {
+        ShaderCore::step_retires(&warp.shader, self.sample_lines_ref(warp), state)
     }
 
     /// The first L1-missing line of the warp's next step on `core` (see
@@ -273,7 +328,7 @@ impl RasterUnit {
         warp: &WarpWork,
         state: &crate::shader::WarpExecState,
     ) -> Option<u64> {
-        self.cores[core].step_first_miss(&warp.sample_lines, state)
+        self.cores[core].step_first_miss(self.sample_lines_ref(warp), state)
     }
 
     /// [`RasterUnit::step_warp_on`] for a step proven resident via
@@ -285,7 +340,8 @@ impl RasterUnit {
         state: &mut crate::shader::WarpExecState,
         ideal: bool,
     ) -> bool {
-        self.cores[core].step_warp_resident(&warp.shader, &warp.sample_lines, state, ideal)
+        let sl = SampleLinesRef { lines: self.lines.get(warp.lines), ends: self.ends.get(warp.ends) };
+        self.cores[core].step_warp_resident(&warp.shader, sl, state, ideal)
     }
 
     /// Resident-warp capacity per core.
@@ -331,7 +387,9 @@ impl RasterUnit {
     }
 
     /// Ends a frame: returns `(texture L1 aggregate, tile cache)` counters and resets
-    /// per-frame timing state; cache contents stay warm.
+    /// per-frame timing state; cache contents stay warm. Also resets the warp
+    /// line arenas, invalidating every outstanding [`WarpWork`] span — callers
+    /// must only end a frame once no warp is in flight.
     pub fn end_frame(&mut self) -> (CacheStats, CacheStats) {
         let mut tex = CacheStats::default();
         for c in &mut self.cores {
@@ -339,6 +397,8 @@ impl RasterUnit {
         }
         let tile = self.tile_l1.end_frame();
         self.next_core = 0;
+        self.lines.reset();
+        self.ends.reset();
         (tex, tile)
     }
 
@@ -351,28 +411,15 @@ impl RasterUnit {
         self.zbuffer.clear();
         self.color.clear();
         self.next_core = 0;
+        self.lines.reset();
+        self.ends.reset();
     }
 }
 
-/// Public wrapper over the internal `gather_sample_lines` for alternate pipeline
-/// organisations
-/// (e.g. the IMR comparison mode in `tbr-sim`).
+/// Public wrapper over the internal line-gathering loop for alternate pipeline
+/// organisations (e.g. the IMR comparison mode in `tbr-sim`), producing an
+/// owned [`SampleLines`].
 pub fn gather_sample_lines_for(
-    group: &[(Quad, u8)],
-    texture: &TextureDesc,
-    lod: u32,
-    tex_samples: u32,
-    filter: FilterMode,
-) -> SampleLines {
-    gather_sample_lines(group, texture, lod, tex_samples, filter)
-}
-
-/// Collects, per texture-sample instruction, the cache-line requests of a warp's
-/// quads. Coalescing happens at *quad* granularity (a texture unit fetches the
-/// texels of one 2×2 quad together), so lines shared between different quads are
-/// requested once per quad — that inter-quad reuse is what the texture L1 turns into
-/// hits, matching how hardware hit ratios are counted.
-fn gather_sample_lines(
     group: &[(Quad, u8)],
     texture: &TextureDesc,
     lod: u32,
@@ -381,8 +428,107 @@ fn gather_sample_lines(
 ) -> SampleLines {
     let mut out =
         SampleLines::with_capacity(tex_samples as usize * group.len() * 2, tex_samples as usize);
+    gather_lines_generic(
+        group.len(),
+        |i| (group[i].0.uv, group[i].1),
+        texture,
+        lod,
+        tex_samples,
+        filter,
+        &mut out,
+    );
+    out
+}
+
+/// Where gathered sample lines land: an owned [`SampleLines`] (IMR mode,
+/// tests) or the Raster Unit's per-frame arenas (the TBR hot path).
+trait LineSink {
+    /// Appends one quad's deduplicated lines to the stage being built.
+    fn sink_lines(&mut self, lines: &[u64]);
+    /// Closes the stage being built.
+    fn sink_end_stage(&mut self);
+}
+
+impl LineSink for SampleLines {
+    fn sink_lines(&mut self, lines: &[u64]) {
+        self.extend_lines(lines);
+    }
+    fn sink_end_stage(&mut self) {
+        self.end_stage();
+    }
+}
+
+/// Sink writing into a Raster Unit's per-frame arenas; stage end offsets are
+/// recorded relative to `base` (the warp's first line), matching the
+/// [`SampleLinesRef`] contract.
+struct ArenaSink<'a> {
+    lines: &'a mut Arena<u64>,
+    ends: &'a mut Arena<u32>,
+    base: usize,
+}
+
+impl LineSink for ArenaSink<'_> {
+    fn sink_lines(&mut self, lines: &[u64]) {
+        self.lines.alloc_slice(lines);
+    }
+    fn sink_end_stage(&mut self) {
+        self.ends.push((self.lines.len() - self.base) as u32);
+    }
+}
+
+/// Gathers one warp's sample lines straight into the RU's arenas, returning the
+/// `(lines, ends)` spans for its [`WarpWork`].
+#[allow(clippy::too_many_arguments)]
+fn gather_sample_lines_arena(
+    lines: &mut Arena<u64>,
+    ends: &mut Arena<u32>,
+    group: &[(u32, u8)],
+    quads: &QuadStream,
+    texture: &TextureDesc,
+    lod: u32,
+    tex_samples: u32,
+    filter: FilterMode,
+) -> (Span, Span) {
+    let lmark = lines.mark();
+    let emark = ends.mark();
+    let mut sink = ArenaSink { base: lmark, lines, ends };
+    gather_lines_generic(
+        group.len(),
+        |i| {
+            let (qi, pass) = group[i];
+            (quads.uv[qi as usize], pass)
+        },
+        texture,
+        lod,
+        tex_samples,
+        filter,
+        &mut sink,
+    );
+    (lines.span_since(lmark), ends.span_since(emark))
+}
+
+/// Collects, per texture-sample instruction, the cache-line requests of a warp's
+/// quads — the single body behind the owned ([`gather_sample_lines_for`]) and
+/// arena ([`gather_sample_lines_arena`]) paths, so the two cannot diverge.
+///
+/// Coalescing happens at *quad* granularity (a texture unit fetches the
+/// texels of one 2×2 quad together), so lines shared between different quads are
+/// requested once per quad — that inter-quad reuse is what the texture L1 turns into
+/// hits, matching how hardware hit ratios are counted.
+#[allow(clippy::too_many_arguments)]
+fn gather_lines_generic<S: LineSink>(
+    count: usize,
+    mut quad_of: impl FnMut(usize) -> ([(f32, f32); 4], u8),
+    texture: &TextureDesc,
+    lod: u32,
+    tex_samples: u32,
+    filter: FilterMode,
+    sink: &mut S,
+) {
     for s in 0..tex_samples {
-        for (q, pass) in group {
+        let addr = MipAddresser::new(texture, lod, s);
+        for i in 0..count {
+            let (uv, pass) = quad_of(i);
             let mut quad_lines = [0u64; 16];
             let mut n = 0;
             let push = |line: u64, quad_lines: &mut [u64; 16], n: &mut usize| {
@@ -391,18 +537,15 @@ fn gather_sample_lines(
                     *n += 1;
                 }
             };
-            for lane in 0..4usize {
+            for (lane, &(u, v)) in uv.iter().enumerate() {
                 if pass & (1 << lane) != 0 {
-                    let (u, v) = q.uv[lane];
                     match filter {
-                        FilterMode::Nearest => push(
-                            texel_line_addr(texture, u, v, lod, s),
-                            &mut quad_lines,
-                            &mut n,
-                        ),
+                        FilterMode::Nearest => {
+                            push(addr.line_addr(u, v), &mut quad_lines, &mut n)
+                        }
                         FilterMode::Bilinear => {
                             let mut bl = [0u64; 4];
-                            let k = bilinear_line_addrs(texture, u, v, lod, s, &mut bl);
+                            let k = addr.bilinear_line_addrs(u, v, &mut bl);
                             for &line in &bl[..k] {
                                 push(line, &mut quad_lines, &mut n);
                             }
@@ -410,11 +553,10 @@ fn gather_sample_lines(
                     }
                 }
             }
-            out.extend_lines(&quad_lines[..n]);
+            sink.sink_lines(&quad_lines[..n]);
         }
-        out.end_stage();
+        sink.sink_end_stage();
     }
-    out
 }
 
 #[cfg(test)]
@@ -455,13 +597,20 @@ mod tests {
         }
     }
 
+    use tbr_geom::pipeline::ScreenTriangle;
+
+    fn stream(tris: &[ScreenTriangle]) -> (TriangleStream, Vec<u32>) {
+        let list = (0..tris.len() as u32).collect();
+        (TriangleStream::from_triangles(tris), list)
+    }
+
     #[test]
     fn front_end_produces_warps_covering_the_tile() {
         let cfg = cfg();
         let mut h = hier();
         let mut ru = RasterUnit::new(&cfg);
-        let t = full_tile_tri(0.5, 0);
-        let out = ru.render_tile_front_end(TileId(0), &[&t], &cfg.screen, 0, &mut h);
+        let (ts, list) = stream(&[full_tile_tri(0.5, 0)]);
+        let out = ru.render_tile_front_end(TileId(0), &ts, &list, &cfg.screen, 0, &mut h);
         // Full 32x32 tile = 1024 fragments = 256 quads = 32 warps of 8 quads.
         assert_eq!(out.fragments, 1024);
         assert_eq!(out.quads, 256);
@@ -480,9 +629,8 @@ mod tests {
         let cfg = cfg();
         let mut h = hier();
         let mut ru = RasterUnit::new(&cfg);
-        let near = full_tile_tri(0.1, 0);
-        let far = full_tile_tri(0.9, 1);
-        let out = ru.render_tile_front_end(TileId(0), &[&near, &far], &cfg.screen, 0, &mut h);
+        let (ts, list) = stream(&[full_tile_tri(0.1, 0), full_tile_tri(0.9, 1)]);
+        let out = ru.render_tile_front_end(TileId(0), &ts, &list, &cfg.screen, 0, &mut h);
         assert_eq!(out.fragments, 1024, "only the near primitive is shaded");
         assert_eq!(out.earlyz_killed, 1024, "the far primitive dies in Early-Z");
     }
@@ -492,9 +640,8 @@ mod tests {
         let cfg = cfg();
         let mut h = hier();
         let mut ru = RasterUnit::new(&cfg);
-        let far = full_tile_tri(0.9, 0);
-        let near = full_tile_tri(0.1, 1);
-        let out = ru.render_tile_front_end(TileId(0), &[&far, &near], &cfg.screen, 0, &mut h);
+        let (ts, list) = stream(&[full_tile_tri(0.9, 0), full_tile_tri(0.1, 1)]);
+        let out = ru.render_tile_front_end(TileId(0), &ts, &list, &cfg.screen, 0, &mut h);
         assert_eq!(out.fragments, 2048, "back-to-front order shades everything");
     }
 
@@ -503,8 +650,8 @@ mod tests {
         let cfg = cfg();
         let mut h = hier();
         let mut ru = RasterUnit::new(&cfg);
-        let t = full_tile_tri(0.5, 0);
-        let out = ru.render_tile_front_end(TileId(0), &[&t], &cfg.screen, 0, &mut h);
+        let (ts, list) = stream(&[full_tile_tri(0.5, 0)]);
+        let out = ru.render_tile_front_end(TileId(0), &ts, &list, &cfg.screen, 0, &mut h);
         let mut instructions = 0;
         let mut tex = 0;
         for w in &out.warps {
@@ -536,12 +683,13 @@ mod tests {
         let cfg = cfg();
         let mut h = hier();
         let mut ru = RasterUnit::new(&cfg);
-        let t = full_tile_tri(0.5, 0);
-        let out = ru.render_tile_front_end(TileId(0), &[&t], &cfg.screen, 0, &mut h);
+        let (ts, list) = stream(&[full_tile_tri(0.5, 0)]);
+        let out = ru.render_tile_front_end(TileId(0), &ts, &list, &cfg.screen, 0, &mut h);
         let mut requests = 0usize;
         let mut unique = std::collections::HashSet::new();
         for w in &out.warps {
-            for lines in w.sample_lines.iter_stages() {
+            let sl = ru.sample_lines_ref(w);
+            for lines in sl.iter_stages() {
                 // 8 quads x at most 4 distinct lines per quad.
                 assert!(lines.len() <= 32);
                 assert!(!lines.is_empty());
@@ -563,8 +711,8 @@ mod tests {
         let cfg = cfg();
         let mut h = hier();
         let mut ru = RasterUnit::new(&cfg);
-        let t = full_tile_tri(0.5, 0);
-        let out = ru.render_tile_front_end(TileId(0), &[&t], &cfg.screen, 0, &mut h);
+        let (ts, list) = stream(&[full_tile_tri(0.5, 0)]);
+        let out = ru.render_tile_front_end(TileId(0), &ts, &list, &cfg.screen, 0, &mut h);
         for w in &out.warps {
             ru.execute_warp(w, &mut h);
         }
@@ -575,6 +723,26 @@ mod tests {
             "all cores used: {per_core:?}"
         );
     }
+
+    #[test]
+    fn end_frame_resets_the_warp_arenas() {
+        let cfg = cfg();
+        let mut h = hier();
+        let mut ru = RasterUnit::new(&cfg);
+        let (ts, list) = stream(&[full_tile_tri(0.5, 0)]);
+        let out = ru.render_tile_front_end(TileId(0), &ts, &list, &cfg.screen, 0, &mut h);
+        assert!(!ru.lines.is_empty(), "warps parked lines in the arena");
+        ru.end_frame();
+        assert!(ru.lines.is_empty() && ru.ends.is_empty(), "end_frame resets arenas");
+        // Spans from before the reset must not silently resolve; the first
+        // warp's span now points past the arena end (unless it was empty).
+        let stale = &out.warps[0];
+        assert!(stale.lines.len > 0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = ru.sample_lines_ref(stale);
+        }));
+        assert!(caught.is_err(), "stale span must panic, not alias");
+    }
 }
 
 #[cfg(test)]
@@ -582,7 +750,7 @@ mod feature_tests {
     use super::*;
     use tbr_common::config::{CacheConfig, DramConfig, ScreenConfig};
     use tbr_common::ids::{DrawCallId, TextureId};
-    use tbr_geom::pipeline::ScreenVertex;
+    use tbr_geom::pipeline::{ScreenTriangle, ScreenVertex};
 
     fn hier() -> MemoryHierarchy {
         MemoryHierarchy::new(CacheConfig::shared_l2(), DramConfig::lpddr4(), 5000)
@@ -610,6 +778,11 @@ mod feature_tests {
         }
     }
 
+    fn stream(tris: &[ScreenTriangle]) -> (TriangleStream, Vec<u32>) {
+        let list = (0..tris.len() as u32).collect();
+        (TriangleStream::from_triangles(tris), list)
+    }
+
     #[test]
     fn late_z_shades_occluded_fragments() {
         let cfg = GpuConfig::baseline(ScreenConfig::tiny());
@@ -618,17 +791,18 @@ mod feature_tests {
         // Near opaque primitive first, then a far one.
         let near = tri(0.1, 0, FragmentShaderDesc::simple());
         let far_early = tri(0.9, 1, FragmentShaderDesc::simple());
-        let out_early =
-            ru.render_tile_front_end(TileId(0), &[&near, &far_early], &cfg.screen, 0, &mut h);
+        let (ts, list) = stream(&[near, far_early]);
+        let out_early = ru.render_tile_front_end(TileId(0), &ts, &list, &cfg.screen, 0, &mut h);
         assert_eq!(
             out_early.fragments, 1024,
             "Early-Z kills the occluded primitive"
         );
 
         let mut ru2 = RasterUnit::new(&cfg);
+        let near2 = tri(0.1, 0, FragmentShaderDesc::simple());
         let far_late = tri(0.9, 1, FragmentShaderDesc::simple().with_late_z());
-        let out_late =
-            ru2.render_tile_front_end(TileId(0), &[&near, &far_late], &cfg.screen, 0, &mut h);
+        let (ts2, list2) = stream(&[near2, far_late]);
+        let out_late = ru2.render_tile_front_end(TileId(0), &ts2, &list2, &cfg.screen, 0, &mut h);
         assert_eq!(
             out_late.fragments, 2048,
             "Late-Z must shade the occluded fragments"
@@ -649,12 +823,14 @@ mod feature_tests {
 
         let mut img_e = vec![0u32; (cfg.screen.width * cfg.screen.height) as usize];
         let mut ru = RasterUnit::new(&cfg);
-        ru.render_tile_front_end(TileId(0), &[&near, &far_e], &cfg.screen, 0, &mut h);
+        let (ts, list) = stream(&[near, far_e]);
+        ru.render_tile_front_end(TileId(0), &ts, &list, &cfg.screen, 0, &mut h);
         ru.blit_last_tile(TileId(0), &cfg.screen, &mut img_e);
 
         let mut img_l = vec![0u32; (cfg.screen.width * cfg.screen.height) as usize];
         let mut ru2 = RasterUnit::new(&cfg);
-        ru2.render_tile_front_end(TileId(0), &[&near, &far_l], &cfg.screen, 0, &mut h);
+        let (ts2, list2) = stream(&[near, far_l]);
+        ru2.render_tile_front_end(TileId(0), &ts2, &list2, &cfg.screen, 0, &mut h);
         ru2.blit_last_tile(TileId(0), &cfg.screen, &mut img_l);
 
         assert_eq!(img_e, img_l);
@@ -666,20 +842,22 @@ mod feature_tests {
         let mut h = hier();
         let mut ru = RasterUnit::new(&cfg);
         let nearest = tri(0.5, 0, FragmentShaderDesc::simple());
-        let out_n = ru.render_tile_front_end(TileId(0), &[&nearest], &cfg.screen, 0, &mut h);
+        let (ts_n, list_n) = stream(&[nearest]);
+        let out_n = ru.render_tile_front_end(TileId(0), &ts_n, &list_n, &cfg.screen, 0, &mut h);
         let req_n: usize = out_n
             .warps
             .iter()
-            .map(|w| w.sample_lines.total_lines())
+            .map(|w| ru.sample_lines_ref(w).total_lines())
             .sum();
 
         let mut ru2 = RasterUnit::new(&cfg);
         let bilinear = tri(0.5, 0, FragmentShaderDesc::simple().with_bilinear());
-        let out_b = ru2.render_tile_front_end(TileId(0), &[&bilinear], &cfg.screen, 0, &mut h);
+        let (ts_b, list_b) = stream(&[bilinear]);
+        let out_b = ru2.render_tile_front_end(TileId(0), &ts_b, &list_b, &cfg.screen, 0, &mut h);
         let req_b: usize = out_b
             .warps
             .iter()
-            .map(|w| w.sample_lines.total_lines())
+            .map(|w| ru2.sample_lines_ref(w).total_lines())
             .sum();
 
         assert!(

@@ -9,8 +9,8 @@
 //! mobile content modelled here and for the memory-address streams the simulator
 //! needs).
 
-use crate::quad::Quad;
-use tbr_geom::pipeline::ScreenTriangle;
+use crate::quad::{Quad, QuadStream};
+use tbr_geom::pipeline::{double_area_from_lanes, ScreenTriangle, ScreenVertex};
 
 /// Per-triangle interpolation setup: edge functions and attribute gradients.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +23,12 @@ pub struct TriangleSetup {
     z: [f32; 3],
     u: [f32; 3],
     v: [f32; 3],
+    // Screen bounding box, pre-folded once at setup: floor of the min corner and
+    // ceil of the max corner, so per-tile rasterisation only clamps to the rect.
+    min_x: f32,
+    min_y: f32,
+    max_x: f32,
+    max_y: f32,
     /// Maximum screen-space UV derivative (in UV units per pixel), used for mip
     /// selection — constant per triangle under affine interpolation.
     pub uv_derivative: f32,
@@ -31,13 +37,21 @@ pub struct TriangleSetup {
 impl TriangleSetup {
     /// Builds the setup; returns `None` for degenerate (zero-area) triangles.
     pub fn new(tri: &ScreenTriangle) -> Option<Self> {
-        let area2 = tri.double_area();
+        Self::from_vertices(tri.v)
+    }
+
+    /// Builds the setup from three screen-space vertices — the body shared by
+    /// the AoS [`TriangleSetup::new`] and the SoA raster front-end (which feeds
+    /// it `TriangleStream::vertices(i)`).
+    pub fn from_vertices(p: [ScreenVertex; 3]) -> Option<Self> {
+        let xs = p.map(|v| v.x);
+        let ys = p.map(|v| v.y);
+        let area2 = double_area_from_lanes(xs, ys);
         if area2.abs() < 1.0e-6 {
             return None;
         }
         // Normalise winding so all edge functions are positive inside.
         let s = if area2 > 0.0 { 1.0 } else { -1.0 };
-        let p = tri.v;
         let mut a = [0.0f32; 3];
         let mut b = [0.0f32; 3];
         let mut c = [0.0f32; 3];
@@ -80,6 +94,10 @@ impl TriangleSetup {
             z: [p[0].z, p[1].z, p[2].z],
             u: [p[0].u, p[1].u, p[2].u],
             v: [p[0].v, p[1].v, p[2].v],
+            min_x: xs.iter().copied().fold(f32::INFINITY, f32::min).floor(),
+            min_y: ys.iter().copied().fold(f32::INFINITY, f32::min).floor(),
+            max_x: xs.iter().copied().fold(f32::NEG_INFINITY, f32::max).ceil(),
+            max_y: ys.iter().copied().fold(f32::NEG_INFINITY, f32::max).ceil(),
             uv_derivative,
         })
     }
@@ -135,14 +153,50 @@ pub fn rasterize_in_rect_into(
     let Some(setup) = TriangleSetup::new(tri) else {
         return;
     };
+    raster_loop(&setup, x0, y0, x1, y1, |x, y, mask, z, uv| {
+        quads.push(Quad { x, y, mask, z, uv });
+    });
+}
 
-    // Intersect the tile rect with the triangle bbox, then align to quad grid.
-    let xs = tri.v.map(|v| v.x);
-    let ys = tri.v.map(|v| v.y);
-    let bminx = xs.iter().copied().fold(f32::INFINITY, f32::min).floor().max(x0 as f32) as u32;
-    let bminy = ys.iter().copied().fold(f32::INFINITY, f32::min).floor().max(y0 as f32) as u32;
-    let bmaxx = (xs.iter().copied().fold(f32::NEG_INFINITY, f32::max).ceil() as u32).min(x1);
-    let bmaxy = (ys.iter().copied().fold(f32::NEG_INFINITY, f32::max).ceil() as u32).min(y1);
+/// Rasterises an already-built [`TriangleSetup`] within `[x0, x1) × [y0, y1)`
+/// into a SoA [`QuadStream`] (cleared first) — the hot path: the raster
+/// front-end builds the setup once per (primitive × tile) and reuses it for
+/// both rasterisation and mip selection.
+pub fn rasterize_setup_in_rect_into(
+    setup: &TriangleSetup,
+    x0: u32,
+    y0: u32,
+    x1: u32,
+    y1: u32,
+    quads: &mut QuadStream,
+) {
+    quads.clear();
+    raster_loop(setup, x0, y0, x1, y1, |x, y, mask, z, uv| {
+        quads.x.push(x);
+        quads.y.push(y);
+        quads.mask.push(mask);
+        quads.z.push(z);
+        quads.uv.push(uv);
+    });
+}
+
+/// The single quad-emission loop behind both [`rasterize_in_rect_into`] (AoS)
+/// and [`rasterize_setup_in_rect_into`] (SoA) — one body, so the two output
+/// layouts cannot diverge arithmetically.
+fn raster_loop(
+    setup: &TriangleSetup,
+    x0: u32,
+    y0: u32,
+    x1: u32,
+    y1: u32,
+    mut emit: impl FnMut(u32, u32, u8, [f32; 4], [(f32, f32); 4]),
+) {
+    // Intersect the tile rect with the triangle bbox (pre-folded in the setup),
+    // then align to the quad grid.
+    let bminx = setup.min_x.max(x0 as f32) as u32;
+    let bminy = setup.min_y.max(y0 as f32) as u32;
+    let bmaxx = (setup.max_x as u32).min(x1);
+    let bmaxy = (setup.max_y as u32).min(y1);
     if bminx >= bmaxx || bminy >= bmaxy {
         return;
     }
@@ -169,7 +223,7 @@ pub fn rasterize_in_rect_into(
                 }
             }
             if mask != 0 {
-                quads.push(Quad { x: px, y: py, mask, z, uv });
+                emit(px, py, mask, z, uv);
             }
             px += 2;
         }

@@ -122,6 +122,58 @@ impl SampleLines {
     pub fn end_stage(&mut self) {
         self.ends.push(self.lines.len() as u32);
     }
+
+    /// A borrowed view over this list — what the stepping API consumes.
+    #[inline]
+    pub fn view(&self) -> SampleLinesRef<'_> {
+        SampleLinesRef { lines: &self.lines, ends: &self.ends }
+    }
+}
+
+/// Borrowed view over a warp's per-stage texture line lists — the form the
+/// [`ShaderCore`] stepping API consumes.
+///
+/// Obtained from [`SampleLines::view`], or assembled directly from per-frame
+/// arena spans by the Raster Unit, which is what lets warp scratch live in two
+/// bump allocations per frame instead of two heap allocations per warp. `ends`
+/// offsets are relative to the start of `lines` (stage `i` is
+/// `lines[ends[i-1]..ends[i]]`), so a view over an arena span is just the two
+/// subslices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleLinesRef<'a> {
+    /// Flattened line addresses, all stages back to back.
+    pub lines: &'a [u64],
+    /// End offset of each stage within `lines`.
+    pub ends: &'a [u32],
+}
+
+impl<'a> SampleLinesRef<'a> {
+    /// Number of texture stages.
+    #[inline]
+    pub fn stages(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// The line addresses of stage `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.stages()`.
+    #[inline]
+    pub fn stage(&self, i: usize) -> &'a [u64] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.lines[start..self.ends[i] as usize]
+    }
+
+    /// Iterates the stages in order.
+    pub fn iter_stages(&self) -> impl Iterator<Item = &'a [u64]> + '_ {
+        (0..self.stages()).map(|i| self.stage(i))
+    }
+
+    /// Total line addresses across all stages.
+    #[inline]
+    pub fn total_lines(&self) -> usize {
+        self.lines.len()
+    }
 }
 
 /// In-flight execution state of one warp on one core.
@@ -200,7 +252,7 @@ impl ShaderCore {
     pub fn step_warp(
         &mut self,
         shader: &FragmentShaderDesc,
-        sample_lines: &SampleLines,
+        sample_lines: SampleLinesRef<'_>,
         state: &mut WarpExecState,
         hier: &mut MemoryHierarchy,
     ) -> bool {
@@ -215,7 +267,7 @@ impl ShaderCore {
     /// predicts an all-hit stage. This is the parallel driver's locality test.
     pub fn step_is_resident(
         &self,
-        sample_lines: &SampleLines,
+        sample_lines: SampleLinesRef<'_>,
         state: &WarpExecState,
         ideal: bool,
     ) -> bool {
@@ -231,7 +283,7 @@ impl ShaderCore {
     /// tail-less shader, or the ALU tail itself).
     pub fn step_retires(
         shader: &FragmentShaderDesc,
-        sample_lines: &SampleLines,
+        sample_lines: SampleLinesRef<'_>,
         state: &WarpExecState,
     ) -> bool {
         if state.stage < sample_lines.stages() {
@@ -247,7 +299,7 @@ impl ShaderCore {
     /// the parallel driver files a non-resident step under a channel queue.
     pub fn step_first_miss(
         &self,
-        sample_lines: &SampleLines,
+        sample_lines: SampleLinesRef<'_>,
         state: &WarpExecState,
     ) -> Option<u64> {
         if state.stage >= sample_lines.stages() {
@@ -271,7 +323,7 @@ impl ShaderCore {
     pub fn step_warp_resident(
         &mut self,
         shader: &FragmentShaderDesc,
-        sample_lines: &SampleLines,
+        sample_lines: SampleLinesRef<'_>,
         state: &mut WarpExecState,
         ideal: bool,
     ) -> bool {
@@ -284,7 +336,7 @@ impl ShaderCore {
     fn step_warp_inner(
         &mut self,
         shader: &FragmentShaderDesc,
-        sample_lines: &SampleLines,
+        sample_lines: SampleLinesRef<'_>,
         state: &mut WarpExecState,
         mut hier: Option<&mut MemoryHierarchy>,
         ideal: bool,
@@ -343,7 +395,7 @@ impl ShaderCore {
     pub fn execute_warp(
         &mut self,
         shader: &FragmentShaderDesc,
-        sample_lines: &SampleLines,
+        sample_lines: SampleLinesRef<'_>,
         arrival: Cycle,
         hier: &mut MemoryHierarchy,
     ) -> WarpOutcome {
@@ -397,7 +449,7 @@ mod tests {
     fn pure_alu_warp_costs_its_instruction_count() {
         let mut h = hier();
         let mut c = core();
-        let o = c.execute_warp(&shader(0, 0, 10), &SampleLines::default(), 0, &mut h);
+        let o = c.execute_warp(&shader(0, 0, 10), SampleLines::default().view(), 0, &mut h);
         assert_eq!(o.instructions, 10);
         assert_eq!(o.completion, 10 + DRAIN_CYCLES);
         assert_eq!(o.tex_requests, 0);
@@ -409,7 +461,7 @@ mod tests {
         let mut c = core();
         let o = c.execute_warp(
             &shader(1, 0, 0),
-            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            SampleLines::from_nested(&[vec![0x4000_0000]]).view(),
             0,
             &mut h,
         );
@@ -431,13 +483,13 @@ mod tests {
         let mut a = c.begin_warp(0);
         let mut b = c.begin_warp(1);
         // Interleave: both issue their sample before either's data returns.
-        assert!(!c.step_warp(&s, &la, &mut a, &mut h) || a.is_done());
-        assert!(!c.step_warp(&s, &lb, &mut b, &mut h) || b.is_done());
+        assert!(!c.step_warp(&s, la.view(), &mut a, &mut h) || a.is_done());
+        assert!(!c.step_warp(&s, lb.view(), &mut b, &mut h) || b.is_done());
         while !a.is_done() {
-            c.step_warp(&s, &la, &mut a, &mut h);
+            c.step_warp(&s, la.view(), &mut a, &mut h);
         }
         while !b.is_done() {
-            c.step_warp(&s, &lb, &mut b, &mut h);
+            c.step_warp(&s, lb.view(), &mut b, &mut h);
         }
         let serial_estimate = a.outcome.completion * 2;
         assert!(
@@ -455,13 +507,13 @@ mod tests {
         let s = shader(1, 0, 0);
         let a = c.execute_warp(
             &s,
-            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            SampleLines::from_nested(&[vec![0x4000_0000]]).view(),
             0,
             &mut h,
         );
         let b = c.execute_warp(
             &s,
-            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            SampleLines::from_nested(&[vec![0x4000_0000]]).view(),
             a.completion,
             &mut h,
         );
@@ -478,7 +530,7 @@ mod tests {
         let s = shader(2, 3, 5);
         let o = c.execute_warp(
             &s,
-            &SampleLines::from_nested(&[vec![0x4000_0000], vec![0x4000_0040]]),
+            SampleLines::from_nested(&[vec![0x4000_0000], vec![0x4000_0040]]).view(),
             0,
             &mut h,
         );
@@ -495,7 +547,7 @@ mod tests {
         let lines = SampleLines::from_nested(&[vec![0x4000_0000u64], vec![0x4000_0040u64]]);
         let mut st = c.begin_warp(0);
         let mut steps = 0;
-        while !c.step_warp(&s, &lines, &mut st, &mut h) {
+        while !c.step_warp(&s, lines.view(), &mut st, &mut h) {
             steps += 1;
         }
         steps += 1;
@@ -511,8 +563,8 @@ mod tests {
         let mut c = core();
         let s = shader(0, 0, 1);
         let mut st = c.begin_warp(0);
-        assert!(c.step_warp(&s, &SampleLines::default(), &mut st, &mut h));
-        let _ = c.step_warp(&s, &SampleLines::default(), &mut st, &mut h);
+        assert!(c.step_warp(&s, SampleLines::default().view(), &mut st, &mut h));
+        let _ = c.step_warp(&s, SampleLines::default().view(), &mut st, &mut h);
     }
 
     #[test]
@@ -522,7 +574,7 @@ mod tests {
         let s = shader(1, 0, 0);
         c.execute_warp(
             &s,
-            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            SampleLines::from_nested(&[vec![0x4000_0000]]).view(),
             0,
             &mut h,
         );
@@ -530,7 +582,7 @@ mod tests {
         assert_eq!(stats.accesses, 1);
         let o = c.execute_warp(
             &s,
-            &SampleLines::from_nested(&[vec![0x4000_0000]]),
+            SampleLines::from_nested(&[vec![0x4000_0000]]).view(),
             0,
             &mut h,
         );
@@ -544,22 +596,28 @@ mod tests {
 
     #[test]
     fn resident_step_matches_shared_step_bit_for_bit() {
-        // Warm a line on two identical cores, then step one warp through the
-        // shared path and its twin through the resident-only path: timing,
-        // counters and retirement must be identical.
+        // Warm a line on two separately-built cores with an identical warm-up
+        // warp, then step one warp through the shared path on the first and its
+        // twin through the resident-only path on the second: timing, counters
+        // and retirement must be identical.
         let mut h = hier();
         let s = shader(1, 2, 3);
         let lines = SampleLines::from_nested(&[vec![0x4000_0000u64]]);
         let mut c_shared = core();
-        let warm = c_shared.execute_warp(&s, &lines, 0, &mut h);
-        let mut c_resident = c_shared.clone();
+        let mut c_resident = core();
+        let warm = c_shared.execute_warp(&s, lines.view(), 0, &mut h);
+        // The second warm-up replays the same line at the same cycle; the
+        // hierarchy now holds it, but the fill into the private L1 and the
+        // core-local timing state are identical to the first core's.
+        let warm2 = c_resident.execute_warp(&s, lines.view(), 0, &mut h);
+        assert_eq!(warm.fills, warm2.fills, "both cores filled the same line");
 
         let mut a = c_shared.begin_warp(warm.completion);
         let mut b = c_resident.begin_warp(warm.completion);
-        assert!(c_resident.step_is_resident(&lines, &b, false));
+        assert!(c_resident.step_is_resident(lines.view(), &b, false));
         loop {
-            let da = c_shared.step_warp(&s, &lines, &mut a, &mut h);
-            let db = c_resident.step_warp_resident(&s, &lines, &mut b, false);
+            let da = c_shared.step_warp(&s, lines.view(), &mut a, &mut h);
+            let db = c_resident.step_warp_resident(&s, lines.view(), &mut b, false);
             assert_eq!(da, db);
             assert_eq!(a, b, "shared and resident step paths diverged");
             if da {
@@ -576,11 +634,11 @@ mod tests {
         let lines = SampleLines::from_nested(&[vec![0x4000_0000u64]]);
         let st = c.begin_warp(0);
         assert!(
-            !c.step_is_resident(&lines, &st, false),
+            !c.step_is_resident(lines.view(), &st, false),
             "cold line cannot be resident"
         );
         assert!(
-            c.step_is_resident(&lines, &st, true),
+            c.step_is_resident(lines.view(), &st, true),
             "ideal memory is always local"
         );
     }
@@ -598,8 +656,8 @@ mod tests {
             let lines = SampleLines::from_nested(&nested);
             let mut st = c.begin_warp(0);
             loop {
-                let predicted = ShaderCore::step_retires(&s, &lines, &st);
-                let actual = c.step_warp(&s, &lines, &mut st, &mut h);
+                let predicted = ShaderCore::step_retires(&s, lines.view(), &st);
+                let actual = c.step_warp(&s, lines.view(), &mut st, &mut h);
                 assert_eq!(predicted, actual, "samples={samples} tail={tail}");
                 if actual {
                     break;
@@ -615,6 +673,6 @@ mod tests {
         let s = shader(1, 0, 0);
         let lines = SampleLines::from_nested(&[vec![0x7000_0000u64]]);
         let mut st = c.begin_warp(0);
-        let _ = c.step_warp_resident(&s, &lines, &mut st, false);
+        let _ = c.step_warp_resident(&s, lines.view(), &mut st, false);
     }
 }

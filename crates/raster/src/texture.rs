@@ -57,22 +57,84 @@ pub fn select_mip(tex: &TextureDesc, uv_derivative: f32) -> u32 {
     (lod.max(0.0) as u32).min(mip_levels(tex.size_texels) - 1)
 }
 
+/// `t.floor()` without the `floorf` libcall on targets without a native floor
+/// instruction — bit-identical to [`f32::floor`] for every input.
+#[inline]
+fn fast_floor(t: f32) -> f32 {
+    if t.abs() < 8_388_608.0 {
+        // |t| < 2^23: `as i32` is an exact truncation toward zero, and the
+        // down-adjusted integer is exactly representable.
+        let i = t as i32 as f32;
+        i - ((t < i) as u32 as f32)
+    } else {
+        // Every finite f32 at this magnitude is already an integer; NaN and
+        // the infinities take the libcall.
+        t.floor()
+    }
+}
+
+/// Per-(texture, mip, sample) addressing state: hoists the mip-chain walk,
+/// the base-address arithmetic, and the edge conversions out of the per-texel
+/// inner loop. Addresses are bit-identical to [`texel_line_addr`].
+pub struct MipAddresser {
+    edge: u32,
+    edge_f: f32,
+    step: f32,
+    base: u64,
+}
+
+impl MipAddresser {
+    /// Addressing state for `tex` sampled at mip `level` by shader texture
+    /// sample `sample_index` (sample `s` reads texture `tex.id + s`, see the
+    /// workload generator).
+    pub fn new(tex: &TextureDesc, level: u32, sample_index: u32) -> Self {
+        let edge = (tex.size_texels >> level).max(1);
+        Self {
+            edge,
+            edge_f: edge as f32,
+            step: 1.0 / edge as f32,
+            base: texture_base(TextureId(tex.id.0 + sample_index))
+                + mip_offset(tex.size_texels, level),
+        }
+    }
+
+    /// Address of the 64 B cache line holding texel `(u, v)`; UVs wrap
+    /// (repeat addressing).
+    #[inline]
+    pub fn line_addr(&self, u: f32, v: f32) -> u64 {
+        // Wrap to [0, 1) then scale to texels.
+        let wrap = |t: f32| -> u32 {
+            let frac = t - fast_floor(t);
+            ((frac * self.edge_f) as u32).min(self.edge - 1)
+        };
+        let bx = wrap(u) / BLOCK_EDGE;
+        let by = wrap(v) / BLOCK_EDGE;
+        self.base + morton_encode(bx, by) * 64
+    }
+
+    /// The cache lines holding the 2×2 bilinear texel neighbourhood of
+    /// `(u, v)` — between 1 and 4 distinct lines, written into `out`; returns
+    /// the count.
+    #[inline]
+    pub fn bilinear_line_addrs(&self, u: f32, v: f32, out: &mut [u64; 4]) -> usize {
+        let step = self.step;
+        let mut n = 0;
+        for (du, dv) in [(0.0, 0.0), (step, 0.0), (0.0, step), (step, step)] {
+            let line = self.line_addr(u + du - 0.5 * step, v + dv - 0.5 * step);
+            if !out[..n].contains(&line) {
+                out[n] = line;
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
 /// Address of the 64 B cache line holding texel `(u, v)` of `tex` at mip `level`.
 /// UVs wrap (repeat addressing); `sample_index` selects among the shader's bound
 /// textures (sample `s` reads texture `tex.id + s`, see the workload generator).
 pub fn texel_line_addr(tex: &TextureDesc, u: f32, v: f32, level: u32, sample_index: u32) -> u64 {
-    let edge = (tex.size_texels >> level).max(1);
-    // Wrap to [0, 1) then scale to texels.
-    let wrap = |t: f32| -> u32 {
-        let frac = t - t.floor();
-        ((frac * edge as f32) as u32).min(edge - 1)
-    };
-    let tx = wrap(u);
-    let ty = wrap(v);
-    let bx = tx / BLOCK_EDGE;
-    let by = ty / BLOCK_EDGE;
-    let block = morton_encode(bx, by);
-    texture_base(TextureId(tex.id.0 + sample_index)) + mip_offset(tex.size_texels, level) + block * 64
+    MipAddresser::new(tex, level, sample_index).line_addr(u, v)
 }
 
 /// The cache lines holding the 2×2 bilinear texel neighbourhood of `(u, v)` at mip
@@ -85,17 +147,7 @@ pub fn bilinear_line_addrs(
     sample_index: u32,
     out: &mut [u64; 4],
 ) -> usize {
-    let edge = (tex.size_texels >> level).max(1);
-    let step = 1.0 / edge as f32;
-    let mut n = 0;
-    for (du, dv) in [(0.0, 0.0), (step, 0.0), (0.0, step), (step, step)] {
-        let line = texel_line_addr(tex, u + du - 0.5 * step, v + dv - 0.5 * step, level, sample_index);
-        if !out[..n].contains(&line) {
-            out[n] = line;
-            n += 1;
-        }
-    }
-    n
+    MipAddresser::new(tex, level, sample_index).bilinear_line_addrs(u, v, out)
 }
 
 #[cfg(test)]

@@ -41,21 +41,39 @@ impl ZBuffer {
     /// (opaque geometry) passing fragments update the buffer; transparent geometry
     /// tests but does not write.
     pub fn test_quad(&mut self, quad: &Quad, tile_x0: u32, tile_y0: u32, depth_write: bool) -> u8 {
+        self.test_lanes(quad.x, quad.y, quad.mask, &quad.z, tile_x0, tile_y0, depth_write)
+    }
+
+    /// Lane-based body of [`ZBuffer::test_quad`]: the SoA raster loop calls this
+    /// directly with the `x`/`y`/`mask`/`z` lanes of a
+    /// [`crate::quad::QuadStream`] entry, skipping the `uv` lanes entirely.
+    #[allow(clippy::too_many_arguments)]
+    pub fn test_lanes(
+        &mut self,
+        x: u32,
+        y: u32,
+        mask: u8,
+        z: &[f32; 4],
+        tile_x0: u32,
+        tile_y0: u32,
+        depth_write: bool,
+    ) -> u8 {
         let mut surviving = 0u8;
-        for lane in 0..4usize {
-            if quad.mask & (1 << lane) == 0 {
+        for (lane, &lane_z) in z.iter().enumerate() {
+            if mask & (1 << lane) == 0 {
                 continue;
             }
-            let (px, py) = quad.lane_pixel(lane);
+            let px = x + (lane as u32 & 1);
+            let py = y + (lane as u32 >> 1);
             let lx = px - tile_x0;
             let ly = py - tile_y0;
             debug_assert!(lx < self.size && ly < self.size, "quad outside tile");
             let idx = (ly * self.size + lx) as usize;
-            if quad.z[lane] <= self.depths[idx] {
+            if lane_z <= self.depths[idx] {
                 surviving |= 1 << lane;
                 self.passed += 1;
                 if depth_write {
-                    self.depths[idx] = quad.z[lane];
+                    self.depths[idx] = lane_z;
                 }
             } else {
                 self.killed += 1;

@@ -83,7 +83,9 @@ use tbr_common::hostprof::{self, HostTotals};
 use tbr_common::trace::{self, Trace};
 use tbr_workloads::{BenchmarkProfile, SceneGenerator};
 
-use crate::checkpoint::{Checkpoint, CheckpointHeader, CheckpointWriter, RecordOutcome};
+use crate::checkpoint::{
+    Checkpoint, CheckpointFormat, CheckpointHeader, CheckpointWriter, RecordOutcome,
+};
 use crate::fault::{FaultKind, FaultSpec};
 use crate::gpu::{simulate_sequence, GpuSimulator};
 
@@ -323,6 +325,9 @@ pub struct RunOptions {
     pub fault: Option<FaultSpec>,
     /// Write (truncating) a fresh checkpoint here as jobs complete.
     pub checkpoint_to: Option<String>,
+    /// Encoding of a freshly created checkpoint (`checkpoint_to`). Binary by
+    /// default; resume appends always follow the existing file's encoding.
+    pub ckpt_format: CheckpointFormat,
     /// Adopt completed jobs from this checkpoint before running the rest.
     /// If `checkpoint_to` is unset, new records are appended to this same file.
     pub resume_from: Option<String>,
@@ -340,6 +345,7 @@ impl Default for RunOptions {
             retries: 1,
             fault: None,
             checkpoint_to: None,
+            ckpt_format: CheckpointFormat::default(),
             resume_from: None,
             hostprof: false,
         }
@@ -765,7 +771,7 @@ impl Campaign {
                     jobs: self.jobs.len(),
                     fingerprint: self.fingerprint(),
                 };
-                let w = CheckpointWriter::create(path, header)?;
+                let w = CheckpointWriter::create(path, header, opts.ckpt_format)?;
                 for r in prefilled.iter().flatten() {
                     w.append(r)?;
                 }

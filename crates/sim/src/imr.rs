@@ -66,15 +66,16 @@ pub fn simulate_sequence_imr(
         let mut tex_latency_sum = 0u64;
         let w = cfg.screen.width;
 
-        for prim in &geo.tris {
+        for pi in 0..geo.tris.len() {
+            let prim = geo.tris.get(pi);
             t += cfg.costs.raster_setup_cycles;
-            let quads = rasterize_in_rect(prim, 0, 0, cfg.screen.width, cfg.screen.height);
+            let quads = rasterize_in_rect(&prim, 0, 0, cfg.screen.width, cfg.screen.height);
             if quads.is_empty() {
                 continue;
             }
             t += (quads.len() as Cycle).div_ceil(cfg.costs.raster_quads_per_cycle.max(1));
 
-            let lod = tbr_raster::rasterizer::TriangleSetup::new(prim)
+            let lod = tbr_raster::rasterizer::TriangleSetup::new(&prim)
                 .map(|s| tbr_raster::texture::select_mip(&prim.texture, s.uv_derivative))
                 .unwrap_or(0);
 
@@ -122,7 +123,7 @@ pub fn simulate_sequence_imr(
                 );
                 let core = &mut cores[next_core];
                 next_core = (next_core + 1) % total_cores;
-                let o = core.execute_warp(&prim.shader, &lines, t, &mut hier);
+                let o = core.execute_warp(&prim.shader, lines.view(), t, &mut hier);
                 warps += 1;
                 instructions += o.instructions;
                 tex_requests += o.tex_requests;

@@ -51,7 +51,7 @@ pub use campaign::{
     Campaign, CampaignJob, CampaignProfile, CampaignResult, CampaignRun, CampaignSummary,
     JobProfile, JobSuccess, RunOptions, WorkerProfile,
 };
-pub use checkpoint::{Checkpoint, CheckpointWriter};
+pub use checkpoint::{Checkpoint, CheckpointFormat, CheckpointWriter};
 pub use fault::{FaultKind, FaultSpec};
 pub use event_loop::EventLoopMode;
 pub use gpu::{simulate_frame, simulate_sequence, simulate_sequence_oracle, GpuSimulator};

@@ -35,7 +35,7 @@ use tbr_common::ids::{RasterUnitId, TileId};
 use tbr_common::stats::TileHeatmap;
 use tbr_common::trace::{self, Track};
 use tbr_common::Cycle;
-use tbr_geom::pipeline::ScreenTriangle;
+use tbr_geom::stream::TriangleStream;
 use tbr_mem::channels::ChannelQueues;
 use tbr_mem::hierarchy::MemoryHierarchy;
 use tbr_raster::raster_unit::{RasterUnit, WarpWork};
@@ -266,14 +266,12 @@ struct PhaseCtx<'a> {
     rus: &'a mut [RasterUnit],
     hier: &'a mut MemoryHierarchy,
     plan: &'a mut FramePlan,
-    prims: &'a [ScreenTriangle],
+    prims: &'a TriangleStream,
     bins: &'a TileBins,
     states: Vec<RuState>,
     out: RasterPhaseResult,
     unique: U64Set,
     frame_end: Cycle,
-    /// Scratch for the per-tile primitive list (reused across tiles).
-    prim_scratch: Vec<&'a ScreenTriangle>,
 }
 
 impl<'a> PhaseCtx<'a> {
@@ -297,7 +295,6 @@ impl<'a> PhaseCtx<'a> {
             out,
             unique,
             frame_end,
-            prim_scratch,
         } = self;
         let max_warps = *max_warps;
         let st = &mut states[i];
@@ -477,12 +474,11 @@ impl<'a> PhaseCtx<'a> {
                 }
                 if let Some(tile) = st.tiles.pop_front() {
                     let list = bins.list(tile);
-                    prim_scratch.clear();
-                    prim_scratch.extend(list.iter().map(|&idx| &prims[idx as usize]));
                     let fe_start = st.fe_time;
                     let fe = rus[i].render_tile_front_end(
                         tile,
-                        prim_scratch,
+                        prims,
+                        list,
                         &cfg.screen,
                         st.fe_time,
                         hier,
@@ -495,7 +491,7 @@ impl<'a> PhaseCtx<'a> {
                             fe_start,
                             fe.fe_done,
                             vec![
-                                ("prims", prim_scratch.len().to_string()),
+                                ("prims", list.len().to_string()),
                                 ("fragments", fe.fragments.to_string()),
                             ],
                         );
@@ -673,7 +669,7 @@ fn classify(st: &RuState, ru: &RasterUnit, hier: &MemoryHierarchy, max_warps: us
             let (idx, _) = step.expect("Step branch implies a step candidate");
             let f = &st.inflight[idx];
             let resident = ru.warp_step_is_resident(f.core, &f.warp, &f.exec, hier.ideal);
-            let retires = RasterUnit::warp_step_retires(&f.warp, &f.exec);
+            let retires = ru.warp_step_retires(&f.warp, &f.exec);
             let would_flush = retires && st.pending.is_empty() && st.inflight.len() == 1;
             if resident && !would_flush {
                 Class::Local
@@ -790,7 +786,7 @@ fn drain_local(
                     let f = &st.inflight[idx];
                     (
                         ru.warp_step_is_resident(f.core, &f.warp, &f.exec, ideal),
-                        RasterUnit::warp_step_retires(&f.warp, &f.exec),
+                        ru.warp_step_retires(&f.warp, &f.exec),
                     )
                 };
                 let would_flush = retires && st.pending.is_empty() && st.inflight.len() == 1;
@@ -1389,7 +1385,7 @@ pub fn run_raster_phase(
     rus: &mut [RasterUnit],
     hier: &mut MemoryHierarchy,
     plan: &mut FramePlan,
-    prims: &[ScreenTriangle],
+    prims: &TriangleStream,
     bins: &TileBins,
 ) -> RasterPhaseResult {
     let ru_count = rus.len();
@@ -1427,7 +1423,6 @@ pub fn run_raster_phase(
         },
         unique: U64Set::default(),
         frame_end: 0,
-        prim_scratch: Vec::new(),
     };
 
     match event_loop::mode() {
@@ -1447,15 +1442,15 @@ mod tests {
     use super::*;
     use libra::scheduler::SchedulerKind;
     use tbr_common::config::ScreenConfig;
-    use tbr_geom::pipeline::process_scene;
-    use tbr_tiling::binner::bin_triangles;
+    use tbr_geom::pipeline::process_scene_stream;
+    use tbr_tiling::binner::bin_stream;
     use tbr_workloads::{suite, SceneGenerator};
 
     fn run(cfg: &GpuConfig, kind: SchedulerKind) -> RasterPhaseResult {
         let p = suite().remove(0);
         let scene = SceneGenerator::new(&p, &cfg.screen).scene(0);
-        let (tris, _) = process_scene(&scene, &cfg.screen);
-        let bins = bin_triangles(&tris, &cfg.screen);
+        let (tris, _) = process_scene_stream(&scene, &cfg.screen);
+        let bins = bin_stream(&tris, &cfg.screen);
         let mut hier = MemoryHierarchy::new(cfg.l2_cache, cfg.dram, cfg.dram_interval_cycles);
         hier.ideal = cfg.ideal_memory;
         let mut rus: Vec<RasterUnit> = (0..cfg.num_raster_units)

@@ -98,6 +98,18 @@ impl ThroughputReport {
         }
     }
 
+    /// Whether [`par_speedup`](Self::par_speedup) measured anything real: on a
+    /// host with fewer cores than the widest par ladder rung, the "parallel"
+    /// workers time-slice one another and the recorded figure is scheduler
+    /// noise, not a speedup. Such runs are stamped not-meaningful so history
+    /// comparisons skip them instead of reporting a phantom regression.
+    pub fn par_speedup_meaningful(&self) -> bool {
+        match self.par.last() {
+            Some((threads, _)) => self.host.cores >= *threads,
+            None => false,
+        }
+    }
+
     /// Hand-written JSON for `BENCH_sim_throughput.json` (the workspace has no
     /// serde; the schema is flat enough to emit directly).
     pub fn to_json(&self) -> String {
@@ -129,7 +141,8 @@ impl ThroughputReport {
              \"frames\": {},\n  \"raster_units\": {},\n  \"host\": {},\n  \"scan\": {},\n  \
              \"heap\": {},\n  \"par\": [{}],\n  \
              \"speedup_heap_over_scan\": {:.3},\n  \
-             \"speedup_par_over_heap\": {:.3}\n}}\n",
+             \"speedup_par_over_heap\": {:.3},\n  \
+             \"par_speedup_meaningful\": {}\n}}\n",
             workloads,
             self.frames,
             self.raster_units,
@@ -139,6 +152,7 @@ impl ThroughputReport {
             par,
             self.speedup(),
             self.par_speedup(),
+            self.par_speedup_meaningful(),
         )
     }
 
@@ -173,11 +187,20 @@ impl ThroughputReport {
             self.speedup()
         ));
         if !self.par.is_empty() {
-            s.push_str(&format!(
-                "  speedup (par@{} over heap): {:.2}x (record only)\n",
-                self.par.last().map_or(0, |(t, _)| *t),
-                self.par_speedup()
-            ));
+            let threads = self.par.last().map_or(0, |(t, _)| *t);
+            if self.par_speedup_meaningful() {
+                s.push_str(&format!(
+                    "  speedup (par@{threads} over heap): {:.2}x (record only)\n",
+                    self.par_speedup()
+                ));
+            } else {
+                s.push_str(&format!(
+                    "  speedup (par@{threads} over heap): {:.2}x — not meaningful \
+                     (host has {} core(s) < {threads} workers; time-sliced, not parallel)\n",
+                    self.par_speedup(),
+                    self.host.cores,
+                ));
+            }
         }
         s
     }
@@ -304,8 +327,29 @@ mod tests {
         assert!(report.host.cores >= 1);
         assert!(json.contains("\"speedup_heap_over_scan\""));
         assert!(json.contains("\"speedup_par_over_heap\""));
+        assert!(json.contains("\"par_speedup_meaningful\""));
         assert!(json.contains("\"threads\": 4"));
         assert!(report.render().contains("speedup"));
         assert!(report.render().contains("par@4"));
+    }
+
+    #[test]
+    fn par_speedup_is_marked_meaningless_on_undersized_hosts() {
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        let profiles = vec![suite().remove(0)];
+        let mut report = compare(&cfg, SchedulerKind::Libra, &profiles, 1);
+        let widest = report.par.last().unwrap().0;
+
+        report.host.cores = widest;
+        assert!(report.par_speedup_meaningful());
+        assert!(report.to_json().contains("\"par_speedup_meaningful\": true"));
+        assert!(report.render().contains("(record only)"));
+
+        report.host.cores = widest - 1;
+        assert!(!report.par_speedup_meaningful());
+        assert!(report.to_json().contains("\"par_speedup_meaningful\": false"));
+        let rendered = report.render();
+        assert!(rendered.contains("not meaningful"), "{rendered}");
+        assert!(rendered.contains("time-sliced"), "{rendered}");
     }
 }

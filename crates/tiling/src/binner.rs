@@ -11,6 +11,7 @@
 use tbr_common::config::ScreenConfig;
 use tbr_common::ids::{TileCoord, TileId};
 use tbr_geom::pipeline::ScreenTriangle;
+use tbr_geom::stream::TriangleStream;
 
 /// Per-tile primitive lists for one frame, each in program order. Entries are indices
 /// into the frame's primitive array.
@@ -42,9 +43,30 @@ impl TileBins {
 /// handled by the bounding-box pre-test, and each triangle edge is tested against the
 /// rectangle's most-inside corner.
 pub fn triangle_overlaps_rect(tri: &ScreenTriangle, x0: f32, y0: f32, x1: f32, y1: f32) -> bool {
+    triangle_overlaps_rect_lanes(
+        tri.v.map(|v| v.x),
+        tri.v.map(|v| v.y),
+        tri.double_area(),
+        x0,
+        y0,
+        x1,
+        y1,
+    )
+}
+
+/// Lane-based body of [`triangle_overlaps_rect`]: both the AoS wrapper and the
+/// SoA binning loop call through here, so they cannot diverge arithmetically.
+#[allow(clippy::too_many_arguments)]
+pub fn triangle_overlaps_rect_lanes(
+    xs: [f32; 3],
+    ys: [f32; 3],
+    area2: f32,
+    x0: f32,
+    y0: f32,
+    x1: f32,
+    y1: f32,
+) -> bool {
     // Bounding-box reject.
-    let xs = tri.v.map(|v| v.x);
-    let ys = tri.v.map(|v| v.y);
     let (tminx, tmaxx) = (xs.iter().copied().fold(f32::INFINITY, f32::min), xs.iter().copied().fold(f32::NEG_INFINITY, f32::max));
     let (tminy, tmaxy) = (ys.iter().copied().fold(f32::INFINITY, f32::min), ys.iter().copied().fold(f32::NEG_INFINITY, f32::max));
     if tmaxx <= x0 || tminx >= x1 || tmaxy <= y0 || tminy >= y1 {
@@ -52,20 +74,19 @@ pub fn triangle_overlaps_rect(tri: &ScreenTriangle, x0: f32, y0: f32, x1: f32, y
     }
 
     // Edge half-plane tests. Normalise winding so inside = positive.
-    let area2 = tri.double_area();
     if area2 == 0.0 {
         return false;
     }
     let sign = if area2 > 0.0 { 1.0 } else { -1.0 };
     for i in 0..3 {
-        let a = tri.v[i];
-        let b = tri.v[(i + 1) % 3];
-        let (ex, ey) = (b.x - a.x, b.y - a.y);
+        let (ax, ay) = (xs[i], ys[i]);
+        let j = (i + 1) % 3;
+        let (ex, ey) = (xs[j] - ax, ys[j] - ay);
         // Pick the rectangle corner with the greatest signed distance ("most inside"
         // corner for this edge); if even that corner is outside, the edge separates.
         let cx = if sign * ey >= 0.0 { x0 } else { x1 };
         let cy = if sign * ex >= 0.0 { y1 } else { y0 };
-        let dist = sign * (ex * (cy - a.y) - ey * (cx - a.x));
+        let dist = sign * (ex * (cy - ay) - ey * (cx - ax));
         if dist <= 0.0 {
             return false;
         }
@@ -76,13 +97,22 @@ pub fn triangle_overlaps_rect(tri: &ScreenTriangle, x0: f32, y0: f32, x1: f32, y
 /// Bins a frame's primitives into per-tile lists (program order preserved because
 /// primitives are scanned in order).
 pub fn bin_triangles(tris: &[ScreenTriangle], screen: &ScreenConfig) -> TileBins {
+    bin_stream(&TriangleStream::from_triangles(tris), screen)
+}
+
+/// Bins a SoA triangle stream into per-tile lists — the hot path; reads only the
+/// x/y lanes of each triangle. [`bin_triangles`] is the AoS wrapper over this.
+pub fn bin_stream(tris: &TriangleStream, screen: &ScreenConfig) -> TileBins {
     let mut bins = TileBins { lists: vec![Vec::new(); screen.num_tiles()], insertions: 0 };
     let ts = screen.tile_size as f32;
-    for (idx, tri) in tris.iter().enumerate() {
-        let (bx0, by0, bx1, by1) = tri.bounding_box(screen);
+    for idx in 0..tris.len() {
+        let (bx0, by0, bx1, by1) = tris.bounding_box(idx, screen);
         if bx0 >= bx1 || by0 >= by1 {
             continue;
         }
+        let xs = tris.xs_of(idx);
+        let ys = tris.ys_of(idx);
+        let area2 = tris.double_area(idx);
         let t0x = bx0 / screen.tile_size;
         let t0y = by0 / screen.tile_size;
         // bounding_box is exclusive-max, so the last covered pixel is bx1-1.
@@ -92,7 +122,7 @@ pub fn bin_triangles(tris: &[ScreenTriangle], screen: &ScreenConfig) -> TileBins
             for tx in t0x..=t1x {
                 let rx0 = tx as f32 * ts;
                 let ry0 = ty as f32 * ts;
-                if triangle_overlaps_rect(tri, rx0, ry0, rx0 + ts, ry0 + ts) {
+                if triangle_overlaps_rect_lanes(xs, ys, area2, rx0, ry0, rx0 + ts, ry0 + ts) {
                     let tile = screen.tile_id(TileCoord::new(tx, ty));
                     bins.lists[tile.index()].push(idx as u32);
                     bins.insertions += 1;

@@ -21,7 +21,7 @@ pub mod fetcher;
 pub mod param_buffer;
 pub mod traversal;
 
-pub use binner::{bin_triangles, TileBins};
+pub use binner::{bin_stream, bin_triangles, TileBins};
 pub use fetcher::PrimitiveFifo;
 pub use param_buffer::ParamBuffer;
 pub use traversal::{tile_order, TraversalOrder};

@@ -10,39 +10,39 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=1
 
-echo "== [1/11] offline release build =="
+echo "== [1/12] offline release build =="
 cargo build --release --workspace
 
-echo "== [2/11] clippy (deny warnings) =="
+echo "== [2/12] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== [3/11] rustdoc (deny warnings) =="
+echo "== [3/12] rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-echo "== [4/11] test suite =="
+echo "== [4/12] test suite =="
 cargo test -q
 
-echo "== [5/11] trace-export smoke (emit, then validate with the in-repo parser) =="
+echo "== [5/12] trace-export smoke (emit, then validate with the in-repo parser) =="
 cargo run --release --bin libra-sim -- run AAt --frames 1 \
     --trace-out target/ci_trace.json --report-json target/ci_report.json
 cargo run --release --bin libra-sim -- trace-check target/ci_trace.json
 
-echo "== [6/11] 2-thread campaign smoke (parallel == serial, bit-identical) =="
+echo "== [6/12] 2-thread campaign smoke (parallel == serial, bit-identical) =="
 cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 --verify
 
-echo "== [7/11] heap-vs-scan event-loop differential smoke (metrics bit-identical) =="
+echo "== [7/12] heap-vs-scan event-loop differential smoke (metrics bit-identical) =="
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop scan \
     --report-json target/ci_eventloop_scan.json
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop heap \
     --report-json target/ci_eventloop_heap.json
 cmp target/ci_eventloop_scan.json target/ci_eventloop_heap.json
 
-echo "== [8/11] par-vs-heap event-loop differential smoke (2 worker threads, metrics bit-identical) =="
+echo "== [8/12] par-vs-heap event-loop differential smoke (2 worker threads, metrics bit-identical) =="
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop par --sim-threads 2 \
     --report-json target/ci_eventloop_par.json
 cmp target/ci_eventloop_heap.json target/ci_eventloop_par.json
 
-echo "== [9/11] kill-and-resume smoke (poison one job, resume, metrics bit-identical) =="
+echo "== [9/12] kill-and-resume smoke (poison one job, resume, metrics bit-identical) =="
 # Reference: an uninterrupted sweep (no checkpoint so it cannot collide).
 cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 \
     --no-checkpoint --report-json target/ci_campaign_ref.json
@@ -61,11 +61,32 @@ cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 \
     --resume target/ci_campaign.ckpt --report-json target/ci_campaign_resumed.json
 cmp target/ci_campaign_ref.json target/ci_campaign_resumed.json
 
-echo "== [10/11] sim-throughput record (scan vs heap vs par wall-clock; record only, never asserted) =="
+echo "== [10/12] binary-checkpoint kill-and-resume (torn sidecar healed byte-identically) =="
+# Reference: a serial sweep writing the default binary sidecar (job order is
+# deterministic at --threads 1, so the file is byte-reproducible).
+rm -f target/ci_campaign_ref.ckptb target/ci_campaign_cut.ckptb
+cargo run --release --bin libra-sim -- campaign --frames 1 --threads 1 \
+    --checkpoint target/ci_campaign_ref.ckptb >/dev/null
+# Simulate a crash after the second append: keep the 36-byte header plus two
+# complete length-prefixed frames. (od honours host byte order; the format is
+# little-endian, as are all supported CI hosts.)
+off=36
+for _ in 1 2; do
+    len=$(od -An -tu4 -j "$off" -N 4 target/ci_campaign_ref.ckptb | tr -d ' ')
+    off=$((off + 4 + len))
+done
+head -c "$off" target/ci_campaign_ref.ckptb > target/ci_campaign_cut.ckptb
+# Resume appends the missing suffix in the same serial order; the healed
+# sidecar must be byte-identical to the uninterrupted reference.
+cargo run --release --bin libra-sim -- campaign --frames 1 --threads 1 \
+    --resume target/ci_campaign_cut.ckptb >/dev/null
+cmp target/ci_campaign_ref.ckptb target/ci_campaign_cut.ckptb
+
+echo "== [11/12] sim-throughput record (scan vs heap vs par wall-clock; record only, never asserted) =="
 cargo run --release --bin libra-sim -- throughput --frames 1 --rus 64 --cores 8 \
     --out BENCH_sim_throughput.json
 
-echo "== [11/11] speedup attribution + bench-history compare (report-only) =="
+echo "== [12/12] speedup attribution + bench-history compare (report-only) =="
 # Small config: the point is the plumbing (hostprof, attribution invariants,
 # history append, baseline diff), not the numbers. The CI history lives under
 # target/ so the committed history file is never dirtied, and the compare is

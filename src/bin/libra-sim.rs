@@ -28,7 +28,9 @@
 //!          --trace-out FILE (merged per-job traces, one Perfetto process each)
 //!          --report-json FILE (survivor metrics, `libra-metrics-v1`)
 //!          --checkpoint FILE | --no-checkpoint (default: auto path under
-//!          bench_results/)   --resume FILE (adopt completed jobs, re-run the rest)
+//!          bench_results/)   --ckpt-format binary|json (default: binary; the
+//!          `libra-ckpt-bin-v1` sidecar, `.ckptb` auto paths)   --resume FILE
+//!          (adopt completed jobs of either encoding, re-run the rest)
 //!          --budget-cycles N (watchdog: abort a job past N simulated cycles)
 //!          --retries N (re-run failing jobs N more times; default 1)
 //!          --fault KIND:JOB (inject panic|panic-once|timeout|timeout-once)
@@ -66,7 +68,7 @@
 use std::process::ExitCode;
 
 use libra_repro::prelude::*;
-use tbr_sim::{event_loop, report, throughput};
+use tbr_sim::{event_loop, report, throughput, CheckpointFormat};
 
 #[derive(Debug, Clone)]
 struct Opts {
@@ -85,6 +87,7 @@ struct Opts {
     out: Option<String>,
     checkpoint: Option<String>,
     no_checkpoint: bool,
+    ckpt_format: CheckpointFormat,
     resume: Option<String>,
     budget_cycles: Option<u64>,
     retries: u32,
@@ -114,6 +117,7 @@ impl Default for Opts {
             out: None,
             checkpoint: None,
             no_checkpoint: false,
+            ckpt_format: CheckpointFormat::default(),
             resume: None,
             budget_cycles: None,
             retries: 1,
@@ -164,6 +168,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--out" => o.out = Some(need("--out")?.clone()),
             "--checkpoint" => o.checkpoint = Some(need("--checkpoint")?.clone()),
             "--no-checkpoint" => o.no_checkpoint = true,
+            "--ckpt-format" => {
+                o.ckpt_format = match need("--ckpt-format")?.as_str() {
+                    "binary" => CheckpointFormat::Binary,
+                    "json" => CheckpointFormat::Json,
+                    other => return Err(format!("unknown checkpoint format `{other}` (binary|json)")),
+                }
+            }
             "--resume" => o.resume = Some(need("--resume")?.clone()),
             "--budget-cycles" => {
                 o.budget_cycles = Some(
@@ -537,9 +548,15 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
         let checkpoint_to = if o.no_checkpoint || o.resume.is_some() {
             o.checkpoint.clone()
         } else {
+            // Binary sidecars get their own extension so a glance at
+            // bench_results/ tells the encoding apart.
+            let ext = match o.ckpt_format {
+                CheckpointFormat::Binary => "ckptb",
+                CheckpointFormat::Json => "ckpt",
+            };
             o.checkpoint.clone().or_else(|| {
                 Some(format!(
-                    "bench_results/campaign_{}_seed{}_f{}.ckpt",
+                    "bench_results/campaign_{}_seed{}_f{}.{ext}",
                     o.scheduler.build().name(),
                     o.seed,
                     o.frames
@@ -554,6 +571,7 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
             fault,
             checkpoint_to: checkpoint_to.clone(),
             resume_from: o.resume.clone(),
+            ckpt_format: o.ckpt_format,
             hostprof: o.profile || tbr_common::hostprof::env_enabled(),
         };
         let run = campaign.run_resilient(&opts)?;
@@ -664,7 +682,8 @@ fn usage() {
          [--rus N] [--cores N] [--ideal-memory] [--event-loop heap|scan|par] \
          [--sim-threads N] [--threads N] \
          [--seed S] [--verify] [--profile] [--trace-out FILE] [--report-json FILE] [--out FILE] \
-         [--checkpoint FILE] [--no-checkpoint] [--resume FILE] [--budget-cycles N] \
+         [--checkpoint FILE] [--no-checkpoint] [--ckpt-format binary|json] [--resume FILE] \
+         [--budget-cycles N] \
          [--retries N] [--fault KIND:JOB] \
          [--explain] [--history FILE] [--baseline FILE] [--tolerance PCT] [--strict]\n\
          env: LIBRA_SIM_THREADS (par-driver workers), LIBRA_HOSTPROF=1 (host-time \

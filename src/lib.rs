@@ -52,8 +52,8 @@ pub mod prelude {
     pub use tbr_energy::EnergyModel;
     pub use tbr_sim::{
         event_loop, simulate_frame, simulate_sequence, Campaign, CampaignProfile, CampaignResult,
-        CampaignRun, CampaignSummary, EventLoopMode, FaultSpec, GpuSimulator, JobSuccess,
-        RunOptions,
+        CampaignRun, CampaignSummary, CheckpointFormat, EventLoopMode, FaultSpec, GpuSimulator,
+        JobSuccess, RunOptions,
     };
     pub use tbr_workloads::{suite, BenchmarkProfile, Category};
 }

@@ -1,0 +1,429 @@
+//! Property tests for the binary sidecar formats and the SoA hot path.
+//!
+//! Three contracts, each exercised with seeded random inputs (replay with
+//! `LIBRA_PROPTEST_SEED` / `LIBRA_PROPTEST_CASES`):
+//!
+//! * **Checkpoint records** (`libra-ckpt-bin-v1`) round-trip JSON ↔ binary
+//!   bit-exactly: the same [`CampaignResult`]s written in either encoding load
+//!   back as identical [`Record`]s, and re-encoding is byte-deterministic.
+//!   Full-range `u64` counters survive the binary encoding even where JSON
+//!   would be limited to exact-in-`f64` integers (≤ 2⁵³).
+//! * **Metrics snapshots** (`libra-metrics-bin-v1`) round-trip binary
+//!   bit-exactly, and corrupt / truncated / version-bumped sidecars of either
+//!   kind are rejected with a diagnosis, never misparsed.
+//! * **SoA ≡ AoS**: the [`TriangleStream`] lanes are a lossless re-layout of
+//!   the AoS triangles — geometry output, interned draw states and tile
+//!   binning agree exactly between the two representations on every suite
+//!   scene.
+
+#[allow(dead_code)]
+mod support;
+
+use libra_repro::prelude::*;
+use support::{check, Gen};
+use tbr_common::metrics::{self, MetricsRegistry};
+use tbr_common::stats::{CacheStats, DramStats, TileHeatmap, TileTally};
+use tbr_geom::pipeline::process_scene_stream;
+use tbr_geom::stream::TriangleStream;
+use tbr_sim::checkpoint::{
+    self, Checkpoint, CheckpointFormat, CheckpointHeader, CheckpointWriter, RecordOutcome,
+};
+use tbr_sim::CampaignResult;
+use tbr_tiling::binner::{bin_stream, bin_triangles};
+use tbr_workloads::SceneGenerator;
+
+fn tmp_path(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("libra_bs_{}_{}", std::process::id(), name))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn cleanup(path: &str) {
+    let _ = std::fs::remove_file(path);
+}
+
+// ---------------------------------------------------------------------------
+// Random model values
+// ---------------------------------------------------------------------------
+
+/// Largest integer JSON can round-trip exactly (the in-repo parser holds
+/// numbers as `f64`); binary-only tests go beyond it on purpose.
+const JSON_EXACT_MAX: u64 = 1 << 53;
+
+/// Uniform `u64` in `[0, max]` — [`Gen::u64`] only spans 2³²-wide ranges, so
+/// wide values are composed from two draws (modulo bias is fine for tests).
+fn wide(g: &mut Gen, max: u64) -> u64 {
+    let v = ((g.any_u32() as u64) << 32) | g.any_u32() as u64;
+    if max == u64::MAX {
+        v
+    } else {
+        v % (max + 1)
+    }
+}
+
+fn gen_cache(g: &mut Gen, max: u64) -> CacheStats {
+    CacheStats {
+        accesses: wide(g, max),
+        hits: wide(g, max),
+        misses: wide(g, max),
+        evictions: wide(g, max),
+    }
+}
+
+fn gen_dram(g: &mut Gen, max: u64) -> DramStats {
+    let n = g.usize(0, 5);
+    DramStats {
+        reads: wide(g, max),
+        writes: wide(g, max),
+        row_hits: wide(g, max),
+        row_misses: wide(g, max),
+        latency_sum: wide(g, max),
+        max_latency: wide(g, max),
+        intervals: (0..n).map(|_| wide(g, max)).collect(),
+        interval_width: g.u64(1, 1 << 20),
+    }
+}
+
+fn gen_heatmap(g: &mut Gen, max: u64) -> TileHeatmap {
+    let n = g.usize(0, 6);
+    TileHeatmap {
+        tiles: (0..n)
+            .map(|_| TileTally {
+                dram_accesses: wide(g, max),
+                instructions: wide(g, max),
+                fragments: wide(g, max),
+                warps: wide(g, max),
+            })
+            .collect(),
+    }
+}
+
+fn gen_frame_stats(g: &mut Gen, frame: u32, max: u64) -> FrameStats {
+    FrameStats {
+        frame: tbr_common::ids::FrameId(frame),
+        geometry_cycles: wide(g, max),
+        raster_cycles: wide(g, max),
+        vertex_cache: gen_cache(g, max),
+        tile_cache: gen_cache(g, max),
+        texture_cache: gen_cache(g, max),
+        l2_cache: gen_cache(g, max),
+        dram: gen_dram(g, max),
+        heatmap: gen_heatmap(g, max),
+        vertices: wide(g, max),
+        primitives: wide(g, max),
+        fragments: wide(g, max),
+        warps: wide(g, max),
+        instructions: wide(g, max),
+        texture_requests: wide(g, max),
+        texture_latency_sum: wide(g, max),
+        texture_fill_lines: wide(g, max),
+        texture_unique_lines: wide(g, max),
+        micro_events: wide(g, max),
+    }
+}
+
+fn gen_sequence_stats(g: &mut Gen, max: u64) -> SequenceStats {
+    let n = g.usize(0, 3);
+    SequenceStats { frames: (0..n).map(|i| gen_frame_stats(g, i as u32, max)).collect() }
+}
+
+/// Panic payloads stress the JSON string escaper and the binary `str32` path.
+const PANIC_POOL: &[&str] = &[
+    "injected fault",
+    "quote \" backslash \\ newline \n tab \t",
+    "unicode: tilé ünïcode ✓",
+    "",
+];
+
+fn gen_result(g: &mut Gen, job: usize, max: u64) -> CampaignResult {
+    let abbrevs: &[&'static str] = &["AAt", "CCS", "MCp"];
+    let abbrev = abbrevs[g.usize(0, abbrevs.len())];
+    match g.usize(0, 3) {
+        0 => CampaignResult::Done(JobSuccess {
+            job,
+            abbrev,
+            scheduler: "libra",
+            effective_seed: wide(g, u64::MAX),
+            stats: gen_sequence_stats(g, max),
+        }),
+        1 => CampaignResult::Failed {
+            job,
+            abbrev,
+            scheduler: "libra",
+            attempts: g.u32(1, 5),
+            panic_msg: PANIC_POOL[g.usize(0, PANIC_POOL.len())].to_string(),
+        },
+        // `budget_cycles`/`spent_cycles` are plain JSON numbers (unlike the
+        // hex-encoded seeds), so they respect `max` for the cross-format test.
+        _ => CampaignResult::TimedOut {
+            job,
+            abbrev,
+            scheduler: "libra",
+            attempts: g.u32(1, 5),
+            budget_cycles: wide(g, max),
+            spent_cycles: wide(g, max),
+        },
+    }
+}
+
+/// The [`Record`] a loader must hand back for `r`.
+fn expected_record(r: &CampaignResult) -> checkpoint::Record {
+    let outcome = match r {
+        CampaignResult::Done(s) => RecordOutcome::Done {
+            effective_seed: s.effective_seed,
+            stats: s.stats.clone(),
+        },
+        CampaignResult::Failed { attempts, panic_msg, .. } => RecordOutcome::Failed {
+            attempts: *attempts,
+            panic_msg: panic_msg.clone(),
+        },
+        CampaignResult::TimedOut { attempts, budget_cycles, spent_cycles, .. } => {
+            RecordOutcome::TimedOut {
+                attempts: *attempts,
+                budget_cycles: *budget_cycles,
+                spent_cycles: *spent_cycles,
+            }
+        }
+    };
+    checkpoint::Record {
+        job: r.job(),
+        abbrev: r.abbrev().to_string(),
+        scheduler: r.scheduler().to_string(),
+        outcome,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint sidecar
+// ---------------------------------------------------------------------------
+
+#[test]
+fn checkpoint_records_round_trip_json_and_binary_bit_exactly() {
+    check("checkpoint_records_round_trip", 24, |g| {
+        let jobs = g.usize(1, 6);
+        let header = CheckpointHeader {
+            seed: wide(g, u64::MAX),
+            jobs,
+            fingerprint: wide(g, u64::MAX),
+        };
+        // Counters stay ≤ 2⁵³ here so the *JSON* leg is exact too; the
+        // binary-only full-range test below drops that cap.
+        let results: Vec<CampaignResult> =
+            (0..jobs).map(|j| gen_result(g, j, JSON_EXACT_MAX)).collect();
+        let expected: Vec<checkpoint::Record> = results.iter().map(expected_record).collect();
+
+        let case = wide(g, u64::MAX); // unique scratch names per case
+        let mut loaded = Vec::new();
+        for format in [CheckpointFormat::Binary, CheckpointFormat::Json] {
+            let path = tmp_path(&format!("rt_{case:x}_{format:?}"));
+            let w = CheckpointWriter::create(&path, header, format)?;
+            for r in &results {
+                w.append(r)?;
+            }
+            let bytes = std::fs::read(&path).map_err(|e| e.to_string())?;
+            ensure_eq!(
+                bytes.starts_with(checkpoint::BIN_MAGIC),
+                format == CheckpointFormat::Binary
+            );
+
+            let ckpt = Checkpoint::load(&path)?;
+            ensure_eq!(ckpt.format, format);
+            ensure_eq!(ckpt.header, header);
+            ensure!(ckpt.records == expected, "{format:?}: decoded records diverged");
+
+            // Byte-determinism: the same results always encode to the same file.
+            let again = tmp_path(&format!("rt2_{case:x}_{format:?}"));
+            let w2 = CheckpointWriter::create(&again, header, format)?;
+            for r in &results {
+                w2.append(r)?;
+            }
+            let bytes2 = std::fs::read(&again).map_err(|e| e.to_string())?;
+            ensure!(bytes == bytes2, "{format:?}: re-encoding is not byte-deterministic");
+            cleanup(&path);
+            cleanup(&again);
+            loaded.push(ckpt.records);
+        }
+        // JSON ↔ binary: both encodings decode to the same records.
+        ensure!(loaded[0] == loaded[1], "binary and JSON decoded records diverged");
+        Ok(())
+    });
+}
+
+#[test]
+fn binary_checkpoint_carries_full_range_u64_counters() {
+    check("binary_checkpoint_full_range", 16, |g| {
+        let header = CheckpointHeader { seed: u64::MAX, jobs: 1, fingerprint: u64::MAX };
+        let result = gen_result(g, 0, u64::MAX);
+        let path = tmp_path(&format!("full_{:x}", wide(g, u64::MAX)));
+        let w = CheckpointWriter::create(&path, header, CheckpointFormat::Binary)?;
+        w.append(&result)?;
+        let ckpt = Checkpoint::load(&path)?;
+        cleanup(&path);
+        ensure_eq!(ckpt.records.len(), 1);
+        ensure!(
+            ckpt.records[0] == expected_record(&result),
+            "full-range counters did not survive the binary round trip"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn corrupt_binary_checkpoints_are_rejected() {
+    // One well-formed single-record file, then every kind of damage.
+    let header = CheckpointHeader { seed: 1, jobs: 1, fingerprint: 2 };
+    let mut g = Gen::new(7);
+    let result = gen_result(&mut g, 0, u64::MAX);
+    let path = tmp_path("damage_base");
+    let w = CheckpointWriter::create(&path, header, CheckpointFormat::Binary).unwrap();
+    w.append(&result).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    cleanup(&path);
+
+    let load = |bytes: &[u8], name: &str| -> Result<Checkpoint, String> {
+        let p = tmp_path(name);
+        std::fs::write(&p, bytes).unwrap();
+        let r = Checkpoint::load(&p);
+        cleanup(&p);
+        r
+    };
+
+    // Truncation at every byte boundary after the magic: never a panic, never
+    // a silent partial adoption — always an error mentioning the damage. The
+    // one exception is the exact end of the header, which is a *valid* (empty)
+    // checkpoint.
+    let magic = checkpoint::BIN_MAGIC.len();
+    let header_end = magic + 4 + 8 + 8 + 8;
+    for cut in (magic..bytes.len()).filter(|&c| c != header_end) {
+        let err = load(&bytes[..cut], "damage_trunc").expect_err("truncated file must not load");
+        assert!(
+            err.contains("truncated") || err.contains("version"),
+            "cut at {cut}: undiagnosed error: {err}"
+        );
+    }
+    assert!(load(&bytes[..header_end], "damage_empty").unwrap().records.is_empty());
+
+    // Version bump.
+    let mut v2 = bytes.clone();
+    v2[magic] = checkpoint::BIN_VERSION as u8 + 1;
+    let err = load(&v2, "damage_version").unwrap_err();
+    assert!(err.contains("version"), "{err}");
+
+    // A corrupted frame-length word pointing past the end of the file.
+    let mut huge = bytes.clone();
+    let frame_at = magic + 4 + 8 + 8 + 8;
+    huge[frame_at..frame_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = load(&huge, "damage_len").unwrap_err();
+    assert!(err.contains("truncated"), "{err}");
+
+    // Trailing garbage after a complete frame is a corrupt frame, not ignored.
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(&[0xAB; 3]);
+    assert!(load(&trailing, "damage_trailing").is_err(), "trailing bytes must be rejected");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics sidecar
+// ---------------------------------------------------------------------------
+
+fn gen_registry(g: &mut Gen) -> MetricsRegistry {
+    // Metric kind is keyed by name (the registry rejects re-registering a
+    // name+labels pair as a different kind).
+    let counters = ["cycles_total", "dram_reads"];
+    let gauges = ["l2_hit_rate", "warp_occupancy"];
+    let histograms = ["tile_heat", "dram_latency"];
+    let label_pool: &[&[(&str, &str)]] =
+        &[&[], &[("ru", "0")], &[("ru", "1"), ("phase", "raster")], &[("sched", "libra")]];
+    let mut reg = MetricsRegistry::new();
+    for _ in 0..g.usize(0, 12) {
+        let labels = label_pool[g.usize(0, label_pool.len())];
+        match g.usize(0, 3) {
+            // Counters accumulate, so cap each increment to keep a dozen
+            // draws on one key from overflowing u64.
+            0 => reg.add_counter(counters[g.usize(0, 2)], labels, wide(g, u64::MAX >> 8)),
+            1 => reg.set_gauge(gauges[g.usize(0, 2)], labels, g.f32(-1.0e6, 1.0e6) as f64),
+            _ => {
+                let n = g.usize(0, 6);
+                let buckets = (0..n).map(|_| wide(g, u64::MAX)).collect();
+                reg.set_histogram(histograms[g.usize(0, 2)], labels, g.u64(1, 1 << 30), buckets)
+            }
+        }
+    }
+    reg
+}
+
+#[test]
+fn metrics_snapshots_round_trip_binary_bit_exactly() {
+    check("metrics_binary_round_trip", 32, |g| {
+        let reg = gen_registry(g);
+        let bytes = reg.to_binary();
+        ensure!(bytes.starts_with(metrics::BIN_MAGIC), "missing metrics magic");
+        let back = MetricsRegistry::from_binary(&bytes)?;
+        ensure!(back == reg, "decoded registry diverged");
+        ensure!(back.to_binary() == bytes, "re-encoding is not byte-deterministic");
+        ensure_eq!(back.to_json(), reg.to_json());
+        Ok(())
+    });
+}
+
+#[test]
+fn corrupt_binary_metrics_are_rejected() {
+    let mut g = Gen::new(11);
+    let mut reg = gen_registry(&mut g);
+    reg.add_counter("anchor", &[], 1); // never empty
+    let bytes = reg.to_binary();
+
+    for cut in 0..bytes.len() {
+        assert!(
+            MetricsRegistry::from_binary(&bytes[..cut]).is_err(),
+            "truncation at {cut} must be rejected"
+        );
+    }
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] ^= 0xFF;
+    assert!(MetricsRegistry::from_binary(&wrong_magic).is_err());
+
+    let mut v2 = bytes.clone();
+    v2[metrics::BIN_MAGIC.len()] = metrics::BIN_VERSION as u8 + 1;
+    let err = MetricsRegistry::from_binary(&v2).unwrap_err();
+    assert!(err.contains("version"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// SoA ≡ AoS
+// ---------------------------------------------------------------------------
+
+#[test]
+fn soa_stream_is_a_lossless_relayout_of_aos_triangles() {
+    let screen = ScreenConfig::tiny();
+    let profiles = suite();
+    check("soa_equals_aos", 24, |g| {
+        let profile = &profiles[g.usize(0, profiles.len())];
+        let frame = g.u32(0, 4);
+        let scene = SceneGenerator::new(profile, &screen).scene(frame);
+
+        let (stream, _) = process_scene_stream(&scene, &screen);
+        let tris = stream.to_triangles();
+
+        // Lossless both ways: AoS → SoA → AoS is the identity, per-triangle
+        // accessors agree with the AoS structs, and interning is consistent.
+        let rebuilt = TriangleStream::from_triangles(&tris);
+        ensure!(rebuilt.to_triangles() == tris, "{}: AoS→SoA→AoS not the identity", profile.abbrev);
+        ensure_eq!(rebuilt.len(), stream.len());
+        for (i, tri) in tris.iter().enumerate() {
+            ensure!(stream.get(i) == *tri, "triangle {i} diverged");
+            ensure_eq!(stream.bounding_box(i, &screen), tri.bounding_box(&screen));
+            ensure_eq!(stream.vertices(i), tri.v);
+        }
+
+        // The Tiling Engine sees the same bins either way.
+        ensure!(
+            bin_stream(&stream, &screen) == bin_triangles(&tris, &screen),
+            "{}: SoA and AoS binning diverged",
+            profile.abbrev
+        );
+        Ok(())
+    });
+}

@@ -20,7 +20,7 @@ mod support;
 
 use libra_repro::prelude::*;
 use support::check;
-use tbr_sim::{Checkpoint, RunOptions};
+use tbr_sim::{checkpoint, Checkpoint, CheckpointFormat, RunOptions};
 
 fn small_campaign(points: usize, frames: u32) -> Campaign {
     let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
@@ -206,6 +206,10 @@ fn resuming_a_complete_checkpoint_runs_nothing() {
 /// resume from the truncated checkpoint, and the final results are bit-identical
 /// to the uninterrupted run. The clean run and its full checkpoint are computed
 /// once; each case replays a different kill point by truncating a copy.
+///
+/// This variant pins the JSON encoding so kill points can be replayed by line
+/// slicing; [`resume_from_any_binary_kill_point_is_bit_identical`] covers the
+/// default binary encoding by cutting at frame boundaries.
 #[test]
 fn resume_from_any_kill_point_is_bit_identical() {
     let full_ckpt = tmp_path("full.ckpt");
@@ -214,6 +218,7 @@ fn resume_from_any_kill_point_is_bit_identical() {
         .run_resilient(&RunOptions {
             threads: 2,
             checkpoint_to: Some(full_ckpt.clone()),
+            ckpt_format: CheckpointFormat::Json,
             ..RunOptions::default()
         })
         .unwrap();
@@ -245,6 +250,81 @@ fn resume_from_any_kill_point_is_bit_identical() {
         Ok(())
     });
     cleanup(&full_ckpt);
+}
+
+/// Splits a binary checkpoint into its frame boundaries: byte offsets at which
+/// a crash between appends would leave a loadable prefix (header, then after
+/// each complete length-prefixed record frame).
+fn binary_frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let header = checkpoint::BIN_MAGIC.len() + 4 + 8 + 8 + 8;
+    let mut cuts = vec![header];
+    let mut at = header;
+    while at < bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        at += 4 + len;
+        cuts.push(at);
+    }
+    assert_eq!(at, bytes.len(), "reference checkpoint ends mid-frame");
+    cuts
+}
+
+/// The same kill-point property for the default *binary* encoding: cut the
+/// sidecar at any frame boundary, resume, and both the results and the final
+/// sidecar bytes match the uninterrupted reference. Byte-identity holds because
+/// the reference is written serially (job order) and resume re-runs the missing
+/// suffix in that same order.
+#[test]
+fn resume_from_any_binary_kill_point_is_bit_identical() {
+    let full_ckpt = tmp_path("full.ckptb");
+    let c = small_campaign(5, 1);
+    let clean = c
+        .run_resilient(&RunOptions {
+            threads: 1,
+            checkpoint_to: Some(full_ckpt.clone()),
+            ..RunOptions::default()
+        })
+        .unwrap();
+    let full_bytes = std::fs::read(&full_ckpt).unwrap();
+    assert!(full_bytes.starts_with(checkpoint::BIN_MAGIC), "default encoding must be binary");
+    let cuts = binary_frame_boundaries(&full_bytes);
+    assert_eq!(cuts.len(), 1 + 5, "header plus one frame per job");
+
+    for (k, &cut_at) in cuts.iter().enumerate() {
+        let cut = tmp_path(&format!("bcut{k}.ckptb"));
+        std::fs::write(&cut, &full_bytes[..cut_at]).unwrap();
+        let resumed = c
+            .run_resilient(&RunOptions {
+                threads: 1,
+                resume_from: Some(cut.clone()),
+                ..RunOptions::default()
+            })
+            .unwrap();
+        assert_eq!(resumed.resumed_jobs, k);
+        assert_eq!(resumed.results, clean.results, "binary kill point {k}: results diverged");
+        let healed = std::fs::read(&cut).unwrap();
+        assert_eq!(healed, full_bytes, "binary kill point {k}: healed sidecar not byte-identical");
+        cleanup(&cut);
+    }
+    cleanup(&full_ckpt);
+}
+
+/// A binary sidecar cut *inside* a frame (not at a boundary) is a torn append:
+/// it must be rejected as truncated, never half-adopted.
+#[test]
+fn binary_checkpoint_torn_mid_frame_is_rejected() {
+    let p = tmp_path("torn.ckptb");
+    let c = small_campaign(3, 1);
+    c.run_resilient(&RunOptions { checkpoint_to: Some(p.clone()), ..RunOptions::default() })
+        .unwrap();
+    let bytes = std::fs::read(&p).unwrap();
+    let cuts = binary_frame_boundaries(&bytes);
+    // One byte short of each frame boundary lands mid-frame (or mid-header).
+    for &boundary in &cuts {
+        std::fs::write(&p, &bytes[..boundary - 1]).unwrap();
+        let err = Checkpoint::load(&p).unwrap_err();
+        assert!(err.contains("truncated"), "cut at {}: {err}", boundary - 1);
+    }
+    cleanup(&p);
 }
 
 #[test]
@@ -279,16 +359,25 @@ fn corrupt_and_mismatched_checkpoints_are_rejected_with_clear_errors() {
     assert!(err.contains("empty"), "{err}");
     cleanup(&p);
 
-    // Truncated mid-append: a complete checkpoint with its final newline (and a
-    // bit more) chopped off must be rejected, not half-adopted.
+    // Truncated mid-append: a complete checkpoint (default binary encoding)
+    // with its tail chopped off must be rejected, not half-adopted.
     let p = tmp_path("trunc.ckpt");
     let whole = tmp_path("whole.ckpt");
     c.run_resilient(&RunOptions { checkpoint_to: Some(whole.clone()), ..RunOptions::default() })
         .unwrap();
-    let text = std::fs::read_to_string(&whole).unwrap();
-    std::fs::write(&p, &text[..text.len() - 20]).unwrap();
+    let bytes = std::fs::read(&whole).unwrap();
+    std::fs::write(&p, &bytes[..bytes.len() - 20]).unwrap();
     let err = resume(&p).unwrap_err();
     assert!(err.contains("truncated"), "should diagnose the torn append: {err}");
+    cleanup(&p);
+
+    // Future format version: refused with a version message, not misparsed.
+    let p = tmp_path("version.ckpt");
+    let mut v2 = bytes.clone();
+    v2[checkpoint::BIN_MAGIC.len()] = 2; // bump the little-endian version word
+    std::fs::write(&p, &v2).unwrap();
+    let err = resume(&p).unwrap_err();
+    assert!(err.contains("version"), "should refuse an unknown version: {err}");
     cleanup(&p);
 
     // A checkpoint from a *different* campaign (different job list) must be

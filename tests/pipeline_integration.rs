@@ -3,26 +3,24 @@
 //! as the untiled reference renderer, for every workload in the suite.
 
 use libra_repro::prelude::*;
-use tbr_geom::process_scene;
+use tbr_geom::{process_scene, process_scene_stream};
 use tbr_mem::hierarchy::{L1Cache, MemoryHierarchy};
 use tbr_raster::raster_unit::RasterUnit;
 use tbr_raster::reference::render_frame;
-use tbr_tiling::binner::bin_triangles;
+use tbr_tiling::binner::{bin_stream, bin_triangles};
 use tbr_workloads::SceneGenerator;
 
 /// Renders a scene through the tiled pipeline and returns the assembled image.
 fn render_tiled(scene: &tbr_geom::Scene, cfg: &tbr_common::config::GpuConfig) -> Vec<u32> {
     let screen = &cfg.screen;
-    let (tris, _) = process_scene(scene, screen);
-    let bins = bin_triangles(&tris, screen);
+    let (tris, _) = process_scene_stream(scene, screen);
+    let bins = bin_stream(&tris, screen);
     let mut hier = MemoryHierarchy::new(cfg.l2_cache, cfg.dram, cfg.dram_interval_cycles);
     let mut ru = RasterUnit::new(cfg);
     let mut frame = vec![0u32; (screen.width * screen.height) as usize];
     for t in 0..screen.num_tiles() as u32 {
         let tile = tbr_common::ids::TileId(t);
-        let tile_prims: Vec<&tbr_geom::pipeline::ScreenTriangle> =
-            bins.list(tile).iter().map(|&i| &tris[i as usize]).collect();
-        let _ = ru.render_tile_front_end(tile, &tile_prims, screen, 0, &mut hier);
+        let _ = ru.render_tile_front_end(tile, &tris, bins.list(tile), screen, 0, &mut hier);
         ru.blit_last_tile(tile, screen, &mut frame);
     }
     frame
@@ -52,23 +50,21 @@ fn tile_order_does_not_change_the_image() {
     let cfg = tbr_common::config::GpuConfig::baseline(screen);
     let p = suite().remove(4); // CCS
     let scene = SceneGenerator::new(&p, &screen).scene(0);
-    let (tris, _) = process_scene(&scene, &screen);
-    let bins = bin_triangles(&tris, &screen);
+    let (tris, _) = process_scene_stream(&scene, &screen);
+    let bins = bin_stream(&tris, &screen);
     let mut hier = MemoryHierarchy::new(cfg.l2_cache, cfg.dram, cfg.dram_interval_cycles);
     let mut ru = RasterUnit::new(&cfg);
 
     let mut forward = vec![0u32; (screen.width * screen.height) as usize];
     for t in 0..screen.num_tiles() as u32 {
         let tile = tbr_common::ids::TileId(t);
-        let prims: Vec<_> = bins.list(tile).iter().map(|&i| &tris[i as usize]).collect();
-        ru.render_tile_front_end(tile, &prims, &screen, 0, &mut hier);
+        ru.render_tile_front_end(tile, &tris, bins.list(tile), &screen, 0, &mut hier);
         ru.blit_last_tile(tile, &screen, &mut forward);
     }
     let mut backward = vec![0u32; (screen.width * screen.height) as usize];
     for t in (0..screen.num_tiles() as u32).rev() {
         let tile = tbr_common::ids::TileId(t);
-        let prims: Vec<_> = bins.list(tile).iter().map(|&i| &tris[i as usize]).collect();
-        ru.render_tile_front_end(tile, &prims, &screen, 0, &mut hier);
+        ru.render_tile_front_end(tile, &tris, bins.list(tile), &screen, 0, &mut hier);
         ru.blit_last_tile(tile, &screen, &mut backward);
     }
     assert_eq!(forward, backward);
