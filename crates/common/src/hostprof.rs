@@ -254,11 +254,19 @@ pub struct HostTotals {
     pub ru_pushed: u64,
     /// Merged Local-run-length histogram (width-1 buckets).
     pub run_lengths: Vec<u64>,
+    /// Host metadata of every machine that contributed work, one entry per
+    /// contributing worker in worker order. A single-process campaign stamps
+    /// exactly one entry (the local host); the campaign service stamps one per
+    /// worker process, so a multi-host report never silently attributes all
+    /// work to the coordinator's core count.
+    pub hosts: Vec<HostMeta>,
 }
 
 impl HostTotals {
-    /// Folds another totals record into this one (all sums).
+    /// Folds another totals record into this one (all sums; host stamps
+    /// concatenate, preserving one entry per contributing worker).
     pub fn merge(&mut self, other: &HostTotals) {
+        self.hosts.extend(other.hosts.iter().cloned());
         self.phases += other.phases;
         self.wall_ns += other.wall_ns;
         self.commit_ns += other.commit_ns;
@@ -335,6 +343,12 @@ impl HostTotals {
             .map(u64::to_string)
             .collect::<Vec<_>>()
             .join(",");
+        let hosts = self
+            .hosts
+            .iter()
+            .map(HostMeta::json_object)
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\"phases\": {}, \"wall_ns\": {}, \"commit_ns\": {}, \"coord_drain_ns\": {}, \
              \"barrier_ns\": {}, \"worker_busy_ns\": {}, \"worker_wait_ns\": {}, \
@@ -342,7 +356,7 @@ impl HostTotals {
              \"shared_commits\": {}, \"chan_pushed\": {}, \"ru_pushed\": {}, \
              \"serial_fraction\": {:.6}, \"parallel_fraction\": {:.6}, \
              \"barrier_fraction\": {:.6}, \"other_fraction\": {:.6}, \
-             \"local_share\": {:.6}, \"run_lengths\": [{}]}}",
+             \"local_share\": {:.6}, \"run_lengths\": [{}], \"hosts\": [{}]}}",
             self.phases,
             self.wall_ns,
             self.commit_ns,
@@ -362,6 +376,7 @@ impl HostTotals {
             self.other_fraction(),
             self.local_share(),
             hist,
+            hosts,
         )
     }
 
@@ -669,6 +684,22 @@ impl HostMeta {
         }
     }
 
+    /// Parses a [`json_object`](HostMeta::json_object) back (exact inverse);
+    /// the campaign service decodes worker host stamps off the wire with this.
+    pub fn from_value(v: &crate::json::Value, what: &str) -> Result<Self, String> {
+        let cores = v
+            .get("cores")
+            .and_then(|c| c.as_u64())
+            .ok_or_else(|| format!("{what}.cores: expected an exact integer"))?;
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(|s| s.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("{what}.{key}: expected a string"))
+        };
+        Ok(Self { cores: cores as usize, git_rev: field("git_rev")?, utc: field("utc")? })
+    }
+
     /// The `{"cores": .., "git_rev": "..", "utc": ".."}` JSON object.
     pub fn json_object(&self) -> String {
         let mut rev = String::new();
@@ -833,6 +864,36 @@ mod tests {
         assert_eq!(a.wall_ns, 400);
         assert_eq!(a.commit_ns, 40);
         assert_eq!(a.run_lengths, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn totals_merge_keeps_one_host_stamp_per_worker() {
+        // Regression for the multi-host attribution bug: an aggregated profile
+        // must carry every contributing worker's host stamp, not silently
+        // describe all work with the coordinator's core count.
+        let meta = |cores: usize, rev: &str| HostMeta {
+            cores,
+            git_rev: rev.into(),
+            utc: "2026-08-08T00:00:00Z".into(),
+        };
+        let mut a = HostTotals { hosts: vec![meta(1, "coord")], ..HostTotals::default() };
+        let b = HostTotals { hosts: vec![meta(8, "w0")], ..HostTotals::default() };
+        let c = HostTotals { hosts: vec![meta(16, "w1")], ..HostTotals::default() };
+        a.merge(&b);
+        a.merge(&c);
+        assert_eq!(a.hosts.len(), 3, "one stamp per contributing worker");
+        assert_eq!(
+            a.hosts.iter().map(|h| h.cores).collect::<Vec<_>>(),
+            vec![1, 8, 16],
+            "worker order is preserved"
+        );
+        let doc = crate::json::parse(&a.to_json()).expect("totals JSON parses");
+        let hosts = doc.get("hosts").and_then(|v| v.as_array()).expect("hosts array");
+        assert_eq!(hosts.len(), 3);
+        assert_eq!(hosts[1].get("git_rev").and_then(|v| v.as_str()), Some("w0"));
+        // And the stamp round-trips through the wire decoder.
+        let back = HostMeta::from_value(&hosts[2], "hosts[2]").unwrap();
+        assert_eq!(back, meta(16, "w1"));
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //! * [`hostprof`] — the host wall-clock twin of [`trace`]: a runtime-gated
 //!   profiler the parallel event-loop driver publishes per-phase epoch/stall
 //!   telemetry into (barrier waits, commit serialization, shard imbalance).
+//! * [`wire`] — length-sane newline framing for the `libra-wire-v1` campaign
+//!   service protocol (atomic frame writes, capped frame reads).
 //!
 //! Nothing in here performs simulation; it is pure data and arithmetic, which keeps
 //! the dependency DAG of the workspace acyclic.
@@ -63,6 +65,7 @@ pub mod morton;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+pub mod wire;
 
 /// Simulation time, in GPU core cycles (800 MHz in the paper's Table I).
 pub type Cycle = u64;

@@ -1,0 +1,180 @@
+//! Length-sane line framing for the `libra-wire-v1` campaign-service protocol.
+//!
+//! The campaign service (`tbr-sim`'s `service` module) speaks newline-delimited
+//! JSON over `std::net::TcpStream` sockets and child-process pipes. This module
+//! owns the *framing* half of that protocol — the message vocabulary lives with
+//! the simulator — and enforces the two properties every endpoint relies on:
+//!
+//! * **One frame, one write.** [`write_frame`] appends the terminating `\n` and
+//!   hands the whole line to a single `write_all` + flush, so a frame is never
+//!   interleaved with another writer's bytes (the same atomic-append discipline
+//!   as the campaign checkpoint).
+//! * **Length-sane reads.** [`FrameReader`] scans for the newline through the
+//!   `BufRead` buffer and aborts as soon as the accumulated frame exceeds its
+//!   limit — a malicious or corrupt peer cannot make an endpoint buffer an
+//!   unbounded line before the length check runs. EOF in the middle of a frame
+//!   is a structured "truncated frame" error, mirroring how a checkpoint with a
+//!   missing trailing newline is rejected as torn.
+//!
+//! Timeouts are the transport's business: endpoints set `set_read_timeout` on
+//! their sockets, and a timed-out read surfaces here as an ordinary I/O error
+//! naming the peer. Pipes (worker stdio) have no portable read timeout; the
+//! coordinator instead detects worker death as EOF.
+
+use std::io::{BufRead, Write};
+
+/// Default per-frame byte limit. Reports for a full-suite campaign are a few
+/// megabytes of metrics JSON; 64 MiB leaves generous headroom while still
+/// rejecting a runaway or hostile line long before memory pressure.
+pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+
+/// Writes one `\n`-terminated frame as a single `write_all` + flush.
+///
+/// `line` must not itself contain a newline (frames are the unit of the
+/// protocol); embedded newlines are a caller bug and are rejected rather than
+/// silently splitting one message into two.
+pub fn write_frame(w: &mut impl Write, line: &str, peer: &str) -> Result<(), String> {
+    if line.as_bytes().contains(&b'\n') {
+        return Err(format!("wire: refusing to send a frame with an embedded newline to {peer}"));
+    }
+    let mut bytes = Vec::with_capacity(line.len() + 1);
+    bytes.extend_from_slice(line.as_bytes());
+    bytes.push(b'\n');
+    w.write_all(&bytes)
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("wire: writing frame to {peer}: {e}"))
+}
+
+/// Reads `\n`-delimited frames off a `BufRead` transport with a hard length cap.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    max_frame: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// A reader with the [`DEFAULT_MAX_FRAME`] limit.
+    pub fn new(inner: R) -> Self {
+        Self::with_limit(inner, DEFAULT_MAX_FRAME)
+    }
+
+    /// A reader with an explicit per-frame byte limit (tests use small caps).
+    pub fn with_limit(inner: R, max_frame: usize) -> Self {
+        Self { inner, max_frame }
+    }
+
+    /// Reads the next frame (without its `\n`).
+    ///
+    /// Returns `Ok(None)` on a clean EOF at a frame boundary. Errors on: an
+    /// oversized frame (checked incrementally, before the line is buffered
+    /// whole), EOF mid-frame (the peer died or the stream was truncated), a
+    /// non-UTF-8 frame, or a transport error — including a read timeout, which
+    /// the transport surfaces as an ordinary I/O error.
+    pub fn read_frame(&mut self, peer: &str) -> Result<Option<String>, String> {
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            let chunk = self
+                .inner
+                .fill_buf()
+                .map_err(|e| format!("wire: reading frame from {peer}: {e}"))?;
+            if chunk.is_empty() {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(format!(
+                    "wire: truncated frame from {peer}: stream ended after {} byte(s) with no \
+                     newline (peer crashed mid-write?)",
+                    buf.len()
+                ));
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    if buf.len() + nl > self.max_frame {
+                        return Err(self.oversized(peer, buf.len() + nl));
+                    }
+                    buf.extend_from_slice(&chunk[..nl]);
+                    self.inner.consume(nl + 1);
+                    return String::from_utf8(buf)
+                        .map(Some)
+                        .map_err(|_| format!("wire: non-UTF-8 frame from {peer}"));
+                }
+                None => {
+                    let len = chunk.len();
+                    if buf.len() + len > self.max_frame {
+                        return Err(self.oversized(peer, buf.len() + len));
+                    }
+                    buf.extend_from_slice(chunk);
+                    self.inner.consume(len);
+                }
+            }
+        }
+    }
+
+    fn oversized(&self, peer: &str, at_least: usize) -> String {
+        format!(
+            "wire: oversized frame from {peer}: at least {at_least} bytes exceeds the \
+             {}-byte limit",
+            self.max_frame
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn reader(bytes: &[u8], cap: usize) -> FrameReader<Cursor<Vec<u8>>> {
+        FrameReader::with_limit(Cursor::new(bytes.to_vec()), cap)
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut out = Vec::new();
+        write_frame(&mut out, "alpha", "test").unwrap();
+        write_frame(&mut out, "", "test").unwrap();
+        write_frame(&mut out, "gamma δ", "test").unwrap();
+        let mut r = reader(&out, 1024);
+        assert_eq!(r.read_frame("test").unwrap().as_deref(), Some("alpha"));
+        assert_eq!(r.read_frame("test").unwrap().as_deref(), Some(""));
+        assert_eq!(r.read_frame("test").unwrap().as_deref(), Some("gamma δ"));
+        assert_eq!(r.read_frame("test").unwrap(), None);
+        assert_eq!(r.read_frame("test").unwrap(), None, "EOF is sticky and clean");
+    }
+
+    #[test]
+    fn embedded_newline_is_a_caller_error() {
+        let mut out = Vec::new();
+        let e = write_frame(&mut out, "two\nlines", "test").unwrap_err();
+        assert!(e.contains("embedded newline"), "{e}");
+        assert!(out.is_empty(), "nothing may reach the stream");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncation() {
+        let mut r = reader(b"complete\npart", 1024);
+        assert_eq!(r.read_frame("test").unwrap().as_deref(), Some("complete"));
+        let e = r.read_frame("test").unwrap_err();
+        assert!(e.contains("truncated frame"), "{e}");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_buffering() {
+        // The line is 100 bytes with the newline far past the cap: the reader
+        // must fail on accumulation, not after swallowing the whole line.
+        let mut bytes = vec![b'x'; 100];
+        bytes.push(b'\n');
+        let e = reader(&bytes, 16).read_frame("test").unwrap_err();
+        assert!(e.contains("oversized frame"), "{e}");
+        // A frame exactly at the cap still passes.
+        let mut ok = vec![b'y'; 16];
+        ok.push(b'\n');
+        assert_eq!(reader(&ok, 16).read_frame("test").unwrap().as_deref(), Some("yyyyyyyyyyyyyyyy"));
+    }
+
+    #[test]
+    fn non_utf8_frames_are_rejected() {
+        let e = reader(b"\xff\xfe\n", 1024).read_frame("test").unwrap_err();
+        assert!(e.contains("non-UTF-8"), "{e}");
+    }
+}

@@ -79,12 +79,12 @@ use libra::scheduler::SchedulerKind;
 use tbr_common::config::GpuConfig;
 use tbr_common::rng::splitmix64_mix;
 use tbr_common::stats::SequenceStats;
-use tbr_common::hostprof::{self, HostTotals};
+use tbr_common::hostprof::{self, HostMeta, HostTotals};
 use tbr_common::trace::{self, Trace};
 use tbr_workloads::{BenchmarkProfile, SceneGenerator};
 
 use crate::checkpoint::{
-    Checkpoint, CheckpointFormat, CheckpointHeader, CheckpointWriter, RecordOutcome,
+    Checkpoint, CheckpointFormat, CheckpointHeader, CheckpointWriter, Record, RecordOutcome,
 };
 use crate::fault::{FaultKind, FaultSpec};
 use crate::gpu::{simulate_sequence, GpuSimulator};
@@ -686,6 +686,76 @@ impl Campaign {
         (last.expect("at least one attempt was made"), None, None)
     }
 
+    /// Runs the single job `index` with the full resilience envelope (panic
+    /// isolation, watchdog, fault injection, retries) on the calling thread,
+    /// discarding any trace/host-telemetry collection. This is the unit of
+    /// work a campaign-service worker process executes per `assign` frame:
+    /// because job seeds are position-derived, the result is bit-identical to
+    /// the same job's slot in [`run_resilient`](Campaign::run_resilient) no
+    /// matter which process runs it.
+    pub fn run_one(&self, index: usize, opts: &RunOptions) -> CampaignResult {
+        assert!(index < self.jobs.len(), "job index {index} out of range");
+        self.run_job_resilient(index, opts).0
+    }
+
+    /// Validates one deserialised [`Record`] (from a checkpoint or a
+    /// `libra-wire-v1` `result` frame) against this campaign and re-binds it
+    /// into a [`CampaignResult`]. Rejects job indices out of range, mismatched
+    /// workload/scheduler names, and — for successes — an effective seed other
+    /// than the position-derived one this campaign would have used, so a
+    /// worker cannot silently contribute results for a different sweep.
+    pub fn adopt_record(&self, rec: &Record) -> Result<CampaignResult, String> {
+        let Some(job) = self.jobs.get(rec.job) else {
+            return Err(format!(
+                "record for job {} is out of range (campaign has {} jobs)",
+                rec.job,
+                self.jobs.len()
+            ));
+        };
+        let (abbrev, scheduler) = (job.profile.abbrev, job.scheduler.build().name());
+        if rec.abbrev != abbrev || rec.scheduler != scheduler {
+            return Err(format!(
+                "record for job {} names {}/{} but the campaign job is {}/{}",
+                rec.job, rec.abbrev, rec.scheduler, abbrev, scheduler
+            ));
+        }
+        Ok(match &rec.outcome {
+            RecordOutcome::Done { effective_seed, stats } => {
+                let want = self.effective_seed(rec.job);
+                if *effective_seed != want {
+                    return Err(format!(
+                        "record for job {} carries effective seed {:#x}, expected {want:#x}",
+                        rec.job, effective_seed
+                    ));
+                }
+                CampaignResult::Done(JobSuccess {
+                    job: rec.job,
+                    abbrev,
+                    scheduler,
+                    effective_seed: *effective_seed,
+                    stats: stats.clone(),
+                })
+            }
+            RecordOutcome::Failed { attempts, panic_msg } => CampaignResult::Failed {
+                job: rec.job,
+                abbrev,
+                scheduler,
+                attempts: *attempts,
+                panic_msg: panic_msg.clone(),
+            },
+            RecordOutcome::TimedOut { attempts, budget_cycles, spent_cycles } => {
+                CampaignResult::TimedOut {
+                    job: rec.job,
+                    abbrev,
+                    scheduler,
+                    attempts: *attempts,
+                    budget_cycles: *budget_cycles,
+                    spent_cycles: *spent_cycles,
+                }
+            }
+        })
+    }
+
     /// Validates a loaded checkpoint against this campaign and adopts its
     /// recorded successes into `prefilled`. Failed/timed-out records are *not*
     /// adopted — resuming re-runs them (that is the salvage path).
@@ -964,9 +1034,13 @@ impl Campaign {
                 .into_iter()
                 .map(|j| j.expect("every job was profiled"))
                 .collect(),
-            host: opts
-                .hostprof
-                .then(|| host_totals.into_inner().unwrap()),
+            host: opts.hostprof.then(|| {
+                let mut totals = host_totals.into_inner().unwrap();
+                // Single-process runs contribute exactly one host stamp; the
+                // campaign service overrides this with one stamp per worker.
+                totals.hosts = vec![HostMeta::capture()];
+                totals
+            }),
         };
         Ok(CampaignRun {
             results,

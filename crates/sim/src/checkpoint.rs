@@ -235,43 +235,86 @@ impl CheckpointHeader {
     }
 }
 
-/// Serialises one completed job as a single-line JSON record.
-pub fn record_json(r: &CampaignResult) -> String {
-    let mut out = String::with_capacity(256);
-    out.push_str(&format!("{{\"job\":{},\"outcome\":\"", r.job()));
-    match r {
-        CampaignResult::Done(s) => {
-            out.push_str("done\"");
-            push_names(&mut out, r);
-            out.push_str(&format!(",\"effective_seed\":\"{}\",\"stats\":", hex(s.effective_seed)));
-            out.push_str(&s.stats.to_json());
-        }
-        CampaignResult::Failed { attempts, panic_msg, .. } => {
-            out.push_str("failed\"");
-            push_names(&mut out, r);
-            out.push_str(&format!(",\"attempts\":{attempts},\"panic_msg\":\""));
-            json::escape_into(&mut out, panic_msg);
-            out.push('"');
-        }
-        CampaignResult::TimedOut { attempts, budget_cycles, spent_cycles, .. } => {
-            out.push_str("timeout\"");
-            push_names(&mut out, r);
-            out.push_str(&format!(
-                ",\"attempts\":{attempts},\"budget_cycles\":{budget_cycles},\
-                 \"spent_cycles\":{spent_cycles}"
-            ));
+impl Record {
+    /// Captures a [`CampaignResult`] as a serialisable record (the inverse of
+    /// [`Campaign::adopt_record`](crate::campaign::Campaign::adopt_record),
+    /// which re-binds the `&'static str` names from the campaign).
+    pub fn from_result(r: &CampaignResult) -> Self {
+        let outcome = match r {
+            CampaignResult::Done(s) => RecordOutcome::Done {
+                effective_seed: s.effective_seed,
+                stats: s.stats.clone(),
+            },
+            CampaignResult::Failed { attempts, panic_msg, .. } => RecordOutcome::Failed {
+                attempts: *attempts,
+                panic_msg: panic_msg.clone(),
+            },
+            CampaignResult::TimedOut { attempts, budget_cycles, spent_cycles, .. } => {
+                RecordOutcome::TimedOut {
+                    attempts: *attempts,
+                    budget_cycles: *budget_cycles,
+                    spent_cycles: *spent_cycles,
+                }
+            }
+        };
+        Self {
+            job: r.job(),
+            abbrev: r.abbrev().to_string(),
+            scheduler: r.scheduler().to_string(),
+            outcome,
         }
     }
-    out.push('}');
-    out
+
+    /// The single-line JSON object of this record — the checkpoint's record
+    /// encoding, also embedded verbatim in `libra-wire-v1` `result` frames.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!("{{\"job\":{},\"outcome\":\"", self.job));
+        match &self.outcome {
+            RecordOutcome::Done { effective_seed, stats } => {
+                out.push_str("done\"");
+                self.push_names(&mut out);
+                out.push_str(&format!(",\"effective_seed\":\"{}\",\"stats\":", hex(*effective_seed)));
+                out.push_str(&stats.to_json());
+            }
+            RecordOutcome::Failed { attempts, panic_msg } => {
+                out.push_str("failed\"");
+                self.push_names(&mut out);
+                out.push_str(&format!(",\"attempts\":{attempts},\"panic_msg\":\""));
+                json::escape_into(&mut out, panic_msg);
+                out.push('"');
+            }
+            RecordOutcome::TimedOut { attempts, budget_cycles, spent_cycles } => {
+                out.push_str("timeout\"");
+                self.push_names(&mut out);
+                out.push_str(&format!(
+                    ",\"attempts\":{attempts},\"budget_cycles\":{budget_cycles},\
+                     \"spent_cycles\":{spent_cycles}"
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    fn push_names(&self, out: &mut String) {
+        out.push_str(",\"abbrev\":\"");
+        json::escape_into(out, &self.abbrev);
+        out.push_str("\",\"scheduler\":\"");
+        json::escape_into(out, &self.scheduler);
+        out.push('"');
+    }
+
+    /// Parses a record object (the inverse of [`Record::to_json`]); `what`
+    /// names the location for error messages.
+    pub fn from_value(v: &Value, what: &str) -> Result<Self, String> {
+        parse_record(v, what)
+    }
 }
 
-fn push_names(out: &mut String, r: &CampaignResult) {
-    out.push_str(",\"abbrev\":\"");
-    json::escape_into(out, r.abbrev());
-    out.push_str("\",\"scheduler\":\"");
-    json::escape_into(out, r.scheduler());
-    out.push('"');
+/// Serialises one completed job as a single-line JSON record.
+pub fn record_json(r: &CampaignResult) -> String {
+    Record::from_result(r).to_json()
 }
 
 /// Serialises one completed job as a length-prefixed binary frame (the whole

@@ -14,7 +14,11 @@
 //!   independent (workload × scheduler × config) sweep points fanned across
 //!   `std::thread` workers via a work-stealing queue, bit-identical to the serial
 //!   order, with per-job panic isolation, a watchdog cycle budget, and
-//!   [`checkpoint`]-based crash salvage/resume (faults injectable via [`fault`]).
+//!   [`checkpoint`]-based crash salvage/resume (faults injectable via [`fault`]);
+//! * [`service`] + [`wire`] — the campaign *service*: a `libra-sim serve` TCP
+//!   coordinator sharding sweeps across `libra-sim worker` child processes over
+//!   the `libra-wire-v1` line-JSON protocol, byte-identical to a single-process
+//!   campaign and crash-tolerant through the same checkpoint/adopt machinery.
 //!
 //! The simulator is deterministic: the same configuration, scheduler and workload
 //! always produce identical cycle counts and statistics.
@@ -45,13 +49,19 @@ pub mod gpu;
 pub mod imr;
 pub mod raster_phase;
 pub mod report;
+pub mod service;
 pub mod throughput;
+pub mod wire;
 
 pub use campaign::{
     Campaign, CampaignJob, CampaignProfile, CampaignResult, CampaignRun, CampaignSummary,
     JobProfile, JobSuccess, RunOptions, WorkerProfile,
 };
-pub use checkpoint::{Checkpoint, CheckpointFormat, CheckpointWriter};
+pub use checkpoint::{Checkpoint, CheckpointFormat, CheckpointWriter, Record, RecordOutcome};
+pub use service::{
+    run_sharded, run_worker, submit, Coordinator, ServeOptions, ShardedRun, SubmitOutcome,
+};
+pub use wire::{JobSpec, Message, WIRE_VERSION};
 pub use fault::{FaultKind, FaultSpec};
 pub use event_loop::EventLoopMode;
 pub use gpu::{simulate_frame, simulate_sequence, simulate_sequence_oracle, GpuSimulator};

@@ -6,7 +6,39 @@
 //! view of the paper's result tables).
 
 use tbr_common::config::GpuConfig;
+use tbr_common::metrics::MetricsRegistry;
 use tbr_common::stats::{FrameStats, SequenceStats};
+
+use crate::campaign::CampaignResult;
+
+/// Serialises the per-frame stats of every *successful* campaign job into one
+/// `libra-metrics-v1` document (labels: `job`, `bench`, `scheduler`, `frame`).
+/// Failed jobs contribute nothing, so a resumed run's report is byte-identical
+/// to an uninterrupted one once every job has succeeded — and because results
+/// are keyed by campaign position, a sharded service run emits the same bytes
+/// as a single-process sweep. This is the determinism anchor the CLI, the
+/// campaign service, and CI's `cmp` gates all share.
+pub fn campaign_metrics_json(results: &[CampaignResult]) -> String {
+    let mut reg = MetricsRegistry::new();
+    for r in results {
+        if let Some(s) = r.success() {
+            let job = s.job.to_string();
+            for (f, fs) in s.stats.frames.iter().enumerate() {
+                let frame = f.to_string();
+                fs.publish(
+                    &mut reg,
+                    &[
+                        ("job", job.as_str()),
+                        ("bench", s.abbrev),
+                        ("scheduler", s.scheduler),
+                        ("frame", frame.as_str()),
+                    ],
+                );
+            }
+        }
+    }
+    reg.to_json()
+}
 
 /// One-line summary of a frame.
 pub fn frame_line(f: &FrameStats) -> String {

@@ -6,6 +6,10 @@
 //! libra-sim compare <ABBREV> [opts]       baseline vs PTR vs LIBRA
 //! libra-sim sweep-ru <ABBREV> [opts]      1..4 Raster Units
 //! libra-sim campaign [opts]               parallel sweep over the whole suite
+//! libra-sim serve [opts]                  campaign service: TCP coordinator +
+//!                                         multi-process worker sharding
+//! libra-sim submit [opts]                 send a sweep to a running coordinator
+//! libra-sim worker                        stdio shard worker (spawned by serve)
 //! libra-sim throughput [opts]             scan-vs-heap-vs-par events/sec benchmark
 //! libra-sim bench-compare [opts]          diff latest history vs committed baseline
 //! libra-sim trace-check <FILE>            validate an emitted Chrome trace
@@ -34,6 +38,20 @@
 //!          --budget-cycles N (watchdog: abort a job past N simulated cycles)
 //!          --retries N (re-run failing jobs N more times; default 1)
 //!          --fault KIND:JOB (inject panic|panic-once|timeout|timeout-once)
+//!          --take N (truncate the suite to its first N workloads)
+//!
+//! serve options: --addr HOST:PORT (default 127.0.0.1:4650; port 0 binds an
+//!          ephemeral port, echoed in the "listening on" line)   --workers N
+//!          (worker processes per sweep; default 2)   --once (serve one
+//!          connection, then exit)   --checkpoint FILE (append adopted results
+//!          to a `--resume`-compatible campaign checkpoint)
+//!          --kill-worker JOB (fault injection: kill the worker assigned JOB
+//!          once, exercising crash recovery)
+//!
+//! submit options: --addr HOST:PORT plus the campaign spec flags (--frames,
+//!          --scheduler, --rus, --cores, --fhd, --ideal-memory, --seed,
+//!          --take); --report-json FILE writes the returned report — byte-
+//!          identical to `libra-sim campaign --report-json` of the same spec
 //!
 //! throughput options (additionally): --out FILE (JSON record; default
 //!          BENCH_sim_throughput.json)   --sim-threads N / LIBRA_SIM_THREADS
@@ -97,6 +115,11 @@ struct Opts {
     baseline: Option<String>,
     tolerance: f64,
     strict: bool,
+    take: Option<usize>,
+    addr: String,
+    workers: usize,
+    once: bool,
+    kill_worker: Option<usize>,
 }
 
 impl Default for Opts {
@@ -127,23 +150,16 @@ impl Default for Opts {
             baseline: None,
             tolerance: 25.0,
             strict: false,
+            take: None,
+            addr: "127.0.0.1:4650".to_string(),
+            workers: 2,
+            once: false,
+            kill_worker: None,
         }
     }
 }
 
-fn parse_scheduler(s: &str) -> Result<SchedulerKind, String> {
-    Ok(match s {
-        "z" | "zorder" => SchedulerKind::SingleZOrder,
-        "scanline" => SchedulerKind::Scanline,
-        "hilbert" => SchedulerKind::Hilbert,
-        "static2" => SchedulerKind::StaticSupertile(2),
-        "static4" => SchedulerKind::StaticSupertile(4),
-        "static8" => SchedulerKind::StaticSupertile(8),
-        "static16" => SchedulerKind::StaticSupertile(16),
-        "libra" => SchedulerKind::Libra,
-        other => return Err(format!("unknown scheduler `{other}`")),
-    })
-}
+use tbr_sim::wire::parse_scheduler;
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts::default();
@@ -192,6 +208,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.tolerance = need("--tolerance")?.parse().map_err(|e| format!("{e}"))?
             }
             "--strict" => o.strict = true,
+            "--take" => {
+                let n: usize = need("--take")?.parse().map_err(|e| format!("{e}"))?;
+                if n == 0 {
+                    return Err("--take needs a value >= 1".into());
+                }
+                o.take = Some(n);
+            }
+            "--addr" => o.addr = need("--addr")?.clone(),
+            "--workers" => o.workers = need("--workers")?.parse().map_err(|e| format!("{e}"))?,
+            "--once" => o.once = true,
+            "--kill-worker" => {
+                o.kill_worker = Some(need("--kill-worker")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--event-loop" => {
                 let name = need("--event-loop")?;
                 let mode = event_loop::parse(name)
@@ -477,31 +506,7 @@ fn cmd_bench_compare(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Serialises the per-frame stats of every *successful* campaign job into one
-/// `libra-metrics-v1` document (labels: `job`, `bench`, `scheduler`, `frame`).
-/// Failed jobs contribute nothing, so a resumed run's report is byte-identical
-/// to an uninterrupted one once every job has succeeded.
-fn campaign_metrics_json(results: &[CampaignResult]) -> String {
-    let mut reg = MetricsRegistry::new();
-    for r in results {
-        if let Some(s) = r.success() {
-            let job = s.job.to_string();
-            for (f, fs) in s.stats.frames.iter().enumerate() {
-                let frame = f.to_string();
-                fs.publish(
-                    &mut reg,
-                    &[
-                        ("job", job.as_str()),
-                        ("bench", s.abbrev),
-                        ("scheduler", s.scheduler),
-                        ("frame", frame.as_str()),
-                    ],
-                );
-            }
-        }
-    }
-    reg.to_json()
-}
+use tbr_sim::report::campaign_metrics_json;
 
 /// Parallel sweep of the whole suite under one scheduler: the smallest useful
 /// campaign (one job per workload), reported in campaign order with wall-clock and
@@ -516,7 +521,10 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
     let cfg = config(o);
     let threads = o.threads.max(1);
     let schedulers = [o.scheduler];
-    let profiles = suite();
+    let mut profiles = suite();
+    if let Some(n) = o.take {
+        profiles.truncate(n);
+    }
     let campaign = Campaign::grid(o.seed, &cfg, &schedulers, &profiles, o.frames);
     println!(
         "campaign: {} jobs ({} workloads x {} scheduler) on {} thread(s), seed {}",
@@ -674,20 +682,122 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The wire spelling of a scheduler kind (inverse of `wire::parse_scheduler`).
+/// Only kinds the CLI vocabulary can name are submittable.
+fn scheduler_wire_name(k: SchedulerKind) -> Result<String, String> {
+    Ok(match k {
+        SchedulerKind::SingleZOrder => "z".into(),
+        SchedulerKind::Scanline => "scanline".into(),
+        SchedulerKind::Hilbert => "hilbert".into(),
+        SchedulerKind::StaticSupertile(n) => format!("static{n}"),
+        SchedulerKind::Libra => "libra".into(),
+        other => return Err(format!("scheduler {other:?} has no wire spelling")),
+    })
+}
+
+/// The campaign spec the current CLI options describe, in wire form.
+fn spec_from_opts(o: &Opts) -> Result<tbr_sim::JobSpec, String> {
+    Ok(tbr_sim::JobSpec {
+        seed: o.seed,
+        scheduler: scheduler_wire_name(o.scheduler)?,
+        frames: o.frames,
+        rus: o.rus,
+        cores: o.cores,
+        screen: if o.fhd { "fhd".into() } else { "quarter".into() },
+        ideal_memory: o.ideal,
+        take: o.take,
+    })
+}
+
+fn progress_line(prefix: &str, msg: &tbr_sim::Message) {
+    if let tbr_sim::Message::Progress { job, done, total, abbrev, scheduler, ok } = msg {
+        println!(
+            "{prefix}: job {job} ({abbrev}/{scheduler}) {} [{done}/{total}]",
+            if *ok { "ok" } else { "FAILED" }
+        );
+    }
+}
+
+/// Long-running campaign coordinator: accepts `submit` connections and shards
+/// each sweep across `--workers` spawned `libra-sim worker` processes. The
+/// aggregated report is byte-identical to `libra-sim campaign` of the same
+/// spec (see docs/OPERATIONS.md §8).
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    use tbr_sim::{Coordinator, Message, ServeOptions};
+
+    let workers = o.workers.max(1);
+    let opts = ServeOptions {
+        workers,
+        once: o.once,
+        kill_job: o.kill_worker,
+        checkpoint_to: o.checkpoint.clone(),
+        ..ServeOptions::default()
+    };
+    let coord = Coordinator::bind(&o.addr, opts)?;
+    let addr = coord.local_addr()?;
+    // Scripts poll for this exact line (and parse the resolved port out of
+    // it when binding port 0), so print-and-flush before accepting.
+    println!("serve: listening on {addr} ({workers} workers)");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    coord.serve(&mut |msg: &Message| match msg {
+        Message::Progress { .. } => progress_line("serve", msg),
+        Message::Report { summary, .. } => println!("serve: report: {summary}"),
+        Message::Error { message } => eprintln!("serve: error: {message}"),
+        _ => {}
+    })
+}
+
+/// Client side of the campaign service: submit a sweep spec to a coordinator,
+/// stream its progress, and (optionally) write the returned report.
+fn cmd_submit(o: &Opts) -> Result<(), String> {
+    use tbr_sim::service;
+
+    let spec = spec_from_opts(o)?;
+    let outcome = service::submit(
+        &o.addr,
+        &spec,
+        service::default_timeout(),
+        &mut |msg| progress_line("submit", msg),
+    )?;
+    println!(
+        "submit: {} jobs done, fingerprint {:#x}, {}",
+        outcome.jobs, outcome.fingerprint, outcome.summary
+    );
+    for (i, h) in outcome.hosts.iter().enumerate() {
+        println!(
+            "submit: worker {i} host: {} core(s), rev {}, {}",
+            h.cores, h.git_rev, h.utc
+        );
+    }
+    if outcome.crashes > 0 {
+        println!(
+            "submit: sweep absorbed {} worker crash(es) (results are unaffected)",
+            outcome.crashes
+        );
+    }
+    if let Some(path) = &o.report_json {
+        write_file(path, &outcome.report_json, "campaign metrics report")?;
+    }
+    Ok(())
+}
+
 fn usage() {
     eprintln!(
-        "usage: libra-sim <suite|run|compare|sweep-ru|campaign|throughput|bench-compare|\
-         trace-check> \
+        "usage: libra-sim <suite|run|compare|sweep-ru|campaign|serve|submit|worker|throughput|\
+         bench-compare|trace-check> \
          [ABBREV|FILE] [--frames N] [--fhd] [--scheduler z|scanline|hilbert|staticN|libra] \
          [--rus N] [--cores N] [--ideal-memory] [--event-loop heap|scan|par] \
-         [--sim-threads N] [--threads N] \
+         [--sim-threads N] [--threads N] [--take N] \
          [--seed S] [--verify] [--profile] [--trace-out FILE] [--report-json FILE] [--out FILE] \
          [--checkpoint FILE] [--no-checkpoint] [--ckpt-format binary|json] [--resume FILE] \
          [--budget-cycles N] \
          [--retries N] [--fault KIND:JOB] \
+         [--addr HOST:PORT] [--workers N] [--once] [--kill-worker JOB] \
          [--explain] [--history FILE] [--baseline FILE] [--tolerance PCT] [--strict]\n\
          env: LIBRA_SIM_THREADS (par-driver workers), LIBRA_HOSTPROF=1 (host-time \
-         telemetry), LIBRA_BENCH_HISTORY (history file)  (see docs/OPERATIONS.md)"
+         telemetry), LIBRA_BENCH_HISTORY (history file), LIBRA_TEST_TIMEOUT_SECS \
+         (service read timeout)  (see docs/OPERATIONS.md)"
     );
 }
 
@@ -705,18 +815,25 @@ fn main() -> ExitCode {
             cmd_suite();
             Ok(())
         }
-        "campaign" | "throughput" | "bench-compare" => match parse_opts(&args[1..]) {
-            Err(e) => {
-                eprintln!("error: {e}");
-                usage();
-                return ExitCode::FAILURE;
+        "campaign" | "throughput" | "bench-compare" | "serve" | "submit" => {
+            match parse_opts(&args[1..]) {
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+                Ok(o) => match cmd {
+                    "campaign" => cmd_campaign(&o),
+                    "throughput" => cmd_throughput(&o),
+                    "serve" => cmd_serve(&o),
+                    "submit" => cmd_submit(&o),
+                    _ => cmd_bench_compare(&o),
+                },
             }
-            Ok(o) => match cmd {
-                "campaign" => cmd_campaign(&o),
-                "throughput" => cmd_throughput(&o),
-                _ => cmd_bench_compare(&o),
-            },
-        },
+        }
+        // The worker speaks libra-wire-v1 on stdio and takes no options; its
+        // stdout belongs to the protocol, so nothing else may print there.
+        "worker" => tbr_sim::service::run_worker(),
         "trace-check" => {
             let Some(path) = args.get(1) else {
                 usage();

@@ -18,6 +18,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tbr_common::rng::{splitmix64_mix, Xoshiro256pp};
 
+// Networked-test conventions (flaky-proofing); annotated because each
+// including test binary uses only the slice of `support` it needs.
+#[allow(dead_code)]
+pub mod net;
+
 /// Default cases per property; `LIBRA_PROPTEST_CASES` overrides.
 const DEFAULT_CASES: u32 = 96;
 

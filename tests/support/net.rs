@@ -1,0 +1,34 @@
+//! Flaky-proofing conventions for the campaign-service tests.
+//!
+//! Networked tests are where CI flakiness breeds, so every service test in
+//! this repo follows three rules, centralised here:
+//!
+//! 1. **Never pick a port.** Bind `127.0.0.1:0` and read the resolved address
+//!    back from the listener (`Coordinator::local_addr`). Two test binaries
+//!    running concurrently can then never collide.
+//! 2. **Never block forever.** Every TCP socket gets `set_read_timeout`
+//!    ([`test_timeout`], default 120 s) so a wedged peer fails the test with a
+//!    timeout error instead of hanging the suite; slow machines raise the
+//!    budget via `LIBRA_TEST_TIMEOUT_SECS` instead of editing tests.
+//! 3. **Never guess the binary path.** Worker processes are spawned from
+//!    [`worker_cmd`], which uses the Cargo-provided `CARGO_BIN_EXE_libra-sim`
+//!    path — correct across debug/release and custom target dirs.
+
+use std::time::Duration;
+
+/// Read-timeout budget for test sockets: `LIBRA_TEST_TIMEOUT_SECS` (shared
+/// with `tbr_sim::service::default_timeout`) or 120 s.
+pub fn test_timeout() -> Duration {
+    let secs = std::env::var("LIBRA_TEST_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(120);
+    Duration::from_secs(secs)
+}
+
+/// The worker launch command for in-test coordinators: the very `libra-sim`
+/// binary Cargo built for this test run, `worker` subcommand.
+pub fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_libra-sim").to_string(), "worker".to_string()]
+}
