@@ -24,6 +24,9 @@
 //!   GPU model, memory hierarchy and scheduler publish into; JSON/CSV output.
 //! * [`json`] — a minimal validating JSON parser backing the trace-export smoke
 //!   checks (no serde anywhere in the workspace).
+//! * [`mechanism`] — the `--mechanism` axis ([`mechanism::MechanismSpec`]):
+//!   which optional mechanisms (Rendering Elimination, WaSP) are layered on
+//!   top of the scheduler for a run.
 //! * [`arena`] — per-frame bump arenas ([`arena::Arena`]/[`arena::Span`]): the
 //!   raster phase's scratch allocations become index spans into one backing
 //!   vector, reset wholesale between frames.
@@ -60,6 +63,7 @@ pub mod hilbert;
 pub mod hostprof;
 pub mod ids;
 pub mod json;
+pub mod mechanism;
 pub mod metrics;
 pub mod morton;
 pub mod rng;

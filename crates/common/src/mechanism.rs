@@ -1,0 +1,148 @@
+//! The mechanism axis: which optional rendering mechanisms are layered on top
+//! of the scheduler for a run.
+//!
+//! The workspace started as a reproduction of one mechanism (LIBRA's
+//! bandwidth/locality-aware scheduling, which lives on the `--scheduler` axis).
+//! [`MechanismSpec`] adds a second, orthogonal axis hosting the rest of the
+//! research line:
+//!
+//! * **Rendering Elimination** (`re`, arXiv 1807.09449): per-tile input
+//!   signatures hashed over the binned primitive stream; tiles whose signature
+//!   matches the previous frame are discarded before rasterisation.
+//! * **WaSP** (`wasp`, arXiv 2404.06156): warp scheduling for prefetching — a
+//!   leading "spearhead" warp group warms the texture caches, and the
+//!   remaining warps are issued in criticality order.
+//!
+//! Mechanisms compose with each other (`re+wasp`) and with every scheduler.
+//! The default — no mechanism — is the historical LIBRA-only behaviour, and
+//! everything downstream (campaign fingerprints, checkpoint schemas, the wire
+//! protocol) treats the default as *absent* so that pre-mechanism payloads
+//! keep validating. See `docs/MECHANISMS.md` for the mechanism-to-paper map.
+
+use std::fmt;
+
+/// Which optional mechanisms are enabled for a run, orthogonal to the
+/// scheduler choice. The default (`MechanismSpec::default()`) enables nothing
+/// and reproduces the historical LIBRA-only pipeline bit for bit.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct MechanismSpec {
+    /// Rendering Elimination: discard tiles whose per-tile input signature
+    /// matches the previous frame before raster/shade/flush.
+    pub re: bool,
+    /// WaSP: spearhead + criticality-aware warp ordering at the raster
+    /// front-end, driven by the texture-L1 miss statistics.
+    pub wasp: bool,
+    /// RE oracle differential mode: compute signatures and count would-be
+    /// discards, but render every tile anyway and compare the full hashed
+    /// input stream so hash collisions surface as `re_false_negatives`.
+    /// Implies `re`.
+    pub re_oracle: bool,
+}
+
+impl MechanismSpec {
+    /// No mechanism: the historical scheduler-only pipeline.
+    pub const NONE: MechanismSpec = MechanismSpec {
+        re: false,
+        wasp: false,
+        re_oracle: false,
+    };
+
+    /// True when no mechanism is enabled — the configuration that must stay
+    /// byte-compatible with pre-mechanism fingerprints and wire payloads.
+    pub fn is_default(&self) -> bool {
+        *self == Self::NONE
+    }
+
+    /// Parses a mechanism spec from its CLI/wire spelling: `none`, `re`,
+    /// `wasp`, `re-oracle`, or `+`-joined combinations (`re+wasp`,
+    /// `re-oracle+wasp`). Order-insensitive; duplicates are errors.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut spec = Self::NONE;
+        if s.trim() == "none" || s.trim().is_empty() {
+            return Ok(spec);
+        }
+        for part in s.split('+') {
+            match part.trim() {
+                "re" if !spec.re => spec.re = true,
+                "wasp" if !spec.wasp => spec.wasp = true,
+                "re-oracle" if !spec.re => {
+                    spec.re = true;
+                    spec.re_oracle = true;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown or repeated mechanism {other:?} in {s:?} \
+                         (expected none, re, wasp, re-oracle, or `+` combinations)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The canonical spelling, the inverse of [`MechanismSpec::parse`]:
+    /// `none`, `re`, `re-oracle`, `wasp`, `re+wasp`, `re-oracle+wasp`.
+    pub fn name(&self) -> String {
+        let mut parts = Vec::new();
+        if self.re_oracle {
+            parts.push("re-oracle");
+        } else if self.re {
+            parts.push("re");
+        }
+        if self.wasp {
+            parts.push("wasp");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl fmt::Debug for MechanismSpec {
+    // The Debug form feeds the campaign fingerprint; keep it the canonical
+    // name so equivalent specs can never fingerprint differently.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Display for MechanismSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_canonical_name() {
+        for name in ["none", "re", "wasp", "re-oracle", "re+wasp", "re-oracle+wasp"] {
+            let spec = MechanismSpec::parse(name).unwrap();
+            assert_eq!(spec.name(), name, "canonical spelling must round-trip");
+            assert_eq!(MechanismSpec::parse(&spec.name()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn parse_is_order_insensitive_and_rejects_junk() {
+        assert_eq!(
+            MechanismSpec::parse("wasp+re").unwrap(),
+            MechanismSpec::parse("re+wasp").unwrap()
+        );
+        assert!(MechanismSpec::parse("turbo").is_err());
+        assert!(MechanismSpec::parse("re+re").is_err());
+        assert!(MechanismSpec::parse("re+re-oracle").is_err());
+    }
+
+    #[test]
+    fn default_is_none_and_oracle_implies_re() {
+        assert!(MechanismSpec::default().is_default());
+        assert_eq!(MechanismSpec::default().name(), "none");
+        let oracle = MechanismSpec::parse("re-oracle").unwrap();
+        assert!(oracle.re && oracle.re_oracle);
+    }
+}

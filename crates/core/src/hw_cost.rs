@@ -44,6 +44,18 @@ pub fn ranking_hides_under_geometry(n: usize, geometry_cycles: u64) -> bool {
     ranking_cycles(n) <= geometry_cycles
 }
 
+/// Bytes the Rendering Elimination signature unit consumes per cycle. The
+/// unit sits next to the Polygon List Builder and hashes the parameter-buffer
+/// word stream as it is written, two 64-bit words per cycle.
+pub const SIGNATURE_BYTES_PER_CYCLE: u64 = 16;
+
+/// Cycles the RE signature unit needs to hash `bytes` of per-tile input
+/// stream. Like ranking, this runs concurrently with binning and is expected
+/// to hide under the Geometry phase (folded in via `max`, not added).
+pub fn signature_cycles(bytes: u64) -> u64 {
+    bytes.div_ceil(SIGNATURE_BYTES_PER_CYCLE)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

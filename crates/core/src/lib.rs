@@ -21,6 +21,9 @@
 //! * [`hw_cost`] — the hardware-overhead model (§III-E): table storage, ranking
 //!   latency (3 cycles per comparison, `n·⌈log₂ n⌉` comparisons), and the check that
 //!   ranking hides under the Geometry phase.
+//! * [`elimination`] — the Rendering Elimination frame-coherence cache
+//!   (arXiv 1807.09449): per-tile signatures compared frame-over-frame, with
+//!   the oracle-mode collision check behind the `re_false_negatives` counter.
 //!
 //! The crate is deliberately independent of the simulator: it consumes
 //! [`feedback::FrameFeedback`] and produces [`scheduler::FramePlan`]s, exactly like
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod elimination;
 pub mod feedback;
 pub mod hw_cost;
 pub mod scheduler;
@@ -36,6 +40,7 @@ pub mod supertile;
 pub mod temperature;
 
 pub use adaptive::{AdaptiveController, AdaptiveParams, TileOrderKind};
+pub use elimination::{ReCache, ReFrameDecision};
 pub use feedback::FrameFeedback;
 pub use scheduler::{FramePlan, SchedulerKind, TileScheduler};
 pub use supertile::SupertileGrid;

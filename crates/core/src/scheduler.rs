@@ -64,6 +64,23 @@ impl FramePlan {
         }
     }
 
+    /// Drops every tile for which `keep` returns `false` from the plan and
+    /// returns how many were removed. Groups that become empty are removed so
+    /// `next_group` never hands an RU an empty dispatch; relative tile order
+    /// within and across the surviving groups is untouched.
+    ///
+    /// This is the Rendering Elimination early-discard hook: eliminated tiles
+    /// leave the plan *before* the raster phase starts, so every event-loop
+    /// driver sees the identical filtered plan.
+    pub fn retain_tiles(&mut self, mut keep: impl FnMut(TileId) -> bool) -> usize {
+        let before = self.remaining_tiles();
+        for group in self.groups.iter_mut() {
+            group.retain(|&t| keep(t));
+        }
+        self.groups.retain(|g| !g.is_empty());
+        before - self.remaining_tiles()
+    }
+
     /// Publishes the plan's shape into `reg` under the given labels: the chosen
     /// order, supertile edge, group count and ranking-hardware cost.
     pub fn publish_metrics(&self, reg: &mut MetricsRegistry, labels: &[(&str, &str)]) {

@@ -16,7 +16,10 @@
 //! * [`raster_unit`] — one Raster Unit: tile front-end (Parameter-Buffer fetch →
 //!   rasterise → Early-Z → warp assembly) plus its private shader cores;
 //! * [`mod@reference`] — a purely functional renderer used as a golden model in tests and
-//!   to dump PPM images in the examples.
+//!   to dump PPM images in the examples;
+//! * [`wasp`] — WaSP-style warp scheduling (arXiv 2404.06156): a max-coverage
+//!   "spearhead" warp group issued first to warm the texture caches, then the
+//!   remainder in criticality order, driven by the measured miss ratio.
 
 #![warn(missing_docs)]
 
@@ -27,9 +30,11 @@ pub mod rasterizer;
 pub mod reference;
 pub mod shader;
 pub mod texture;
+pub mod wasp;
 pub mod zbuffer;
 
 pub use quad::{Quad, QuadStream};
 pub use raster_unit::{RasterUnit, TileFrontEndOutcome, WarpWork};
 pub use shader::{SampleLines, SampleLinesRef, ShaderCore, WarpOutcome};
+pub use wasp::WaspDecision;
 pub use zbuffer::ZBuffer;

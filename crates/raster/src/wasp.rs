@@ -1,0 +1,179 @@
+//! WaSP-style warp scheduling for prefetching (arXiv 2404.06156).
+//!
+//! WaSP observes that a texture-bound shader's stalls are dominated by cold
+//! texture-cache misses, and that the warps of a tile collectively name every
+//! cache line they will touch *before* any of them issues. It therefore splits
+//! each tile's warp queue into:
+//!
+//! * a **spearhead** group — a small set of warps chosen to collectively cover
+//!   as many *distinct* texture lines as possible, issued first so their
+//!   misses warm the L1/L2 for everyone else (prefetching without a
+//!   prefetcher); and
+//! * the **remainder**, issued in criticality order — warps with the most
+//!   texture lines first, since they carry the longest memory-latency chains.
+//!
+//! The decision is *driven by the measured texture-miss stats*: the spearhead
+//! grows with the RU's texture-L1 miss ratio and the mechanism disengages
+//! entirely when the caches are already hot (re-ordering warm warps only
+//! costs). Everything here is a pure function of the warp line lists and the
+//! miss counters, both of which are bit-identical across the event-loop
+//! drivers, so WaSP keeps the scan ≡ heap ≡ par equivalence intact.
+
+use crate::raster_unit::{RasterUnit, WarpWork};
+use crate::shader::SampleLinesRef;
+use tbr_common::fasthash::U64Set;
+use tbr_common::stats::CacheStats;
+
+/// Texture-L1 miss ratio (in ‰) below which WaSP leaves the assembly order
+/// untouched: the caches are hot and re-ordering has nothing to prefetch.
+pub const ENGAGE_MISS_PERMILLE: u64 = 20;
+
+/// The spearhead never exceeds ¼ of the tile's warps (rounded up): its job is
+/// warming, not reordering the whole queue.
+pub const SPEARHEAD_MAX_FRACTION: u64 = 4;
+
+/// What WaSP decided for one tile's warp queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaspDecision {
+    /// Whether the mechanism engaged (miss ratio above the threshold).
+    pub engaged: bool,
+    /// Warps placed in the spearhead group.
+    pub spearhead: u64,
+    /// Whether the issue order actually changed versus assembly order.
+    pub reordered: bool,
+}
+
+/// The RU's texture-L1 miss ratio in integer ‰. An untouched cache counts as
+/// fully cold (1000‰): the first tiles of a frame are exactly when the
+/// spearhead pays off most.
+pub fn miss_permille(stats: &CacheStats) -> u64 {
+    (stats.misses * 1000).checked_div(stats.accesses).unwrap_or(1000)
+}
+
+/// Core policy, pure for testability: given each warp's texture-line list and
+/// the current miss ratio, returns the issue order (indices into `line_sets`)
+/// and the spearhead size. Deterministic: greedy max-new-coverage selection
+/// with index order breaking ties, then a stable criticality sort.
+pub fn plan_order(line_sets: &[&[u64]], miss_permille: u64) -> (Vec<usize>, u64, bool) {
+    let n = line_sets.len();
+    let identity: Vec<usize> = (0..n).collect();
+    if n < 2 || miss_permille < ENGAGE_MISS_PERMILLE {
+        return (identity, 0, false);
+    }
+    // Spearhead size scales with how cold the caches are, capped at ¼.
+    let cap = (n as u64).div_ceil(SPEARHEAD_MAX_FRACTION);
+    let scaled = (n as u64 * miss_permille).div_ceil(1000);
+    let target = scaled.clamp(1, cap) as usize;
+
+    // Greedy max-coverage: each pick adds the most lines not yet covered.
+    let mut covered = U64Set::default();
+    let mut picked = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..target {
+        let mut best: Option<(usize, usize)> = None; // (new_lines, index)
+        for (i, lines) in line_sets.iter().enumerate() {
+            if picked[i] {
+                continue;
+            }
+            let new_lines = lines.iter().filter(|l| !covered.contains(l)).count();
+            let better = match best {
+                None => true,
+                Some((b, _)) => new_lines > b,
+            };
+            if better {
+                best = Some((new_lines, i));
+            }
+        }
+        let (_, i) = best.expect("target <= n");
+        picked[i] = true;
+        covered.extend(line_sets[i].iter().copied());
+        order.push(i);
+    }
+    let spearhead = order.len() as u64;
+
+    // Remainder: stable sort by descending line count (criticality proxy).
+    let mut rest: Vec<usize> = (0..n).filter(|&i| !picked[i]).collect();
+    rest.sort_by_key(|&i| std::cmp::Reverse(line_sets[i].len()));
+    order.extend(rest);
+
+    let reordered = order != identity;
+    (order, spearhead, reordered)
+}
+
+/// Applies WaSP to one tile's assembled warp queue in place, using the RU's
+/// arenas to resolve each warp's texture-line list and its cumulative
+/// texture-L1 stats to gauge cache temperature.
+pub fn schedule_tile_warps(ru: &RasterUnit, warps: &mut Vec<WarpWork>) -> WaspDecision {
+    if warps.len() < 2 {
+        return WaspDecision::default();
+    }
+    let ratio = miss_permille(&ru.texture_stats());
+    let refs: Vec<SampleLinesRef<'_>> = warps.iter().map(|w| ru.sample_lines_ref(w)).collect();
+    let line_sets: Vec<&[u64]> = refs.iter().map(|r| r.lines).collect();
+    let (order, spearhead, reordered) = plan_order(&line_sets, ratio);
+    drop(refs);
+    if reordered {
+        let mut out = Vec::with_capacity(warps.len());
+        for &i in &order {
+            out.push(warps[i].clone());
+        }
+        *warps = out;
+    }
+    WaspDecision { engaged: spearhead > 0, spearhead, reordered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_caches_disengage_and_preserve_assembly_order() {
+        let sets: Vec<&[u64]> = vec![&[1, 2], &[3, 4], &[5, 6], &[7, 8]];
+        let (order, spearhead, reordered) = plan_order(&sets, 5);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(spearhead, 0);
+        assert!(!reordered);
+    }
+
+    #[test]
+    fn cold_caches_pick_the_max_coverage_spearhead() {
+        // Warp 2 covers the most distinct lines; it must lead even though it
+        // was assembled last.
+        let sets: Vec<&[u64]> = vec![&[1, 2], &[1, 2, 3], &[4, 5, 6, 7]];
+        let (order, spearhead, reordered) = plan_order(&sets, 1000);
+        assert_eq!(spearhead, 1, "3 warps => spearhead capped at ceil(3/4) = 1");
+        assert_eq!(order[0], 2);
+        // Remainder in descending line count: warp 1 (3 lines) before 0 (2).
+        assert_eq!(order, vec![2, 1, 0]);
+        assert!(reordered);
+    }
+
+    #[test]
+    fn spearhead_prefers_new_coverage_over_raw_size() {
+        // Warp 0 has 4 lines; warp 1 repeats 3 of them plus 1 new; warp 2 has
+        // 3 entirely new lines. With a 2-warp spearhead the greedy pass must
+        // take 0 then 2 (3 new lines beats 1 new line).
+        let sets: Vec<&[u64]> = vec![&[1, 2, 3, 4], &[1, 2, 3, 9], &[5, 6, 7], &[1], &[2], &[3], &[4], &[9]];
+        let (order, spearhead, _) = plan_order(&sets, 1000);
+        assert_eq!(spearhead, 2, "8 warps => cap ceil(8/4) = 2");
+        assert_eq!(&order[..2], &[0, 2]);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_a_permutation() {
+        let sets: Vec<&[u64]> = vec![&[8], &[1, 2, 3], &[1, 2], &[9, 10], &[], &[3, 4, 5]];
+        let (a, ..) = plan_order(&sets, 700);
+        let (b, ..) = plan_order(&sets, 700);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..sets.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn untouched_stats_count_as_fully_cold() {
+        assert_eq!(miss_permille(&CacheStats::default()), 1000);
+        let warm = CacheStats { accesses: 1000, hits: 990, misses: 10, evictions: 0 };
+        assert_eq!(miss_permille(&warm), 10);
+    }
+}

@@ -1,7 +1,7 @@
 //! Deterministic, fault-tolerant parallel simulation-campaign driver.
 //!
 //! Every figure of the paper is a sweep: workload × scheduler × GPU configuration,
-//! each point one independent [`simulate_sequence`] run.
+//! each point one independent [`simulate_sequence`](crate::simulate_sequence) run.
 //! The cycle-level simulator itself is strictly single-threaded, but the points
 //! share nothing, so campaign throughput scales with cores — the classic
 //! "parallelize across simulation instances, not within one" result from the
@@ -71,12 +71,14 @@
 
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Mutex, Once};
 use std::time::Instant;
 
 use libra::scheduler::SchedulerKind;
 use tbr_common::config::GpuConfig;
+use tbr_common::mechanism::MechanismSpec;
 use tbr_common::rng::splitmix64_mix;
 use tbr_common::stats::SequenceStats;
 use tbr_common::hostprof::{self, HostMeta, HostTotals};
@@ -87,23 +89,43 @@ use crate::checkpoint::{
     Checkpoint, CheckpointFormat, CheckpointHeader, CheckpointWriter, Record, RecordOutcome,
 };
 use crate::fault::{FaultKind, FaultSpec};
-use crate::gpu::{simulate_sequence, GpuSimulator};
+use crate::gpu::{simulate_sequence_mech, GpuSimulator};
 
 /// The golden-gamma increment of SplitMix64 — spaces job indices far apart in the
 /// mixer's input domain so adjacent jobs get decorrelated seeds.
 const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// One independent simulation point of a campaign.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignJob {
     /// GPU configuration of this point.
     pub cfg: GpuConfig,
     /// Tile scheduler of this point.
     pub scheduler: SchedulerKind,
+    /// Mechanism axis (Rendering Elimination / WaSP) layered on the scheduler.
+    /// Defaults to none — the historical LIBRA-only behaviour.
+    pub mechanism: MechanismSpec,
     /// Workload profile (its `seed` is perturbed per [`Campaign::job_seed`]).
     pub profile: BenchmarkProfile,
     /// Frames to simulate.
     pub frames: u32,
+}
+
+impl fmt::Debug for CampaignJob {
+    // Hand-written so the campaign fingerprint (a fold over this Debug form)
+    // stays byte-identical to pre-mechanism checkpoints and wire payloads when
+    // the mechanism axis is at its default: old `libra-campaign-ckpt-v1` /
+    // `libra-wire-v1` artifacts must keep resuming. A non-default mechanism
+    // IS fingerprinted — sweeping it must change the campaign identity.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("CampaignJob");
+        d.field("cfg", &self.cfg).field("scheduler", &self.scheduler);
+        if !self.mechanism.is_default() {
+            d.field("mechanism", &self.mechanism);
+        }
+        d.field("profile", &self.profile).field("frames", &self.frames);
+        d.finish()
+    }
 }
 
 /// One successfully completed point: the job's position, its effective seed, and
@@ -486,7 +508,7 @@ impl Campaign {
         Self { seed, jobs: Vec::new() }
     }
 
-    /// Appends one simulation point.
+    /// Appends one simulation point (mechanism axis at its default: none).
     pub fn push(
         &mut self,
         cfg: &GpuConfig,
@@ -494,11 +516,29 @@ impl Campaign {
         profile: BenchmarkProfile,
         frames: u32,
     ) {
-        self.jobs.push(CampaignJob { cfg: cfg.clone(), scheduler, profile, frames });
+        self.push_mech(cfg, scheduler, MechanismSpec::default(), profile, frames);
+    }
+
+    /// Appends one simulation point with an explicit mechanism axis.
+    pub fn push_mech(
+        &mut self,
+        cfg: &GpuConfig,
+        scheduler: SchedulerKind,
+        mechanism: MechanismSpec,
+        profile: BenchmarkProfile,
+        frames: u32,
+    ) {
+        self.jobs.push(CampaignJob {
+            cfg: cfg.clone(),
+            scheduler,
+            mechanism,
+            profile,
+            frames,
+        });
     }
 
     /// Builds the full cross product `profiles × schedulers` on one configuration —
-    /// the shape of most figure sweeps.
+    /// the shape of most figure sweeps. The mechanism axis stays at its default.
     pub fn grid(
         seed: u64,
         cfg: &GpuConfig,
@@ -506,10 +546,23 @@ impl Campaign {
         profiles: &[BenchmarkProfile],
         frames: u32,
     ) -> Self {
+        Self::grid_mech(seed, cfg, schedulers, MechanismSpec::default(), profiles, frames)
+    }
+
+    /// [`Campaign::grid`] with every job running the given mechanism axis on
+    /// top of its scheduler — the shape of the RE/WaSP head-to-head sweeps.
+    pub fn grid_mech(
+        seed: u64,
+        cfg: &GpuConfig,
+        schedulers: &[SchedulerKind],
+        mechanism: MechanismSpec,
+        profiles: &[BenchmarkProfile],
+        frames: u32,
+    ) -> Self {
         let mut c = Self::new(seed);
         for p in profiles {
             for &s in schedulers {
-                c.push(cfg, s, p.clone(), frames);
+                c.push_mech(cfg, s, mechanism, p.clone(), frames);
             }
         }
         c
@@ -548,9 +601,12 @@ impl Campaign {
     }
 
     /// A position-insensitive digest of `(campaign seed, full job list)`:
-    /// configurations, schedulers, workload profiles and frame counts all feed
-    /// in. A checkpoint records it so `--resume` refuses to graft one
-    /// campaign's results onto a different sweep.
+    /// configurations, schedulers, non-default mechanisms, workload profiles
+    /// and frame counts all feed in. A checkpoint records it so `--resume`
+    /// refuses to graft one campaign's results onto a different sweep.
+    /// Default-mechanism jobs digest exactly as they did before the mechanism
+    /// axis existed (see [`CampaignJob`]'s `Debug`), so pre-mechanism
+    /// checkpoints and wire payloads keep validating.
     pub fn fingerprint(&self) -> u64 {
         let mut h = splitmix64_mix(self.seed ^ 0xC0FF_EE00_D15E_A5E5);
         for job in &self.jobs {
@@ -567,7 +623,7 @@ impl Campaign {
 
     /// One isolated attempt at job `index`: panic injection, then either the
     /// plain full-sequence path (no budget — the exact code path of
-    /// [`simulate_sequence`]) or the frame-granular watchdog loop. Both paths
+    /// [`simulate_sequence_mech`]) or the frame-granular watchdog loop. Both paths
     /// render frames through the same `render_frame`, so a generous budget
     /// yields bit-identical stats to no budget at all.
     fn run_attempt(
@@ -586,9 +642,16 @@ impl Campaign {
             );
         }
         match budget {
-            None => Attempt::Done(simulate_sequence(&job.cfg, job.scheduler, profile, job.frames)),
+            None => Attempt::Done(simulate_sequence_mech(
+                &job.cfg,
+                job.scheduler,
+                job.mechanism,
+                profile,
+                job.frames,
+            )),
             Some(b) => {
-                let mut sim = GpuSimulator::new(job.cfg.clone(), job.scheduler);
+                let mut sim =
+                    GpuSimulator::with_mechanism(job.cfg.clone(), job.scheduler, job.mechanism);
                 let gen = SceneGenerator::new(profile, &job.cfg.screen);
                 let mut seq = SequenceStats::default();
                 for f in 0..job.frames {
@@ -1164,7 +1227,7 @@ mod tests {
         let mut c = Campaign::new(0);
         c.push(&cfg, SchedulerKind::Libra, p.clone(), 2);
         let res = c.run(2);
-        let direct = simulate_sequence(&cfg, SchedulerKind::Libra, &p, 2);
+        let direct = crate::simulate_sequence(&cfg, SchedulerKind::Libra, &p, 2);
         assert_eq!(res[0].stats(), Some(&direct), "seed 0 must not perturb the canonical suite");
         assert_eq!(res[0].success().unwrap().effective_seed, p.seed);
     }

@@ -1,10 +1,13 @@
 //! The frame loop: [`GpuSimulator`] renders frame sequences with any scheduler and
 //! closes LIBRA's feedback loop (profile frame *n* → schedule frame *n + 1*).
 
+use libra::elimination::ReCache;
 use libra::feedback::FrameFeedback;
+use libra::hw_cost;
 use libra::scheduler::{SchedulerKind, TileScheduler};
 use tbr_common::config::GpuConfig;
 use tbr_common::ids::FrameId;
+use tbr_common::mechanism::MechanismSpec;
 use tbr_common::metrics::MetricsRegistry;
 use tbr_common::stats::{FrameStats, SequenceStats};
 use tbr_common::trace::{self, Track};
@@ -27,6 +30,10 @@ pub struct GpuSimulator {
     prev_feedback: Option<FrameFeedback>,
     frame_no: u32,
     metrics: MetricsRegistry,
+    /// Optional mechanism axis (Rendering Elimination / WaSP); default none.
+    mechanism: MechanismSpec,
+    /// RE's per-tile signature cache, carried frame to frame.
+    re_cache: ReCache,
     /// Global-timeline offset of the current frame. Phases restart local time at
     /// 0; the tracer's time base is advanced so a whole sequence lands on one
     /// continuous timeline. Pure observation state — never read by the model.
@@ -40,6 +47,20 @@ impl GpuSimulator {
     /// Panics if the configuration is invalid (call [`GpuConfig::validate`] first
     /// for a recoverable check).
     pub fn new(cfg: GpuConfig, scheduler: SchedulerKind) -> Self {
+        Self::with_mechanism(cfg, scheduler, MechanismSpec::default())
+    }
+
+    /// Builds the GPU with an explicit mechanism axis (Rendering Elimination
+    /// and/or WaSP layered on top of `scheduler`).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (call [`GpuConfig::validate`] first
+    /// for a recoverable check).
+    pub fn with_mechanism(
+        cfg: GpuConfig,
+        scheduler: SchedulerKind,
+        mechanism: MechanismSpec,
+    ) -> Self {
         cfg.validate().expect("invalid GPU configuration");
         let mut hier = MemoryHierarchy::new(cfg.l2_cache, cfg.dram, cfg.dram_interval_cycles);
         hier.ideal = cfg.ideal_memory;
@@ -53,6 +74,8 @@ impl GpuSimulator {
             prev_feedback: None,
             frame_no: 0,
             metrics: MetricsRegistry::new(),
+            mechanism,
+            re_cache: ReCache::new(),
             trace_base: 0,
             cfg,
         }
@@ -61,6 +84,11 @@ impl GpuSimulator {
     /// The metrics published so far (one label set per rendered frame).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The mechanism axis this GPU runs with.
+    pub fn mechanism(&self) -> MechanismSpec {
+        self.mechanism
     }
 
     /// The configuration this GPU was built with.
@@ -87,10 +115,50 @@ impl GpuSimulator {
         let (geo_l2, geo_dram) = self.hier.end_frame();
 
         let mut plan = self.scheduler.plan_frame(&self.cfg.screen, self.prev_feedback.as_ref());
-        let geometry_cycles = geo.cycles.max(plan.ranking_cycles);
+        let mut geometry_cycles = geo.cycles.max(plan.ranking_cycles);
 
         let frame_label = self.frame_no.to_string();
         plan.publish_metrics(&mut self.metrics, &[("frame", &frame_label)]);
+
+        // ---- Rendering Elimination: hash this frame's per-tile inputs, discard
+        // tiles identical to the previous frame. The signature unit hashes the
+        // parameter-buffer stream during binning, so its cycles fold into the
+        // geometry phase like the ranking unit's (max, not add).
+        if self.mechanism.re {
+            let sigs = tbr_tiling::signature::frame_signatures(
+                &geo.tris,
+                &geo.bins,
+                self.mechanism.re_oracle,
+            );
+            geometry_cycles = geometry_cycles.max(hw_cost::signature_cycles(sigs.bytes_hashed));
+            let bytes_hashed = sigs.bytes_hashed;
+            let decision = self.re_cache.observe(sigs.sigs, sigs.words);
+            if !self.mechanism.re_oracle {
+                // Oracle mode renders everything and only counts; otherwise
+                // matching tiles leave the plan before any driver sees it.
+                let removed = plan.retain_tiles(|t| !decision.matched[t.index()]);
+                debug_assert_eq!(removed as u64, decision.discarded);
+            }
+            let labels = [("frame", frame_label.as_str())];
+            self.metrics.add_counter("re_tiles_checked", &labels, decision.checked);
+            self.metrics.add_counter("re_tiles_discarded", &labels, decision.discarded);
+            self.metrics.add_counter("re_signature_bytes", &labels, bytes_hashed);
+            self.metrics
+                .add_counter("re_false_negatives", &labels, decision.false_negatives);
+            if traced {
+                trace::instant_args(
+                    Track::Scheduler,
+                    "re discard",
+                    0,
+                    vec![
+                        ("frame", frame_label.clone()),
+                        ("checked", decision.checked.to_string()),
+                        ("discarded", decision.discarded.to_string()),
+                        ("false_negatives", decision.false_negatives.to_string()),
+                    ],
+                );
+            }
+        }
 
         if traced {
             trace::span_args(
@@ -124,8 +192,31 @@ impl GpuSimulator {
             &mut plan,
             &geo.tris,
             &geo.bins,
+            self.mechanism,
         );
         debug_assert!(plan.is_exhausted(), "raster phase must consume the whole plan");
+        if self.mechanism.wasp {
+            let labels = [("frame", frame_label.as_str())];
+            self.metrics
+                .add_counter("wasp_engaged_tiles", &labels, raster.wasp_engaged_tiles);
+            self.metrics
+                .add_counter("wasp_spearhead_warps", &labels, raster.wasp_spearhead_warps);
+            self.metrics
+                .add_counter("wasp_reordered_tiles", &labels, raster.wasp_reordered_tiles);
+            if traced {
+                trace::instant_args(
+                    Track::Scheduler,
+                    "wasp",
+                    0,
+                    vec![
+                        ("frame", frame_label.clone()),
+                        ("engaged_tiles", raster.wasp_engaged_tiles.to_string()),
+                        ("spearhead_warps", raster.wasp_spearhead_warps.to_string()),
+                        ("reordered_tiles", raster.wasp_reordered_tiles.to_string()),
+                    ],
+                );
+            }
+        }
         if traced {
             trace::span_args(
                 Track::Phases,
@@ -203,6 +294,7 @@ impl core::fmt::Debug for GpuSimulator {
         f.debug_struct("GpuSimulator")
             .field("cfg", &self.cfg)
             .field("scheduler", &self.scheduler.name())
+            .field("mechanism", &self.mechanism)
             .field("frame_no", &self.frame_no)
             .finish()
     }
@@ -221,6 +313,18 @@ pub fn simulate_sequence(
     frames: u32,
 ) -> SequenceStats {
     GpuSimulator::new(cfg.clone(), scheduler).render_sequence(profile, frames)
+}
+
+/// Renders a benchmark sequence on a fresh GPU with an explicit mechanism axis
+/// (Rendering Elimination and/or WaSP layered on top of `scheduler`).
+pub fn simulate_sequence_mech(
+    cfg: &GpuConfig,
+    scheduler: SchedulerKind,
+    mechanism: MechanismSpec,
+    profile: &BenchmarkProfile,
+    frames: u32,
+) -> SequenceStats {
+    GpuSimulator::with_mechanism(cfg.clone(), scheduler, mechanism).render_sequence(profile, frames)
 }
 
 #[cfg(test)]
@@ -288,6 +392,62 @@ mod tests {
     }
 
     #[test]
+    fn re_discards_every_tile_of_a_repeated_scene() {
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        let gen = SceneGenerator::new(&profile(), &cfg.screen);
+        let scene = gen.scene(0);
+        let re = MechanismSpec::parse("re").unwrap();
+        let mut sim = GpuSimulator::with_mechanism(cfg.clone(), SchedulerKind::Libra, re);
+        let first = sim.render_frame(&scene);
+        let second = sim.render_frame(&scene); // bit-identical inputs
+        let counter = |name: &str, frame: &str| {
+            sim.metrics().counter_value(name, &[("frame", frame)]).unwrap_or(0)
+        };
+        assert_eq!(counter("re_tiles_discarded", "0"), 0, "no cache on frame 0");
+        let tiles = cfg.screen.num_tiles() as u64;
+        assert_eq!(counter("re_tiles_checked", "1"), tiles);
+        assert_eq!(counter("re_tiles_discarded", "1"), tiles, "identical frame");
+        assert!(counter("re_signature_bytes", "1") > 0);
+        assert_eq!(counter("re_false_negatives", "1"), 0);
+        // The whole raster phase was eliminated; only geometry remains.
+        assert_eq!(second.fragments, 0);
+        assert!(second.total_cycles() < first.total_cycles());
+    }
+
+    #[test]
+    fn re_oracle_renders_everything_and_sees_no_collisions() {
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        let p = profile();
+        let oracle = MechanismSpec::parse("re-oracle").unwrap();
+        let mut sim = GpuSimulator::with_mechanism(cfg.clone(), SchedulerKind::Libra, oracle);
+        let seq = sim.render_sequence(&p, 3);
+        let base = simulate_sequence(&cfg, SchedulerKind::Libra, &p, 3);
+        for (a, b) in seq.frames.iter().zip(&base.frames) {
+            assert_eq!(a.fragments, b.fragments, "oracle must render every tile");
+            assert_eq!(a.raster_cycles, b.raster_cycles);
+        }
+        for f in 0..3u32 {
+            let label = f.to_string();
+            assert_eq!(
+                sim.metrics().counter_value("re_false_negatives", &[("frame", &label)]),
+                Some(0),
+                "hash collision on frame {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn mechanisms_compose_and_stay_deterministic() {
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        let p = profile();
+        let both = MechanismSpec::parse("re+wasp").unwrap();
+        let a = simulate_sequence_mech(&cfg, SchedulerKind::Libra, both, &p, 2);
+        let b = simulate_sequence_mech(&cfg, SchedulerKind::Libra, both, &p, 2);
+        assert_eq!(a, b);
+        assert!(a.total_cycles() > 0);
+    }
+
+    #[test]
     #[should_panic(expected = "invalid GPU configuration")]
     fn invalid_config_panics() {
         let mut cfg = GpuConfig::baseline(ScreenConfig::tiny());
@@ -340,6 +500,7 @@ pub fn simulate_sequence_oracle(
                 &mut scout_plan,
                 &geo.tris,
                 &geo.bins,
+                MechanismSpec::default(),
             );
             scout.heatmap
         };
@@ -347,7 +508,15 @@ pub fn simulate_sequence_oracle(
         // Real pass with the oracle plan.
         let mut plan = temperature_plan(&cfg.screen, &heatmap, supertile_size);
         let geometry_cycles = geo.cycles.max(plan.ranking_cycles);
-        let raster = run_raster_phase(cfg, &mut rus, &mut hier, &mut plan, &geo.tris, &geo.bins);
+        let raster = run_raster_phase(
+            cfg,
+            &mut rus,
+            &mut hier,
+            &mut plan,
+            &geo.tris,
+            &geo.bins,
+            MechanismSpec::default(),
+        );
 
         let mut texture_cache = tbr_common::stats::CacheStats::default();
         let mut tile_cache = tbr_common::stats::CacheStats::default();

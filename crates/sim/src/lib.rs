@@ -9,7 +9,9 @@
 //!   tiles from the scheduler's [`libra::scheduler::FramePlan`], with warp-granular
 //!   interleaving across RUs so shared L2/DRAM contention is causally ordered;
 //! * [`gpu`] — [`GpuSimulator`]: the frame loop with LIBRA's feedback path (profile
-//!   frame *n*, schedule frame *n + 1*);
+//!   frame *n*, schedule frame *n + 1*), plus the orthogonal mechanism axes
+//!   ([`tbr_common::mechanism::MechanismSpec`]): Rendering Elimination's per-tile
+//!   signature cache and WaSP's spearhead warp scheduling;
 //! * [`campaign`] — the deterministic, fault-tolerant parallel campaign driver:
 //!   independent (workload × scheduler × config) sweep points fanned across
 //!   `std::thread` workers via a work-stealing queue, bit-identical to the serial
@@ -64,6 +66,9 @@ pub use service::{
 pub use wire::{JobSpec, Message, WIRE_VERSION};
 pub use fault::{FaultKind, FaultSpec};
 pub use event_loop::EventLoopMode;
-pub use gpu::{simulate_frame, simulate_sequence, simulate_sequence_oracle, GpuSimulator};
+pub use gpu::{
+    simulate_frame, simulate_sequence, simulate_sequence_mech, simulate_sequence_oracle,
+    GpuSimulator,
+};
 pub use imr::simulate_sequence_imr;
 pub use libra::scheduler::SchedulerKind;

@@ -31,6 +31,7 @@ use tbr_common::hostprof::{self, PhaseProfile, WorkerLane, RUN_LENGTH_BUCKETS};
 use libra::scheduler::FramePlan;
 use tbr_common::config::GpuConfig;
 use tbr_common::event_queue::{EventQueue, ShardedEventQueue};
+use tbr_common::mechanism::MechanismSpec;
 use tbr_common::ids::{RasterUnitId, TileId};
 use tbr_common::stats::TileHeatmap;
 use tbr_common::trace::{self, Track};
@@ -79,6 +80,13 @@ pub struct RasterPhaseResult {
     /// Identical between the heap and scan drivers; the throughput benchmark
     /// divides wall-clock by this to get ns/event.
     pub events: u64,
+    /// Tiles where WaSP engaged (texture-L1 miss ratio above the threshold at
+    /// front-end completion). Zero unless the `wasp` mechanism is enabled.
+    pub wasp_engaged_tiles: u64,
+    /// Warps promoted into WaSP spearhead groups across the frame.
+    pub wasp_spearhead_warps: u64,
+    /// Tiles whose warp issue order actually changed under WaSP.
+    pub wasp_reordered_tiles: u64,
 }
 
 #[derive(Debug)]
@@ -268,6 +276,9 @@ struct PhaseCtx<'a> {
     plan: &'a mut FramePlan,
     prims: &'a TriangleStream,
     bins: &'a TileBins,
+    /// Mechanism axis: only `wasp` is consulted here (RE filters the plan
+    /// before the phase starts, so the drivers never see eliminated tiles).
+    mech: MechanismSpec,
     states: Vec<RuState>,
     out: RasterPhaseResult,
     unique: U64Set,
@@ -291,12 +302,14 @@ impl<'a> PhaseCtx<'a> {
             plan,
             prims,
             bins,
+            mech,
             states,
             out,
             unique,
             frame_end,
         } = self;
         let max_warps = *max_warps;
+        let mech = *mech;
         let st = &mut states[i];
 
         let branch = select_branch(st, step_idx, max_warps);
@@ -504,10 +517,26 @@ impl<'a> PhaseCtx<'a> {
                         tally.fragments += fe.fragments;
                     }
                     st.fe_time = fe.fe_done;
+                    let mut warps = fe.warps;
+                    if mech.wasp {
+                        // WaSP reorders the tile's warp queue at front-end
+                        // completion. FrontEnd is a Shared branch in every
+                        // driver (the par coordinator commits it serially),
+                        // and the RU's texture stats at this event are
+                        // bit-identical across drivers, so the reorder is too.
+                        let d = tbr_raster::wasp::schedule_tile_warps(&rus[i], &mut warps);
+                        if d.engaged {
+                            out.wasp_engaged_tiles += 1;
+                            out.wasp_spearhead_warps += d.spearhead;
+                        }
+                        if d.reordered {
+                            out.wasp_reordered_tiles += 1;
+                        }
+                    }
                     st.fe_ready = Some(FeReady {
                         tile,
                         fe_done: fe.fe_done,
-                        warps: fe.warps.into(),
+                        warps: warps.into(),
                     });
                 }
                 Effect::Other
@@ -1379,7 +1408,10 @@ fn record_par_phase(
 
 /// Runs the raster phase from cycle 0 until every tile in `plan` has been rendered
 /// and flushed. The event loop driver is selected per [`event_loop::mode`]; both
-/// drivers produce bit-identical results.
+/// drivers produce bit-identical results. `mech` selects the optional mechanism
+/// axis: with `wasp` enabled each tile's warp queue is re-ordered (spearhead +
+/// criticality) at front-end completion; `re` does not act here — eliminated
+/// tiles were already filtered out of `plan`.
 pub fn run_raster_phase(
     cfg: &GpuConfig,
     rus: &mut [RasterUnit],
@@ -1387,6 +1419,7 @@ pub fn run_raster_phase(
     plan: &mut FramePlan,
     prims: &TriangleStream,
     bins: &TileBins,
+    mech: MechanismSpec,
 ) -> RasterPhaseResult {
     let ru_count = rus.len();
     let states: Vec<RuState> = rus
@@ -1415,6 +1448,7 @@ pub fn run_raster_phase(
         plan,
         prims,
         bins,
+        mech,
         states,
         out: RasterPhaseResult {
             heatmap: TileHeatmap::new(cfg.screen.num_tiles()),
@@ -1447,6 +1481,10 @@ mod tests {
     use tbr_workloads::{suite, SceneGenerator};
 
     fn run(cfg: &GpuConfig, kind: SchedulerKind) -> RasterPhaseResult {
+        run_mech(cfg, kind, MechanismSpec::default())
+    }
+
+    fn run_mech(cfg: &GpuConfig, kind: SchedulerKind, mech: MechanismSpec) -> RasterPhaseResult {
         let p = suite().remove(0);
         let scene = SceneGenerator::new(&p, &cfg.screen).scene(0);
         let (tris, _) = process_scene_stream(&scene, &cfg.screen);
@@ -1458,7 +1496,7 @@ mod tests {
             .collect();
         let mut sched = kind.build();
         let mut plan = sched.plan_frame(&cfg.screen, None);
-        run_raster_phase(cfg, &mut rus, &mut hier, &mut plan, &tris, &bins)
+        run_raster_phase(cfg, &mut rus, &mut hier, &mut plan, &tris, &bins, mech)
     }
 
     #[test]
@@ -1485,6 +1523,33 @@ mod tests {
             assert_eq!(scan, heap, "drivers diverged under {kind:?}");
             assert!(scan.events > 0);
         }
+    }
+
+    #[test]
+    fn wasp_reorders_warps_yet_drivers_still_agree_bit_for_bit() {
+        // The WaSP reorder happens at FrontEnd events, which are Shared in
+        // every driver, so the mechanism must not break scan ≡ heap ≡ par.
+        let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+        let mech = MechanismSpec::parse("wasp").unwrap();
+        event_loop::set_mode(Some(EventLoopMode::Scan));
+        let scan = run_mech(&cfg, SchedulerKind::Libra, mech);
+        event_loop::set_mode(Some(EventLoopMode::Heap));
+        let heap = run_mech(&cfg, SchedulerKind::Libra, mech);
+        event_loop::set_mode(Some(EventLoopMode::Par));
+        for threads in [1usize, 2, 4] {
+            event_loop::set_sim_threads(Some(threads));
+            let par = run_mech(&cfg, SchedulerKind::Libra, mech);
+            assert_eq!(heap, par, "wasp par@{threads} diverged");
+        }
+        event_loop::set_sim_threads(None);
+        event_loop::set_mode(None);
+        assert_eq!(scan, heap, "wasp drivers diverged");
+        assert!(scan.wasp_engaged_tiles > 0, "wasp never engaged on a cold cache");
+        assert!(scan.wasp_spearhead_warps > 0);
+        // Same functional work as the mechanism-off run, different timing axis.
+        let base = run(&cfg, SchedulerKind::Libra);
+        assert_eq!(base.fragments, scan.fragments);
+        assert_eq!(base.wasp_engaged_tiles, 0, "counters must stay 0 when off");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use libra::scheduler::SchedulerKind;
 use tbr_common::config::{GpuConfig, ScreenConfig};
 use tbr_common::hostprof::HostMeta;
 use tbr_common::json::{self, escape_into, Value};
+use tbr_common::mechanism::MechanismSpec;
 use tbr_workloads::suite;
 
 use crate::campaign::Campaign;
@@ -61,6 +62,11 @@ pub struct JobSpec {
     pub seed: u64,
     /// Scheduler name in [`parse_scheduler`] vocabulary.
     pub scheduler: String,
+    /// Mechanism axis in [`MechanismSpec::parse`] vocabulary (`none`, `re`,
+    /// `wasp`, `re-oracle`, `+` combinations). Backward-compat rule: the wire
+    /// field is omitted when `none`, and a payload without the field decodes
+    /// to `none` — pre-mechanism endpoints and payloads stay interoperable.
+    pub mechanism: String,
     /// Frames rendered per job.
     pub frames: u32,
     /// Raster Units in the simulated GPU.
@@ -80,6 +86,7 @@ impl Default for JobSpec {
         Self {
             seed: 0,
             scheduler: "libra".into(),
+            mechanism: "none".into(),
             frames: 6,
             rus: 2,
             cores: 4,
@@ -99,6 +106,7 @@ impl JobSpec {
     /// fingerprint-identical campaigns.
     pub fn to_campaign(&self) -> Result<(GpuConfig, Campaign), String> {
         let sched = parse_scheduler(&self.scheduler)?;
+        let mech = MechanismSpec::parse(&self.mechanism).map_err(|e| format!("job spec: {e}"))?;
         let screen = match self.screen.as_str() {
             "tiny" => ScreenConfig::tiny(),
             "quarter" => ScreenConfig::quarter_fhd(),
@@ -115,7 +123,7 @@ impl JobSpec {
             }
             profiles.truncate(n);
         }
-        let campaign = Campaign::grid(self.seed, &cfg, &[sched], &profiles, self.frames);
+        let campaign = Campaign::grid_mech(self.seed, &cfg, &[sched], mech, &profiles, self.frames);
         Ok((cfg, campaign))
     }
 
@@ -128,6 +136,11 @@ impl JobSpec {
         );
         if let Some(n) = self.take {
             out.push_str(&format!(", \"take\": {n}"));
+        }
+        // Omitted when default so pre-mechanism endpoints keep decoding (and
+        // fingerprint-checking) default payloads byte-identically.
+        if self.mechanism != "none" {
+            out.push_str(&format!(", \"mechanism\": {}", quoted(&self.mechanism)));
         }
         out.push('}');
         out
@@ -142,9 +155,17 @@ impl JobSpec {
                     as usize,
             ),
         };
+        let mechanism = match v.get("mechanism") {
+            None => "none".to_string(), // pre-mechanism payload: default axis
+            Some(m) => m
+                .as_str()
+                .ok_or_else(|| format!("{what}.mechanism: expected a string"))?
+                .to_string(),
+        };
         Ok(Self {
             seed: field_hex(v, "seed", what)?,
             scheduler: field_str(v, "scheduler", what)?.to_string(),
+            mechanism,
             frames: field_u64(v, "frames", what)? as u32,
             rus: field_u64(v, "rus", what)? as usize,
             cores: field_u64(v, "cores", what)? as usize,

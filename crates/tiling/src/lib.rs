@@ -13,15 +13,20 @@
 //!   the memory addresses its writes/reads touch.
 //! * [`traversal`] — frame-level tile traversal orders (Z-order/Morton, scanline).
 //! * [`fetcher`] — the per-Raster-Unit primitive FIFO of Fig 5.
+//! * [`signature`] — per-tile input signatures for Rendering Elimination
+//!   (arXiv 1807.09449): a deterministic hash over each tile's binned
+//!   primitive stream, vertex lanes and interned draw state.
 
 #![warn(missing_docs)]
 
 pub mod binner;
 pub mod fetcher;
 pub mod param_buffer;
+pub mod signature;
 pub mod traversal;
 
 pub use binner::{bin_stream, bin_triangles, TileBins};
 pub use fetcher::PrimitiveFifo;
 pub use param_buffer::ParamBuffer;
+pub use signature::{frame_signatures, FrameSignatures};
 pub use traversal::{tile_order, TraversalOrder};

@@ -1,0 +1,207 @@
+//! Per-tile input signatures for Rendering Elimination (arXiv 1807.09449).
+//!
+//! RE observes that consecutive frames are highly coherent: most tiles receive
+//! *exactly* the same inputs as the frame before, so their raster/shade/flush
+//! work can be skipped and the previous frame's colour-buffer contents kept.
+//! "Same inputs" is decided by hashing, per tile, everything the Raster
+//! Pipeline would consume for that tile:
+//!
+//! * the binned primitive list in program order (each primitive's sequence
+//!   number — insertions, deletions and reorderings all change the stream);
+//! * the transformed vertex lanes (`x, y, z, u, v` per vertex, hashed as exact
+//!   IEEE-754 bit patterns — no epsilon: RE is only allowed to discard on
+//!   bit-exact repetition);
+//! * the interned [`DrawState`] (draw call, texture descriptor, fragment
+//!   shader profile, blend mode).
+//!
+//! The hash is [`SplitMix64Hasher`] from `tbr_common::fasthash` folded over a
+//! canonical `u64` word stream ([`tile_signature_words`]). The word stream is
+//! what the hardware's signature unit would pump through its hash pipeline;
+//! its length is the DRAM-side cost of signature generation and is reported as
+//! `re_signature_bytes`. The oracle mode keeps the words themselves so a
+//! signature match can be cross-checked against true input equality — a
+//! mismatch there is a hash collision, counted as a false negative.
+
+use crate::binner::TileBins;
+use std::hash::{Hash, Hasher};
+use tbr_common::fasthash::SplitMix64Hasher;
+use tbr_common::ids::TileId;
+use tbr_geom::stream::{DrawState, TriangleStream};
+
+/// Words appended to the signature stream per binned primitive: sequence
+/// number, draw-state digest, and nine packed vertex-lane words (three per
+/// vertex: `x|y`, `z|u`, `v`).
+pub const WORDS_PER_PRIMITIVE: usize = 11;
+
+/// Per-tile input signatures for one frame.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameSignatures {
+    /// One signature per tile, indexed by `TileId::index()`.
+    pub sigs: Vec<u64>,
+    /// Total bytes pumped through the signature unit this frame (8 per word).
+    pub bytes_hashed: u64,
+    /// The raw word streams, kept only in oracle mode for exact-equality
+    /// cross-checking of signature matches.
+    pub words: Option<Vec<Vec<u64>>>,
+}
+
+fn pack(a: f32, b: f32) -> u64 {
+    ((a.to_bits() as u64) << 32) | b.to_bits() as u64
+}
+
+fn state_digest(s: &DrawState) -> u64 {
+    let mut h = SplitMix64Hasher::default();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// Appends the canonical signature word stream of one tile — its binned
+/// primitive list `prims` (indices into `tris`, program order) — to `out`.
+pub fn tile_signature_words(tris: &TriangleStream, prims: &[u32], out: &mut Vec<u64>) {
+    out.reserve(prims.len() * WORDS_PER_PRIMITIVE);
+    for &p in prims {
+        let i = p as usize;
+        out.push(tris.seq[i] as u64);
+        out.push(state_digest(tris.state_of(i)));
+        let b = 3 * i;
+        for k in 0..3 {
+            out.push(pack(tris.xs[b + k], tris.ys[b + k]));
+            out.push(pack(tris.zs[b + k], tris.us[b + k]));
+            out.push(tris.vs[b + k].to_bits() as u64);
+        }
+    }
+}
+
+/// Folds a word stream into its 64-bit signature. The tile id seeds the fold
+/// so identical streams in different tiles (e.g. two empty tiles) still get
+/// decorrelated signatures.
+pub fn signature_of_words(tile: TileId, words: &[u64]) -> u64 {
+    let mut h = SplitMix64Hasher::default();
+    h.write_u64(tile.index() as u64);
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// Computes every tile's input signature for one binned frame. With
+/// `keep_words` (oracle mode) the raw word streams are retained for exact
+/// cross-checking; otherwise only the 8-byte signatures survive, which is the
+/// hardware's storage cost.
+pub fn frame_signatures(tris: &TriangleStream, bins: &TileBins, keep_words: bool) -> FrameSignatures {
+    let num_tiles = bins.lists.len();
+    let mut sigs = Vec::with_capacity(num_tiles);
+    let mut bytes_hashed = 0u64;
+    let mut words = keep_words.then(|| Vec::with_capacity(num_tiles));
+    let mut scratch = Vec::new();
+    for t in 0..num_tiles {
+        let tile = TileId(t as u32);
+        scratch.clear();
+        tile_signature_words(tris, bins.list(tile), &mut scratch);
+        bytes_hashed += 8 * scratch.len() as u64;
+        sigs.push(signature_of_words(tile, &scratch));
+        if let Some(w) = words.as_mut() {
+            w.push(scratch.clone());
+        }
+    }
+    FrameSignatures { sigs, bytes_hashed, words }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binner::bin_stream;
+    use tbr_common::config::ScreenConfig;
+    use tbr_geom::pipeline::{ScreenTriangle, ScreenVertex};
+    use tbr_geom::scene::{BlendMode, FragmentShaderDesc, TextureDesc};
+    use tbr_common::ids::{DrawCallId, TextureId};
+
+    fn tri(x: f32, y: f32, seq: u32, draw: u32) -> ScreenTriangle {
+        ScreenTriangle {
+            v: [
+                ScreenVertex { x, y, z: 0.25, u: 0.0, v: 0.0 },
+                ScreenVertex { x: x + 12.0, y, z: 0.5, u: 1.0, v: 0.0 },
+                ScreenVertex { x, y: y + 12.0, z: 0.75, u: 0.0, v: 1.0 },
+            ],
+            draw: DrawCallId(draw),
+            texture: TextureDesc::new(TextureId(draw), 64),
+            shader: FragmentShaderDesc::simple(),
+            blend: BlendMode::Opaque,
+            seq,
+        }
+    }
+
+    fn sigs_of(tris: &[ScreenTriangle]) -> FrameSignatures {
+        let screen = ScreenConfig::tiny();
+        let stream = TriangleStream::from_triangles(tris);
+        let bins = bin_stream(&stream, &screen);
+        frame_signatures(&stream, &bins, false)
+    }
+
+    #[test]
+    fn identical_frames_sign_identically() {
+        let frame = vec![tri(0.0, 0.0, 0, 0), tri(40.0, 8.0, 1, 1)];
+        assert_eq!(sigs_of(&frame), sigs_of(&frame.clone()));
+    }
+
+    #[test]
+    fn any_input_perturbation_changes_the_touched_tiles_signature() {
+        let base = vec![tri(0.0, 0.0, 0, 0)];
+        let a = sigs_of(&base);
+
+        // Nudge one vertex by one ULP-scale step.
+        let mut moved = base.clone();
+        moved[0].v[0].x += 0.25;
+        assert_ne!(a.sigs[0], sigs_of(&moved).sigs[0], "vertex lanes must be hashed");
+
+        // Change only the draw state.
+        let mut restate = base.clone();
+        restate[0].texture = TextureDesc::new(TextureId(9), 64);
+        assert_ne!(a.sigs[0], sigs_of(&restate).sigs[0], "draw state must be hashed");
+
+        // Change only the program-order sequence number.
+        let mut reseq = base.clone();
+        reseq[0].seq = 7;
+        assert_ne!(a.sigs[0], sigs_of(&reseq).sigs[0], "program order must be hashed");
+    }
+
+    #[test]
+    fn untouched_tiles_keep_their_signature_when_another_tile_changes() {
+        let frame_a = vec![tri(0.0, 0.0, 0, 0), tri(100.0, 40.0, 1, 1)];
+        let mut frame_b = frame_a.clone();
+        frame_b[1].v[0].u = 0.5; // perturb only the second triangle
+        let (a, b) = (sigs_of(&frame_a), sigs_of(&frame_b));
+        let screen = ScreenConfig::tiny();
+        let stream = TriangleStream::from_triangles(&frame_a);
+        let bins = bin_stream(&stream, &screen);
+        let second: std::collections::HashSet<u32> = {
+            let s2 = TriangleStream::from_triangles(&frame_b);
+            let b2 = bin_stream(&s2, &screen);
+            (0..b2.lists.len() as u32)
+                .filter(|&t| b2.list(TileId(t)).contains(&1))
+                .collect()
+        };
+        for t in 0..bins.lists.len() as u32 {
+            if !second.contains(&t) && !bins.list(TileId(t)).contains(&1) {
+                assert_eq!(a.sigs[t as usize], b.sigs[t as usize], "tile {t} shares no input");
+            }
+        }
+        assert!(a.sigs.iter().zip(&b.sigs).any(|(x, y)| x != y), "some tile must differ");
+    }
+
+    #[test]
+    fn oracle_words_reproduce_the_signature_and_the_byte_count() {
+        let frame = vec![tri(0.0, 0.0, 0, 0), tri(8.0, 8.0, 1, 0)];
+        let screen = ScreenConfig::tiny();
+        let stream = TriangleStream::from_triangles(&frame);
+        let bins = bin_stream(&stream, &screen);
+        let f = frame_signatures(&stream, &bins, true);
+        let words = f.words.as_ref().expect("oracle keeps words");
+        let total: usize = words.iter().map(Vec::len).sum();
+        assert_eq!(f.bytes_hashed, 8 * total as u64);
+        for (t, w) in words.iter().enumerate() {
+            assert_eq!(f.sigs[t], signature_of_words(TileId(t as u32), w));
+            assert_eq!(w.len(), bins.list(TileId(t as u32)).len() * WORDS_PER_PRIMITIVE);
+        }
+    }
+}

@@ -23,7 +23,15 @@ fn run(label: &str, kind: SchedulerKind, cfg: &GpuConfig, p: &BenchmarkProfile) 
         let geo = run_geometry_phase(cfg, &mut vertex_l1, &mut hier, &scene);
         hier.end_frame();
         let mut plan = sched.plan_frame(&cfg.screen, feedback.as_ref());
-        let r = run_raster_phase(cfg, &mut rus, &mut hier, &mut plan, &geo.tris, &geo.bins);
+        let r = run_raster_phase(
+            cfg,
+            &mut rus,
+            &mut hier,
+            &mut plan,
+            &geo.tris,
+            &geo.bins,
+            MechanismSpec::default(),
+        );
         let tex: tbr_common::stats::CacheStats =
             rus.iter().fold(Default::default(), |mut a, ru| {
                 a.merge(&ru.texture_stats());

@@ -20,7 +20,15 @@ fn run(label: &str, cfg: &GpuConfig, profile: &tbr_workloads::BenchmarkProfile) 
         (0..cfg.num_raster_units).map(|_| RasterUnit::new(cfg)).collect();
     let mut sched = SchedulerKind::SingleZOrder.build();
     let mut plan = sched.plan_frame(&cfg.screen, None);
-    let r = run_raster_phase(cfg, &mut rus, &mut hier, &mut plan, &geo.tris, &geo.bins);
+    let r = run_raster_phase(
+        cfg,
+        &mut rus,
+        &mut hier,
+        &mut plan,
+        &geo.tris,
+        &geo.bins,
+        MechanismSpec::default(),
+    );
     let tex: tbr_common::stats::CacheStats =
         rus.iter().fold(Default::default(), |mut a, ru| {
             a.merge(&ru.texture_stats());

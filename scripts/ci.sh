@@ -10,39 +10,39 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=1
 
-echo "== [1/13] offline release build =="
+echo "== [1/14] offline release build =="
 cargo build --release --workspace
 
-echo "== [2/13] clippy (deny warnings) =="
+echo "== [2/14] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== [3/13] rustdoc (deny warnings) =="
+echo "== [3/14] rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-echo "== [4/13] test suite =="
+echo "== [4/14] test suite =="
 cargo test -q
 
-echo "== [5/13] trace-export smoke (emit, then validate with the in-repo parser) =="
+echo "== [5/14] trace-export smoke (emit, then validate with the in-repo parser) =="
 cargo run --release --bin libra-sim -- run AAt --frames 1 \
     --trace-out target/ci_trace.json --report-json target/ci_report.json
 cargo run --release --bin libra-sim -- trace-check target/ci_trace.json
 
-echo "== [6/13] 2-thread campaign smoke (parallel == serial, bit-identical) =="
+echo "== [6/14] 2-thread campaign smoke (parallel == serial, bit-identical) =="
 cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 --verify
 
-echo "== [7/13] heap-vs-scan event-loop differential smoke (metrics bit-identical) =="
+echo "== [7/14] heap-vs-scan event-loop differential smoke (metrics bit-identical) =="
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop scan \
     --report-json target/ci_eventloop_scan.json
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop heap \
     --report-json target/ci_eventloop_heap.json
 cmp target/ci_eventloop_scan.json target/ci_eventloop_heap.json
 
-echo "== [8/13] par-vs-heap event-loop differential smoke (2 worker threads, metrics bit-identical) =="
+echo "== [8/14] par-vs-heap event-loop differential smoke (2 worker threads, metrics bit-identical) =="
 cargo run --release --bin libra-sim -- run CCS --frames 2 --event-loop par --sim-threads 2 \
     --report-json target/ci_eventloop_par.json
 cmp target/ci_eventloop_heap.json target/ci_eventloop_par.json
 
-echo "== [9/13] kill-and-resume smoke (poison one job, resume, metrics bit-identical) =="
+echo "== [9/14] kill-and-resume smoke (poison one job, resume, metrics bit-identical) =="
 # Reference: an uninterrupted sweep (no checkpoint so it cannot collide).
 cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 \
     --no-checkpoint --report-json target/ci_campaign_ref.json
@@ -61,7 +61,7 @@ cargo run --release --bin libra-sim -- campaign --frames 1 --threads 2 \
     --resume target/ci_campaign.ckpt --report-json target/ci_campaign_resumed.json
 cmp target/ci_campaign_ref.json target/ci_campaign_resumed.json
 
-echo "== [10/13] binary-checkpoint kill-and-resume (torn sidecar healed byte-identically) =="
+echo "== [10/14] binary-checkpoint kill-and-resume (torn sidecar healed byte-identically) =="
 # Reference: a serial sweep writing the default binary sidecar (job order is
 # deterministic at --threads 1, so the file is byte-reproducible).
 rm -f target/ci_campaign_ref.ckptb target/ci_campaign_cut.ckptb
@@ -82,11 +82,11 @@ cargo run --release --bin libra-sim -- campaign --frames 1 --threads 1 \
     --resume target/ci_campaign_cut.ckptb >/dev/null
 cmp target/ci_campaign_ref.ckptb target/ci_campaign_cut.ckptb
 
-echo "== [11/13] sim-throughput record (scan vs heap vs par wall-clock; record only, never asserted) =="
+echo "== [11/14] sim-throughput record (scan vs heap vs par wall-clock; record only, never asserted) =="
 cargo run --release --bin libra-sim -- throughput --frames 1 --rus 64 --cores 8 \
     --out BENCH_sim_throughput.json
 
-echo "== [12/13] speedup attribution + bench-history compare (report-only) =="
+echo "== [12/14] speedup attribution + bench-history compare (report-only) =="
 # Small config: the point is the plumbing (hostprof, attribution invariants,
 # history append, baseline diff), not the numbers. The CI history lives under
 # target/ so the committed history file is never dirtied, and the compare is
@@ -101,7 +101,7 @@ LIBRA_BENCH_HISTORY=target/ci_bench_history.jsonl \
 # The small-config run overwrote the gate-10 record; put it back.
 mv target/ci_sim_throughput_saved.json bench_results/sim_throughput.json
 
-echo "== [13/13] campaign service smoke (serve/submit on loopback, 2 workers, report byte-identical to serial campaign) =="
+echo "== [13/14] campaign service smoke (serve/submit on loopback, 2 workers, report byte-identical to serial campaign) =="
 # Reference: a plain single-process 4-job sweep.
 cargo run --release --bin libra-sim -- campaign --frames 1 --take 4 --threads 1 \
     --no-checkpoint --report-json target/ci_serve_ref.json >/dev/null
@@ -127,5 +127,17 @@ cargo run --release --bin libra-sim -- submit --addr "$SERVE_ADDR" --frames 1 --
 wait "$SERVE_PID"
 # The sharded report must be byte-identical to the single-process one.
 cmp target/ci_serve_ref.json target/ci_serve_report.json
+
+echo "== [14/14] mechanism sweep smoke (re+wasp campaign, serial == 2-thread bit-identical) =="
+# The mechanism axes must compose with the campaign driver deterministically:
+# the same re+wasp sweep on 1 and 2 threads writes byte-identical reports
+# (per-job cycles, DRAM and cache counters under RE discards + WaSP reorders).
+cargo run --release --bin libra-sim -- campaign --frames 2 --take 4 --threads 1 \
+    --mechanism re+wasp --no-checkpoint \
+    --report-json target/ci_mech_serial.json >/dev/null
+cargo run --release --bin libra-sim -- campaign --frames 2 --take 4 --threads 2 \
+    --mechanism re+wasp --no-checkpoint \
+    --report-json target/ci_mech_thr2.json >/dev/null
+cmp target/ci_mech_serial.json target/ci_mech_thr2.json
 
 echo "ci.sh: all gates passed"

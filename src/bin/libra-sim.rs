@@ -16,6 +16,11 @@
 //!
 //! options: --frames N (default 6)   --fhd   --scheduler z|scanline|hilbert|static2|
 //!          static4|static8|static16|libra   --rus N   --cores N   --ideal-memory
+//!          --mechanism none|re|wasp|re+wasp|re-oracle|re-oracle+wasp (orthogonal
+//!          mechanism axes: Rendering Elimination and/or WaSP, composable with
+//!          every scheduler; default none)   --re-oracle (differential RE mode:
+//!          render everything anyway and count would-be discards + hash
+//!          collisions; shorthand that upgrades the current --mechanism)
 //!          --event-loop heap|scan|par (pin the raster event-loop driver)
 //!          --sim-threads N (worker threads for `--event-loop par`; also
 //!          settable via LIBRA_SIM_THREADS — the results are bit-identical at
@@ -49,8 +54,8 @@
 //!          once, exercising crash recovery)
 //!
 //! submit options: --addr HOST:PORT plus the campaign spec flags (--frames,
-//!          --scheduler, --rus, --cores, --fhd, --ideal-memory, --seed,
-//!          --take); --report-json FILE writes the returned report — byte-
+//!          --scheduler, --mechanism, --rus, --cores, --fhd, --ideal-memory,
+//!          --seed, --take); --report-json FILE writes the returned report — byte-
 //!          identical to `libra-sim campaign --report-json` of the same spec
 //!
 //! throughput options (additionally): --out FILE (JSON record; default
@@ -93,6 +98,8 @@ struct Opts {
     frames: u32,
     fhd: bool,
     scheduler: SchedulerKind,
+    mechanism: MechanismSpec,
+    re_oracle: bool,
     rus: usize,
     cores: usize,
     ideal: bool,
@@ -128,6 +135,8 @@ impl Default for Opts {
             frames: 6,
             fhd: false,
             scheduler: SchedulerKind::Libra,
+            mechanism: MechanismSpec::NONE,
+            re_oracle: false,
             rus: 2,
             cores: 4,
             ideal: false,
@@ -172,6 +181,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--frames" => o.frames = need("--frames")?.parse().map_err(|e| format!("{e}"))?,
             "--fhd" => o.fhd = true,
             "--scheduler" => o.scheduler = parse_scheduler(need("--scheduler")?)?,
+            "--mechanism" => o.mechanism = MechanismSpec::parse(need("--mechanism")?)?,
+            "--re-oracle" => o.re_oracle = true,
             "--rus" => o.rus = need("--rus")?.parse().map_err(|e| format!("{e}"))?,
             "--cores" => o.cores = need("--cores")?.parse().map_err(|e| format!("{e}"))?,
             "--ideal-memory" => o.ideal = true,
@@ -255,6 +266,17 @@ fn config(o: &Opts) -> GpuConfig {
     cfg
 }
 
+/// The effective mechanism axis: `--re-oracle` is shorthand that upgrades
+/// whatever `--mechanism` selected into the differential oracle mode.
+fn mech(o: &Opts) -> MechanismSpec {
+    let mut m = o.mechanism;
+    if o.re_oracle {
+        m.re = true;
+        m.re_oracle = true;
+    }
+    m
+}
+
 fn find(abbrev: &str) -> Result<BenchmarkProfile, String> {
     suite()
         .into_iter()
@@ -303,7 +325,8 @@ fn cmd_run(abbrev: &str, o: &Opts) -> Result<(), String> {
     // The simulator publishes into its metrics registry unconditionally; the
     // trace and host-profile collectors are installed only on request (they are
     // observation-only either way — stats are bit-identical with them on or off).
-    let mut sim = GpuSimulator::new(cfg.clone(), o.scheduler);
+    let mech = mech(o);
+    let mut sim = GpuSimulator::with_mechanism(cfg.clone(), o.scheduler, mech);
     if o.trace_out.is_some() {
         trace::start();
     }
@@ -317,7 +340,11 @@ fn cmd_run(abbrev: &str, o: &Opts) -> Result<(), String> {
     println!(
         "{}",
         report::sequence_summary(
-            &format!("{} ({} RU x {} cores)", p.abbrev, o.rus, o.cores),
+            &if mech.is_default() {
+                format!("{} ({} RU x {} cores)", p.abbrev, o.rus, o.cores)
+            } else {
+                format!("{} ({} RU x {} cores, {mech})", p.abbrev, o.rus, o.cores)
+            },
             &s,
             &cfg
         )
@@ -525,12 +552,14 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
     if let Some(n) = o.take {
         profiles.truncate(n);
     }
-    let campaign = Campaign::grid(o.seed, &cfg, &schedulers, &profiles, o.frames);
+    let mech = mech(o);
+    let campaign = Campaign::grid_mech(o.seed, &cfg, &schedulers, mech, &profiles, o.frames);
     println!(
-        "campaign: {} jobs ({} workloads x {} scheduler) on {} thread(s), seed {}",
+        "campaign: {} jobs ({} workloads x {} scheduler, mechanism {}) on {} thread(s), seed {}",
         campaign.len(),
         profiles.len(),
         schedulers.len(),
+        mech,
         threads,
         o.seed
     );
@@ -562,9 +591,16 @@ fn cmd_campaign(o: &Opts) -> Result<(), String> {
                 CheckpointFormat::Binary => "ckptb",
                 CheckpointFormat::Json => "ckpt",
             };
+            // Non-default mechanisms get their own sidecar so an `re` sweep
+            // never clobbers (or resumes into) the plain sweep's checkpoint.
+            let mech_tag = if mech.is_default() {
+                String::new()
+            } else {
+                format!("_{}", mech.name().replace('+', "-"))
+            };
             o.checkpoint.clone().or_else(|| {
                 Some(format!(
-                    "bench_results/campaign_{}_seed{}_f{}.{ext}",
+                    "bench_results/campaign_{}{mech_tag}_seed{}_f{}.{ext}",
                     o.scheduler.build().name(),
                     o.seed,
                     o.frames
@@ -700,6 +736,7 @@ fn spec_from_opts(o: &Opts) -> Result<tbr_sim::JobSpec, String> {
     Ok(tbr_sim::JobSpec {
         seed: o.seed,
         scheduler: scheduler_wire_name(o.scheduler)?,
+        mechanism: mech(o).name(),
         frames: o.frames,
         rus: o.rus,
         cores: o.cores,
@@ -787,6 +824,7 @@ fn usage() {
         "usage: libra-sim <suite|run|compare|sweep-ru|campaign|serve|submit|worker|throughput|\
          bench-compare|trace-check> \
          [ABBREV|FILE] [--frames N] [--fhd] [--scheduler z|scanline|hilbert|staticN|libra] \
+         [--mechanism none|re|wasp|re+wasp|re-oracle|re-oracle+wasp] [--re-oracle] \
          [--rus N] [--cores N] [--ideal-memory] [--event-loop heap|scan|par] \
          [--sim-threads N] [--threads N] [--take N] \
          [--seed S] [--verify] [--profile] [--trace-out FILE] [--report-json FILE] [--out FILE] \

@@ -46,14 +46,15 @@ pub mod prelude {
     pub use libra::temperature::TemperatureTable;
     pub use tbr_common::config::{DramConfig, GpuConfig, ScreenConfig};
     pub use tbr_common::ids::{SupertileId, TileCoord, TileId};
+    pub use tbr_common::mechanism::MechanismSpec;
     pub use tbr_common::metrics::MetricsRegistry;
     pub use tbr_common::stats::{FrameStats, SequenceStats};
     pub use tbr_common::trace::{self, Trace, Track};
     pub use tbr_energy::EnergyModel;
     pub use tbr_sim::{
-        event_loop, simulate_frame, simulate_sequence, Campaign, CampaignProfile, CampaignResult,
-        CampaignRun, CampaignSummary, CheckpointFormat, EventLoopMode, FaultSpec, GpuSimulator,
-        JobSuccess, RunOptions,
+        event_loop, simulate_frame, simulate_sequence, simulate_sequence_mech, Campaign,
+        CampaignProfile, CampaignResult, CampaignRun, CampaignSummary, CheckpointFormat,
+        EventLoopMode, FaultSpec, GpuSimulator, JobSuccess, RunOptions,
     };
     pub use tbr_workloads::{suite, BenchmarkProfile, Category};
 }

@@ -406,6 +406,50 @@ fn corrupt_and_mismatched_checkpoints_are_rejected_with_clear_errors() {
     cleanup(&whole);
 }
 
+/// Mechanism-axis checkpoint compatibility. Default-mechanism jobs digest into
+/// the fingerprint exactly as they did before the mechanism axis existed, so a
+/// pre-mechanism checkpoint still resumes into a default campaign — while a
+/// mechanism-bearing campaign over the *same* jobs is a genuinely different
+/// sweep and must refuse it.
+#[test]
+fn mechanism_campaigns_reject_default_checkpoints_and_vice_versa() {
+    let p = tmp_path("mech.ckpt");
+    let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+    let plain = small_campaign(3, 1);
+    plain
+        .run_resilient(&RunOptions { checkpoint_to: Some(p.clone()), ..RunOptions::default() })
+        .unwrap();
+
+    // Same (cfg, scheduler, workload, frames) grid with RE switched on.
+    let mech = MechanismSpec::parse("re").unwrap();
+    let mut re = Campaign::new(0);
+    for profile in suite().into_iter().take(3) {
+        re.push_mech(&cfg, SchedulerKind::Libra, mech, profile, 1);
+    }
+    assert_ne!(re.fingerprint(), plain.fingerprint(), "RE must change the sweep identity");
+    let err = re
+        .run_resilient(&RunOptions { resume_from: Some(p.clone()), ..RunOptions::default() })
+        .unwrap_err();
+    assert!(err.contains("fingerprint"), "should refuse the mechanism mismatch: {err}");
+
+    // The default campaign still adopts the checkpoint whole.
+    let resumed = plain
+        .run_resilient(&RunOptions { resume_from: Some(p.clone()), ..RunOptions::default() })
+        .unwrap();
+    assert_eq!(resumed.resumed_jobs, 3, "default sweep must keep matching its checkpoint");
+
+    // And a mechanism campaign's own checkpoint round-trips through resume.
+    let pm = tmp_path("mech_own.ckpt");
+    re.run_resilient(&RunOptions { checkpoint_to: Some(pm.clone()), ..RunOptions::default() })
+        .unwrap();
+    let resumed = re
+        .run_resilient(&RunOptions { resume_from: Some(pm.clone()), ..RunOptions::default() })
+        .unwrap();
+    assert_eq!(resumed.resumed_jobs, 3);
+    cleanup(&p);
+    cleanup(&pm);
+}
+
 #[test]
 fn checkpoint_survives_parallel_appends() {
     // 6 jobs on 3 threads: appends interleave arbitrarily, but every line must

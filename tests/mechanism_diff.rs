@@ -1,0 +1,101 @@
+//! Differential conformance suite for the mechanism axes (Rendering
+//! Elimination, WaSP) across the three event-loop drivers.
+//!
+//! The mechanisms reorder warps (WaSP) and drop whole tiles (RE) — both are
+//! decisions taken at points where per-RU state is bit-identical across the
+//! scan, heap, and parallel drivers, so the full simulation must stay bit-for-
+//! bit reproducible under every mechanism × driver × worker-count combination.
+//! Any divergence means a mechanism consulted driver-dependent state (e.g.
+//! cross-RU event interleavings) and MUST be fixed in the mechanism hook,
+//! never papered over by regenerating goldens.
+//!
+//! Everything lives in one `#[test]` because the mode and thread-count
+//! overrides are process-global: parallel test threads toggling them would
+//! race each other.
+
+use libra_repro::prelude::*;
+
+const FRAMES: u32 = 3;
+const WORKLOADS: [&str; 3] = ["AAt", "CCS", "GrT"];
+const PAR_THREADS: [usize; 3] = [1, 2, 4];
+
+fn mechanisms() -> [MechanismSpec; 4] {
+    [
+        MechanismSpec::parse("re").unwrap(),
+        MechanismSpec::parse("wasp").unwrap(),
+        MechanismSpec::parse("re+wasp").unwrap(),
+        MechanismSpec::parse("re-oracle+wasp").unwrap(),
+    ]
+}
+
+fn run_with(
+    mode: EventLoopMode,
+    threads: Option<usize>,
+    cfg: &GpuConfig,
+    mech: MechanismSpec,
+    p: &BenchmarkProfile,
+) -> SequenceStats {
+    event_loop::set_mode(Some(mode));
+    event_loop::set_sim_threads(threads);
+    let s = simulate_sequence_mech(cfg, SchedulerKind::Libra, mech, p, FRAMES);
+    event_loop::set_sim_threads(None);
+    event_loop::set_mode(None);
+    s
+}
+
+#[test]
+fn every_mechanism_is_bit_identical_across_drivers_and_thread_counts() {
+    let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+    let profiles: Vec<BenchmarkProfile> =
+        suite().into_iter().filter(|p| WORKLOADS.contains(&p.abbrev)).collect();
+    assert_eq!(profiles.len(), WORKLOADS.len(), "differential workloads must exist");
+
+    for p in &profiles {
+        for mech in mechanisms() {
+            let scan = run_with(EventLoopMode::Scan, None, &cfg, mech, p);
+            let heap = run_with(EventLoopMode::Heap, None, &cfg, mech, p);
+            assert_eq!(
+                scan.total_cycles(),
+                heap.total_cycles(),
+                "total cycles diverged for {}/{mech} between scan and heap",
+                p.abbrev
+            );
+            assert!(
+                scan == heap,
+                "scan and heap SequenceStats diverged for {}/{mech}",
+                p.abbrev
+            );
+            for threads in PAR_THREADS {
+                let par = run_with(EventLoopMode::Par, Some(threads), &cfg, mech, p);
+                assert_eq!(
+                    heap.total_cycles(),
+                    par.total_cycles(),
+                    "total cycles diverged for {}/{mech} at par@{threads}",
+                    p.abbrev
+                );
+                assert_eq!(
+                    heap.total_dram_accesses(),
+                    par.total_dram_accesses(),
+                    "DRAM accesses diverged for {}/{mech} at par@{threads}",
+                    p.abbrev
+                );
+                assert!(
+                    heap == par,
+                    "heap and par@{threads} SequenceStats diverged for {}/{mech}",
+                    p.abbrev
+                );
+            }
+        }
+    }
+
+    // The RE oracle's contract holds under every driver too: rendering is not
+    // skipped, so an oracle run equals the mechanism-free run bit for bit.
+    let p = &profiles[0];
+    let oracle = MechanismSpec::parse("re-oracle").unwrap();
+    let plain = run_with(EventLoopMode::Heap, None, &cfg, MechanismSpec::NONE, p);
+    for mode in [EventLoopMode::Scan, EventLoopMode::Heap, EventLoopMode::Par] {
+        let threads = (mode == EventLoopMode::Par).then_some(2);
+        let o = run_with(mode, threads, &cfg, oracle, p);
+        assert!(o == plain, "re-oracle perturbed results under {mode:?}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Golden-snapshot tests for the mechanism axes: three tiny workloads under
+//! Rendering Elimination, WaSP, and their composition, with every mechanism
+//! decision counter pinned exactly.
+//!
+//! The mechanisms are deterministic integer machinery like the rest of the
+//! simulator: how many tiles RE checks and discards, how many signature bytes
+//! it hashes, and how many tiles WaSP engages/reorders (and how many spearhead
+//! warps it issues) are exact per (workload, mechanism) cell. Any intentional
+//! change to the signature stream, the RE cache, or the WaSP policy WILL move
+//! these numbers; regenerate the table with the ignored
+//! `print_current_mechanism_goldens` test and update it in the same commit.
+
+use libra_repro::prelude::*;
+
+const FRAMES: u32 = 3;
+// CCS scrolls its full-screen background every frame (no tile can repeat
+// bit-exactly); CuT and LuL are static-camera titles where only the jittering
+// hot clusters change — the two regimes RE must tell apart.
+const WORKLOAD_ABBREVS: [&str; 3] = ["CCS", "CuT", "LuL"];
+const MECHANISMS: [&str; 3] = ["re", "wasp", "re+wasp"];
+
+/// One pinned cell: (workload, mechanism, total cycles, total DRAM accesses,
+/// re tiles checked, re tiles discarded, re signature bytes, wasp engaged
+/// tiles, wasp spearhead warps, wasp reordered tiles). Counters are summed
+/// over the 3 frames; the mechanism that is off in a cell pins 0s.
+type GoldenRow = (&'static str, &'static str, u64, u64, u64, u64, u64, u64, u64, u64);
+
+const GOLDENS: &[GoldenRow] = &[
+    ("CCS", "re", 621782, 113644, 64, 0, 1376232, 0, 0, 0),
+    ("CCS", "wasp", 729728, 114128, 0, 0, 0, 96, 7290, 96),
+    ("CCS", "re+wasp", 729728, 114128, 64, 0, 1376232, 96, 7290, 96),
+    ("CuT", "re", 63669, 6712, 64, 18, 137280, 0, 0, 0),
+    ("CuT", "wasp", 69331, 7887, 0, 0, 0, 96, 969, 96),
+    ("CuT", "re+wasp", 65609, 6710, 64, 18, 137280, 78, 854, 78),
+    ("LuL", "re", 34438, 4891, 64, 34, 81752, 0, 0, 0),
+    ("LuL", "wasp", 45578, 7065, 0, 0, 0, 56, 365, 56),
+    ("LuL", "re+wasp", 35180, 4890, 64, 34, 81752, 46, 371, 46),
+];
+
+fn workloads() -> Vec<BenchmarkProfile> {
+    let mut v: Vec<BenchmarkProfile> =
+        suite().into_iter().filter(|p| WORKLOAD_ABBREVS.contains(&p.abbrev)).collect();
+    v.sort_by(|a, b| a.abbrev.cmp(b.abbrev));
+    v
+}
+
+fn measure(p: &BenchmarkProfile, mech: MechanismSpec) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+    let cfg = GpuConfig::libra(ScreenConfig::tiny(), 2);
+    let mut sim = GpuSimulator::with_mechanism(cfg, SchedulerKind::Libra, mech);
+    let s = sim.render_sequence(p, FRAMES);
+    let counter_sum = |name: &str| -> u64 {
+        (0..FRAMES)
+            .map(|f| {
+                let label = f.to_string();
+                sim.metrics().counter_value(name, &[("frame", &label)]).unwrap_or(0)
+            })
+            .sum()
+    };
+    (
+        s.total_cycles(),
+        s.total_dram_accesses(),
+        counter_sum("re_tiles_checked"),
+        counter_sum("re_tiles_discarded"),
+        counter_sum("re_signature_bytes"),
+        counter_sum("wasp_engaged_tiles"),
+        counter_sum("wasp_spearhead_warps"),
+        counter_sum("wasp_reordered_tiles"),
+    )
+}
+
+#[test]
+fn mechanism_goldens_hold() {
+    let profiles = workloads();
+    assert_eq!(profiles.len(), 3, "golden workloads must exist in the suite");
+    assert_eq!(GOLDENS.len(), profiles.len() * MECHANISMS.len(), "one golden row per cell");
+    let mut drifted = Vec::new();
+    for p in &profiles {
+        for name in MECHANISMS {
+            let mech = MechanismSpec::parse(name).unwrap();
+            let m = measure(p, mech);
+            let g = GOLDENS
+                .iter()
+                .find(|g| g.0 == p.abbrev && g.1 == name)
+                .unwrap_or_else(|| panic!("no golden row for {}/{name}", p.abbrev));
+            if m != (g.2, g.3, g.4, g.5, g.6, g.7, g.8, g.9) {
+                drifted.push(format!(
+                    "{}/{name}: cycles {} (golden {}), dram {} (golden {}), \
+                     re checked/discarded/bytes {}/{}/{} (golden {}/{}/{}), \
+                     wasp engaged/spearhead/reordered {}/{}/{} (golden {}/{}/{})",
+                    p.abbrev, m.0, g.2, m.1, g.3, m.2, m.3, m.4, g.4, g.5, g.6, m.5, m.6, m.7,
+                    g.7, g.8, g.9
+                ));
+            }
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "mechanism counters drifted from the pinned goldens — if intentional, regenerate \
+         with `cargo test print_current_mechanism_goldens -- --ignored --nocapture`:\n{}",
+        drifted.join("\n")
+    );
+}
+
+/// Structural invariants the pinned numbers must respect, so a regenerated
+/// table can't silently encode a broken mechanism.
+#[test]
+fn mechanism_goldens_are_internally_consistent() {
+    let tiles_per_frame = ScreenConfig::tiny().num_tiles() as u64;
+    for g in GOLDENS {
+        let has_re = g.1.contains("re");
+        let has_wasp = g.1.contains("wasp");
+        if has_re {
+            // Frame 0 has no predecessor: only FRAMES-1 frames can match.
+            assert_eq!(g.4, (FRAMES as u64 - 1) * tiles_per_frame, "{}/{}: re checks", g.0, g.1);
+            if matches!(g.0, "CuT" | "LuL") {
+                // Static-camera titles: most of the screen repeats bit-exactly.
+                assert!(g.5 > 0, "{}/{}: RE found nothing on a static scene", g.0, g.1);
+            } else {
+                // Full-screen scrolling touches every tile; an honest RE
+                // discards nothing rather than inventing coherence.
+                assert_eq!(g.5, 0, "{}/{}: RE discarded under full-screen scroll", g.0, g.1);
+            }
+            assert!(g.5 <= g.4, "{}/{}: discards exceed checks", g.0, g.1);
+            assert!(g.6 > 0, "{}/{}: signature bytes must be accounted", g.0, g.1);
+        } else {
+            assert_eq!((g.4, g.5, g.6), (0, 0, 0), "{}/{}: RE counters leak", g.0, g.1);
+        }
+        if has_wasp {
+            assert!(g.7 > 0, "{}/{}: WaSP never engaged", g.0, g.1);
+            assert!(g.8 >= g.7, "{}/{}: engaged tiles outnumber spearhead warps", g.0, g.1);
+            assert!(g.9 <= g.7, "{}/{}: reordered tiles exceed engaged tiles", g.0, g.1);
+        } else {
+            assert_eq!((g.7, g.8, g.9), (0, 0, 0), "{}/{}: WaSP counters leak", g.0, g.1);
+        }
+    }
+}
+
+/// RE + WaSP compose: the pinned composed row must discard exactly as many
+/// tiles as RE alone (WaSP never changes *what* renders, only warp order).
+#[test]
+fn composition_discards_match_re_alone() {
+    for p in WORKLOAD_ABBREVS {
+        let re = GOLDENS.iter().find(|g| g.0 == p && g.1 == "re").unwrap();
+        let both = GOLDENS.iter().find(|g| g.0 == p && g.1 == "re+wasp").unwrap();
+        assert_eq!(re.5, both.5, "{p}: composition changed RE's discard decisions");
+        assert_eq!(re.6, both.6, "{p}: composition changed RE's signature bytes");
+    }
+}
+
+/// Regenerates the `GOLDENS` table in source form after an intentional model
+/// change: `cargo test print_current_mechanism_goldens -- --ignored --nocapture`.
+#[test]
+#[ignore = "generator, not a check"]
+fn print_current_mechanism_goldens() {
+    for p in &workloads() {
+        for name in MECHANISMS {
+            let mech = MechanismSpec::parse(name).unwrap();
+            let (cycles, dram, rc, rd, rb, we, ws, wr) = measure(p, mech);
+            println!(
+                "    ({:?}, {:?}, {cycles}, {dram}, {rc}, {rd}, {rb}, {we}, {ws}, {wr}),",
+                p.abbrev, name
+            );
+        }
+    }
+}

@@ -579,3 +579,69 @@ fn channel_queues_pop_min_is_the_flat_minimum() {
         },
     );
 }
+
+/// Rendering Elimination's safety contract, fuzzed: across randomly perturbed
+/// frame pairs, a tile is discarded *only* when its raw signature word stream
+/// (binned primitives, vertex lanes, draw state) is bit-identical to the
+/// previous frame's — zero false discards — and every bit-identical tile IS
+/// discarded (the signature is a pure function of the words). Hash collisions
+/// would surface as `false_negatives`; none occur across the fuzzed corpus.
+#[test]
+fn rendering_elimination_never_falsely_discards_a_changed_tile() {
+    use libra::elimination::ReCache;
+    use tbr_geom::pipeline::ScreenTriangle;
+    use tbr_geom::scene::TextureDesc;
+    use tbr_geom::stream::TriangleStream;
+    use tbr_common::ids::TextureId;
+    use tbr_tiling::binner::bin_stream;
+    use tbr_tiling::signature::frame_signatures;
+
+    // Build a small random frame straight out of a workload generator (real
+    // draw states, real binning), then derive frame B by perturbing a random
+    // subset of triangles in randomized ways.
+    let screen = ScreenConfig::tiny();
+    let profiles = suite();
+    check("rendering_elimination_never_falsely_discards_a_changed_tile", 48, |g: &mut Gen| {
+        let p = &profiles[g.usize(0, profiles.len())];
+        let scene = tbr_workloads::SceneGenerator::new(p, &screen).scene(g.u32(0, 8));
+        let (mut frame_a, _counts): (Vec<ScreenTriangle>, _) =
+            tbr_geom::pipeline::process_scene(&scene, &screen);
+        frame_a.truncate(64); // keep each case cheap
+        ensure!(!frame_a.is_empty(), "workload produced no triangles");
+
+        let mut frame_b = frame_a.clone();
+        for _ in 0..g.usize(0, 6) {
+            let i = g.usize(0, frame_b.len());
+            match g.u32(0, 4) {
+                0 => frame_b[i].v[g.usize(0, 3)].x += g.f32(0.01, 2.0),
+                1 => frame_b[i].v[g.usize(0, 3)].u += g.f32(0.01, 0.5),
+                2 => frame_b[i].texture = TextureDesc::new(TextureId(g.u32(900, 999)), 64),
+                _ => frame_b[i].seq ^= 1 << g.u32(0, 8),
+            }
+        }
+
+        let sig = |frame: &[ScreenTriangle]| {
+            let stream = TriangleStream::from_triangles(frame);
+            let bins = bin_stream(&stream, &screen);
+            frame_signatures(&stream, &bins, true)
+        };
+        let (a, b) = (sig(&frame_a), sig(&frame_b));
+        let words_a = a.words.clone().expect("oracle words");
+        let words_b = b.words.clone().expect("oracle words");
+
+        let mut cache = ReCache::new();
+        let first = cache.observe(a.sigs, a.words);
+        ensure!(first.discarded == 0, "frame 0 has no predecessor to match");
+        let d = cache.observe(b.sigs, b.words);
+        ensure!(d.false_negatives == 0, "hash collision in the fuzzed corpus");
+        for t in 0..words_a.len() {
+            let same = words_a[t] == words_b[t];
+            ensure!(
+                d.matched[t] == same,
+                "tile {t}: discard decision disagrees with true input equality"
+            );
+        }
+        ensure_eq!(d.discarded, d.matched.iter().filter(|&&m| m).count() as u64);
+        Ok(())
+    });
+}

@@ -34,6 +34,7 @@ fn spec_tiny(take: usize) -> JobSpec {
         screen: "tiny".into(),
         ideal_memory: false,
         take: Some(take),
+        mechanism: "none".into(),
     }
 }
 

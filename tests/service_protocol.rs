@@ -43,9 +43,11 @@ fn gen_host(g: &mut Gen) -> HostMeta {
 fn gen_spec(g: &mut Gen) -> JobSpec {
     let schedulers = ["z", "scanline", "hilbert", "static4", "libra"];
     let screens = ["tiny", "quarter", "fhd"];
+    let mechanisms = ["none", "re", "wasp", "re+wasp", "re-oracle", "re-oracle+wasp"];
     JobSpec {
         seed: gen_u64(g),
         scheduler: schedulers[g.usize(0, schedulers.len())].to_string(),
+        mechanism: mechanisms[g.usize(0, mechanisms.len())].to_string(),
         frames: g.u32(1, 16),
         rus: g.usize(1, 5),
         cores: g.usize(1, 9),
@@ -250,6 +252,75 @@ fn job_spec_rejects_nonsense() {
     assert!(bad_screen.to_campaign().unwrap_err().contains("unknown screen"));
     let bad_take = JobSpec { take: Some(0), ..base };
     assert!(bad_take.to_campaign().unwrap_err().contains("take"));
+}
+
+#[test]
+fn job_spec_rejects_unknown_mechanisms() {
+    let bad = JobSpec { mechanism: "turbo".into(), take: Some(4), ..JobSpec::default() };
+    let e = bad.to_campaign().unwrap_err();
+    assert!(e.contains("mechanism") && e.contains("turbo"), "{e}");
+    let dup = JobSpec { mechanism: "re+re".into(), take: Some(4), ..JobSpec::default() };
+    assert!(dup.to_campaign().is_err());
+}
+
+/// A submit frame captured before the mechanism axis existed — no `mechanism`
+/// key in the spec object — must decode to the default (mechanism-free) spec,
+/// and today's encoder must reproduce that frame byte-identically.
+#[test]
+fn pre_mechanism_payloads_still_decode_and_re_encode() {
+    let legacy = format!(
+        "{{\"v\": \"{WIRE_VERSION}\", \"type\": \"submit\", \"spec\": \
+         {{\"seed\": \"0x7\", \"scheduler\": \"libra\", \"frames\": 2, \"rus\": 2, \
+         \"cores\": 4, \"screen\": \"tiny\", \"ideal_memory\": false, \"take\": 4}}}}"
+    );
+    let msg = Message::decode(&legacy).expect("legacy submit frame must decode");
+    let Message::Submit { spec } = &msg else { panic!("wrong variant: {msg:?}") };
+    assert_eq!(spec.mechanism, "none");
+    assert_eq!(spec.seed, 7);
+    assert_eq!(spec.take, Some(4));
+    // The default axis is omitted on encode, so the round trip is byte-exact:
+    // an updated endpoint talking to a pre-mechanism peer emits the old bytes.
+    assert_eq!(msg.encode(), legacy);
+}
+
+/// Fingerprints of default-mechanism specs are pinned to their pre-mechanism
+/// values: a checkpoint or coordinator from before the axis existed must keep
+/// matching. (Captured by running `to_campaign().fingerprint()` at the commit
+/// immediately before the mechanism field was introduced.)
+#[test]
+fn default_mechanism_fingerprints_are_unchanged() {
+    const DEFAULT_SPEC_FP: u64 = 0x3eea63b6adfc0de6;
+    const TINY_SPEC_FP: u64 = 0x48e959b221d4060b;
+
+    let (_, c) = JobSpec::default().to_campaign().unwrap();
+    assert_eq!(c.fingerprint(), DEFAULT_SPEC_FP, "default spec fingerprint drifted");
+
+    let tiny = JobSpec {
+        seed: 7,
+        frames: 2,
+        screen: "tiny".into(),
+        rus: 2,
+        take: Some(4),
+        ..JobSpec::default()
+    };
+    let (_, c) = tiny.to_campaign().unwrap();
+    assert_eq!(c.fingerprint(), TINY_SPEC_FP, "tiny spec fingerprint drifted");
+
+    // A non-default mechanism is a genuinely different sweep and must not
+    // collide with the legacy fingerprint (that would adopt wrong results).
+    for mech in ["re", "wasp", "re+wasp", "re-oracle"] {
+        let spec = JobSpec {
+            seed: 7,
+            frames: 2,
+            screen: "tiny".into(),
+            rus: 2,
+            take: Some(4),
+            mechanism: mech.into(),
+            ..JobSpec::default()
+        };
+        let (_, c) = spec.to_campaign().unwrap();
+        assert_ne!(c.fingerprint(), TINY_SPEC_FP, "mechanism `{mech}` collided");
+    }
 }
 
 #[test]
